@@ -1,0 +1,175 @@
+// Common-case performance: the Figure 2 premise. The base filesystem
+// (caches + journal + async write-back + concurrency) must be much faster
+// than the shadow (no caches, path walk from root, synchronous reads) --
+// that gap is WHY the shadow only runs in the error path.
+//
+// Simulated-time benchmarks (UseManualTime reports simulated seconds) for
+// identical deterministic workloads across three configurations:
+//   base/full      -- the real base configuration
+//   base/nocache   -- base with caches ablated (what the caches buy)
+//   shadow         -- ShadowFs driven standalone
+// plus wall-time thread-scaling for the base (the shadow is single-
+// threaded by design and has no multi-threaded counterpart).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench/bench_support.h"
+#include "shadowfs/shadow_standalone.h"
+#include "workload/workload.h"
+
+namespace raefs {
+namespace {
+
+using bench_support::make_rig;
+using bench_support::to_seconds;
+
+WorkloadOptions workload_of(int kind_index, uint64_t nops) {
+  WorkloadOptions opts;
+  opts.kind = static_cast<WorkloadKind>(kind_index);
+  opts.seed = 99;
+  opts.nops = nops;
+  opts.initial_files = 24;
+  opts.max_io_bytes = 8 * 1024;
+  // Durability costs excluded from the architecture comparison (one final
+  // sync only): the shadow never persists, so periodic fsync cost would
+  // be an apples-to-oranges charge on the base. bench_recording_overhead
+  // covers sync-interval effects.
+  opts.sync_every = 0;
+  return opts;
+}
+
+constexpr uint64_t kNops = 2000;
+
+void BM_BaseFull(benchmark::State& state) {
+  auto opts = workload_of(static_cast<int>(state.range(0)), kNops);
+  WorkloadResult last{};
+  BaseFsStats stats{};
+  for (auto _ : state) {
+    auto rig = make_rig();
+    auto fs = BaseFs::mount(rig.device.get(), BaseFsOptions{}, rig.clock);
+    if (!fs.ok()) state.SkipWithError("mount failed");
+    Nanos t0 = rig.clock->now();
+    last = run_workload(*fs.value(), opts);
+    state.SetIterationTime(to_seconds(rig.clock->now() - t0));
+    stats = fs.value()->stats();
+    (void)fs.value()->unmount();
+  }
+  state.counters["sim_us_per_op"] = benchmark::Counter(
+      1e6 * to_seconds(0), benchmark::Counter::kDefaults);
+  state.counters["ops"] = static_cast<double>(last.ops_issued);
+  state.counters["dev_reads"] =
+      static_cast<double>(stats.block_cache_misses);
+  state.counters["cache_hit_pct"] =
+      100.0 * static_cast<double>(stats.block_cache_hits) /
+      static_cast<double>(stats.block_cache_hits + stats.block_cache_misses +
+                          1);
+  state.SetItemsProcessed(static_cast<int64_t>(last.ops_issued) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+void BM_BaseNoCache(benchmark::State& state) {
+  auto opts = workload_of(static_cast<int>(state.range(0)), kNops);
+  BaseFsOptions base;
+  base.block_cache_blocks = 8;  // effectively no cache
+  base.use_dentry_cache = false;
+  base.use_inode_cache = false;
+  WorkloadResult last{};
+  for (auto _ : state) {
+    auto rig = make_rig();
+    auto fs = BaseFs::mount(rig.device.get(), base, rig.clock);
+    if (!fs.ok()) state.SkipWithError("mount failed");
+    Nanos t0 = rig.clock->now();
+    last = run_workload(*fs.value(), opts);
+    state.SetIterationTime(to_seconds(rig.clock->now() - t0));
+    (void)fs.value()->unmount();
+  }
+  state.counters["ops"] = static_cast<double>(last.ops_issued);
+  state.SetItemsProcessed(static_cast<int64_t>(last.ops_issued) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Shadow(benchmark::State& state) {
+  auto opts = workload_of(static_cast<int>(state.range(0)), kNops);
+  WorkloadResult last{};
+  uint64_t device_reads = 0;
+  for (auto _ : state) {
+    auto rig = make_rig();
+    ShadowStandalone shadow(rig.device.get(), ShadowCheckLevel::kExtensive,
+                            rig.clock);
+    Nanos t0 = rig.clock->now();
+    last = run_workload(shadow, opts);
+    state.SetIterationTime(to_seconds(rig.clock->now() - t0));
+    device_reads = shadow.shadow().device_reads();
+  }
+  state.counters["ops"] = static_cast<double>(last.ops_issued);
+  state.counters["dev_reads"] = static_cast<double>(device_reads);
+  state.SetItemsProcessed(static_cast<int64_t>(last.ops_issued) *
+                          static_cast<int64_t>(state.iterations()));
+}
+
+// Wall-time thread scaling of the base's data path: per-inode locking and
+// the sharded caches let writes to distinct files proceed in parallel.
+// The shadow is sequential by design -- this benchmark has no shadow twin.
+void BM_BaseParallelWrites(benchmark::State& state) {
+  static std::unique_ptr<MemBlockDevice> device;
+  static std::unique_ptr<BaseFs> fs;
+  static std::vector<Ino> inos;
+  if (state.thread_index() == 0) {
+    device = std::make_unique<MemBlockDevice>(65536);
+    MkfsOptions mkfs;
+    mkfs.total_blocks = 65536;
+    mkfs.inode_count = 4096;
+    mkfs.journal_blocks = 256;
+    (void)BaseFs::mkfs(device.get(), mkfs);
+    auto mounted = BaseFs::mount(device.get(), BaseFsOptions{});
+    fs = std::move(mounted).value();
+    inos.clear();
+    for (int i = 0; i < state.threads(); ++i) {
+      inos.push_back(
+          fs->create("/t" + std::to_string(i), 0644).value());
+    }
+  }
+  std::vector<uint8_t> data(4096, 0x5A);
+  Ino mine = inos[static_cast<size_t>(state.thread_index())];
+  FileOff off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->write(mine, 0, off % (1u << 20), data));
+    off += 4096;
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations() * state.threads());
+  }
+}
+
+BENCHMARK(BM_BaseFull)
+    ->DenseRange(0, 3)  // metadata, write, read, fileserver
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BaseNoCache)
+    ->DenseRange(0, 3)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Shadow)
+    ->DenseRange(0, 3)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BaseParallelWrites)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+}  // namespace raefs
+
+int main(int argc, char** argv) {
+  raefs::bench_support::print_header(
+      "bench_common_case",
+      "Figure 2 architecture premise (base fast path vs shadow simplicity)",
+      "base/full beats shadow by >=5x on simulated time (more on "
+      "read-heavy, cache-friendly mixes); base/nocache sits in between; "
+      "base scales with threads, the shadow cannot");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared setup helpers for the benchmark harness. Every experiment runs
+// on simulated time (SimClock + device latency model) so the reported
+// shapes are deterministic and host-independent; google-benchmark's
+// manual-time mode reports simulated seconds.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "basefs/base_fs.h"
+#include "blockdev/mem_device.h"
+#include "common/clock.h"
+
+namespace raefs {
+namespace bench_support {
+
+struct BenchRig {
+  SimClockPtr clock;
+  std::unique_ptr<MemBlockDevice> device;
+};
+
+inline BenchRig make_rig(uint64_t total_blocks = 32768,
+                         uint64_t inode_count = 4096,
+                         uint64_t journal_blocks = 256) {
+  BenchRig rig;
+  rig.clock = make_clock();
+  rig.device =
+      std::make_unique<MemBlockDevice>(total_blocks, rig.clock,
+                                       LatencyModel{});  // NVMe-ish costs
+  MkfsOptions mkfs;
+  mkfs.total_blocks = total_blocks;
+  mkfs.inode_count = inode_count;
+  mkfs.journal_blocks = journal_blocks;
+  if (!BaseFs::mkfs(rig.device.get(), mkfs).ok()) std::abort();
+  return rig;
+}
+
+inline double to_seconds(Nanos ns) {
+  return static_cast<double>(ns) / 1e9;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const char* expectation) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("expected shape: %s\n\n", expectation);
+}
+
+}  // namespace bench_support
+}  // namespace raefs

@@ -1,0 +1,37 @@
+// Regenerates Table 1 of the paper: the ext4 bug study's determinism x
+// consequence counts, recomputed by running the classification pipeline
+// over the raw-evidence corpus (see src/bugstudy/).
+#include <cstdio>
+
+#include "bugstudy/bugstudy.h"
+
+int main() {
+  using namespace raefs::bugstudy;
+
+  std::printf("=== Table 1: Study of filesystem bugs (Linux ext4) ===\n");
+  std::printf(
+      "Bugs without reproducers, or involving IO interaction or threading,\n"
+      "classify as non-deterministic; consequence is keyed off commit\n"
+      "symptoms (WARN = a WARN_*() path was hit; no clues = Unknown).\n\n");
+
+  const auto& corpus = ext4_corpus();
+  auto table = build_table1(corpus);
+  std::printf("%s\n", table.render().c_str());
+
+  uint64_t deterministic = table.row_total(StudyDeterminism::kDeterministic);
+  uint64_t detected =
+      table.counts[static_cast<size_t>(StudyDeterminism::kDeterministic)]
+                  [static_cast<size_t>(StudyConsequence::kCrash)] +
+      table.counts[static_cast<size_t>(StudyDeterminism::kDeterministic)]
+                  [static_cast<size_t>(StudyConsequence::kWarn)];
+  std::printf(
+      "Paper's headline reading: deterministic bugs are prevalent "
+      "(%llu/%llu),\nand a significant portion cause crashes or warnings "
+      "detected as runtime\nerrors (%llu/%llu) -- all handled by the "
+      "shadow.\n",
+      static_cast<unsigned long long>(deterministic),
+      static_cast<unsigned long long>(table.total()),
+      static_cast<unsigned long long>(detected),
+      static_cast<unsigned long long>(deterministic));
+  return 0;
+}

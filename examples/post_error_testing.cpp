@@ -1,0 +1,132 @@
+// The shadow as a post-error TESTING tool (paper §4.3): because the
+// operation sequence and its outcomes are recorded, replaying them on the
+// shadow and cross-checking is an effective way to pinpoint bugs in the
+// base -- "especially for inputs often missed by testing frameworks."
+//
+// This example records a real run of the base filesystem, then simulates
+// a wrong-result bug by tampering with one recorded outcome (as a buggy
+// base would have produced), and lets the shadow's constrained-mode
+// cross-check name the exact operation that went wrong.
+#include <cstdio>
+
+#include "blockdev/mem_device.h"
+#include "basefs/base_fs.h"
+#include "shadowfs/shadow_replay.h"
+#include "tests/support/fixtures.h"
+
+using namespace raefs;
+
+namespace {
+
+/// A minimal recorder: executes ops on the base and logs request+outcome
+/// exactly like the RAE supervisor does.
+struct Recorder {
+  BaseFs& fs;
+  std::vector<OpRecord> log;
+  Seq next_seq = 1;
+
+  Ino create(const std::string& path) {
+    OpRecord rec;
+    rec.seq = next_seq++;
+    rec.req.kind = OpKind::kCreate;
+    rec.req.path = path;
+    rec.req.mode = 0644;
+    auto r = fs.create(path, 0644);
+    rec.completed = true;
+    rec.out.err = r.ok() ? Errno::kOk : r.error();
+    if (r.ok()) rec.out.assigned_ino = r.value();
+    log.push_back(rec);
+    return r.ok() ? r.value() : kInvalidIno;
+  }
+
+  void write(Ino ino, FileOff off, const std::vector<uint8_t>& data) {
+    OpRecord rec;
+    rec.seq = next_seq++;
+    rec.req.kind = OpKind::kWrite;
+    rec.req.ino = ino;
+    rec.req.offset = off;
+    rec.req.data = data;
+    auto r = fs.write(ino, 0, off, data);
+    rec.completed = true;
+    rec.out.err = r.ok() ? Errno::kOk : r.error();
+    if (r.ok()) rec.out.result_len = r.value();
+    log.push_back(rec);
+  }
+
+  void unlink(const std::string& path) {
+    OpRecord rec;
+    rec.seq = next_seq++;
+    rec.req.kind = OpKind::kUnlink;
+    rec.req.path = path;
+    rec.out.err = fs.unlink(path).error();
+    rec.completed = true;
+    log.push_back(rec);
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto clock = make_clock();
+  MemBlockDevice device(8192, clock);
+  MkfsOptions mkfs;
+  mkfs.total_blocks = 8192;
+  mkfs.inode_count = 1024;
+  if (!BaseFs::mkfs(&device, mkfs).ok()) return 1;
+
+  // Snapshot the pristine image: the shadow will replay on top of it.
+  auto pristine = device.clone_full();
+
+  std::printf("== recording a run of the base filesystem ==\n");
+  std::vector<OpRecord> log;
+  {
+    auto fs = BaseFs::mount(&device, BaseFsOptions{}, clock);
+    Recorder recorder{*fs.value(), {}, 1};
+    Ino a = recorder.create("/alpha");
+    recorder.write(a, 0, testing_support::pattern_bytes(3000, 1));
+    Ino b = recorder.create("/beta");
+    recorder.write(b, 0, testing_support::pattern_bytes(1500, 2));
+    recorder.unlink("/alpha");
+    Ino c = recorder.create("/gamma");
+    recorder.write(c, 4096, testing_support::pattern_bytes(2000, 3));
+    log = std::move(recorder.log);
+    std::printf("recorded %zu operations\n\n", log.size());
+    (void)fs.value()->unmount();
+  }
+
+  std::printf("== replaying on the shadow: healthy base ==\n");
+  {
+    auto image = pristine->clone_full();
+    auto outcome = shadow_execute(image.get(), log, ShadowConfig{});
+    std::printf("shadow verdict: %s, %zu discrepancies\n\n",
+                outcome.ok ? "ok" : outcome.failure.c_str(),
+                outcome.discrepancies.size());
+  }
+
+  std::printf("== simulating a wrong-result bug in the base ==\n");
+  // A buggy base reported a short write of 900 bytes for op 4 while the
+  // application's data was 1500 bytes -- the class of silent wrong-result
+  // bug differential testing exists to catch.
+  auto tampered = log;
+  tampered[3].out.result_len = 900;
+  std::printf("tampered: op %llu (%s) now claims result_len=900\n\n",
+              static_cast<unsigned long long>(tampered[3].seq),
+              tampered[3].req.describe().c_str());
+
+  {
+    auto image = pristine->clone_full();
+    auto outcome = shadow_execute(image.get(), tampered, ShadowConfig{});
+    std::printf("== shadow cross-check report ==\n");
+    std::printf("verdict: %s\n", outcome.ok ? "completed" : "refused");
+    for (const auto& d : outcome.discrepancies) {
+      std::printf("DISCREPANCY at op %llu:\n  %s\n",
+                  static_cast<unsigned long long>(d.seq),
+                  d.description.c_str());
+    }
+    std::printf(
+        "\nEither the base mis-executed (a bug to report, with the exact\n"
+        "triggering sequence already in hand) or the shadow is missing a\n"
+        "condition (a gap to fix). Both improve reliability -- §4.3.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: mount a RAE-supervised filesystem, use it through the VFS,
+// trigger a deterministic kernel-style bug, and watch the application
+// sail straight through the recovery.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "blockdev/mem_device.h"
+#include "faults/bug_library.h"
+#include "rae/supervisor.h"
+#include "vfs/vfs.h"
+
+using namespace raefs;
+
+int main() {
+  // 1. A 128 MiB in-memory device with NVMe-ish latency, simulated time.
+  auto clock = make_clock();
+  MemBlockDevice device(32768, clock, LatencyModel{});
+
+  // 2. mkfs + mount under the RAE supervisor. The BugRegistry plays the
+  //    role of the base filesystem's latent bugs: here, unlinking a
+  //    maximum-length name hits a BUG() -- a classic input-sanity bug.
+  MkfsOptions mkfs;
+  mkfs.total_blocks = 32768;
+  mkfs.inode_count = 4096;
+  if (!BaseFs::mkfs(&device, mkfs).ok()) {
+    std::fprintf(stderr, "mkfs failed\n");
+    return 1;
+  }
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+
+  auto sup = RaeSupervisor::start(&device, RaeOptions{}, clock, &bugs);
+  if (!sup.ok()) {
+    std::fprintf(stderr, "mount failed\n");
+    return 1;
+  }
+  Vfs<RaeSupervisor> vfs(sup.value().get());
+
+  // 3. Ordinary application work through the POSIX-style VFS.
+  std::printf("-- normal operation --\n");
+  (void)vfs.mkdir("/projects");
+  auto fd = vfs.open("/projects/notes.txt", kRdWr | kCreate, 0644);
+  std::string text = "shadow filesystems: robust alternative execution\n";
+  (void)vfs.write(fd.value(), std::span<const uint8_t>(
+                                  reinterpret_cast<const uint8_t*>(text.data()),
+                                  text.size()));
+  (void)vfs.fsync(fd.value());
+  std::printf("wrote %zu bytes to /projects/notes.txt (fd %lld)\n",
+              text.size(), static_cast<long long>(fd.value()));
+
+  // 4. Trigger the bug: a file whose name is exactly 54 characters.
+  std::string trigger = "/projects/" + std::string(54, 'x');
+  auto tfd = vfs.open(trigger, kWrOnly | kCreate);
+  (void)vfs.close(tfd.value());
+  std::printf("\n-- unlinking the trigger file (the base will BUG()) --\n");
+  Status st = vfs.unlink(trigger);
+  std::printf("unlink returned: %s  <-- the application never saw the bug\n",
+              to_string(st.error()));
+
+  // 5. What actually happened underneath.
+  const auto& stats = sup.value()->stats();
+  std::printf("\n-- what RAE did --\n");
+  std::printf("panics trapped:     %llu\n",
+              static_cast<unsigned long long>(stats.panics_trapped));
+  std::printf("recoveries:         %llu\n",
+              static_cast<unsigned long long>(stats.recoveries));
+  std::printf("ops replayed:       %llu (by the shadow, constrained mode)\n",
+              static_cast<unsigned long long>(stats.ops_replayed_total));
+  std::printf("recovery downtime:  %s (simulated)\n",
+              format_nanos(stats.total_downtime).c_str());
+
+  // 6. The old descriptor still works across the contained reboot.
+  (void)vfs.seek(fd.value(), 0);
+  auto back = vfs.read(fd.value(), 4096);
+  std::printf("\n-- descriptor survived recovery --\n");
+  std::printf("read back %zu bytes: %.*s",
+              back.value().size(), static_cast<int>(back.value().size()),
+              reinterpret_cast<const char*>(back.value().data()));
+
+  (void)vfs.close(fd.value());
+  (void)sup.value()->shutdown();
+  std::printf("\nclean shutdown. done.\n");
+  return 0;
+}

@@ -1,0 +1,297 @@
+// BaseFs -- the performance-oriented base filesystem (Figure 2, left).
+//
+// Everything the paper's shadow deliberately omits is here: a sharded
+// write-back block cache, an inode cache, a dentry cache with negative
+// entries, fine-grained locking (shared namespace lock + per-inode locks),
+// a write-ahead metadata journal, and an asynchronous block layer for
+// write-back. It is also where bugs live: BugRegistry injection sites are
+// wired through every code path, organic invariant traps panic like a
+// kernel BUG(), and a validate-on-sync hook detects silent corruption
+// before it persists (paper §3.1).
+//
+// Concurrency model:
+//   - op_gate_ (shared_mutex): every op holds it shared; transaction
+//     commit holds it exclusive (a stop-the-world commit, like a jbd2
+//     commit freezing handles).
+//   - namespace_mu_ (shared_mutex): path resolution shared, namespace
+//     mutations (create/unlink/mkdir/rmdir/rename/link/symlink) exclusive.
+//   - per-inode shared_mutex (LockTable): file data ops.
+//   - alloc_mu_: inode/block allocators.
+// Lock order: op_gate_ -> namespace_mu_ -> inode lock -> alloc_mu_.
+//
+// POSIX divergences (shared by base, shadow, and the test oracle):
+//   - symlinks are never followed during path walks (lookup == lstat);
+//   - unlink frees the inode immediately even if a descriptor is open;
+//     stale descriptors are detected via inode generations (kBadFd);
+//   - atime is not updated on reads.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/async_device.h"
+#include "blockdev/block_device.h"
+#include "cache/block_cache.h"
+#include "cache/dentry_cache.h"
+#include "cache/inode_cache.h"
+#include "common/clock.h"
+#include "common/panic.h"
+#include "common/result.h"
+#include "faults/bug_registry.h"
+#include "format/bitmap.h"
+#include "format/dirent.h"
+#include "format/inode.h"
+#include "format/superblock.h"
+#include "journal/journal.h"
+#include "oplog/op.h"
+
+namespace raefs {
+
+struct MkfsOptions {
+  uint64_t total_blocks = 4096;
+  uint64_t inode_count = 1024;
+  uint64_t journal_blocks = 128;
+};
+
+struct BaseFsOptions {
+  size_t block_cache_blocks = 1024;
+  size_t dentry_cache_entries = 4096;
+  int cache_shards = 8;
+  int async_workers = 2;
+  bool use_dentry_cache = true;
+  bool use_inode_cache = true;
+  /// Detection enhancement (paper §3.1): structurally validate all dirty
+  /// metadata before it can persist; a failure panics (and is then
+  /// recoverable by RAE from the unpersisted-state log).
+  bool validate_on_sync = true;
+  /// Checkpoint (write journaled metadata in place) when the journal is
+  /// fuller than this after a commit.
+  double checkpoint_fill_threshold = 0.5;
+  /// Simulated CPU cost charged per operation.
+  Nanos op_cpu_cost = 300;
+};
+
+struct StatResult {
+  Ino ino = kInvalidIno;
+  FileType type = FileType::kNone;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint16_t mode = 0;
+  uint64_t generation = 0;
+};
+
+struct BaseFsStats {
+  uint64_t ops = 0;
+  uint64_t commits = 0;
+  uint64_t checkpoints = 0;
+  uint64_t journal_replays_at_mount = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t dentry_hits = 0;
+  uint64_t dentry_misses = 0;
+  uint64_t inode_cache_hits = 0;
+  uint64_t inode_cache_misses = 0;
+};
+
+/// Classification of a data-region block's role. Blocks below data_start
+/// (superblock, bitmaps, inode table, journal) are implicitly metadata;
+/// data-region blocks holding directory entries or indirect pointer arrays
+/// are journaled metadata too, while file content is not journaled
+/// (ordered-mode semantics).
+enum class BlockClass : uint8_t {
+  kFileData = 0,
+  kDirMeta = 1,
+  kIndirectMeta = 2,
+};
+
+/// Blocks handed back by the shadow during metadata download.
+struct InstallBlock {
+  BlockNo block = 0;
+  BlockClass cls = BlockClass::kFileData;
+  std::vector<uint8_t> data;
+};
+
+class BaseFs {
+ public:
+  /// Format `dev` with a fresh empty filesystem.
+  static Status mkfs(BlockDevice* dev, const MkfsOptions& opts);
+
+  /// Mount: validates the superblock, replays the journal if the previous
+  /// mount did not unmount cleanly, marks the filesystem mounted.
+  /// `bugs` and `warns` may be null (no injection / WARNs dropped).
+  static Result<std::unique_ptr<BaseFs>> mount(BlockDevice* dev,
+                                               const BaseFsOptions& opts,
+                                               SimClockPtr clock = nullptr,
+                                               BugRegistry* bugs = nullptr,
+                                               WarnSink* warns = nullptr);
+
+  /// Commit, checkpoint, mark the superblock clean. The object is
+  /// unusable afterwards.
+  Status unmount();
+
+  /// Destructor performs NO write-back: a destroyed-without-unmount BaseFs
+  /// models a crashed/contained-rebooted instance whose in-memory state
+  /// is discarded (paper: all base memory is untrusted after an error).
+  ~BaseFs();
+
+  BaseFs(const BaseFs&) = delete;
+  BaseFs& operator=(const BaseFs&) = delete;
+
+  // --- Namespace operations (absolute '/'-separated paths) -------------
+  Result<Ino> lookup(std::string_view path);
+  Result<Ino> create(std::string_view path, uint16_t mode);
+  Result<Ino> mkdir(std::string_view path, uint16_t mode);
+  Status unlink(std::string_view path);
+  Status rmdir(std::string_view path);
+  Status rename(std::string_view src, std::string_view dst);
+  Status link(std::string_view existing, std::string_view newpath);
+  Result<Ino> symlink(std::string_view linkpath, std::string_view target);
+  Result<std::string> readlink(std::string_view path);
+  Result<std::vector<DirEntry>> readdir(std::string_view path);
+  Result<StatResult> stat(std::string_view path);
+  Result<StatResult> stat_ino(Ino ino);
+
+  // --- Data operations (fd style: inode + generation guard) ------------
+  Result<std::vector<uint8_t>> read(Ino ino, uint64_t gen, FileOff off,
+                                    uint64_t len);
+  Result<uint64_t> write(Ino ino, uint64_t gen, FileOff off,
+                         std::span<const uint8_t> data);
+  Status truncate(Ino ino, uint64_t gen, uint64_t new_size);
+  Status fsync(Ino ino);
+  Status sync();
+
+  // --- RAE integration --------------------------------------------------
+  /// Tag the next operation with its op-log sequence number (called by the
+  /// supervisor, which serializes mutating ops). The durable callback
+  /// reports the highest tagged seq whose effects have become durable.
+  void set_current_op_seq(Seq seq) { current_op_seq_.store(seq); }
+  void set_durable_callback(std::function<void(Seq)> cb) {
+    durable_cb_ = std::move(cb);
+  }
+
+  /// Metadata download (paper §3.2 hand-off): absorb the shadow's output
+  /// blocks into the caches as dirty state, then commit so the recovered
+  /// state is durable before new operations are admitted.
+  Status install_blocks(const std::vector<InstallBlock>& blocks);
+
+  // --- Introspection ----------------------------------------------------
+  BaseFsStats stats() const;
+  uint64_t free_blocks() const { return free_blocks_.load(); }
+  uint64_t free_inodes() const { return free_inodes_.load(); }
+  const Geometry& geometry() const { return geo_; }
+
+ private:
+  BaseFs(BlockDevice* dev, const BaseFsOptions& opts, SimClockPtr clock,
+         BugRegistry* bugs, WarnSink* warns, const Superblock& sb,
+         const Geometry& geo);
+
+  // -- bug-injection plumbing -------------------------------------------
+  /// Evaluate the registry at `site`; Crash bugs panic, Warn bugs hit the
+  /// sink, Corrupt bugs run `corrupt` (if provided).
+  void bug_site(std::string_view site, OpKind op, std::string_view path,
+                Ino ino, FileOff offset, uint64_t len,
+                const std::function<void()>& corrupt = {});
+  void charge_op();
+
+  // -- inode helpers (base_fs.cc / base_io.cc) ---------------------------
+  Result<DiskInode> get_inode(Ino ino);
+  void put_inode(Ino ino, const DiskInode& inode);
+  Status flush_inode_cache_locked();
+  std::shared_mutex& inode_lock(Ino ino);
+
+  // -- allocators ---------------------------------------------------------
+  Result<Ino> alloc_inode(FileType type, uint16_t mode);
+  Status free_inode(Ino ino);
+  Result<BlockNo> alloc_block();
+  Status free_block(BlockNo block);
+  Status bitmap_set(BlockNo bitmap_start, uint64_t index, bool value,
+                    const char* what);
+  Result<bool> bitmap_test(BlockNo bitmap_start, uint64_t index);
+
+  // -- block mapping (base_io.cc) ----------------------------------------
+  /// Map file block -> device block; allocates (and zeroes) missing blocks
+  /// when `alloc`. Returns 0 for unmapped holes when !alloc.
+  Result<BlockNo> map_block(DiskInode* inode, uint64_t file_block, bool alloc);
+  Status free_file_blocks(DiskInode* inode, uint64_t keep_blocks);
+
+  // -- path resolution (base_ops.cc) --------------------------------------
+  Result<Ino> resolve(std::string_view path);
+  struct ParentRef {
+    Ino parent = kInvalidIno;
+    std::string leaf;
+  };
+  Result<ParentRef> resolve_parent(std::string_view path);
+  Result<std::optional<DirEntry>> dir_find(Ino dir_ino, const DiskInode& dir,
+                                           std::string_view name);
+  Status dir_insert(Ino dir_ino, DiskInode* dir, const DirEntry& entry,
+                    std::string_view full_path);
+  Status dir_remove(Ino dir_ino, DiskInode* dir, std::string_view name);
+  Result<bool> dir_empty(const DiskInode& dir);
+  Result<Ino> create_common(OpKind op, std::string_view path, uint16_t mode,
+                            FileType type, std::string_view symlink_target);
+
+  // -- transactions (base_txn.cc) -----------------------------------------
+  /// Stop-the-world commit: flush inode cache, validate-on-sync, write
+  /// data in place, journal metadata, maybe checkpoint, advance watermark.
+  Status commit_txn(bool force_checkpoint);
+  Status checkpoint_locked();
+  Status validate_dirty_locked(
+      const std::vector<std::pair<BlockNo, std::vector<uint8_t>>>& dirty);
+  Status write_superblock(FsState state);
+
+  bool is_meta_block(BlockNo b) const;
+  void note_meta_block(BlockNo b, BlockClass cls);
+  void note_mutation();
+  Status reload_counters();
+
+  // -- members -------------------------------------------------------------
+  BlockDevice* dev_;
+  BaseFsOptions opts_;
+  SimClockPtr clock_;
+  BugRegistry* bugs_;    // may be null
+  WarnSink* warns_;      // may be null
+  Superblock sb_;
+  Geometry geo_;
+
+  BlockCache block_cache_;
+  InodeCache inode_cache_;
+  DentryCache dentry_cache_;
+  AsyncBlockDevice async_;
+  Journal journal_;
+
+  std::shared_mutex op_gate_;
+  std::shared_mutex namespace_mu_;
+  std::mutex alloc_mu_;
+  std::mutex inode_locks_mu_;
+  std::unordered_map<Ino, std::unique_ptr<std::shared_mutex>> inode_locks_;
+
+  // Blocks in the data region that hold directory/indirect (journaled)
+  // content rather than file data.
+  mutable std::mutex meta_blocks_mu_;
+  std::unordered_map<BlockNo, BlockClass> meta_blocks_;
+
+  std::atomic<uint64_t> free_blocks_{0};
+  std::atomic<uint64_t> free_inodes_{0};
+  std::atomic<uint64_t> alloc_block_hint_{0};
+  std::atomic<uint64_t> alloc_ino_hint_{0};
+
+  std::atomic<Seq> current_op_seq_{0};
+  std::atomic<Seq> max_dirty_seq_{0};
+  std::function<void(Seq)> durable_cb_;
+
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  uint64_t replays_at_mount_ = 0;
+  std::atomic<bool> unmounted_{false};
+
+  friend class BaseFsTestPeer;
+};
+
+}  // namespace raefs

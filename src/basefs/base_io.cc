@@ -1,0 +1,357 @@
+// Data path of the base filesystem: file-block mapping through direct /
+// indirect / double-indirect pointers, read/write/truncate, block freeing.
+#include <cstring>
+
+#include "basefs/base_fs.h"
+
+namespace raefs {
+
+namespace {
+
+uint64_t read_ptr(std::span<const uint8_t> block, uint32_t index) {
+  uint64_t v = 0;
+  std::memcpy(&v, block.data() + index * 8, sizeof(v));
+  return v;
+}
+
+void write_ptr(std::span<uint8_t> block, uint32_t index, uint64_t v) {
+  std::memcpy(block.data() + index * 8, &v, sizeof(v));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// block mapping
+// ---------------------------------------------------------------------------
+
+Result<BlockNo> BaseFs::map_block(DiskInode* inode, uint64_t file_block,
+                                  bool alloc) {
+  if (file_block >= kMaxFileBlocks) return Errno::kFBig;
+
+  auto alloc_zeroed = [&](BlockClass cls) -> Result<BlockNo> {
+    RAEFS_TRY(BlockNo b, alloc_block());
+    RAEFS_TRY_VOID(block_cache_.write(b, std::vector<uint8_t>(kBlockSize, 0)));
+    note_meta_block(b, cls);
+    return b;
+  };
+
+  // Direct pointers.
+  if (file_block < kNumDirect) {
+    BlockNo b = inode->direct[file_block];
+    if (b == 0 && alloc) {
+      RAEFS_TRY(b, alloc_zeroed(BlockClass::kFileData));
+      inode->direct[file_block] = b;
+      note_mutation();
+    }
+    BASE_BUG_ON(b != 0 && !geo_.is_data_block(b), "BaseFs::map_block",
+                "direct pointer outside data region");
+    return b;
+  }
+
+  // Single indirect.
+  uint64_t rel = file_block - kNumDirect;
+  if (rel < kPtrsPerBlock) {
+    if (inode->indirect == 0) {
+      if (!alloc) return BlockNo{0};
+      RAEFS_TRY(BlockNo ib, alloc_zeroed(BlockClass::kIndirectMeta));
+      inode->indirect = ib;
+      note_mutation();
+    }
+    RAEFS_TRY(auto iblock, block_cache_.read(inode->indirect));
+    BlockNo b = read_ptr(iblock, static_cast<uint32_t>(rel));
+    if (b == 0 && alloc) {
+      RAEFS_TRY(b, alloc_zeroed(BlockClass::kFileData));
+      RAEFS_TRY_VOID(block_cache_.modify(
+          inode->indirect, [&](std::span<uint8_t> blk) {
+            write_ptr(blk, static_cast<uint32_t>(rel), b);
+          }));
+      note_meta_block(inode->indirect, BlockClass::kIndirectMeta);
+      note_mutation();
+    }
+    BASE_BUG_ON(b != 0 && !geo_.is_data_block(b), "BaseFs::map_block",
+                "indirect pointer outside data region");
+    return b;
+  }
+
+  // Double indirect.
+  rel -= kPtrsPerBlock;
+  uint64_t l1 = rel / kPtrsPerBlock;
+  uint64_t l2 = rel % kPtrsPerBlock;
+  if (inode->dindirect == 0) {
+    if (!alloc) return BlockNo{0};
+    RAEFS_TRY(BlockNo db, alloc_zeroed(BlockClass::kIndirectMeta));
+    inode->dindirect = db;
+    note_mutation();
+  }
+  RAEFS_TRY(auto dblock, block_cache_.read(inode->dindirect));
+  BlockNo l1_block = read_ptr(dblock, static_cast<uint32_t>(l1));
+  if (l1_block == 0) {
+    if (!alloc) return BlockNo{0};
+    RAEFS_TRY(l1_block, alloc_zeroed(BlockClass::kIndirectMeta));
+    RAEFS_TRY_VOID(block_cache_.modify(
+        inode->dindirect, [&](std::span<uint8_t> blk) {
+          write_ptr(blk, static_cast<uint32_t>(l1), l1_block);
+        }));
+    note_meta_block(inode->dindirect, BlockClass::kIndirectMeta);
+    note_mutation();
+  }
+  BASE_BUG_ON(!geo_.is_data_block(l1_block), "BaseFs::map_block",
+              "double-indirect L1 pointer outside data region");
+  RAEFS_TRY(auto l1_data, block_cache_.read(l1_block));
+  BlockNo b = read_ptr(l1_data, static_cast<uint32_t>(l2));
+  if (b == 0 && alloc) {
+    RAEFS_TRY(b, alloc_zeroed(BlockClass::kFileData));
+    RAEFS_TRY_VOID(
+        block_cache_.modify(l1_block, [&](std::span<uint8_t> blk) {
+          write_ptr(blk, static_cast<uint32_t>(l2), b);
+        }));
+    note_meta_block(l1_block, BlockClass::kIndirectMeta);
+    note_mutation();
+  }
+  BASE_BUG_ON(b != 0 && !geo_.is_data_block(b), "BaseFs::map_block",
+              "double-indirect pointer outside data region");
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// freeing
+// ---------------------------------------------------------------------------
+
+Status BaseFs::free_file_blocks(DiskInode* inode, uint64_t keep_blocks) {
+  // Direct.
+  for (uint64_t fb = keep_blocks; fb < kNumDirect; ++fb) {
+    if (inode->direct[fb] != 0) {
+      RAEFS_TRY_VOID(free_block(inode->direct[fb]));
+      inode->direct[fb] = 0;
+    }
+  }
+
+  // Single indirect.
+  if (inode->indirect != 0) {
+    uint64_t first_kept =
+        keep_blocks > kNumDirect ? keep_blocks - kNumDirect : 0;
+    if (first_kept < kPtrsPerBlock) {
+      RAEFS_TRY(auto iblock, block_cache_.read(inode->indirect));
+      bool any_kept = first_kept > 0;
+      for (uint64_t i = first_kept; i < kPtrsPerBlock; ++i) {
+        BlockNo b = read_ptr(iblock, static_cast<uint32_t>(i));
+        if (b != 0) RAEFS_TRY_VOID(free_block(b));
+      }
+      if (!any_kept) {
+        RAEFS_TRY_VOID(free_block(inode->indirect));
+        inode->indirect = 0;
+      } else {
+        RAEFS_TRY_VOID(block_cache_.modify(
+            inode->indirect, [&](std::span<uint8_t> blk) {
+              for (uint64_t i = first_kept; i < kPtrsPerBlock; ++i) {
+                write_ptr(blk, static_cast<uint32_t>(i), 0);
+              }
+            }));
+        note_meta_block(inode->indirect, BlockClass::kIndirectMeta);
+      }
+    }
+  }
+
+  // Double indirect.
+  if (inode->dindirect != 0) {
+    uint64_t base = kNumDirect + kPtrsPerBlock;
+    uint64_t first_kept = keep_blocks > base ? keep_blocks - base : 0;
+    if (first_kept < static_cast<uint64_t>(kPtrsPerBlock) * kPtrsPerBlock) {
+      RAEFS_TRY(auto dblock, block_cache_.read(inode->dindirect));
+      bool dind_kept = first_kept > 0;
+      for (uint64_t l1 = 0; l1 < kPtrsPerBlock; ++l1) {
+        BlockNo l1_block = read_ptr(dblock, static_cast<uint32_t>(l1));
+        if (l1_block == 0) continue;
+        uint64_t l1_first = l1 * kPtrsPerBlock;
+        uint64_t l1_last = l1_first + kPtrsPerBlock;
+        if (l1_last <= first_kept) continue;  // fully kept
+        uint64_t start = first_kept > l1_first ? first_kept - l1_first : 0;
+        RAEFS_TRY(auto l1_data, block_cache_.read(l1_block));
+        for (uint64_t i = start; i < kPtrsPerBlock; ++i) {
+          BlockNo b = read_ptr(l1_data, static_cast<uint32_t>(i));
+          if (b != 0) RAEFS_TRY_VOID(free_block(b));
+        }
+        if (start == 0) {
+          RAEFS_TRY_VOID(free_block(l1_block));
+          RAEFS_TRY_VOID(block_cache_.modify(
+              inode->dindirect, [&](std::span<uint8_t> blk) {
+                write_ptr(blk, static_cast<uint32_t>(l1), 0);
+              }));
+          note_meta_block(inode->dindirect, BlockClass::kIndirectMeta);
+        } else {
+          RAEFS_TRY_VOID(
+              block_cache_.modify(l1_block, [&](std::span<uint8_t> blk) {
+                for (uint64_t i = start; i < kPtrsPerBlock; ++i) {
+                  write_ptr(blk, static_cast<uint32_t>(i), 0);
+                }
+              }));
+          note_meta_block(l1_block, BlockClass::kIndirectMeta);
+        }
+      }
+      if (!dind_kept) {
+        RAEFS_TRY_VOID(free_block(inode->dindirect));
+        inode->dindirect = 0;
+      }
+    }
+  }
+  note_mutation();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// read / write / truncate
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint8_t>> BaseFs::read(Ino ino, uint64_t gen, FileOff off,
+                                          uint64_t len) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kRead, "", ino, off, len);
+  if (!geo_.ino_valid(ino)) return Errno::kInval;
+
+  std::shared_lock il(inode_lock(ino));
+  RAEFS_TRY(DiskInode node, get_inode(ino));
+  if (!node.in_use()) return Errno::kBadFd;
+  if (gen != 0 && gen != node.generation) return Errno::kBadFd;
+  if (node.type == FileType::kDirectory) return Errno::kIsDir;
+
+  if (off >= node.size) return std::vector<uint8_t>{};
+  len = std::min<uint64_t>(len, node.size - off);
+  std::vector<uint8_t> out(len);
+
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t pos = off + done;
+    uint64_t fb = pos / kBlockSize;
+    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    uint64_t chunk = std::min<uint64_t>(len - done, kBlockSize - in_block);
+    RAEFS_TRY(BlockNo b, map_block(&node, fb, /*alloc=*/false));
+    if (b == 0) {
+      std::memset(out.data() + done, 0, chunk);  // hole
+    } else {
+      RAEFS_TRY(auto data, block_cache_.read(b));
+      std::memcpy(out.data() + done, data.data() + in_block, chunk);
+    }
+    done += chunk;
+  }
+  return out;
+}
+
+Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
+                               std::span<const uint8_t> data) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kWrite, "", ino, off, data.size());
+  if (!geo_.ino_valid(ino)) return Errno::kInval;
+  if (off + data.size() > kMaxFileSize) return Errno::kFBig;
+
+  std::unique_lock il(inode_lock(ino));
+  RAEFS_TRY(DiskInode node, get_inode(ino));
+  if (!node.in_use()) return Errno::kBadFd;
+  if (gen != 0 && gen != node.generation) return Errno::kBadFd;
+  if (node.type != FileType::kRegular) return Errno::kIsDir;
+
+  uint64_t done = 0;
+  Errno failure = Errno::kOk;
+  while (done < data.size()) {
+    uint64_t pos = off + done;
+    uint64_t fb = pos / kBlockSize;
+    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    uint64_t chunk =
+        std::min<uint64_t>(data.size() - done, kBlockSize - in_block);
+
+    bug_site("basefs.write.map_block", OpKind::kWrite, "", ino,
+             fb * kBlockSize, chunk);
+    auto mapped = map_block(&node, fb, /*alloc=*/true);
+    if (!mapped.ok()) {
+      failure = mapped.error();
+      break;
+    }
+    Status st = block_cache_.modify(
+        mapped.value(), [&](std::span<uint8_t> blk) {
+          std::memcpy(blk.data() + in_block, data.data() + done, chunk);
+        });
+    if (!st.ok()) {
+      failure = st.error();
+      break;
+    }
+    // Silent DATA corruption injection point: flips a byte of the block
+    // just written, in cache. Metadata validation cannot see it; only
+    // re-execution (the deep scrub / recovery replay) can.
+    bug_site("basefs.write.data", OpKind::kWrite, "", ino, fb * kBlockSize,
+             chunk, [&] {
+               (void)block_cache_.modify(mapped.value(),
+                                         [&](std::span<uint8_t> blk) {
+                                           blk[in_block] ^= 0x01;
+                                         });
+             });
+    done += chunk;
+  }
+
+  if (done == 0 && failure != Errno::kOk) return failure;
+  if (done > 0) {
+    node.size = std::max<uint64_t>(node.size, off + done);
+    node.mtime = clock_ ? clock_->now() : 0;
+    put_inode(ino, node);
+    note_mutation();
+  }
+  // Wrong-result injection point: a buggy base may *report* fewer bytes
+  // than it wrote (or vice versa) -- invisible to the app, detectable
+  // only by the shadow's outcome cross-check (scrub / recovery).
+  uint64_t reported = done;
+  bug_site("basefs.write.result", OpKind::kWrite, "", ino, off, done, [&] {
+    if (reported > 0) --reported;
+  });
+  return reported;  // short write on mid-stream failure, POSIX-style
+}
+
+Status BaseFs::truncate(Ino ino, uint64_t gen, uint64_t new_size) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kTruncate, "", ino, 0, new_size);
+  bug_site("basefs.truncate.entry", OpKind::kTruncate, "", ino, 0, new_size);
+  if (!geo_.ino_valid(ino)) return Errno::kInval;
+  if (new_size > kMaxFileSize) return Errno::kFBig;
+
+  std::unique_lock il(inode_lock(ino));
+  RAEFS_TRY(DiskInode node, get_inode(ino));
+  if (!node.in_use()) return Errno::kBadFd;
+  if (gen != 0 && gen != node.generation) return Errno::kBadFd;
+  if (node.type != FileType::kRegular) return Errno::kIsDir;
+
+  if (new_size < node.size) {
+    uint64_t keep = (new_size + kBlockSize - 1) / kBlockSize;
+    RAEFS_TRY_VOID(free_file_blocks(&node, keep));
+    // Zero the tail of the final kept block so later growth reads zeros.
+    if (new_size % kBlockSize != 0) {
+      RAEFS_TRY(BlockNo b, map_block(&node, new_size / kBlockSize,
+                                     /*alloc=*/false));
+      if (b != 0) {
+        uint32_t from = static_cast<uint32_t>(new_size % kBlockSize);
+        RAEFS_TRY_VOID(block_cache_.modify(b, [&](std::span<uint8_t> blk) {
+          std::memset(blk.data() + from, 0, kBlockSize - from);
+        }));
+      }
+    }
+  }
+  // Growth is sparse: unmapped blocks read as zeros.
+  node.size = new_size;
+  node.mtime = clock_ ? clock_->now() : 0;
+  put_inode(ino, node);
+  note_mutation();
+  return Status::Ok();
+}
+
+Status BaseFs::fsync(Ino ino) {
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kFsync, "", ino, 0, 0);
+  return commit_txn(/*force_checkpoint=*/false);
+}
+
+Status BaseFs::sync() {
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kSync, "", 0, 0, 0);
+  return commit_txn(/*force_checkpoint=*/false);
+}
+
+}  // namespace raefs

@@ -1,0 +1,535 @@
+// Namespace operations of the base filesystem: path resolution through the
+// dentry cache, create/mkdir/unlink/rmdir/rename/link/symlink/readdir/stat.
+#include <algorithm>
+#include <cstring>
+
+#include "basefs/base_fs.h"
+#include "common/path.h"
+
+namespace raefs {
+
+namespace {
+constexpr uint32_t kMaxNlink = 65000;
+}
+
+// ---------------------------------------------------------------------------
+// resolution
+// ---------------------------------------------------------------------------
+
+Result<std::optional<DirEntry>> BaseFs::dir_find(Ino dir_ino,
+                                                 const DiskInode& dir,
+                                                 std::string_view name) {
+  DiskInode scan = dir;  // map_block with alloc=false does not modify
+  uint64_t nblocks = dir.size_blocks();
+  for (uint64_t fb = 0; fb < nblocks; ++fb) {
+    RAEFS_TRY(BlockNo b, map_block(&scan, fb, /*alloc=*/false));
+    if (b == 0) continue;
+    // Linear dirent scan of one block: the CPU work the dentry cache
+    // exists to avoid.
+    if (clock_) clock_->advance(500);
+    RAEFS_TRY(auto data, block_cache_.read(b));
+    auto found = dirent_find_in_block(data, name);
+    // Malformed dirents are the crafted-image crash class: the base oopses.
+    BASE_BUG_ON(!found.ok(), "BaseFs::dir_find",
+                "malformed directory entry (corrupt or crafted image)");
+    if (found.value().has_value()) return found.value();
+  }
+  (void)dir_ino;
+  return std::optional<DirEntry>();
+}
+
+Result<Ino> BaseFs::resolve(std::string_view path) {
+  RAEFS_TRY(auto parts, split_path(path));
+  Ino cur = kRootIno;
+  for (const auto& comp : parts) {
+    bug_site("basefs.lookup.component", OpKind::kLookup, comp, cur, 0, 0);
+    RAEFS_TRY(DiskInode node, get_inode(cur));
+    if (node.type != FileType::kDirectory) return Errno::kNotDir;
+
+    if (opts_.use_dentry_cache) {
+      if (auto hit = dentry_cache_.lookup(cur, comp)) {
+        if (hit->negative()) return Errno::kNoEnt;
+        cur = hit->ino;
+        continue;
+      }
+    }
+    RAEFS_TRY(auto entry, dir_find(cur, node, comp));
+    if (!entry) {
+      if (opts_.use_dentry_cache) dentry_cache_.insert_negative(cur, comp);
+      return Errno::kNoEnt;
+    }
+    if (opts_.use_dentry_cache) {
+      dentry_cache_.insert(cur, comp, entry->ino, entry->type);
+    }
+    cur = entry->ino;
+  }
+  return cur;
+}
+
+Result<BaseFs::ParentRef> BaseFs::resolve_parent(std::string_view path) {
+  RAEFS_TRY(auto parts, split_path(path));
+  if (parts.empty()) return Errno::kInval;  // the root has no parent entry
+  std::string leaf = parts.back();
+  parts.pop_back();
+  RAEFS_TRY(Ino parent, resolve(join_path(parts)));
+  RAEFS_TRY(DiskInode node, get_inode(parent));
+  if (node.type != FileType::kDirectory) return Errno::kNotDir;
+  return ParentRef{parent, std::move(leaf)};
+}
+
+Result<Ino> BaseFs::lookup(std::string_view path) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kLookup, path, 0, 0, 0);
+  std::shared_lock ns(namespace_mu_);
+  return resolve(path);
+}
+
+// ---------------------------------------------------------------------------
+// directory block maintenance
+// ---------------------------------------------------------------------------
+
+Status BaseFs::dir_insert(Ino dir_ino, DiskInode* dir, const DirEntry& entry,
+                          std::string_view full_path) {
+  uint64_t nblocks = dir->size_blocks();
+  for (uint64_t fb = 0; fb < nblocks; ++fb) {
+    RAEFS_TRY(BlockNo b, map_block(dir, fb, /*alloc=*/false));
+    if (b == 0) continue;
+    RAEFS_TRY(auto data, block_cache_.read(b));
+    if (auto slot = dirent_free_slot(data)) {
+      RAEFS_TRY_VOID(block_cache_.modify(b, [&](std::span<uint8_t> blk) {
+        dirent_encode(blk, *slot, entry);
+      }));
+      note_meta_block(b, BlockClass::kDirMeta);
+      note_mutation();
+      return Status::Ok();
+    }
+  }
+  // No free slot: grow the directory by one block.
+  bug_site("basefs.dir_insert.grow", OpKind::kCreate, full_path, dir_ino, 0,
+           nblocks + 1);
+  RAEFS_TRY(BlockNo b, map_block(dir, nblocks, /*alloc=*/true));
+  note_meta_block(b, BlockClass::kDirMeta);
+  RAEFS_TRY_VOID(block_cache_.modify(
+      b, [&](std::span<uint8_t> blk) { dirent_encode(blk, 0, entry); }));
+  dir->size = (nblocks + 1) * kBlockSize;
+  note_mutation();
+  return Status::Ok();
+}
+
+Status BaseFs::dir_remove(Ino dir_ino, DiskInode* dir, std::string_view name) {
+  (void)dir_ino;
+  uint64_t nblocks = dir->size_blocks();
+  for (uint64_t fb = 0; fb < nblocks; ++fb) {
+    RAEFS_TRY(BlockNo b, map_block(dir, fb, /*alloc=*/false));
+    if (b == 0) continue;
+    RAEFS_TRY(auto data, block_cache_.read(b));
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      auto e = dirent_decode(data, slot);
+      BASE_BUG_ON(!e.ok(), "BaseFs::dir_remove", "malformed directory entry");
+      if (e.value().ino != kInvalidIno && e.value().name == name) {
+        RAEFS_TRY_VOID(block_cache_.modify(b, [&](std::span<uint8_t> blk) {
+          dirent_encode(blk, slot, DirEntry{});  // zero the slot
+        }));
+        note_meta_block(b, BlockClass::kDirMeta);
+        note_mutation();
+        return Status::Ok();
+      }
+    }
+  }
+  return Errno::kNoEnt;
+}
+
+Result<bool> BaseFs::dir_empty(const DiskInode& dir) {
+  DiskInode scan = dir;
+  uint64_t nblocks = dir.size_blocks();
+  for (uint64_t fb = 0; fb < nblocks; ++fb) {
+    RAEFS_TRY(BlockNo b, map_block(&scan, fb, /*alloc=*/false));
+    if (b == 0) continue;
+    RAEFS_TRY(auto data, block_cache_.read(b));
+    auto entries = dirent_scan_block(data);
+    BASE_BUG_ON(!entries.ok(), "BaseFs::dir_empty",
+                "malformed directory entry");
+    if (!entries.value().empty()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// create family
+// ---------------------------------------------------------------------------
+
+Result<Ino> BaseFs::create_common(OpKind op, std::string_view path,
+                                  uint16_t mode, FileType type,
+                                  std::string_view symlink_target) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", op, path, 0, 0, 0);
+  bug_site("basefs.create.entry", op, path, 0, 0, 0);
+  std::unique_lock ns(namespace_mu_);
+
+  RAEFS_TRY(ParentRef ref, resolve_parent(path));
+  if (!name_valid(ref.leaf)) {
+    return ref.leaf.size() > kMaxNameLen ? Errno::kNameTooLong : Errno::kInval;
+  }
+  RAEFS_TRY(DiskInode parent, get_inode(ref.parent));
+  RAEFS_TRY(auto existing, dir_find(ref.parent, parent, ref.leaf));
+  if (existing) return Errno::kExist;
+  if (type == FileType::kSymlink &&
+      (symlink_target.empty() || symlink_target.size() > kBlockSize)) {
+    return Errno::kInval;
+  }
+
+  RAEFS_TRY(Ino child, alloc_inode(type, mode));
+
+  // Symlink targets are stored in the first data block.
+  if (type == FileType::kSymlink) {
+    RAEFS_TRY(DiskInode child_inode, get_inode(child));
+    auto mapped = map_block(&child_inode, 0, /*alloc=*/true);
+    if (!mapped.ok()) {
+      (void)free_inode(child);
+      return mapped.error();
+    }
+    BlockNo b = mapped.value();
+    bug_site("basefs.symlink.alloc", op, path, child, 0,
+             symlink_target.size(), [&] {
+               // Injected NoCrash bug: silently flip a bit in the cached
+               // block bitmap; only validate-on-sync or the shadow's
+               // checks can notice before it persists.
+               uint64_t victim = (b + 1 < geo_.total_blocks) ? b + 1 : b - 1;
+               (void)block_cache_.modify(
+                   geo_.block_bitmap_start + victim / kBitsPerBlock,
+                   [&](std::span<uint8_t> blk) {
+                     BitmapView view(blk, kBitsPerBlock);
+                     uint64_t bit = victim % kBitsPerBlock;
+                     if (view.test(bit)) {
+                       view.clear(bit);
+                     } else {
+                       view.set(bit);
+                     }
+                   });
+             });
+    std::vector<uint8_t> data(kBlockSize, 0);
+    std::memcpy(data.data(), symlink_target.data(), symlink_target.size());
+    RAEFS_TRY_VOID(block_cache_.write(b, std::move(data)));
+    child_inode.size = symlink_target.size();
+    put_inode(child, child_inode);
+  }
+
+  DirEntry entry;
+  entry.ino = child;
+  entry.type = type;
+  entry.name = ref.leaf;
+  Status inserted = dir_insert(ref.parent, &parent, entry, path);
+  if (!inserted.ok()) {
+    RAEFS_TRY(DiskInode child_inode, get_inode(child));
+    (void)free_file_blocks(&child_inode, 0);
+    (void)free_inode(child);
+    return inserted.error();
+  }
+  if (type == FileType::kDirectory) {
+    BASE_BUG_ON(parent.nlink >= kMaxNlink, "BaseFs::create_common",
+                "parent nlink overflow");
+    ++parent.nlink;
+  }
+  parent.mtime = clock_ ? clock_->now() : 0;
+  put_inode(ref.parent, parent);
+
+  if (opts_.use_dentry_cache) {
+    dentry_cache_.invalidate(ref.parent, ref.leaf);
+    dentry_cache_.insert(ref.parent, ref.leaf, child, type);
+  }
+  return child;
+}
+
+Result<Ino> BaseFs::create(std::string_view path, uint16_t mode) {
+  return create_common(OpKind::kCreate, path, mode, FileType::kRegular, {});
+}
+
+Result<Ino> BaseFs::mkdir(std::string_view path, uint16_t mode) {
+  return create_common(OpKind::kMkdir, path, mode, FileType::kDirectory, {});
+}
+
+Result<Ino> BaseFs::symlink(std::string_view linkpath,
+                            std::string_view target) {
+  return create_common(OpKind::kSymlink, linkpath, 0777, FileType::kSymlink,
+                       target);
+}
+
+// ---------------------------------------------------------------------------
+// unlink / rmdir
+// ---------------------------------------------------------------------------
+
+Status BaseFs::unlink(std::string_view path) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kUnlink, path, 0, 0, 0);
+  bug_site("basefs.unlink.entry", OpKind::kUnlink, path, 0, 0, 0);
+  std::unique_lock ns(namespace_mu_);
+
+  RAEFS_TRY(ParentRef ref, resolve_parent(path));
+  RAEFS_TRY(DiskInode parent, get_inode(ref.parent));
+  RAEFS_TRY(auto entry, dir_find(ref.parent, parent, ref.leaf));
+  if (!entry) return Errno::kNoEnt;
+  if (entry->type == FileType::kDirectory) return Errno::kIsDir;
+
+  RAEFS_TRY(DiskInode child, get_inode(entry->ino));
+  RAEFS_TRY_VOID(dir_remove(ref.parent, &parent, ref.leaf));
+  parent.mtime = clock_ ? clock_->now() : 0;
+  put_inode(ref.parent, parent);
+
+  BASE_BUG_ON(child.nlink == 0, "BaseFs::unlink", "nlink underflow");
+  --child.nlink;
+  if (child.nlink == 0) {
+    RAEFS_TRY_VOID(free_file_blocks(&child, 0));
+    RAEFS_TRY_VOID(free_inode(entry->ino));
+  } else {
+    put_inode(entry->ino, child);
+  }
+
+  if (opts_.use_dentry_cache) {
+    dentry_cache_.invalidate(ref.parent, ref.leaf);
+    dentry_cache_.insert_negative(ref.parent, ref.leaf);
+  }
+  return Status::Ok();
+}
+
+Status BaseFs::rmdir(std::string_view path) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kRmdir, path, 0, 0, 0);
+  std::unique_lock ns(namespace_mu_);
+
+  RAEFS_TRY(ParentRef ref, resolve_parent(path));
+  RAEFS_TRY(DiskInode parent, get_inode(ref.parent));
+  RAEFS_TRY(auto entry, dir_find(ref.parent, parent, ref.leaf));
+  if (!entry) return Errno::kNoEnt;
+  if (entry->type != FileType::kDirectory) return Errno::kNotDir;
+
+  RAEFS_TRY(DiskInode child, get_inode(entry->ino));
+  RAEFS_TRY(bool empty, dir_empty(child));
+  if (!empty) return Errno::kNotEmpty;
+
+  RAEFS_TRY_VOID(dir_remove(ref.parent, &parent, ref.leaf));
+  BASE_BUG_ON(parent.nlink <= 2, "BaseFs::rmdir", "parent nlink underflow");
+  --parent.nlink;
+  parent.mtime = clock_ ? clock_->now() : 0;
+  put_inode(ref.parent, parent);
+
+  RAEFS_TRY_VOID(free_file_blocks(&child, 0));
+  RAEFS_TRY_VOID(free_inode(entry->ino));
+
+  if (opts_.use_dentry_cache) {
+    dentry_cache_.invalidate(ref.parent, ref.leaf);
+    dentry_cache_.invalidate_dir(entry->ino);
+    dentry_cache_.insert_negative(ref.parent, ref.leaf);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// rename / link
+// ---------------------------------------------------------------------------
+
+Status BaseFs::rename(std::string_view src, std::string_view dst) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kRename, src, 0, 0, 0);
+  std::unique_lock ns(namespace_mu_);
+
+  RAEFS_TRY(auto src_parts, split_path(src));
+  RAEFS_TRY(auto dst_parts, split_path(dst));
+  std::string src_canon = join_path(src_parts);
+  std::string dst_canon = join_path(dst_parts);
+  if (src_canon == "/" || dst_canon == "/") return Errno::kInval;
+  if (src_canon == dst_canon) return Status::Ok();
+  // Refuse to move a directory into its own subtree.
+  if (path_is_ancestor(src_canon, dst_canon)) return Errno::kInval;
+
+  RAEFS_TRY(ParentRef src_ref, resolve_parent(src_canon));
+  RAEFS_TRY(ParentRef dst_ref, resolve_parent(dst_canon));
+  if (!name_valid(dst_ref.leaf)) {
+    return dst_ref.leaf.size() > kMaxNameLen ? Errno::kNameTooLong
+                                             : Errno::kInval;
+  }
+
+  RAEFS_TRY(DiskInode src_parent, get_inode(src_ref.parent));
+  RAEFS_TRY(auto src_entry, dir_find(src_ref.parent, src_parent,
+                                     src_ref.leaf));
+  if (!src_entry) return Errno::kNoEnt;
+
+  RAEFS_TRY(DiskInode dst_parent, get_inode(dst_ref.parent));
+  RAEFS_TRY(auto dst_entry, dir_find(dst_ref.parent, dst_parent,
+                                     dst_ref.leaf));
+
+  if (dst_entry) {
+    if (dst_entry->ino == src_entry->ino) return Status::Ok();
+    bug_site("basefs.rename.overwrite", OpKind::kRename, dst_canon,
+             dst_entry->ino, 0, 0);
+    if (dst_entry->type == FileType::kDirectory) {
+      if (src_entry->type != FileType::kDirectory) return Errno::kIsDir;
+      RAEFS_TRY(DiskInode victim, get_inode(dst_entry->ino));
+      RAEFS_TRY(bool empty, dir_empty(victim));
+      if (!empty) return Errno::kNotEmpty;
+      RAEFS_TRY_VOID(dir_remove(dst_ref.parent, &dst_parent, dst_ref.leaf));
+      --dst_parent.nlink;
+      RAEFS_TRY_VOID(free_file_blocks(&victim, 0));
+      RAEFS_TRY_VOID(free_inode(dst_entry->ino));
+    } else {
+      if (src_entry->type == FileType::kDirectory) return Errno::kNotDir;
+      RAEFS_TRY(DiskInode victim, get_inode(dst_entry->ino));
+      RAEFS_TRY_VOID(dir_remove(dst_ref.parent, &dst_parent, dst_ref.leaf));
+      BASE_BUG_ON(victim.nlink == 0, "BaseFs::rename", "nlink underflow");
+      --victim.nlink;
+      if (victim.nlink == 0) {
+        RAEFS_TRY_VOID(free_file_blocks(&victim, 0));
+        RAEFS_TRY_VOID(free_inode(dst_entry->ino));
+      } else {
+        put_inode(dst_entry->ino, victim);
+      }
+    }
+  }
+
+  // Same-parent rename must mutate one shared inode image, not two copies.
+  if (src_ref.parent == dst_ref.parent) {
+    RAEFS_TRY(DiskInode parent, get_inode(src_ref.parent));
+    RAEFS_TRY_VOID(dir_remove(src_ref.parent, &parent, src_ref.leaf));
+    DirEntry moved = *src_entry;
+    moved.name = dst_ref.leaf;
+    RAEFS_TRY_VOID(dir_insert(src_ref.parent, &parent, moved, dst_canon));
+    parent.mtime = clock_ ? clock_->now() : 0;
+    put_inode(src_ref.parent, parent);
+  } else {
+    // Re-read parents: overwrite handling above may have modified them.
+    RAEFS_TRY(DiskInode sp, get_inode(src_ref.parent));
+    RAEFS_TRY(DiskInode dp, get_inode(dst_ref.parent));
+    RAEFS_TRY_VOID(dir_remove(src_ref.parent, &sp, src_ref.leaf));
+    DirEntry moved = *src_entry;
+    moved.name = dst_ref.leaf;
+    RAEFS_TRY_VOID(dir_insert(dst_ref.parent, &dp, moved, dst_canon));
+    if (src_entry->type == FileType::kDirectory) {
+      BASE_BUG_ON(sp.nlink <= 2, "BaseFs::rename", "src parent nlink");
+      --sp.nlink;
+      ++dp.nlink;
+    }
+    Nanos now = clock_ ? clock_->now() : 0;
+    sp.mtime = now;
+    dp.mtime = now;
+    put_inode(src_ref.parent, sp);
+    put_inode(dst_ref.parent, dp);
+  }
+
+  if (opts_.use_dentry_cache) {
+    dentry_cache_.invalidate(src_ref.parent, src_ref.leaf);
+    dentry_cache_.insert_negative(src_ref.parent, src_ref.leaf);
+    dentry_cache_.invalidate(dst_ref.parent, dst_ref.leaf);
+    dentry_cache_.insert(dst_ref.parent, dst_ref.leaf, src_entry->ino,
+                         src_entry->type);
+  }
+  return Status::Ok();
+}
+
+Status BaseFs::link(std::string_view existing, std::string_view newpath) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kLink, existing, 0, 0, 0);
+  std::unique_lock ns(namespace_mu_);
+
+  RAEFS_TRY(Ino target, resolve(existing));
+  RAEFS_TRY(DiskInode node, get_inode(target));
+  if (node.type == FileType::kDirectory) return Errno::kIsDir;
+  if (node.nlink >= kMaxNlink) return Errno::kMLink;
+
+  RAEFS_TRY(ParentRef ref, resolve_parent(newpath));
+  if (!name_valid(ref.leaf)) {
+    return ref.leaf.size() > kMaxNameLen ? Errno::kNameTooLong : Errno::kInval;
+  }
+  RAEFS_TRY(DiskInode parent, get_inode(ref.parent));
+  RAEFS_TRY(auto entry, dir_find(ref.parent, parent, ref.leaf));
+  if (entry) return Errno::kExist;
+
+  DirEntry new_entry;
+  new_entry.ino = target;
+  new_entry.type = node.type;
+  new_entry.name = ref.leaf;
+  RAEFS_TRY_VOID(dir_insert(ref.parent, &parent, new_entry, newpath));
+  parent.mtime = clock_ ? clock_->now() : 0;
+  put_inode(ref.parent, parent);
+
+  ++node.nlink;
+  node.ctime = clock_ ? clock_->now() : 0;
+  put_inode(target, node);
+
+  if (opts_.use_dentry_cache) {
+    dentry_cache_.invalidate(ref.parent, ref.leaf);
+    dentry_cache_.insert(ref.parent, ref.leaf, target, node.type);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// readdir / stat / readlink
+// ---------------------------------------------------------------------------
+
+Result<std::vector<DirEntry>> BaseFs::readdir(std::string_view path) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  bug_site("basefs.op.dispatch", OpKind::kReaddir, path, 0, 0, 0);
+  std::shared_lock ns(namespace_mu_);
+
+  RAEFS_TRY(Ino ino, resolve(path));
+  RAEFS_TRY(DiskInode dir, get_inode(ino));
+  if (dir.type != FileType::kDirectory) return Errno::kNotDir;
+
+  std::vector<DirEntry> out;
+  uint64_t nblocks = dir.size_blocks();
+  for (uint64_t fb = 0; fb < nblocks; ++fb) {
+    RAEFS_TRY(BlockNo b, map_block(&dir, fb, /*alloc=*/false));
+    if (b == 0) continue;
+    RAEFS_TRY(auto data, block_cache_.read(b));
+    auto entries = dirent_scan_block(data);
+    BASE_BUG_ON(!entries.ok(), "BaseFs::readdir",
+                "malformed directory entry");
+    for (auto& e : entries.value()) out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+Result<StatResult> BaseFs::stat(std::string_view path) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  std::shared_lock ns(namespace_mu_);
+  RAEFS_TRY(Ino ino, resolve(path));
+  RAEFS_TRY(DiskInode node, get_inode(ino));
+  return StatResult{ino, node.type, node.size, node.nlink, node.mode,
+                    node.generation};
+}
+
+Result<StatResult> BaseFs::stat_ino(Ino ino) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  if (!geo_.ino_valid(ino)) return Errno::kInval;
+  RAEFS_TRY(DiskInode node, get_inode(ino));
+  if (!node.in_use()) return Errno::kNoEnt;
+  return StatResult{ino, node.type, node.size, node.nlink, node.mode,
+                    node.generation};
+}
+
+Result<std::string> BaseFs::readlink(std::string_view path) {
+  std::shared_lock gate(op_gate_);
+  charge_op();
+  std::shared_lock ns(namespace_mu_);
+  RAEFS_TRY(Ino ino, resolve(path));
+  RAEFS_TRY(DiskInode node, get_inode(ino));
+  if (node.type != FileType::kSymlink) return Errno::kInval;
+  RAEFS_TRY(BlockNo b, map_block(&node, 0, /*alloc=*/false));
+  if (b == 0 || node.size == 0 || node.size > kBlockSize) {
+    return Errno::kCorrupt;
+  }
+  RAEFS_TRY(auto data, block_cache_.read(b));
+  return std::string(reinterpret_cast<const char*>(data.data()), node.size);
+}
+
+}  // namespace raefs

@@ -1,0 +1,202 @@
+// Transaction engine of the base filesystem: stop-the-world commits that
+// write file data in place (ordered mode), journal metadata, checkpoint
+// under journal pressure, validate dirty metadata before it can persist
+// (the paper's detect-before-persist enhancement, §3.1), and absorb the
+// shadow's recovery output (metadata download, §3.2).
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "basefs/base_fs.h"
+
+namespace raefs {
+
+Status BaseFs::commit_txn(bool force_checkpoint) {
+  std::unique_lock gate(op_gate_);  // exclusive: drain all in-flight ops
+  Seq durable_seq = max_dirty_seq_.load();
+
+  RAEFS_TRY_VOID(flush_inode_cache_locked());
+  auto dirty = block_cache_.dirty_snapshot();
+  if (dirty.empty()) {
+    if (durable_cb_ && durable_seq > 0) durable_cb_(durable_seq);
+    return Status::Ok();
+  }
+
+  if (opts_.validate_on_sync) {
+    Status valid = validate_dirty_locked(dirty);
+    // Detection before persistence: a corrupt dirty set must never reach
+    // the device. Panic; the RAE supervisor recovers from S0 + op log.
+    BASE_BUG_ON(!valid.ok(), "basefs.validate_on_sync",
+                "dirty metadata failed validation before persist");
+  }
+
+  // Partition the dirty set.
+  std::vector<JournalRecord> meta;
+  std::vector<std::pair<BlockNo, std::vector<uint8_t>>> data;
+  for (auto& [block, bytes] : dirty) {
+    if (is_meta_block(block)) {
+      meta.push_back(JournalRecord{block, std::move(bytes)});
+    } else {
+      data.emplace_back(block, std::move(bytes));
+    }
+  }
+
+  // Ordered mode: file data reaches the device before the metadata that
+  // references it commits.
+  if (!data.empty()) {
+    std::atomic<bool> io_failed{false};
+    for (auto& [block, bytes] : data) {
+      async_.submit_write(block, std::move(bytes), [&](Status st) {
+        if (!st.ok()) io_failed.store(true);
+      });
+    }
+    async_.drain();
+    if (io_failed.load()) return Errno::kIo;
+    RAEFS_TRY_VOID(dev_->flush());
+    std::vector<BlockNo> data_blocks;
+    data_blocks.reserve(data.size());
+    for (const auto& [block, bytes] : data) data_blocks.push_back(block);
+    block_cache_.mark_clean(data_blocks);
+  }
+
+  if (!meta.empty()) {
+    // The journal must fit the transaction. Like jbd2, an oversized
+    // transaction is split into capacity-sized chunks with a checkpoint
+    // between them (each chunk is internally atomic).
+    size_t max_records = geo_.journal_blocks > 4
+                             ? static_cast<size_t>(geo_.journal_blocks - 3)
+                             : 1;
+    size_t at = 0;
+    while (at < meta.size()) {
+      size_t take = std::min(meta.size() - at, max_records);
+      std::vector<JournalRecord> chunk(
+          std::make_move_iterator(meta.begin() + static_cast<ptrdiff_t>(at)),
+          std::make_move_iterator(
+              meta.begin() + static_cast<ptrdiff_t>(at + take)));
+      if (!journal_.has_space(chunk.size())) {
+        RAEFS_TRY_VOID(checkpoint_locked());
+      }
+      auto seq = journal_.commit(chunk);
+      if (!seq.ok()) return seq.error();
+      at += take;
+    }
+  }
+  commits_.fetch_add(1);
+
+  if (force_checkpoint ||
+      journal_.fill_ratio() > opts_.checkpoint_fill_threshold) {
+    RAEFS_TRY_VOID(checkpoint_locked());
+  }
+
+  if (durable_cb_ && durable_seq > 0) durable_cb_(durable_seq);
+  return Status::Ok();
+}
+
+Status BaseFs::checkpoint_locked() {
+  // Write every dirty metadata block in place. All of them have been
+  // journaled by a committed transaction (commit_txn journals the full
+  // dirty metadata set each time), so in-place writes cannot violate WAL.
+  auto dirty = block_cache_.dirty_snapshot();
+  std::atomic<bool> io_failed{false};
+  std::vector<BlockNo> written;
+  for (auto& [block, bytes] : dirty) {
+    written.push_back(block);
+    async_.submit_write(block, std::move(bytes), [&](Status st) {
+      if (!st.ok()) io_failed.store(true);
+    });
+  }
+  async_.drain();
+  if (io_failed.load()) return Errno::kIo;
+  RAEFS_TRY_VOID(dev_->flush());
+  RAEFS_TRY_VOID(journal_.checkpoint());
+  block_cache_.mark_clean(written);
+  checkpoints_.fetch_add(1);
+  return Status::Ok();
+}
+
+Status BaseFs::validate_dirty_locked(
+    const std::vector<std::pair<BlockNo, std::vector<uint8_t>>>& dirty) {
+  bool bitmap_touched = false;
+  for (const auto& [block, bytes] : dirty) {
+    if (block == 0) {
+      if (!Superblock::decode(bytes).ok()) return Errno::kCorrupt;
+    } else if (block >= geo_.inode_table_start &&
+               block < geo_.inode_table_start + geo_.inode_table_blocks) {
+      for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+        auto inode = DiskInode::decode(
+            std::span<const uint8_t>(bytes).subspan(slot * kInodeSize,
+                                                    kInodeSize),
+            geo_);
+        if (!inode.ok()) return Errno::kCorrupt;
+      }
+    } else if ((block >= geo_.inode_bitmap_start &&
+                block < geo_.inode_bitmap_start + geo_.inode_bitmap_blocks) ||
+               (block >= geo_.block_bitmap_start &&
+                block < geo_.block_bitmap_start + geo_.block_bitmap_blocks)) {
+      bitmap_touched = true;
+    } else if (geo_.is_data_block(block)) {
+      std::lock_guard<std::mutex> lk(meta_blocks_mu_);
+      auto it = meta_blocks_.find(block);
+      if (it == meta_blocks_.end()) continue;  // file data: not validated
+      if (it->second == BlockClass::kDirMeta) {
+        if (!dirent_scan_block(bytes).ok()) return Errno::kCorrupt;
+      } else if (it->second == BlockClass::kIndirectMeta) {
+        for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+          uint64_t ptr = 0;
+          std::memcpy(&ptr, bytes.data() + i * 8, sizeof(ptr));
+          if (ptr != 0 && !geo_.is_data_block(ptr)) return Errno::kCorrupt;
+        }
+      }
+    }
+  }
+
+  if (bitmap_touched) {
+    // Cross-check the in-memory free counters against the cached bitmaps:
+    // catches silent single-bit corruption of allocation state.
+    uint64_t free_b = 0;
+    for (uint64_t i = 0; i < geo_.block_bitmap_blocks; ++i) {
+      RAEFS_TRY(auto data, block_cache_.read(geo_.block_bitmap_start + i));
+      uint64_t bits_here = std::min<uint64_t>(
+          kBitsPerBlock, geo_.total_blocks - i * kBitsPerBlock);
+      ConstBitmapView view(data, bits_here);
+      free_b += bits_here - view.count_set();
+    }
+    if (free_b != free_blocks_.load()) return Errno::kCorrupt;
+
+    uint64_t free_i = 0;
+    for (uint64_t i = 0; i < geo_.inode_bitmap_blocks; ++i) {
+      RAEFS_TRY(auto data, block_cache_.read(geo_.inode_bitmap_start + i));
+      uint64_t bits_here = std::min<uint64_t>(
+          kBitsPerBlock, geo_.inode_count - i * kBitsPerBlock);
+      ConstBitmapView view(data, bits_here);
+      free_i += bits_here - view.count_set();
+    }
+    if (free_i != free_inodes_.load()) return Errno::kCorrupt;
+  }
+  return Status::Ok();
+}
+
+Status BaseFs::install_blocks(const std::vector<InstallBlock>& blocks) {
+  // Called by the supervisor on a freshly mounted (rebooted) base with no
+  // concurrent operations. Reuses the ordinary cache + commit machinery,
+  // as the paper prescribes for the hand-off interface (§3.2).
+  for (const auto& ib : blocks) {
+    if (ib.block >= geo_.total_blocks || ib.data.size() != kBlockSize) {
+      return Errno::kInval;
+    }
+    if (ib.block >= geo_.journal_start &&
+        ib.block < geo_.journal_start + geo_.journal_blocks) {
+      return Errno::kInval;  // the shadow never produces journal blocks
+    }
+    RAEFS_TRY_VOID(block_cache_.write(ib.block, ib.data));
+    if (geo_.is_data_block(ib.block)) note_meta_block(ib.block, ib.cls);
+  }
+  // Installed bitmaps invalidate cached derived state.
+  inode_cache_.drop_all();
+  dentry_cache_.drop_all();
+  RAEFS_TRY_VOID(reload_counters());
+  // Make the recovered state durable before any new operation is admitted.
+  return commit_txn(/*force_checkpoint=*/true);
+}
+
+}  // namespace raefs

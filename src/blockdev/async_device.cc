@@ -1,0 +1,126 @@
+#include "blockdev/async_device.h"
+
+namespace raefs {
+
+AsyncBlockDevice::AsyncBlockDevice(BlockDevice* inner, int workers)
+    : inner_(inner) {
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncBlockDevice::~AsyncBlockDevice() { shutdown(); }
+
+void AsyncBlockDevice::enqueue(Request req) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;  // dropped; callers should not race shutdown
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+void AsyncBlockDevice::submit_read(BlockNo block, ReadCallback done) {
+  Request r;
+  r.kind = Request::Kind::kRead;
+  r.block = block;
+  r.read_done = std::move(done);
+  enqueue(std::move(r));
+}
+
+void AsyncBlockDevice::submit_write(BlockNo block, std::vector<uint8_t> data,
+                                    WriteCallback done) {
+  Request r;
+  r.kind = Request::Kind::kWrite;
+  r.block = block;
+  r.data = std::move(data);
+  r.write_done = std::move(done);
+  enqueue(std::move(r));
+}
+
+void AsyncBlockDevice::submit_flush(WriteCallback done) {
+  Request r;
+  r.kind = Request::Kind::kFlush;
+  r.write_done = std::move(done);
+  enqueue(std::move(r));
+}
+
+void AsyncBlockDevice::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drain_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+size_t AsyncBlockDevice::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size() + in_flight_;
+}
+
+void AsyncBlockDevice::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void AsyncBlockDevice::worker_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] {
+        if (stopping_ && queue_.empty()) return true;
+        if (queue_.empty()) return false;
+        // Flush barrier: a flush at the head waits for in-flight IO; any
+        // request waits while a flush is running.
+        if (flush_in_progress_) return false;
+        if (queue_.front().kind == Request::Kind::kFlush) {
+          return in_flight_ == 0;
+        }
+        return true;
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      if (req.kind == Request::Kind::kFlush) flush_in_progress_ = true;
+    }
+
+    switch (req.kind) {
+      case Request::Kind::kRead: {
+        std::vector<uint8_t> buf(inner_->block_size());
+        Status st = inner_->read_block(req.block, buf);
+        if (req.read_done) req.read_done(st, std::move(buf));
+        break;
+      }
+      case Request::Kind::kWrite: {
+        Status st = inner_->write_block(req.block, req.data);
+        if (req.write_done) req.write_done(st);
+        break;
+      }
+      case Request::Kind::kFlush: {
+        Status st = inner_->flush();
+        if (req.write_done) req.write_done(st);
+        break;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+      if (req.kind == Request::Kind::kFlush) flush_in_progress_ = false;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace raefs

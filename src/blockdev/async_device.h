@@ -1,0 +1,76 @@
+// Asynchronous block layer (the base filesystem's "blk-mq" analogue).
+//
+// Requests are queued on a submission queue and serviced by worker
+// threads; completions run on the worker. The base filesystem's write-back
+// path uses this layer (Figure 2, left side: "Block Layer (asynchronous
+// IO)"); the shadow never touches it and reads the device synchronously.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "blockdev/block_device.h"
+
+namespace raefs {
+
+class AsyncBlockDevice {
+ public:
+  using ReadCallback = std::function<void(Status, std::vector<uint8_t>)>;
+  using WriteCallback = std::function<void(Status)>;
+
+  /// Start `workers` service threads over `inner`. `inner` must outlive
+  /// this object.
+  explicit AsyncBlockDevice(BlockDevice* inner, int workers = 2);
+  ~AsyncBlockDevice();
+
+  AsyncBlockDevice(const AsyncBlockDevice&) = delete;
+  AsyncBlockDevice& operator=(const AsyncBlockDevice&) = delete;
+
+  /// Queue a block read; `done` runs on a worker thread.
+  void submit_read(BlockNo block, ReadCallback done);
+
+  /// Queue a block write (data copied); `done` runs on a worker thread.
+  void submit_write(BlockNo block, std::vector<uint8_t> data,
+                    WriteCallback done);
+
+  /// Queue a flush barrier: serviced only after all earlier requests.
+  void submit_flush(WriteCallback done);
+
+  /// Block until every queued request has completed.
+  void drain();
+
+  /// Requests currently queued or in flight.
+  size_t pending() const;
+
+  /// Stop accepting requests, drain, and join workers. Idempotent;
+  /// also performed by the destructor.
+  void shutdown();
+
+ private:
+  struct Request {
+    enum class Kind { kRead, kWrite, kFlush } kind;
+    BlockNo block = 0;
+    std::vector<uint8_t> data;
+    ReadCallback read_done;
+    WriteCallback write_done;
+  };
+
+  void worker_loop();
+  void enqueue(Request req);
+
+  BlockDevice* inner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable drain_cv_;  // wakes drain()
+  std::deque<Request> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  bool flush_in_progress_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace raefs

@@ -1,0 +1,97 @@
+// Block device abstraction shared by the base filesystem (through its
+// asynchronous block layer) and the shadow filesystem (direct synchronous
+// reads through a read-only view).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace raefs {
+
+/// IO counters, readable concurrently. Benchmarks use these to show e.g.
+/// that the shadow performs only reads (never writes).
+struct DeviceStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> flushes{0};
+};
+
+/// Abstract fixed-block-size storage device. Implementations are
+/// internally synchronized: concurrent calls from base-filesystem threads
+/// are safe.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint32_t block_size() const = 0;
+  virtual uint64_t block_count() const = 0;
+
+  /// Read one block. `out.size()` must equal block_size().
+  virtual Status read_block(BlockNo block, std::span<uint8_t> out) = 0;
+
+  /// Write one block to the device's (volatile) write cache.
+  /// `data.size()` must equal block_size().
+  virtual Status write_block(BlockNo block, std::span<const uint8_t> data) = 0;
+
+  /// Persist all cached writes (write barrier). After flush() returns,
+  /// every prior write survives a crash.
+  virtual Status flush() = 0;
+
+  virtual const DeviceStats& stats() const = 0;
+};
+
+/// Per-IO simulated-time costs. Advance a SimClock so experiments measure
+/// deterministic device time instead of host wall time. Defaults model a
+/// fast NVMe-class device.
+struct LatencyModel {
+  Nanos read_ns = 8 * kMicro;    // 4 KiB random read
+  Nanos write_ns = 12 * kMicro;  // 4 KiB write into device cache + media
+  Nanos flush_ns = 80 * kMicro;  // cache flush barrier
+
+  static LatencyModel none() { return LatencyModel{0, 0, 0}; }
+};
+
+/// Optional capability: devices that can produce a consistent point-in-
+/// time copy of their full contents (persisted + volatile). Used by the
+/// supervisor's online scrub, which replays the journal and runs the
+/// shadow cross-check against a snapshot while the base keeps serving.
+class SnapshotCapable {
+ public:
+  virtual ~SnapshotCapable() = default;
+  virtual std::unique_ptr<BlockDevice> snapshot() const = 0;
+};
+
+/// Read-only view over a device. The shadow filesystem is handed one of
+/// these: a write is a violation of the shadow's core invariant (it must
+/// never write to disk -- paper §2.3) and throws ShadowCheckError.
+class ReadOnlyDevice final : public BlockDevice {
+ public:
+  explicit ReadOnlyDevice(BlockDevice* inner) : inner_(inner) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override {
+    return inner_->read_block(block, out);
+  }
+
+  Status write_block(BlockNo block, std::span<const uint8_t> data) override;
+  Status flush() override;
+
+  const DeviceStats& stats() const override { return inner_->stats(); }
+
+  /// Number of write attempts that were refused (should stay 0).
+  uint64_t refused_writes() const { return refused_.load(); }
+
+ private:
+  BlockDevice* inner_;
+  std::atomic<uint64_t> refused_{0};
+};
+
+}  // namespace raefs

@@ -1,0 +1,47 @@
+#include "blockdev/fault_device.h"
+
+namespace raefs {
+
+Status FaultBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
+  bool fail = false;
+  size_t flip_bit = 0;
+  bool corrupt = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (config_.read_error_prob > 0 && rng_.chance(config_.read_error_prob)) {
+      fail = true;
+      ++read_errors_;
+    } else if (config_.read_corrupt_prob > 0 &&
+               rng_.chance(config_.read_corrupt_prob)) {
+      corrupt = true;
+      flip_bit = rng_.below(static_cast<uint64_t>(block_size()) * 8);
+      ++corruptions_;
+    }
+  }
+  if (fail) return Errno::kIo;
+  RAEFS_TRY_VOID(inner_->read_block(block, out));
+  if (corrupt) out[flip_bit / 8] ^= static_cast<uint8_t>(1u << (flip_bit % 8));
+  return Status::Ok();
+}
+
+Status FaultBlockDevice::write_block(BlockNo block,
+                                     std::span<const uint8_t> data) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (config_.write_error_prob > 0 &&
+        rng_.chance(config_.write_error_prob)) {
+      ++write_errors_;
+      return Errno::kIo;
+    }
+  }
+  return inner_->write_block(block, data);
+}
+
+void FaultBlockDevice::disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_.read_error_prob = 0;
+  config_.write_error_prob = 0;
+  config_.read_corrupt_prob = 0;
+}
+
+}  // namespace raefs

@@ -1,0 +1,55 @@
+// Fault-injecting block device wrapper.
+//
+// Models the transient hardware faults in the paper's fault model (§3.1):
+// transient read/write EIO and silent data corruption (bit flips the device
+// does not report). The shadow's extensive runtime checks are what catch
+// silent corruption; the base typically cannot afford to.
+#pragma once
+
+#include <mutex>
+
+#include "blockdev/block_device.h"
+#include "common/rng.h"
+
+namespace raefs {
+
+struct FaultDeviceConfig {
+  double read_error_prob = 0.0;    // transient EIO on read
+  double write_error_prob = 0.0;   // transient EIO on write
+  double read_corrupt_prob = 0.0;  // silent single-bit flip in returned data
+  uint64_t seed = 42;
+};
+
+class FaultBlockDevice final : public BlockDevice {
+ public:
+  FaultBlockDevice(BlockDevice* inner, FaultDeviceConfig config)
+      : inner_(inner), config_(config), rng_(config.seed) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override;
+  Status write_block(BlockNo block, std::span<const uint8_t> data) override;
+  Status flush() override { return inner_->flush(); }
+
+  const DeviceStats& stats() const override { return inner_->stats(); }
+
+  uint64_t injected_read_errors() const { return read_errors_; }
+  uint64_t injected_write_errors() const { return write_errors_; }
+  uint64_t injected_corruptions() const { return corruptions_; }
+
+  /// Disable all fault injection from now on (e.g. after the experiment's
+  /// fault window closes).
+  void disarm();
+
+ private:
+  BlockDevice* inner_;
+  FaultDeviceConfig config_;
+  std::mutex mu_;  // guards rng_
+  Rng rng_;
+  uint64_t read_errors_ = 0;
+  uint64_t write_errors_ = 0;
+  uint64_t corruptions_ = 0;
+};
+
+}  // namespace raefs

@@ -1,0 +1,52 @@
+#include "blockdev/file_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace raefs {
+
+FileBlockDevice::FileBlockDevice(const std::string& path, uint64_t block_count)
+    : blocks_(block_count) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("FileBlockDevice: cannot open " + path);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(block_count * kBlockSize)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("FileBlockDevice: cannot size " + path);
+  }
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
+  if (block >= blocks_ || out.size() != kBlockSize) return Errno::kInval;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  ssize_t n = ::pread(fd_, out.data(), kBlockSize,
+                      static_cast<off_t>(block * kBlockSize));
+  if (n != static_cast<ssize_t>(kBlockSize)) return Errno::kIo;
+  return Status::Ok();
+}
+
+Status FileBlockDevice::write_block(BlockNo block,
+                                    std::span<const uint8_t> data) {
+  if (block >= blocks_ || data.size() != kBlockSize) return Errno::kInval;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  ssize_t n = ::pwrite(fd_, data.data(), kBlockSize,
+                       static_cast<off_t>(block * kBlockSize));
+  if (n != static_cast<ssize_t>(kBlockSize)) return Errno::kIo;
+  return Status::Ok();
+}
+
+Status FileBlockDevice::flush() {
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  if (::fdatasync(fd_) != 0) return Errno::kIo;
+  return Status::Ok();
+}
+
+}  // namespace raefs

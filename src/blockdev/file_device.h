@@ -1,0 +1,37 @@
+// File-backed block device (pread/pwrite on a host file). Used by the
+// examples to persist images across runs; crash simulation is not
+// supported here -- use MemBlockDevice for crash experiments.
+#pragma once
+
+#include <string>
+
+#include "blockdev/block_device.h"
+
+namespace raefs {
+
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Open (or create) `path` sized to `block_count` blocks. Throws
+  /// std::runtime_error if the file cannot be opened or resized.
+  FileBlockDevice(const std::string& path, uint64_t block_count);
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  uint32_t block_size() const override { return kBlockSize; }
+  uint64_t block_count() const override { return blocks_; }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override;
+  Status write_block(BlockNo block, std::span<const uint8_t> data) override;
+  Status flush() override;
+
+  const DeviceStats& stats() const override { return stats_; }
+
+ private:
+  uint64_t blocks_;
+  int fd_ = -1;
+  DeviceStats stats_;
+};
+
+}  // namespace raefs

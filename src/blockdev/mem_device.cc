@@ -1,0 +1,100 @@
+#include "blockdev/mem_device.h"
+
+#include <cstring>
+
+#include "common/panic.h"
+
+namespace raefs {
+
+MemBlockDevice::MemBlockDevice(uint64_t block_count, SimClockPtr clock,
+                               LatencyModel latency)
+    : blocks_(block_count),
+      clock_(std::move(clock)),
+      latency_(latency),
+      persisted_(block_count * kBlockSize, 0) {}
+
+Status MemBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
+  if (block >= blocks_ || out.size() != kBlockSize) return Errno::kInval;
+  charge(latency_.read_ns);
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = overlay_.find(block);
+  if (it != overlay_.end()) {
+    std::memcpy(out.data(), it->second.data(), kBlockSize);
+  } else {
+    std::memcpy(out.data(), persisted_.data() + block * kBlockSize, kBlockSize);
+  }
+  return Status::Ok();
+}
+
+Status MemBlockDevice::write_block(BlockNo block,
+                                   std::span<const uint8_t> data) {
+  if (block >= blocks_ || data.size() != kBlockSize) return Errno::kInval;
+  charge(latency_.write_ns);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  overlay_[block].assign(data.begin(), data.end());
+  return Status::Ok();
+}
+
+Status MemBlockDevice::flush() {
+  charge(latency_.flush_ns);
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [block, data] : overlay_) {
+    std::memcpy(persisted_.data() + block * kBlockSize, data.data(),
+                kBlockSize);
+  }
+  overlay_.clear();
+  return Status::Ok();
+}
+
+void MemBlockDevice::crash(Rng* rng, double survive_prob) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [block, data] : overlay_) {
+    if (rng != nullptr && rng->chance(survive_prob)) {
+      std::memcpy(persisted_.data() + block * kBlockSize, data.data(),
+                  kBlockSize);
+    }
+  }
+  overlay_.clear();
+}
+
+size_t MemBlockDevice::volatile_blocks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return overlay_.size();
+}
+
+std::vector<uint8_t> MemBlockDevice::persisted_image() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return persisted_;
+}
+
+std::unique_ptr<MemBlockDevice> MemBlockDevice::clone_full() const {
+  auto copy = std::make_unique<MemBlockDevice>(blocks_, nullptr,
+                                               LatencyModel::none());
+  std::lock_guard<std::mutex> lk(mu_);
+  copy->persisted_ = persisted_;
+  for (const auto& [block, data] : overlay_) {
+    std::memcpy(copy->persisted_.data() + block * kBlockSize, data.data(),
+                kBlockSize);
+  }
+  return copy;
+}
+
+Status ReadOnlyDevice::write_block(BlockNo block,
+                                   std::span<const uint8_t> data) {
+  (void)block;
+  (void)data;
+  refused_.fetch_add(1, std::memory_order_relaxed);
+  SHADOW_CHECK(false, "write attempted through read-only device view");
+  return Errno::kRoFs;  // unreachable
+}
+
+Status ReadOnlyDevice::flush() {
+  refused_.fetch_add(1, std::memory_order_relaxed);
+  SHADOW_CHECK(false, "flush attempted through read-only device view");
+  return Errno::kRoFs;  // unreachable
+}
+
+}  // namespace raefs

@@ -1,0 +1,71 @@
+// In-memory block device with explicit volatile-cache crash semantics.
+//
+// Writes land in a volatile overlay; flush() persists the overlay; crash()
+// discards it (optionally keeping a random subset, modelling reordered
+// writes that happened to reach media). This is the substrate for every
+// crash-recovery and availability experiment.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace raefs {
+
+class MemBlockDevice final : public BlockDevice, public SnapshotCapable {
+ public:
+  /// Create a zero-filled device of `block_count` blocks. If `clock` is
+  /// non-null, each IO advances it per `latency`.
+  MemBlockDevice(uint64_t block_count, SimClockPtr clock = nullptr,
+                 LatencyModel latency = LatencyModel::none());
+
+  uint32_t block_size() const override { return kBlockSize; }
+  uint64_t block_count() const override { return blocks_; }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override;
+  Status write_block(BlockNo block, std::span<const uint8_t> data) override;
+  Status flush() override;
+
+  const DeviceStats& stats() const override { return stats_; }
+
+  /// Simulate a power failure: volatile (unflushed) writes are lost. If
+  /// `rng` is given, each volatile write independently survives with
+  /// probability `survive_prob` (modelling drive-internal reordering that
+  /// persisted some blocks before power was cut).
+  void crash(Rng* rng = nullptr, double survive_prob = 0.0);
+
+  /// Number of blocks currently dirty in the volatile cache.
+  size_t volatile_blocks() const;
+
+  /// Copy of the *persisted* image (what a crash would leave behind).
+  std::vector<uint8_t> persisted_image() const;
+
+  /// Deep copy of the full current device state (persisted + volatile all
+  /// treated as persisted) -- used to hand the shadow a stable snapshot.
+  std::unique_ptr<MemBlockDevice> clone_full() const;
+
+  /// SnapshotCapable: same as clone_full().
+  std::unique_ptr<BlockDevice> snapshot() const override {
+    return clone_full();
+  }
+
+ private:
+  void charge(Nanos d) {
+    if (clock_ && d) clock_->advance(d);
+  }
+
+  const uint64_t blocks_;
+  SimClockPtr clock_;
+  LatencyModel latency_;
+  DeviceStats stats_;
+
+  mutable std::mutex mu_;
+  std::vector<uint8_t> persisted_;                            // blocks_ * kBlockSize
+  std::unordered_map<BlockNo, std::vector<uint8_t>> overlay_; // volatile cache
+};
+
+}  // namespace raefs

@@ -1,0 +1,160 @@
+// The study's classification rules and the Table 1 / Figure 1 builders.
+#include "bugstudy/bugstudy.h"
+
+#include <sstream>
+
+namespace raefs {
+namespace bugstudy {
+
+const char* to_string(StudyDeterminism d) {
+  switch (d) {
+    case StudyDeterminism::kDeterministic: return "Deterministic";
+    case StudyDeterminism::kNonDeterministic: return "Non-Deterministic";
+    case StudyDeterminism::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+const char* to_string(StudyConsequence c) {
+  switch (c) {
+    case StudyConsequence::kNoCrash: return "No Crash";
+    case StudyConsequence::kCrash: return "Crash";
+    case StudyConsequence::kWarn: return "WARN";
+    case StudyConsequence::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+StudyDeterminism classify_determinism(const BugRecord& record) {
+  // Paper's rule: "Bugs that do not have reproducers, or are related to
+  // the interaction with IO (e.g., multiple inflight requests), or are
+  // related to threading, are classified as non-deterministic."
+  if (record.repro == ReproStatus::kUnknown) {
+    return StudyDeterminism::kUnknown;
+  }
+  if (record.repro == ReproStatus::kNo || record.io_interaction ||
+      record.threading) {
+    return StudyDeterminism::kNonDeterministic;
+  }
+  return StudyDeterminism::kDeterministic;
+}
+
+namespace {
+bool contains_any(const std::string& haystack,
+                  std::initializer_list<const char*> needles) {
+  for (const char* needle : needles) {
+    if (haystack.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+}  // namespace
+
+StudyConsequence classify_consequence(const BugRecord& record) {
+  // Paper's rule: consequence is keyed off external symptoms in the
+  // commit message; WARN means a WARN_*() path was hit; no clues =>
+  // Unknown.
+  if (record.symptoms.empty()) return StudyConsequence::kUnknown;
+  if (contains_any(record.symptoms, {"WARN_ON", "WARN_ON_ONCE", "warning"})) {
+    return StudyConsequence::kWarn;
+  }
+  if (contains_any(record.symptoms,
+                   {"oops", "BUG", "panic", "general protection",
+                    "page fault", "divide error"})) {
+    return StudyConsequence::kCrash;
+  }
+  // Anything else with symptoms (corruption, hangs, perf, permissions)
+  // did not crash the kernel.
+  return StudyConsequence::kNoCrash;
+}
+
+Table1 build_table1(const std::vector<BugRecord>& corpus) {
+  Table1 t;
+  for (const auto& rec : corpus) {
+    auto det = classify_determinism(rec);
+    auto cons = classify_consequence(rec);
+    ++t.counts[static_cast<size_t>(det)][static_cast<size_t>(cons)];
+  }
+  return t;
+}
+
+uint64_t Table1::row_total(StudyDeterminism d) const {
+  uint64_t total = 0;
+  for (uint64_t v : counts[static_cast<size_t>(d)]) total += v;
+  return total;
+}
+
+uint64_t Table1::total() const {
+  return row_total(StudyDeterminism::kDeterministic) +
+         row_total(StudyDeterminism::kNonDeterministic) +
+         row_total(StudyDeterminism::kUnknown);
+}
+
+std::string Table1::render() const {
+  std::ostringstream os;
+  auto row = [&](StudyDeterminism d) {
+    const auto& c = counts[static_cast<size_t>(d)];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-18s %9llu %7llu %6llu %9llu %7llu\n",
+                  to_string(d),
+                  static_cast<unsigned long long>(
+                      c[static_cast<size_t>(StudyConsequence::kNoCrash)]),
+                  static_cast<unsigned long long>(
+                      c[static_cast<size_t>(StudyConsequence::kCrash)]),
+                  static_cast<unsigned long long>(
+                      c[static_cast<size_t>(StudyConsequence::kWarn)]),
+                  static_cast<unsigned long long>(
+                      c[static_cast<size_t>(StudyConsequence::kUnknown)]),
+                  static_cast<unsigned long long>(row_total(d)));
+    os << buf;
+  };
+  os << "Determinism \\ Consequence  NoCrash   Crash   WARN   Unknown   Total\n";
+  row(StudyDeterminism::kDeterministic);
+  row(StudyDeterminism::kNonDeterministic);
+  row(StudyDeterminism::kUnknown);
+  os << "Total: " << total() << " bugs\n";
+  return os.str();
+}
+
+Figure1 build_figure1(const std::vector<BugRecord>& corpus) {
+  Figure1 fig;
+  for (const auto& rec : corpus) {
+    if (classify_determinism(rec) != StudyDeterminism::kDeterministic) {
+      continue;
+    }
+    auto cons = classify_consequence(rec);
+    ++fig[rec.fix_year][static_cast<size_t>(cons)];
+  }
+  return fig;
+}
+
+std::string render_figure1(const Figure1& fig) {
+  std::ostringstream os;
+  os << "Deterministic ext4 bugs by year of fix (stacked by consequence)\n";
+  os << "year   Crash  NoCrash  WARN  Unknown  total  bar\n";
+  for (const auto& [year, counts] : fig) {
+    uint64_t crash = counts[static_cast<size_t>(StudyConsequence::kCrash)];
+    uint64_t nocrash =
+        counts[static_cast<size_t>(StudyConsequence::kNoCrash)];
+    uint64_t warn = counts[static_cast<size_t>(StudyConsequence::kWarn)];
+    uint64_t unknown =
+        counts[static_cast<size_t>(StudyConsequence::kUnknown)];
+    uint64_t total = crash + nocrash + warn + unknown;
+    char buf[120];
+    std::snprintf(buf, sizeof(buf), "%d  %5llu  %7llu  %4llu  %7llu  %5llu  ",
+                  year, static_cast<unsigned long long>(crash),
+                  static_cast<unsigned long long>(nocrash),
+                  static_cast<unsigned long long>(warn),
+                  static_cast<unsigned long long>(unknown),
+                  static_cast<unsigned long long>(total));
+    os << buf;
+    for (uint64_t i = 0; i < crash; ++i) os << 'C';
+    for (uint64_t i = 0; i < nocrash; ++i) os << 'n';
+    for (uint64_t i = 0; i < warn; ++i) os << 'w';
+    for (uint64_t i = 0; i < unknown; ++i) os << '?';
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bugstudy
+}  // namespace raefs

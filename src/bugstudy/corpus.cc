@@ -1,0 +1,184 @@
+// Corpus synthesis. The generator is table-driven: per (determinism,
+// consequence, year) cell counts reproduce the paper's published
+// marginals exactly (Table 1 totals; Figure 1's rising per-year trend for
+// deterministic bugs, peaking in 2022). Records carry only *raw evidence*
+// -- the classifier must re-derive the categories.
+#include "bugstudy/bugstudy.h"
+
+#include "common/rng.h"
+
+namespace raefs {
+namespace bugstudy {
+namespace {
+
+// One generation cell: how many bugs with this shape.
+struct Cell {
+  StudyDeterminism det;
+  StudyConsequence cons;
+  int year;
+  int count;
+};
+
+// Figure 1 per-year deterministic breakdown: {year, crash, nocrash, warn,
+// unknown}. Row sums reproduce the figure's bars; column sums reproduce
+// Table 1's deterministic row (Crash 78, NoCrash 68, WARN 11, Unknown 8).
+struct DetYear {
+  int year;
+  int crash;
+  int nocrash;
+  int warn;
+  int unknown;
+};
+constexpr DetYear kDeterministicByYear[] = {
+    {2013, 3, 3, 0, 0},  {2014, 3, 3, 1, 0},  {2015, 4, 3, 0, 1},
+    {2016, 5, 4, 1, 0},  {2017, 5, 5, 1, 0},  {2018, 6, 6, 0, 1},
+    {2019, 8, 7, 1, 1},  {2020, 10, 8, 1, 1}, {2021, 12, 10, 2, 1},
+    {2022, 13, 11, 2, 2}, {2023, 9, 8, 2, 1},
+};
+
+// Non-deterministic row of Table 1: NoCrash 31, Crash 26, WARN 19,
+// Unknown 7 (years spread round-robin; Figure 1 covers deterministic
+// bugs only, so the ND year split is not constrained by the paper).
+constexpr int kNdNoCrash = 31;
+constexpr int kNdCrash = 26;
+constexpr int kNdWarn = 19;
+constexpr int kNdUnknown = 7;
+
+// Unknown-determinism row: NoCrash 5, Crash 2, WARN 1, Unknown 0.
+constexpr int kUdNoCrash = 5;
+constexpr int kUdCrash = 2;
+constexpr int kUdWarn = 1;
+
+const char* const kCrashSymptoms[] = {
+    "null-pointer dereference in ext4_map_blocks; kernel oops",
+    "use-after-free in ext4_put_super; BUG: unable to handle page fault",
+    "array-index-out-of-bounds in extent lookup; kernel BUG()",
+    "slab-out-of-bounds read in dx_probe; oops on mount",
+    "general protection fault in ext4_find_entry",
+    "divide error in mballoc group sizing; kernel panic",
+};
+const char* const kWarnSymptoms[] = {
+    "WARN_ON hit in ext4_handle_inode_extension",
+    "WARN_ON_ONCE triggered in jbd2 commit path",
+    "warning: inode flags inconsistent; WARN_ON fires",
+};
+const char* const kNoCrashSymptoms[] = {
+    "data corruption after punch-hole + collapse range",
+    "silent i_size mismatch leaves stale tail data",
+    "permission check bypass on ACL inheritance",
+    "soft lockup: writeback livelocks under memory pressure",
+    "performance regression: extent cache thrash",
+    "deadlock between quota and orphan processing",
+    "freeze: umount hangs waiting on discard",
+};
+const char* const kSubsystems[] = {
+    "extents", "mballoc", "jbd2", "dir index", "xattr", "fast-commit",
+    "inline data", "resize", "quota", "crypto", "DAX", "bigalloc",
+};
+
+std::string make_title(Rng& rng, StudyConsequence cons, int year, int id) {
+  const char* subsystem = kSubsystems[rng.below(std::size(kSubsystems))];
+  (void)cons;
+  return "ext4-" + std::to_string(year) + "-" + std::to_string(id) + ": " +
+         subsystem + " fix";
+}
+
+std::string pick_symptom(Rng& rng, StudyConsequence cons) {
+  switch (cons) {
+    case StudyConsequence::kCrash:
+      return kCrashSymptoms[rng.below(std::size(kCrashSymptoms))];
+    case StudyConsequence::kWarn:
+      return kWarnSymptoms[rng.below(std::size(kWarnSymptoms))];
+    case StudyConsequence::kNoCrash:
+      return kNoCrashSymptoms[rng.below(std::size(kNoCrashSymptoms))];
+    case StudyConsequence::kUnknown:
+      return "";  // commit message gives no external symptom clues
+  }
+  return "";
+}
+
+BugRecord make_record(Rng& rng, int id, int year, StudyDeterminism det,
+                      StudyConsequence cons) {
+  BugRecord rec;
+  rec.id = id;
+  rec.fix_year = year;
+  rec.title = make_title(rng, cons, year, id);
+  rec.symptoms = pick_symptom(rng, cons);
+  switch (det) {
+    case StudyDeterminism::kDeterministic:
+      rec.repro = ReproStatus::kYes;
+      rec.io_interaction = false;
+      rec.threading = false;
+      break;
+    case StudyDeterminism::kNonDeterministic: {
+      // The study's rule: no reproducer OR IO interaction OR threading.
+      uint64_t why = rng.below(3);
+      rec.repro = why == 0 ? ReproStatus::kNo : ReproStatus::kYes;
+      rec.io_interaction = why == 1;
+      rec.threading = why == 2;
+      break;
+    }
+    case StudyDeterminism::kUnknown:
+      rec.repro = ReproStatus::kUnknown;
+      break;
+  }
+  return rec;
+}
+
+std::vector<BugRecord> generate() {
+  Rng rng(0xEC4B065ull);  // fixed: the corpus is part of the artifact
+  std::vector<BugRecord> corpus;
+  corpus.reserve(256);
+  int id = 1;
+
+  auto emit = [&](int year, StudyDeterminism det, StudyConsequence cons,
+                  int count) {
+    for (int i = 0; i < count; ++i) {
+      corpus.push_back(make_record(rng, id++, year, det, cons));
+    }
+  };
+
+  for (const auto& row : kDeterministicByYear) {
+    emit(row.year, StudyDeterminism::kDeterministic,
+         StudyConsequence::kCrash, row.crash);
+    emit(row.year, StudyDeterminism::kDeterministic,
+         StudyConsequence::kNoCrash, row.nocrash);
+    emit(row.year, StudyDeterminism::kDeterministic, StudyConsequence::kWarn,
+         row.warn);
+    emit(row.year, StudyDeterminism::kDeterministic,
+         StudyConsequence::kUnknown, row.unknown);
+  }
+
+  auto spread_years = [&](StudyDeterminism det, StudyConsequence cons,
+                          int count) {
+    for (int i = 0; i < count; ++i) {
+      int year = 2013 + static_cast<int>(rng.below(11));
+      emit(year, det, cons, 1);
+    }
+  };
+  spread_years(StudyDeterminism::kNonDeterministic,
+               StudyConsequence::kNoCrash, kNdNoCrash);
+  spread_years(StudyDeterminism::kNonDeterministic, StudyConsequence::kCrash,
+               kNdCrash);
+  spread_years(StudyDeterminism::kNonDeterministic, StudyConsequence::kWarn,
+               kNdWarn);
+  spread_years(StudyDeterminism::kNonDeterministic,
+               StudyConsequence::kUnknown, kNdUnknown);
+  spread_years(StudyDeterminism::kUnknown, StudyConsequence::kNoCrash,
+               kUdNoCrash);
+  spread_years(StudyDeterminism::kUnknown, StudyConsequence::kCrash,
+               kUdCrash);
+  spread_years(StudyDeterminism::kUnknown, StudyConsequence::kWarn, kUdWarn);
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<BugRecord>& ext4_corpus() {
+  static const std::vector<BugRecord> corpus = generate();
+  return corpus;
+}
+
+}  // namespace bugstudy
+}  // namespace raefs

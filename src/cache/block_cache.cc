@@ -1,0 +1,152 @@
+#include "cache/block_cache.h"
+
+#include <algorithm>
+
+namespace raefs {
+
+BlockCache::BlockCache(BlockDevice* dev, size_t capacity, int shards)
+    : dev_(dev),
+      per_shard_capacity_(std::max<size_t>(1, capacity / static_cast<size_t>(shards))),
+      shards_(static_cast<size_t>(shards)) {}
+
+Result<BlockCache::Entry*> BlockCache::load_locked(Shard& s, BlockNo block) {
+  auto it = s.map.find(block);
+  if (it != s.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    touch_locked(s, block, it->second);
+    return &it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> data(dev_->block_size());
+  RAEFS_TRY_VOID(dev_->read_block(block, data));
+  evict_locked(s);
+  s.lru.push_front(block);
+  Entry e;
+  e.data = std::move(data);
+  e.lru_pos = s.lru.begin();
+  auto [pos, inserted] = s.map.emplace(block, std::move(e));
+  (void)inserted;
+  return &pos->second;
+}
+
+void BlockCache::touch_locked(Shard& s, BlockNo block, Entry& e) {
+  s.lru.erase(e.lru_pos);
+  s.lru.push_front(block);
+  e.lru_pos = s.lru.begin();
+}
+
+void BlockCache::evict_locked(Shard& s) {
+  if (s.map.size() < per_shard_capacity_) return;
+  // Evict the least-recently-used *clean* block; dirty blocks are pinned.
+  for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+    auto mit = s.map.find(*it);
+    if (mit != s.map.end() && !mit->second.dirty) {
+      s.lru.erase(std::next(it).base());
+      s.map.erase(mit);
+      return;
+    }
+  }
+  // All dirty: allow the cache to grow past capacity (soft limit).
+}
+
+Result<std::vector<uint8_t>> BlockCache::read(BlockNo block) {
+  Shard& s = shard_of(block);
+  std::lock_guard<std::mutex> lk(s.mu);
+  RAEFS_TRY(Entry * e, load_locked(s, block));
+  return e->data;
+}
+
+Status BlockCache::write(BlockNo block, std::vector<uint8_t> data) {
+  if (data.size() != dev_->block_size()) return Errno::kInval;
+  Shard& s = shard_of(block);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(block);
+  if (it != s.map.end()) {
+    it->second.data = std::move(data);
+    it->second.dirty = true;
+    touch_locked(s, block, it->second);
+    return Status::Ok();
+  }
+  evict_locked(s);
+  s.lru.push_front(block);
+  Entry e;
+  e.data = std::move(data);
+  e.dirty = true;
+  e.lru_pos = s.lru.begin();
+  s.map.emplace(block, std::move(e));
+  return Status::Ok();
+}
+
+Status BlockCache::modify(BlockNo block,
+                          const std::function<void(std::span<uint8_t>)>& fn) {
+  Shard& s = shard_of(block);
+  std::lock_guard<std::mutex> lk(s.mu);
+  RAEFS_TRY(Entry * e, load_locked(s, block));
+  fn(std::span<uint8_t>(e->data));
+  e->dirty = true;
+  return Status::Ok();
+}
+
+std::vector<std::pair<BlockNo, std::vector<uint8_t>>>
+BlockCache::dirty_snapshot() const {
+  std::vector<std::pair<BlockNo, std::vector<uint8_t>>> out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [block, e] : s.map) {
+      if (e.dirty) out.emplace_back(block, e.data);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void BlockCache::mark_clean(std::span<const BlockNo> blocks) {
+  for (BlockNo block : blocks) {
+    Shard& s = shard_of(block);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(block);
+    if (it != s.map.end()) it->second.dirty = false;
+  }
+}
+
+void BlockCache::drop_all() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.map.clear();
+    s.lru.clear();
+  }
+}
+
+void BlockCache::drop(BlockNo block) {
+  Shard& s = shard_of(block);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(block);
+  if (it != s.map.end()) {
+    s.lru.erase(it->second.lru_pos);
+    s.map.erase(it);
+  }
+}
+
+size_t BlockCache::cached_blocks() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+size_t BlockCache::dirty_blocks() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [block, e] : s.map) {
+      (void)block;
+      if (e.dirty) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace raefs

@@ -1,0 +1,92 @@
+// Sharded write-back LRU block cache -- the base filesystem's page-cache
+// analogue. One of the performance components (Figure 2, left) that the
+// shadow filesystem deliberately omits.
+//
+// Dirty blocks are pinned: eviction only removes clean blocks, preserving
+// write-ahead ordering (a dirty metadata block must not reach the device
+// before its journal transaction commits). The owner (BaseFs) is
+// responsible for write-back via dirty_snapshot()/mark_clean().
+#pragma once
+
+#include <functional>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/result.h"
+
+namespace raefs {
+
+class BlockCache {
+ public:
+  /// `capacity` is a soft limit in blocks; dirty blocks never count
+  /// against it for eviction purposes (they cannot be evicted).
+  BlockCache(BlockDevice* dev, size_t capacity, int shards = 8);
+
+  /// Read-through: returns a copy of the block's current (possibly dirty)
+  /// contents.
+  Result<std::vector<uint8_t>> read(BlockNo block);
+
+  /// Replace the cached contents and mark dirty. No device IO.
+  Status write(BlockNo block, std::vector<uint8_t> data);
+
+  /// Read-modify-write under the shard lock: loads the block if needed,
+  /// applies `fn` to its bytes, marks dirty.
+  Status modify(BlockNo block,
+                const std::function<void(std::span<uint8_t>)>& fn);
+
+  /// Copies of all dirty blocks, ordered by block number (deterministic
+  /// journaling order).
+  std::vector<std::pair<BlockNo, std::vector<uint8_t>>> dirty_snapshot() const;
+
+  /// Mark blocks clean after the owner persisted them.
+  void mark_clean(std::span<const BlockNo> blocks);
+
+  /// Drop every cached block, dirty or not. Used only by the contained
+  /// reboot: all in-memory state is untrusted after an error.
+  void drop_all();
+
+  /// Drop a single (clean or dirty) block, e.g. after freeing it.
+  void drop(BlockNo block);
+
+  size_t cached_blocks() const;
+  size_t dirty_blocks() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    std::list<BlockNo>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<BlockNo, Entry> map;
+    std::list<BlockNo> lru;  // front = most recent
+  };
+
+  Shard& shard_of(BlockNo block) {
+    return shards_[block % shards_.size()];
+  }
+  const Shard& shard_of(BlockNo block) const {
+    return shards_[block % shards_.size()];
+  }
+
+  // Must hold s.mu. Loads block into the shard if absent.
+  Result<Entry*> load_locked(Shard& s, BlockNo block);
+  void touch_locked(Shard& s, BlockNo block, Entry& e);
+  void evict_locked(Shard& s);
+
+  BlockDevice* dev_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace raefs

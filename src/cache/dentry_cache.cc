@@ -1,0 +1,99 @@
+#include "cache/dentry_cache.h"
+
+#include <algorithm>
+
+namespace raefs {
+
+DentryCache::DentryCache(size_t capacity, int shards)
+    : per_shard_capacity_(
+          std::max<size_t>(1, capacity / static_cast<size_t>(shards))),
+      shards_(static_cast<size_t>(shards)) {}
+
+std::optional<DentryValue> DentryCache::lookup(Ino parent,
+                                               std::string_view name) const {
+  const Shard& s = shard_of(parent, name);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(Key{parent, std::string(name)});
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+void DentryCache::insert_value(Ino parent, std::string_view name,
+                               DentryValue v) {
+  Shard& s = shard_of(parent, name);
+  Key key{parent, std::string(name)};
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second.value = v;
+    s.lru.erase(it->second.lru_pos);
+    s.lru.push_front(key);
+    it->second.lru_pos = s.lru.begin();
+    return;
+  }
+  if (s.map.size() >= per_shard_capacity_ && !s.lru.empty()) {
+    s.map.erase(s.lru.back());
+    s.lru.pop_back();
+  }
+  s.lru.push_front(key);
+  Entry e;
+  e.value = v;
+  e.lru_pos = s.lru.begin();
+  s.map.emplace(std::move(key), std::move(e));
+}
+
+void DentryCache::insert(Ino parent, std::string_view name, Ino child,
+                         FileType type) {
+  insert_value(parent, name, DentryValue{child, type});
+}
+
+void DentryCache::insert_negative(Ino parent, std::string_view name) {
+  insert_value(parent, name, DentryValue{kInvalidIno, FileType::kNone});
+}
+
+void DentryCache::invalidate(Ino parent, std::string_view name) {
+  Shard& s = shard_of(parent, name);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(Key{parent, std::string(name)});
+  if (it != s.map.end()) {
+    s.lru.erase(it->second.lru_pos);
+    s.map.erase(it);
+  }
+}
+
+void DentryCache::invalidate_dir(Ino parent) {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (auto it = s.map.begin(); it != s.map.end();) {
+      if (it->first.parent == parent) {
+        s.lru.erase(it->second.lru_pos);
+        it = s.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void DentryCache::drop_all() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.map.clear();
+    s.lru.clear();
+  }
+}
+
+size_t DentryCache::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+}  // namespace raefs

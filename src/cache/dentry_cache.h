@@ -1,0 +1,94 @@
+// Dentry cache: (parent ino, component name) -> child ino lookups,
+// including negative entries. The base consults it on every path walk;
+// the shadow instead always walks from the root (paper §3.3).
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace raefs {
+
+/// A positive entry maps to the child's ino and type; a negative entry
+/// records a known-absent name (ino == kInvalidIno).
+struct DentryValue {
+  Ino ino = kInvalidIno;
+  FileType type = FileType::kNone;
+  bool negative() const { return ino == kInvalidIno; }
+};
+
+class DentryCache {
+ public:
+  explicit DentryCache(size_t capacity = 4096, int shards = 8);
+
+  /// Cached lookup; nullopt = not cached (must hit the directory blocks).
+  std::optional<DentryValue> lookup(Ino parent, std::string_view name) const;
+
+  /// Insert a positive entry.
+  void insert(Ino parent, std::string_view name, Ino child, FileType type);
+
+  /// Insert a negative entry (lookup miss, cached to avoid rescans).
+  void insert_negative(Ino parent, std::string_view name);
+
+  /// Invalidate one entry (unlink/rename/create over a negative entry).
+  void invalidate(Ino parent, std::string_view name);
+
+  /// Invalidate everything under a parent (rmdir, directory rename).
+  void invalidate_dir(Ino parent);
+
+  /// Drop everything -- contained reboot.
+  void drop_all();
+
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    Ino parent;
+    std::string name;
+    bool operator==(const Key& o) const {
+      return parent == o.parent && name == o.name;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<Ino>()(k.parent) ^
+             (std::hash<std::string>()(k.name) * 1099511628211ull);
+    }
+  };
+  struct Entry {
+    DentryValue value;
+    std::list<Key>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map;
+    std::list<Key> lru;
+  };
+
+  Shard& shard_of(Ino parent, std::string_view name) {
+    return shards_[(parent ^ std::hash<std::string_view>()(name)) %
+                   shards_.size()];
+  }
+  const Shard& shard_of(Ino parent, std::string_view name) const {
+    return shards_[(parent ^ std::hash<std::string_view>()(name)) %
+                   shards_.size()];
+  }
+
+  void insert_value(Ino parent, std::string_view name, DentryValue v);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace raefs

@@ -1,0 +1,69 @@
+#include "cache/inode_cache.h"
+
+#include <algorithm>
+
+namespace raefs {
+
+std::optional<DiskInode> InodeCache::get(Ino ino) const {
+  const Shard& s = shard_of(ino);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(ino);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.inode;
+}
+
+void InodeCache::put(Ino ino, const DiskInode& inode, bool dirty) {
+  Shard& s = shard_of(ino);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto& e = s.map[ino];
+  e.inode = inode;
+  e.dirty = e.dirty || dirty;
+}
+
+void InodeCache::erase(Ino ino) {
+  Shard& s = shard_of(ino);
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.map.erase(ino);
+}
+
+std::vector<std::pair<Ino, DiskInode>> InodeCache::dirty_snapshot() const {
+  std::vector<std::pair<Ino, DiskInode>> out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [ino, e] : s.map) {
+      if (e.dirty) out.emplace_back(ino, e.inode);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void InodeCache::mark_clean(Ino ino) {
+  Shard& s = shard_of(ino);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(ino);
+  if (it != s.map.end()) it->second.dirty = false;
+}
+
+void InodeCache::drop_all() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.map.clear();
+  }
+}
+
+size_t InodeCache::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+}  // namespace raefs

@@ -1,0 +1,43 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace raefs {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected CRC32C polynomial
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const std::array<uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  const auto& t = table();
+  uint32_t crc = ~seed;
+  for (uint8_t b : data) {
+    crc = (crc >> 8) ^ t[(crc ^ b) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint32_t crc32c(const void* data, size_t len, uint32_t seed) {
+  return crc32c(
+      std::span<const uint8_t>(static_cast<const uint8_t*>(data), len), seed);
+}
+
+}  // namespace raefs

@@ -1,0 +1,38 @@
+// Simulated clock.
+//
+// Devices, filesystems and supervisors account elapsed time against a
+// shared SimClock instead of wall time. Device latency models and per-op
+// CPU costs advance it, so availability/downtime/recovery-time experiments
+// are deterministic and independent of the host machine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace raefs {
+
+class SimClock {
+ public:
+  Nanos now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Advance simulated time by `d` nanoseconds and return the new time.
+  Nanos advance(Nanos d) {
+    return now_.fetch_add(d, std::memory_order_relaxed) + d;
+  }
+
+ private:
+  std::atomic<Nanos> now_{0};
+};
+
+using SimClockPtr = std::shared_ptr<SimClock>;
+
+inline SimClockPtr make_clock() { return std::make_shared<SimClock>(); }
+
+inline constexpr Nanos kMicro = 1000;
+inline constexpr Nanos kMilli = 1000 * 1000;
+inline constexpr Nanos kSecond = 1000ull * 1000 * 1000;
+
+}  // namespace raefs

@@ -1,0 +1,58 @@
+// Errno-style error codes returned by filesystem operations.
+//
+// These model the POSIX error surface that applications observe. Bugs and
+// panics are NOT represented here -- a triggered bug raises FsPanicError
+// (see common/panic.h) and is handled by the RAE supervisor, never shown
+// to applications as an error code.
+#pragma once
+
+#include <cstdint>
+
+namespace raefs {
+
+enum class Errno : int32_t {
+  kOk = 0,
+  kNoEnt,        // no such file or directory
+  kExist,        // file exists
+  kNotDir,       // path component is not a directory
+  kIsDir,        // operation not valid on a directory
+  kNotEmpty,     // directory not empty
+  kNoSpace,      // out of data blocks or inodes
+  kNameTooLong,  // component exceeds kMaxNameLen
+  kInval,        // invalid argument
+  kBadFd,        // bad file descriptor
+  kFBig,         // file would exceed maximum size
+  kIo,           // device-level IO error
+  kRoFs,         // filesystem (or device view) is read-only
+  kMLink,        // too many hard links
+  kBusy,         // resource busy (e.g. unmount with open files)
+  kCorrupt,      // on-disk structure failed validation
+  kNotSup,       // operation not supported by this implementation
+  kLoop,         // too many levels of symbolic links
+};
+
+inline const char* to_string(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kNoEnt: return "ENOENT";
+    case Errno::kExist: return "EEXIST";
+    case Errno::kNotDir: return "ENOTDIR";
+    case Errno::kIsDir: return "EISDIR";
+    case Errno::kNotEmpty: return "ENOTEMPTY";
+    case Errno::kNoSpace: return "ENOSPC";
+    case Errno::kNameTooLong: return "ENAMETOOLONG";
+    case Errno::kInval: return "EINVAL";
+    case Errno::kBadFd: return "EBADF";
+    case Errno::kFBig: return "EFBIG";
+    case Errno::kIo: return "EIO";
+    case Errno::kRoFs: return "EROFS";
+    case Errno::kMLink: return "EMLINK";
+    case Errno::kBusy: return "EBUSY";
+    case Errno::kCorrupt: return "ECORRUPT";
+    case Errno::kNotSup: return "ENOTSUP";
+    case Errno::kLoop: return "ELOOP";
+  }
+  return "E?";
+}
+
+}  // namespace raefs

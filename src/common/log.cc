@@ -1,0 +1,23 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace raefs {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
+std::mutex g_io_mu;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > g_level.load()) return;
+  std::lock_guard<std::mutex> lk(g_io_mu);
+  std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+}  // namespace raefs

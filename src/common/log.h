@@ -1,0 +1,44 @@
+// Minimal leveled logger. Quiet by default so tests and benchmarks stay
+// readable; raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace raefs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (already formatted) at `level`.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+struct LogMessage {
+  LogMessage(LogLevel level, const char* tag) : level_(level) {
+    os_ << "[" << tag << "] ";
+  }
+  ~LogMessage() { log_line(level_, os_.str()); }
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define RAEFS_LOG(level, tag)                            \
+  if (static_cast<int>(::raefs::log_level()) <           \
+      static_cast<int>(level)) {                         \
+  } else                                                 \
+    ::raefs::detail::LogMessage(level, tag).stream()
+
+#define RAEFS_LOG_ERROR(tag) RAEFS_LOG(::raefs::LogLevel::kError, tag)
+#define RAEFS_LOG_WARN(tag) RAEFS_LOG(::raefs::LogLevel::kWarn, tag)
+#define RAEFS_LOG_INFO(tag) RAEFS_LOG(::raefs::LogLevel::kInfo, tag)
+#define RAEFS_LOG_DEBUG(tag) RAEFS_LOG(::raefs::LogLevel::kDebug, tag)
+
+}  // namespace raefs

@@ -1,0 +1,111 @@
+// Panic, WARN and invariant-check machinery.
+//
+// Mirrors the kernel error surface the paper studies:
+//  - FsPanicError  ~ BUG()/oops: the base filesystem hit a fatal bug. The
+//    RAE supervisor catches this and runs recovery; without RAE it crashes
+//    the "machine" (crash-restart baseline).
+//  - WarnEvent/WarnSink ~ WARN_ON(): the suggested substitute for BUG() in
+//    Linux. The base continues after a WARN; the supervisor applies a
+//    configurable escalation policy.
+//  - ShadowCheckError: a runtime check inside the *shadow* failed. The
+//    shadow is the robust alternative, so this signals either a hardware
+//    fault outside the model or an unrecoverable image; it is never turned
+//    into silent continuation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace raefs {
+
+/// Where a panic/WARN originated, for reporting and bug-id matching.
+struct FaultSite {
+  std::string function;  // e.g. "BaseFs::write"
+  std::string detail;    // human-readable message
+  int bug_id = -1;       // injected-bug id, or -1 for organic invariant trap
+};
+
+/// Fatal error inside the base filesystem (kernel BUG() analogue).
+class FsPanicError : public std::runtime_error {
+ public:
+  explicit FsPanicError(FaultSite site)
+      : std::runtime_error("fs panic in " + site.function + ": " + site.detail),
+        site_(std::move(site)) {}
+
+  const FaultSite& site() const { return site_; }
+
+ private:
+  FaultSite site_;
+};
+
+/// A runtime check inside the shadow filesystem failed.
+class ShadowCheckError : public std::runtime_error {
+ public:
+  explicit ShadowCheckError(std::string what_arg)
+      : std::runtime_error("shadow check failed: " + std::move(what_arg)) {}
+};
+
+/// Raise a base-filesystem panic. Marked noreturn so control flow after a
+/// detected fatal bug is explicit.
+[[noreturn]] void fs_panic(FaultSite site);
+
+/// One WARN_ON()-style event emitted by the base.
+struct WarnEvent {
+  FaultSite site;
+  uint64_t seq = 0;  // assigned by the sink, monotonic
+};
+
+/// Collects WARN events from one base-filesystem instance. Thread-safe.
+/// The RAE supervisor inspects the sink to apply its escalation policy.
+class WarnSink {
+ public:
+  /// Record a WARN; returns its sequence number.
+  uint64_t warn(FaultSite site);
+
+  /// Number of WARNs recorded so far.
+  uint64_t count() const;
+
+  /// Copy of all recorded events (test/diagnostic use).
+  std::vector<WarnEvent> events() const;
+
+  /// Drop all recorded events (after a contained reboot).
+  void clear();
+
+  /// Optional observer invoked synchronously on each WARN (supervisor hook).
+  void set_observer(std::function<void(const WarnEvent&)> cb);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WarnEvent> events_;
+  uint64_t next_seq_ = 1;
+  std::function<void(const WarnEvent&)> observer_;
+};
+
+namespace detail {
+[[noreturn]] void shadow_check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+}
+
+/// Extensive runtime check used throughout the shadow filesystem. Always
+/// enabled (the shadow has no performance budget to protect); failure
+/// throws ShadowCheckError.
+#define SHADOW_CHECK(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::raefs::detail::shadow_check_fail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)
+
+/// Invariant trap in the base filesystem: the organic analogue of BUG_ON.
+#define BASE_BUG_ON(cond, func, msg)                                  \
+  do {                                                                \
+    if (cond) {                                                       \
+      ::raefs::fs_panic(::raefs::FaultSite{(func), (msg), -1});       \
+    }                                                                 \
+  } while (0)
+
+}  // namespace raefs

@@ -1,0 +1,63 @@
+// Path normalization shared by the base filesystem, the shadow filesystem
+// and the VFS front end, so every implementation resolves names
+// identically (a prerequisite for base/shadow equivalence, paper §3.3).
+//
+// Rules: paths are absolute ('/'-rooted); repeated slashes collapse;
+// "." is elided; ".." pops (and is a no-op at the root, as in POSIX);
+// the maximum depth after normalization is kMaxPathDepth.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace raefs {
+
+inline constexpr size_t kMaxPathDepth = 64;
+
+/// Split and normalize. Returns the component list (empty = the root).
+inline Result<std::vector<std::string>> split_path(std::string_view path) {
+  if (path.empty() || path.front() != '/') return Errno::kInval;
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i <= path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string_view::npos) j = path.size();
+    std::string_view comp = path.substr(i, j - i);
+    if (comp.empty() || comp == ".") {
+      // skip
+    } else if (comp == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else {
+      parts.emplace_back(comp);
+      if (parts.size() > kMaxPathDepth) return Errno::kNameTooLong;
+    }
+    i = j + 1;
+  }
+  return parts;
+}
+
+/// Rejoin normalized components into a canonical absolute path.
+inline std::string join_path(const std::vector<std::string>& parts) {
+  if (parts.empty()) return "/";
+  std::string out;
+  for (const auto& p : parts) {
+    out += '/';
+    out += p;
+  }
+  return out;
+}
+
+/// True if `maybe_ancestor` is a path-prefix ancestor of `path` (both
+/// canonical). Used by rename to refuse moving a directory into itself.
+inline bool path_is_ancestor(std::string_view maybe_ancestor,
+                             std::string_view path) {
+  if (maybe_ancestor == "/") return path != "/";
+  return path.size() > maybe_ancestor.size() &&
+         path.substr(0, maybe_ancestor.size()) == maybe_ancestor &&
+         path[maybe_ancestor.size()] == '/';
+}
+
+}  // namespace raefs

@@ -1,0 +1,85 @@
+// Result<T>: a lightweight expected-like type carrying either a value or an
+// Errno. Filesystem APIs return Result so that POSIX-visible errors flow as
+// values while bugs/panics flow as exceptions (common/panic.h).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/err.h"
+
+namespace raefs {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: lets `return value;` and `return Errno::kNoEnt;`
+  // both work at call sites.
+  Result(T value) : value_(std::move(value)), err_(Errno::kOk) {}
+  Result(Errno e) : err_(e) { assert(e != Errno::kOk); }
+
+  bool ok() const { return err_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  /// The error code; Errno::kOk iff ok().
+  Errno error() const { return err_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Errno err_;
+};
+
+/// Result<void>: success/failure with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : err_(Errno::kOk) {}
+  Result(Errno e) : err_(e) {}
+
+  bool ok() const { return err_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+  static Result Ok() { return Result(); }
+
+ private:
+  Errno err_;
+};
+
+using Status = Result<void>;
+
+/// Propagate an error from an expression returning Result<T>.
+/// Usage: RAEFS_TRY(auto ino, fs.lookup(path));
+#define RAEFS_TRY(decl, expr)                      \
+  decl = ({                                        \
+    auto raefs_try_tmp_ = (expr);                  \
+    if (!raefs_try_tmp_.ok()) return raefs_try_tmp_.error(); \
+    std::move(raefs_try_tmp_).value();             \
+  })
+
+/// Propagate an error from a Status-returning expression.
+#define RAEFS_TRY_VOID(expr)                       \
+  do {                                             \
+    auto raefs_try_tmp_ = (expr);                  \
+    if (!raefs_try_tmp_.ok()) return raefs_try_tmp_.error(); \
+  } while (0)
+
+}  // namespace raefs

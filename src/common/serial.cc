@@ -1,0 +1,33 @@
+#include "common/serial.h"
+
+#include <cstdio>
+
+namespace raefs {
+
+std::string hexdump(std::span<const uint8_t> data, size_t max_bytes) {
+  std::string out;
+  size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char line[80];
+  for (size_t off = 0; off < n; off += 16) {
+    int len = std::snprintf(line, sizeof(line), "%08zx  ", off);
+    out.append(line, static_cast<size_t>(len));
+    for (size_t i = 0; i < 16; ++i) {
+      if (off + i < n) {
+        len = std::snprintf(line, sizeof(line), "%02x ", data[off + i]);
+        out.append(line, static_cast<size_t>(len));
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (size_t i = 0; i < 16 && off + i < n; ++i) {
+      uint8_t c = data[off + i];
+      out += (c >= 32 && c < 127) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  if (n < data.size()) out += "... (truncated)\n";
+  return out;
+}
+
+}  // namespace raefs

@@ -1,0 +1,128 @@
+// Little-endian wire/disk serialization helpers.
+//
+// Every on-disk structure and every byte crossing the base<->shadow
+// interface is encoded with these, so formats are explicit and
+// platform-independent (paper §4.1 laments the lack of an explicit ABI for
+// kernel filesystems; ours is nailed down here).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raefs {
+
+/// Appends little-endian encoded fields to a byte vector.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* out) : out_(out) {}
+
+  void put_u8(uint8_t v) { out_->push_back(v); }
+  void put_u16(uint16_t v) { put_le(v); }
+  void put_u32(uint32_t v) { put_le(v); }
+  void put_u64(uint64_t v) { put_le(v); }
+  void put_i64(int64_t v) { put_le(static_cast<uint64_t>(v)); }
+
+  void put_bytes(std::span<const uint8_t> b) {
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+  /// Length-prefixed (u32) string.
+  void put_string(std::string_view s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+  /// Fixed-width field: copies up to `width` bytes, zero-pads the rest.
+  void put_fixed(std::string_view s, size_t width) {
+    size_t n = s.size() < width ? s.size() : width;
+    out_->insert(out_->end(), s.begin(), s.begin() + n);
+    out_->insert(out_->end(), width - n, 0);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<uint8_t>* out_;
+};
+
+/// Reads little-endian encoded fields from a byte span. Under-runs are
+/// reported via ok() going false (all subsequent reads return zeroes) so
+/// callers validate once after decoding a whole structure.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const uint8_t> in) : in_(in) {}
+
+  uint8_t get_u8() { return get_le<uint8_t>(); }
+  uint16_t get_u16() { return get_le<uint16_t>(); }
+  uint32_t get_u32() { return get_le<uint32_t>(); }
+  uint64_t get_u64() { return get_le<uint64_t>(); }
+  int64_t get_i64() { return static_cast<int64_t>(get_le<uint64_t>()); }
+
+  std::vector<uint8_t> get_bytes(size_t n) {
+    if (!take(n)) return {};
+    std::vector<uint8_t> out(in_.begin() + static_cast<ptrdiff_t>(pos_ - n),
+                             in_.begin() + static_cast<ptrdiff_t>(pos_));
+    return out;
+  }
+
+  std::string get_string() {
+    uint32_t n = get_u32();
+    if (!take(n)) return {};
+    return std::string(
+        reinterpret_cast<const char*>(in_.data()) + (pos_ - n), n);
+  }
+
+  /// Fixed-width field; trailing zero bytes are stripped.
+  std::string get_fixed(size_t width) {
+    if (!take(width)) return {};
+    const char* p = reinterpret_cast<const char*>(in_.data()) + (pos_ - width);
+    size_t n = width;
+    while (n > 0 && p[n - 1] == 0) --n;
+    return std::string(p, n);
+  }
+
+  void skip(size_t n) { take(n); }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return in_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (!take(sizeof(T))) return T{};
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(in_[pos_ - sizeof(T) + i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  bool take(size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const uint8_t> in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Render bytes as a hexdump (diagnostics, discrepancy reports).
+std::string hexdump(std::span<const uint8_t> data, size_t max_bytes = 256);
+
+}  // namespace raefs

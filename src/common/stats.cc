@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace raefs {
+
+int LatencyHistogram::bucket_of(Nanos v) {
+  if (v == 0) return 0;
+  int b = 64 - std::countl_zero(static_cast<uint64_t>(v));
+  return std::min(b, kBuckets - 1);
+}
+
+Nanos LatencyHistogram::bucket_upper(int b) {
+  if (b >= 63) return ~Nanos{0};
+  return (Nanos{1} << b) - 1;
+}
+
+void LatencyHistogram::record(Nanos v) {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+Nanos LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::min(bucket_upper(b), max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << format_nanos(static_cast<Nanos>(mean()))
+     << " p50=" << format_nanos(quantile(0.5))
+     << " p99=" << format_nanos(quantile(0.99))
+     << " max=" << format_nanos(max());
+  return os.str();
+}
+
+double AvailabilityTracker::availability() const {
+  Nanos total = up_ + down_;
+  if (total == 0) return 1.0;
+  return static_cast<double>(up_) / static_cast<double>(total);
+}
+
+uint64_t CounterSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string CounterSet::summary() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << "=" << v << " ";
+  return os.str();
+}
+
+std::string format_nanos(Nanos v) {
+  char buf[48];
+  if (v < 10 * kMicro) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(v));
+  } else if (v < 10 * kMilli) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(v) / static_cast<double>(kMicro));
+  } else if (v < 10 * kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(v) / static_cast<double>(kMilli));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(v) / static_cast<double>(kSecond));
+  }
+  return buf;
+}
+
+}  // namespace raefs

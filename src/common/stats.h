@@ -1,0 +1,82 @@
+// Counters, latency histograms and availability accounting used by the
+// benchmark harness and the RAE supervisor's statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace raefs {
+
+/// Log-bucketed latency histogram over simulated nanoseconds.
+class LatencyHistogram {
+ public:
+  void record(Nanos v);
+
+  uint64_t count() const { return count_; }
+  Nanos min() const { return count_ ? min_ : 0; }
+  Nanos max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  /// Approximate quantile (q in [0,1]) from the log buckets.
+  Nanos quantile(double q) const;
+
+  std::string summary() const;
+
+ private:
+  static int bucket_of(Nanos v);
+  static Nanos bucket_upper(int b);
+
+  static constexpr int kBuckets = 64;
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  Nanos min_ = ~Nanos{0};
+  Nanos max_ = 0;
+};
+
+/// Up/down time accounting for availability experiments.
+///
+/// A component is "up" when it is able to admit application operations.
+/// Recovery (contained reboot + shadow replay + hand-off) and full machine
+/// restarts count as downtime.
+class AvailabilityTracker {
+ public:
+  void record_up(Nanos d) { up_ += d; }
+  void record_down(Nanos d) {
+    down_ += d;
+    ++outages_;
+  }
+
+  Nanos up_time() const { return up_; }
+  Nanos down_time() const { return down_; }
+  uint64_t outages() const { return outages_; }
+
+  /// Fraction of total time spent up, in [0,1]; 1.0 when no time recorded.
+  double availability() const;
+
+ private:
+  Nanos up_ = 0;
+  Nanos down_ = 0;
+  uint64_t outages_ = 0;
+};
+
+/// Named counters for experiment reporting.
+class CounterSet {
+ public:
+  void add(const std::string& name, uint64_t delta = 1) { counters_[name] += delta; }
+  uint64_t get(const std::string& name) const;
+  const std::map<std::string, uint64_t>& all() const { return counters_; }
+  std::string summary() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+/// Format simulated nanoseconds human-readably ("12.3ms").
+std::string format_nanos(Nanos v);
+
+}  // namespace raefs

@@ -1,0 +1,52 @@
+// Core scalar types shared across every raefs module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace raefs {
+
+/// Logical block number on a block device (block-size units).
+using BlockNo = uint64_t;
+
+/// Inode number. 0 is invalid; the root directory is always kRootIno.
+using Ino = uint64_t;
+
+/// File descriptor handle issued by the VFS layer. Negative values invalid.
+using Fd = int64_t;
+
+/// Byte offset / byte count within a file.
+using FileOff = uint64_t;
+
+/// Monotonic sequence number for recorded operations and journal txns.
+using Seq = uint64_t;
+
+/// Simulated time in nanoseconds (see common/clock.h).
+using Nanos = uint64_t;
+
+inline constexpr uint32_t kBlockSize = 4096;
+inline constexpr Ino kInvalidIno = 0;
+inline constexpr Ino kRootIno = 1;
+inline constexpr Fd kInvalidFd = -1;
+
+/// Type of an on-disk object.
+enum class FileType : uint8_t {
+  kNone = 0,
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+};
+
+const char* to_string(FileType t);
+
+inline const char* to_string(FileType t) {
+  switch (t) {
+    case FileType::kNone: return "none";
+    case FileType::kRegular: return "regular";
+    case FileType::kDirectory: return "directory";
+    case FileType::kSymlink: return "symlink";
+  }
+  return "?";
+}
+
+}  // namespace raefs

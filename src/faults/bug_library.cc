@@ -1,0 +1,168 @@
+#include "faults/bug_library.h"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace raefs {
+namespace bugs {
+namespace {
+
+size_t path_depth(std::string_view path) {
+  size_t depth = 0;
+  for (char c : path) {
+    if (c == '/') ++depth;
+  }
+  return depth;
+}
+
+std::string_view last_component(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+BugSpec make(int id, double probability) {
+  BugSpec spec;
+  spec.id = id;
+  switch (id) {
+    case kUnlinkLongNamePanic:
+      spec.description = "unlink: name length == max triggers BUG()";
+      spec.consequence = BugConsequence::kCrash;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.unlink.entry" &&
+               last_component(ctx.path).size() == 54;
+      };
+      break;
+    case kWriteIndirectBoundaryPanic:
+      spec.description = "write: crossing direct->indirect boundary BUG()";
+      spec.consequence = BugConsequence::kCrash;
+      spec.trigger = [](const BugContext& ctx) {
+        // Fires when a write touches file block 12 (first indirect block).
+        if (ctx.site != "basefs.write.map_block") return false;
+        return ctx.offset / kBlockSize == 12;
+      };
+      break;
+    case kCraftedNamePanic:
+      spec.description = "lookup: crafted dirent name causes null-deref";
+      spec.consequence = BugConsequence::kCrash;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.lookup.component" &&
+               ctx.path.substr(0, 4) == "evil";
+      };
+      break;
+    case kLargeDirPanic:
+      spec.description = "dir insert: directory >1 block triggers BUG()";
+      spec.consequence = BugConsequence::kCrash;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.dir_insert.grow" && ctx.len > 1;
+      };
+      break;
+    case kRenameOverwritePanic:
+      spec.description = "rename: same-dir overwrite hits lock-order BUG()";
+      spec.consequence = BugConsequence::kCrash;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.rename.overwrite";
+      };
+      break;
+    case kTruncateUnalignedWarn:
+      spec.description = "truncate: unaligned size hits WARN_ON";
+      spec.consequence = BugConsequence::kWarn;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.truncate.entry" &&
+               ctx.len % kBlockSize != 0;
+      };
+      break;
+    case kDeepPathWarn:
+      spec.description = "create: path depth > 6 hits WARN_ON";
+      spec.consequence = BugConsequence::kWarn;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.create.entry" && path_depth(ctx.path) > 6;
+      };
+      break;
+    case kSymlinkBitmapCorrupt:
+      spec.description = "symlink: silently corrupts in-memory block bitmap";
+      spec.consequence = BugConsequence::kCorrupt;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.symlink.alloc";
+      };
+      break;
+    case kWriteShortLie:
+      spec.description = "write: reports one byte fewer than written";
+      spec.consequence = BugConsequence::kWrongResult;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.write.result" && ctx.offset == 0 &&
+               ctx.len > 0;
+      };
+      break;
+    case kWriteDataCorrupt:
+      spec.description = "write: silently flips a byte in file block 1";
+      spec.consequence = BugConsequence::kCorrupt;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.write.data" &&
+               ctx.offset == kBlockSize;  // the write chunk in file block 1
+      };
+      break;
+    case kTransientPanic:
+      spec.description = "transient race: random BUG()";
+      spec.consequence = BugConsequence::kCrash;
+      spec.determinism = BugDeterminism::kProbabilistic;
+      spec.probability = probability;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.op.dispatch";
+      };
+      break;
+    case kTransientWarn:
+      spec.description = "transient race: random WARN_ON";
+      spec.consequence = BugConsequence::kWarn;
+      spec.determinism = BugDeterminism::kProbabilistic;
+      spec.probability = probability;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.op.dispatch";
+      };
+      break;
+    case kTransientCorrupt:
+      // Rides the symlink-alloc corruption site (the only site wired
+      // with an in-memory corruption action) but fires probabilistically.
+      spec.description = "transient: random silent bitmap corruption";
+      spec.consequence = BugConsequence::kCorrupt;
+      spec.determinism = BugDeterminism::kProbabilistic;
+      spec.probability = probability;
+      spec.trigger = [](const BugContext& ctx) {
+        return ctx.site == "basefs.symlink.alloc";
+      };
+      break;
+    default:
+      throw std::invalid_argument("unknown library bug id");
+  }
+  return spec;
+}
+
+void install_study_mix(BugRegistry* registry, double per_op_rate) {
+  // Table 1 column totals across all determinism classes: Crash 106,
+  // WARN 31, NoCrash 104 (Unknown-consequence bugs are not injectable).
+  constexpr double kCrashWeight = 106.0;
+  constexpr double kWarnWeight = 31.0;
+  constexpr double kNoCrashWeight = 104.0;
+  constexpr double kTotal = kCrashWeight + kWarnWeight + kNoCrashWeight;
+  registry->install(
+      make(kTransientPanic, per_op_rate * kCrashWeight / kTotal));
+  registry->install(
+      make(kTransientWarn, per_op_rate * kWarnWeight / kTotal));
+  // The NoCrash share combines silent corruption (caught by
+  // validate-on-sync / the shadow) and wrong results (caught by the
+  // shadow's cross-check).
+  registry->install(
+      make(kTransientCorrupt, per_op_rate * kNoCrashWeight / kTotal));
+}
+
+void install_deterministic_crash_suite(BugRegistry* registry) {
+  registry->install(make(kUnlinkLongNamePanic));
+  registry->install(make(kWriteIndirectBoundaryPanic));
+  registry->install(make(kCraftedNamePanic));
+  registry->install(make(kLargeDirPanic));
+  registry->install(make(kRenameOverwritePanic));
+}
+
+}  // namespace bugs
+}  // namespace raefs

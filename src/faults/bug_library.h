@@ -1,0 +1,74 @@
+// A library of canonical injected bugs modelled on the classes the paper's
+// ext4 study found (Table 1 / §2.1): input-sanity crashes, feature-boundary
+// crashes, WARN paths, silent corruption, and crafted-image attacks.
+// Examples, tests and benchmarks install these by id.
+#pragma once
+
+#include "faults/bug_registry.h"
+
+namespace raefs {
+namespace bugs {
+
+// --- Deterministic Crash bugs ------------------------------------------
+/// Panic when unlinking a name of exactly kMaxNameLen bytes (input-sanity
+/// off-by-one, the most common class in the study).
+inline constexpr int kUnlinkLongNamePanic = 101;
+/// Panic when a write first crosses the direct->indirect block boundary
+/// (new-feature boundary bug: blk-mq/iomap-style).
+inline constexpr int kWriteIndirectBoundaryPanic = 102;
+/// Panic when looking up a path component that begins with "evil" --
+/// models the crafted-disk-image null-deref triggered by lookup (§2.1).
+inline constexpr int kCraftedNamePanic = 103;
+/// Panic when a directory grows past one block of entries (readdir/insert
+/// scalability bug).
+inline constexpr int kLargeDirPanic = 104;
+/// Panic on rename where source and destination share a parent and the
+/// destination exists (lock-ordering bug class).
+inline constexpr int kRenameOverwritePanic = 105;
+
+// --- Deterministic WARN bugs -------------------------------------------
+/// WARN when truncating to a size that is not block-aligned.
+inline constexpr int kTruncateUnalignedWarn = 121;
+/// WARN when creating in a directory deeper than 6 components.
+inline constexpr int kDeepPathWarn = 122;
+
+// --- Deterministic NoCrash (silent corruption) bugs --------------------
+/// Silently corrupt the in-memory block bitmap during symlink creation
+/// (detected only by validate-on-sync or the shadow).
+inline constexpr int kSymlinkBitmapCorrupt = 141;
+/// Wrong result: writes at offset 0 report one byte fewer than written.
+/// The application silently acts on a lie; only the shadow's outcome
+/// cross-check (scrub or recovery replay) can notice (§4.3).
+inline constexpr int kWriteShortLie = 142;
+/// Silent data corruption: writes touching file block 1 get one byte
+/// flipped in the cached data page. Invisible to validate-on-sync
+/// (metadata-only), fsck (structure-only) and the outcome cross-check
+/// (values-only); only the DEEP scrub's content comparison catches it.
+inline constexpr int kWriteDataCorrupt = 143;
+
+// --- Probabilistic (transient) bugs ------------------------------------
+/// Random panic with small per-op probability (race-condition analogue).
+inline constexpr int kTransientPanic = 201;
+/// Random WARN with small per-op probability.
+inline constexpr int kTransientWarn = 202;
+
+/// Build the spec for a library bug. For probabilistic bugs, `probability`
+/// overrides the default per-evaluation fire rate.
+BugSpec make(int id, double probability = 1e-4);
+
+/// Install every deterministic Crash bug (availability experiments).
+void install_deterministic_crash_suite(BugRegistry* registry);
+
+// --- study-calibrated mix ------------------------------------------------
+/// Probabilistic transient corruption (silent bitmap flip at sync sites).
+inline constexpr int kTransientCorrupt = 203;
+
+/// Install a probabilistic bug mix whose consequence proportions match
+/// the paper's Table 1 study (Crash 106/256, WARN 31/256, NoCrash
+/// 104/256 across all determinism classes; consequence-Unknown bugs are
+/// not injectable). `per_op_rate` is the total fault rate per operation.
+/// This is the "ext4-shaped" fault load used by the availability bench.
+void install_study_mix(BugRegistry* registry, double per_op_rate);
+
+}  // namespace bugs
+}  // namespace raefs

@@ -1,0 +1,84 @@
+#include "faults/bug_registry.h"
+
+#include <algorithm>
+
+namespace raefs {
+
+const char* to_string(BugConsequence c) {
+  switch (c) {
+    case BugConsequence::kCrash: return "Crash";
+    case BugConsequence::kWarn: return "WARN";
+    case BugConsequence::kCorrupt: return "Corrupt";
+    case BugConsequence::kWrongResult: return "WrongResult";
+  }
+  return "?";
+}
+
+const char* to_string(BugDeterminism d) {
+  switch (d) {
+    case BugDeterminism::kDeterministic: return "Deterministic";
+    case BugDeterminism::kProbabilistic: return "Probabilistic";
+  }
+  return "?";
+}
+
+void BugRegistry::install(BugSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = std::find_if(bugs_.begin(), bugs_.end(),
+                         [&](const BugSpec& b) { return b.id == spec.id; });
+  if (it != bugs_.end()) {
+    *it = std::move(spec);
+  } else {
+    bugs_.push_back(std::move(spec));
+  }
+}
+
+void BugRegistry::remove(int id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bugs_.erase(std::remove_if(bugs_.begin(), bugs_.end(),
+                             [&](const BugSpec& b) { return b.id == id; }),
+              bugs_.end());
+}
+
+void BugRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  bugs_.clear();
+}
+
+std::optional<FiredBug> BugRegistry::check(const BugContext& ctx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& bug : bugs_) {
+    if (bug.max_fires == 0) continue;
+    if (bug.trigger && !bug.trigger(ctx)) continue;
+    if (bug.determinism == BugDeterminism::kProbabilistic) {
+      if (!rng_.chance(bug.probability)) continue;
+    } else if (!bug.trigger) {
+      // A deterministic bug without a predicate would fire on every op;
+      // that is a misconfiguration, not a bug model.
+      continue;
+    }
+    if (bug.max_fires > 0) --bug.max_fires;
+    ++fires_[bug.id];
+    return FiredBug{bug.id, bug.consequence, bug.description};
+  }
+  return std::nullopt;
+}
+
+std::map<int, uint64_t> BugRegistry::fire_counts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fires_;
+}
+
+uint64_t BugRegistry::total_fires() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, n] : fires_) total += n;
+  return total;
+}
+
+size_t BugRegistry::installed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bugs_.size();
+}
+
+}  // namespace raefs

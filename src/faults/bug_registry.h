@@ -1,0 +1,112 @@
+// Injectable software-bug registry for the base filesystem.
+//
+// Models the paper's Table 1 bug taxonomy: bugs are *deterministic*
+// (a predicate over the operation and filesystem state; the same input
+// always re-triggers it -- the hard case for recovery, §2.2) or
+// *probabilistic* (transient races, modelled as a per-evaluation coin
+// flip), and have a *consequence*: Crash (BUG()/oops), WARN (WARN_ON()),
+// or NoCrash (silent in-memory corruption / wrong results).
+//
+// BaseFs calls BugRegistry::check() at injection sites spread across its
+// code paths. A fired Crash bug raises FsPanicError; a fired Warn bug is
+// routed to the WarnSink; a fired Corrupt bug runs the site's corruption
+// action (e.g. flipping an in-memory bitmap bit) -- detectable only by
+// validate-on-sync or by the shadow's checks, exactly as in the paper.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "oplog/op.h"
+
+namespace raefs {
+
+enum class BugConsequence : uint8_t {
+  kCrash = 0,   // fatal: fs_panic (kernel BUG())
+  kWarn,        // WARN_ON(): message, execution continues
+  kCorrupt,     // NoCrash: silent in-memory state corruption
+  kWrongResult, // NoCrash: op "succeeds" with a wrong observable result
+};
+
+enum class BugDeterminism : uint8_t {
+  kDeterministic = 0,  // pure predicate over (site, op); re-fires on re-execution
+  kProbabilistic,      // fires with probability p per evaluation
+};
+
+const char* to_string(BugConsequence c);
+const char* to_string(BugDeterminism d);
+
+/// What an injection site tells the registry about the current moment.
+struct BugContext {
+  std::string_view site;          // e.g. "basefs.write.grow_indirect"
+  OpKind op = OpKind::kSync;
+  std::string_view path;          // primary path argument ("" if none)
+  Ino ino = kInvalidIno;
+  FileOff offset = 0;
+  uint64_t len = 0;
+  uint64_t op_index = 0;          // ops executed since mount
+};
+
+struct BugSpec {
+  int id = 0;
+  std::string description;
+  BugConsequence consequence = BugConsequence::kCrash;
+  BugDeterminism determinism = BugDeterminism::kDeterministic;
+
+  /// Deterministic trigger predicate. Must be a pure function of the
+  /// context (no hidden state) so that re-executing the same operation
+  /// re-fires the bug -- the property that defeats naive retry (§2.2).
+  std::function<bool(const BugContext&)> trigger;
+
+  /// For kProbabilistic: fire probability per matching evaluation. The
+  /// trigger (if any) gates which evaluations are eligible.
+  double probability = 0.0;
+
+  /// Stop firing after this many hits (-1 = unlimited).
+  int max_fires = -1;
+};
+
+/// What a site should do, as decided by the registry.
+struct FiredBug {
+  int id = 0;
+  BugConsequence consequence = BugConsequence::kCrash;
+  std::string description;
+};
+
+class BugRegistry {
+ public:
+  explicit BugRegistry(uint64_t seed = 0xB06B06ull) : rng_(seed) {}
+
+  /// Install a bug. Replaces any existing bug with the same id.
+  void install(BugSpec spec);
+
+  /// Remove a bug ("patch it").
+  void remove(int id);
+
+  /// Remove everything.
+  void clear();
+
+  /// Evaluate all bugs against `ctx`. Returns the first fired bug, if any.
+  /// Thread-safe; called from every injection site.
+  std::optional<FiredBug> check(const BugContext& ctx);
+
+  /// Total fires per bug id (diagnostics / experiment accounting).
+  std::map<int, uint64_t> fire_counts() const;
+  uint64_t total_fires() const;
+
+  size_t installed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<BugSpec> bugs_;
+  std::map<int, uint64_t> fires_;
+  Rng rng_;
+};
+
+}  // namespace raefs

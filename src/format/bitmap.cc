@@ -1,0 +1,41 @@
+#include "format/bitmap.h"
+
+#include <bit>
+
+namespace raefs {
+
+std::optional<uint64_t> BitmapView::find_clear(uint64_t from) const {
+  for (uint64_t i = from; i < nbits_; ++i) {
+    // Skip full bytes quickly.
+    if (i % 8 == 0) {
+      while (i + 8 <= nbits_ && bytes_[i / 8] == 0xFF) i += 8;
+      if (i >= nbits_) break;
+    }
+    if (!test(i)) return i;
+  }
+  return std::nullopt;
+}
+
+uint64_t BitmapView::count_set() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < nbits_ / 8; ++i) {
+    total += static_cast<uint64_t>(std::popcount(bytes_[i]));
+  }
+  for (uint64_t i = (nbits_ / 8) * 8; i < nbits_; ++i) {
+    total += test(i) ? 1 : 0;
+  }
+  return total;
+}
+
+uint64_t ConstBitmapView::count_set() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < nbits_ / 8; ++i) {
+    total += static_cast<uint64_t>(std::popcount(bytes_[i]));
+  }
+  for (uint64_t i = (nbits_ / 8) * 8; i < nbits_; ++i) {
+    total += test(i) ? 1 : 0;
+  }
+  return total;
+}
+
+}  // namespace raefs

@@ -1,0 +1,54 @@
+// Bit manipulation over on-disk bitmap blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace raefs {
+
+/// A mutable view over a contiguous run of bitmap bytes (one or more
+/// blocks loaded into memory). Bit i corresponds to object i.
+class BitmapView {
+ public:
+  BitmapView(std::span<uint8_t> bytes, uint64_t nbits)
+      : bytes_(bytes), nbits_(nbits) {}
+
+  uint64_t size() const { return nbits_; }
+
+  bool test(uint64_t i) const {
+    return (bytes_[i / 8] >> (i % 8)) & 1;
+  }
+  void set(uint64_t i) { bytes_[i / 8] |= static_cast<uint8_t>(1u << (i % 8)); }
+  void clear(uint64_t i) {
+    bytes_[i / 8] &= static_cast<uint8_t>(~(1u << (i % 8)));
+  }
+
+  /// First clear bit at or after `from`, or nullopt when full.
+  std::optional<uint64_t> find_clear(uint64_t from = 0) const;
+
+  /// Number of set bits in [0, nbits).
+  uint64_t count_set() const;
+
+ private:
+  std::span<uint8_t> bytes_;
+  uint64_t nbits_;
+};
+
+/// Read-only variant used by the shadow and fsck.
+class ConstBitmapView {
+ public:
+  ConstBitmapView(std::span<const uint8_t> bytes, uint64_t nbits)
+      : bytes_(bytes), nbits_(nbits) {}
+
+  uint64_t size() const { return nbits_; }
+  bool test(uint64_t i) const { return (bytes_[i / 8] >> (i % 8)) & 1; }
+  uint64_t count_set() const;
+
+ private:
+  std::span<const uint8_t> bytes_;
+  uint64_t nbits_;
+};
+
+}  // namespace raefs

@@ -1,0 +1,88 @@
+#include "format/dirent.h"
+
+#include <cstring>
+
+#include "common/serial.h"
+
+namespace raefs {
+
+bool name_valid(std::string_view name) {
+  if (name.empty() || name.size() > kMaxNameLen) return false;
+  for (char c : name) {
+    if (c == '/' || c == '\0') return false;
+  }
+  return true;
+}
+
+Result<DirEntry> dirent_decode(std::span<const uint8_t> block, uint32_t slot) {
+  if (block.size() != kBlockSize || slot >= kDirentsPerBlock) {
+    return Errno::kCorrupt;
+  }
+  auto rec = block.subspan(slot * kDirentSize, kDirentSize);
+  Decoder dec(rec);
+  DirEntry e;
+  e.ino = dec.get_u64();
+  uint8_t type = dec.get_u8();
+  uint8_t name_len = dec.get_u8();
+  if (e.ino == kInvalidIno) {
+    // Free slot: everything else must be zero to avoid stale-data leaks.
+    if (type != 0 || name_len != 0) return Errno::kCorrupt;
+    return e;
+  }
+  if (type != static_cast<uint8_t>(FileType::kRegular) &&
+      type != static_cast<uint8_t>(FileType::kDirectory) &&
+      type != static_cast<uint8_t>(FileType::kSymlink)) {
+    return Errno::kCorrupt;
+  }
+  e.type = static_cast<FileType>(type);
+  if (name_len == 0 || name_len > kMaxNameLen) return Errno::kCorrupt;
+  e.name.assign(reinterpret_cast<const char*>(rec.data()) + 10, name_len);
+  if (!name_valid(e.name)) return Errno::kCorrupt;
+  return e;
+}
+
+void dirent_encode(std::span<uint8_t> block, uint32_t slot,
+                   const DirEntry& e) {
+  uint8_t* rec = block.data() + slot * kDirentSize;
+  std::memset(rec, 0, kDirentSize);
+  if (e.ino == kInvalidIno) return;
+  std::vector<uint8_t> tmp;
+  Encoder enc(&tmp);
+  enc.put_u64(e.ino);
+  enc.put_u8(static_cast<uint8_t>(e.type));
+  enc.put_u8(static_cast<uint8_t>(e.name.size()));
+  std::memcpy(rec, tmp.data(), tmp.size());
+  std::memcpy(rec + 10, e.name.data(), e.name.size());
+}
+
+Result<std::vector<DirEntry>> dirent_scan_block(
+    std::span<const uint8_t> block) {
+  std::vector<DirEntry> out;
+  for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+    RAEFS_TRY(DirEntry e, dirent_decode(block, slot));
+    if (e.ino != kInvalidIno) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<std::optional<DirEntry>> dirent_find_in_block(
+    std::span<const uint8_t> block, std::string_view name) {
+  for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+    RAEFS_TRY(DirEntry e, dirent_decode(block, slot));
+    if (e.ino != kInvalidIno && e.name == name) {
+      return std::optional<DirEntry>(std::move(e));
+    }
+  }
+  return std::optional<DirEntry>();
+}
+
+std::optional<uint32_t> dirent_free_slot(std::span<const uint8_t> block) {
+  for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+    uint64_t ino = 0;
+    std::memcpy(&ino, block.data() + slot * kDirentSize, sizeof(ino));
+    if (ino == 0) return slot;
+  }
+  return std::nullopt;
+}
+
+}  // namespace raefs

@@ -1,0 +1,50 @@
+// Directory entries: fixed 64-byte records packed into data blocks.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "format/layout.h"
+
+namespace raefs {
+
+inline constexpr uint32_t kDirentSize = 64;
+inline constexpr uint32_t kDirentsPerBlock = kBlockSize / kDirentSize;  // 64
+inline constexpr uint32_t kMaxNameLen = 54;
+
+struct DirEntry {
+  Ino ino = kInvalidIno;  // kInvalidIno = free slot
+  FileType type = FileType::kNone;
+  std::string name;
+};
+
+/// True if `name` is a legal directory entry name: non-empty, within
+/// kMaxNameLen, and free of '/' and NUL.
+bool name_valid(std::string_view name);
+
+/// Decode slot `slot` of a directory data block. A free slot decodes to an
+/// entry with ino == kInvalidIno. kCorrupt if the record is malformed
+/// (bad name_len, embedded NUL/'/', type invalid).
+Result<DirEntry> dirent_decode(std::span<const uint8_t> block, uint32_t slot);
+
+/// Encode `e` into slot `slot` in place. `e.name` must be valid (or empty
+/// with ino == kInvalidIno for a free slot).
+void dirent_encode(std::span<uint8_t> block, uint32_t slot, const DirEntry& e);
+
+/// Decode all used entries in a directory block, in slot order.
+/// Propagates kCorrupt from any malformed slot.
+Result<std::vector<DirEntry>> dirent_scan_block(std::span<const uint8_t> block);
+
+/// Find `name` in a directory block; nullopt if absent.
+/// Malformed slots yield kCorrupt.
+Result<std::optional<DirEntry>> dirent_find_in_block(
+    std::span<const uint8_t> block, std::string_view name);
+
+/// Index of the first free slot in the block, or nullopt if full.
+std::optional<uint32_t> dirent_free_slot(std::span<const uint8_t> block);
+
+}  // namespace raefs

@@ -1,0 +1,116 @@
+#include "format/inode.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/serial.h"
+
+namespace raefs {
+
+std::vector<uint8_t> DiskInode::encode() const {
+  std::vector<uint8_t> out;
+  out.reserve(kInodeSize);
+  Encoder enc(&out);
+  enc.put_u8(static_cast<uint8_t>(type));
+  enc.put_u8(0);  // pad
+  enc.put_u16(mode);
+  enc.put_u32(nlink);
+  enc.put_u32(uid);
+  enc.put_u32(gid);
+  enc.put_u64(size);
+  enc.put_u64(atime);
+  enc.put_u64(mtime);
+  enc.put_u64(ctime);
+  for (BlockNo b : direct) enc.put_u64(b);
+  enc.put_u64(indirect);
+  enc.put_u64(dindirect);
+  enc.put_u64(generation);
+  out.resize(kInodeSize - 4, 0);
+  uint32_t crc = crc32c(out.data(), out.size());
+  Encoder tail(&out);
+  tail.put_u32(crc);
+  return out;
+}
+
+Result<DiskInode> DiskInode::decode_raw(std::span<const uint8_t> raw) {
+  if (raw.size() != kInodeSize) return Errno::kCorrupt;
+  uint32_t stored_crc = static_cast<uint32_t>(raw[kInodeSize - 4]) |
+                        (static_cast<uint32_t>(raw[kInodeSize - 3]) << 8) |
+                        (static_cast<uint32_t>(raw[kInodeSize - 2]) << 16) |
+                        (static_cast<uint32_t>(raw[kInodeSize - 1]) << 24);
+  if (crc32c(raw.data(), kInodeSize - 4) != stored_crc) {
+    return Errno::kCorrupt;
+  }
+  Decoder dec(raw);
+  DiskInode n;
+  n.type = static_cast<FileType>(dec.get_u8());
+  dec.skip(1);
+  n.mode = dec.get_u16();
+  n.nlink = dec.get_u32();
+  n.uid = dec.get_u32();
+  n.gid = dec.get_u32();
+  n.size = dec.get_u64();
+  n.atime = dec.get_u64();
+  n.mtime = dec.get_u64();
+  n.ctime = dec.get_u64();
+  for (auto& b : n.direct) b = dec.get_u64();
+  n.indirect = dec.get_u64();
+  n.dindirect = dec.get_u64();
+  n.generation = dec.get_u64();
+  if (!dec.ok()) return Errno::kCorrupt;
+  return n;
+}
+
+Result<DiskInode> DiskInode::decode(std::span<const uint8_t> raw,
+                                    const Geometry& geo) {
+  RAEFS_TRY(DiskInode n, decode_raw(raw));
+  RAEFS_TRY_VOID(n.validate(geo));
+  return n;
+}
+
+Status DiskInode::validate(const Geometry& geo) const {
+  switch (type) {
+    case FileType::kNone:
+    case FileType::kRegular:
+    case FileType::kDirectory:
+    case FileType::kSymlink:
+      break;
+    default:
+      return Errno::kCorrupt;
+  }
+  if (type == FileType::kNone) {
+    // Free inodes must be fully zeroed pointers.
+    if (size != 0 || nlink != 0 || indirect != 0 || dindirect != 0) {
+      return Errno::kCorrupt;
+    }
+    for (BlockNo b : direct) {
+      if (b != 0) return Errno::kCorrupt;
+    }
+    return Status::Ok();
+  }
+  if (size > kMaxFileSize) return Errno::kCorrupt;
+  auto check_ptr = [&](BlockNo b) {
+    return b == 0 || geo.is_data_block(b);
+  };
+  for (BlockNo b : direct) {
+    if (!check_ptr(b)) return Errno::kCorrupt;
+  }
+  if (!check_ptr(indirect) || !check_ptr(dindirect)) return Errno::kCorrupt;
+  return Status::Ok();
+}
+
+Result<DiskInode> inode_from_table_block(std::span<const uint8_t> block,
+                                         uint32_t slot, const Geometry& geo) {
+  if (block.size() != kBlockSize || slot >= kInodesPerBlock) {
+    return Errno::kCorrupt;
+  }
+  return DiskInode::decode(block.subspan(slot * kInodeSize, kInodeSize), geo);
+}
+
+void inode_into_table_block(std::span<uint8_t> block, uint32_t slot,
+                            const DiskInode& inode) {
+  auto bytes = inode.encode();
+  std::memcpy(block.data() + slot * kInodeSize, bytes.data(), kInodeSize);
+}
+
+}  // namespace raefs

@@ -1,0 +1,33 @@
+#include "format/layout.h"
+
+namespace raefs {
+
+namespace {
+uint64_t div_ceil(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+Result<Geometry> compute_geometry(uint64_t total_blocks, uint64_t inode_count,
+                                  uint64_t journal_blocks) {
+  if (total_blocks < 8 || inode_count < 1 || journal_blocks < 4) {
+    return Errno::kInval;
+  }
+  Geometry g;
+  g.total_blocks = total_blocks;
+  g.inode_count = inode_count;
+
+  g.inode_bitmap_start = 1;
+  g.inode_bitmap_blocks = div_ceil(inode_count, kBitsPerBlock);
+  g.block_bitmap_start = g.inode_bitmap_start + g.inode_bitmap_blocks;
+  g.block_bitmap_blocks = div_ceil(total_blocks, kBitsPerBlock);
+  g.inode_table_start = g.block_bitmap_start + g.block_bitmap_blocks;
+  g.inode_table_blocks = div_ceil(inode_count, kInodesPerBlock);
+  g.journal_start = g.inode_table_start + g.inode_table_blocks;
+  g.journal_blocks = journal_blocks;
+  g.data_start = g.journal_start + g.journal_blocks;
+
+  if (g.data_start >= total_blocks) return Errno::kInval;
+  g.data_blocks = total_blocks - g.data_start;
+  return g;
+}
+
+}  // namespace raefs

@@ -1,0 +1,68 @@
+#include "format/superblock.h"
+
+#include "common/checksum.h"
+#include "common/serial.h"
+
+namespace raefs {
+
+Result<Geometry> Superblock::geometry() const {
+  auto g = compute_geometry(total_blocks, inode_count, journal_blocks);
+  if (!g.ok()) return Errno::kCorrupt;
+  return g;
+}
+
+std::vector<uint8_t> Superblock::encode() const {
+  std::vector<uint8_t> out;
+  out.reserve(kBlockSize);
+  Encoder enc(&out);
+  enc.put_u64(magic);
+  enc.put_u32(version);
+  enc.put_u32(block_size);
+  enc.put_u64(total_blocks);
+  enc.put_u64(inode_count);
+  enc.put_u64(journal_blocks);
+  enc.put_u64(root_ino);
+  enc.put_u32(static_cast<uint32_t>(state));
+  enc.put_u64(mount_count);
+  out.resize(kBlockSize - 4, 0);
+  uint32_t crc = crc32c(out.data(), out.size());
+  Encoder tail(&out);
+  tail.put_u32(crc);
+  return out;
+}
+
+Result<Superblock> Superblock::decode(std::span<const uint8_t> block) {
+  if (block.size() != kBlockSize) return Errno::kCorrupt;
+  uint32_t stored_crc = static_cast<uint32_t>(block[kBlockSize - 4]) |
+                        (static_cast<uint32_t>(block[kBlockSize - 3]) << 8) |
+                        (static_cast<uint32_t>(block[kBlockSize - 2]) << 16) |
+                        (static_cast<uint32_t>(block[kBlockSize - 1]) << 24);
+  if (crc32c(block.data(), kBlockSize - 4) != stored_crc) {
+    return Errno::kCorrupt;
+  }
+
+  Decoder dec(block);
+  Superblock sb;
+  sb.magic = dec.get_u64();
+  sb.version = dec.get_u32();
+  sb.block_size = dec.get_u32();
+  sb.total_blocks = dec.get_u64();
+  sb.inode_count = dec.get_u64();
+  sb.journal_blocks = dec.get_u64();
+  sb.root_ino = dec.get_u64();
+  sb.state = static_cast<FsState>(dec.get_u32());
+  sb.mount_count = dec.get_u64();
+  if (!dec.ok()) return Errno::kCorrupt;
+
+  if (sb.magic != kSuperMagic) return Errno::kCorrupt;
+  if (sb.version != kFormatVersion) return Errno::kCorrupt;
+  if (sb.block_size != kBlockSize) return Errno::kCorrupt;
+  if (sb.root_ino != kRootIno) return Errno::kCorrupt;
+  if (sb.state != FsState::kClean && sb.state != FsState::kMounted) {
+    return Errno::kCorrupt;
+  }
+  if (!sb.geometry().ok()) return Errno::kCorrupt;
+  return sb;
+}
+
+}  // namespace raefs

@@ -1,0 +1,45 @@
+// Superblock: block 0 of every raefs image.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "format/layout.h"
+
+namespace raefs {
+
+inline constexpr uint64_t kSuperMagic = 0x5241454653463031ull;  // "RAEFSF01"
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Filesystem state recorded in the superblock.
+enum class FsState : uint32_t {
+  kClean = 0,    // cleanly unmounted
+  kMounted = 1,  // mounted; journal may hold committed transactions
+};
+
+struct Superblock {
+  uint64_t magic = kSuperMagic;
+  uint32_t version = kFormatVersion;
+  uint32_t block_size = kBlockSize;
+  uint64_t total_blocks = 0;
+  uint64_t inode_count = 0;
+  uint64_t journal_blocks = 0;
+  Ino root_ino = kRootIno;
+  FsState state = FsState::kClean;
+  uint64_t mount_count = 0;
+
+  /// Geometry recomputed from the counts above. Returns kCorrupt when the
+  /// recorded counts are not a valid layout.
+  Result<Geometry> geometry() const;
+
+  /// Serialize into one block (zero-padded, CRC32C in the final 4 bytes).
+  std::vector<uint8_t> encode() const;
+
+  /// Decode and fully validate a superblock image of exactly kBlockSize
+  /// bytes. Checks magic, version, block size, CRC, and that the geometry
+  /// is internally consistent.
+  static Result<Superblock> decode(std::span<const uint8_t> block);
+};
+
+}  // namespace raefs

@@ -1,0 +1,209 @@
+#include "fsck/crafted.h"
+
+#include <cstring>
+
+#include "format/bitmap.h"
+#include "format/dirent.h"
+#include "format/inode.h"
+#include "format/superblock.h"
+
+namespace raefs {
+
+const char* to_string(CraftKind kind) {
+  switch (kind) {
+    case CraftKind::kBadDirentNameLen: return "bad-dirent-name-len";
+    case CraftKind::kDanglingDirent: return "dangling-dirent";
+    case CraftKind::kWildInodePointer: return "wild-inode-pointer";
+    case CraftKind::kBitmapLeak: return "bitmap-leak";
+    case CraftKind::kDirCycleLink: return "dir-cycle-link";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Image {
+  BlockDevice* dev;
+  Geometry geo;
+
+  Result<std::vector<uint8_t>> read(BlockNo b) {
+    std::vector<uint8_t> data(kBlockSize);
+    RAEFS_TRY_VOID(dev->read_block(b, data));
+    return data;
+  }
+  Status write(BlockNo b, const std::vector<uint8_t>& data) {
+    RAEFS_TRY_VOID(dev->write_block(b, data));
+    return dev->flush();
+  }
+
+  Result<DiskInode> inode(Ino ino) {
+    RAEFS_TRY(auto block, read(geo.inode_block(ino)));
+    return DiskInode::decode_raw(
+        std::span<const uint8_t>(block).subspan(geo.inode_slot(ino) * kInodeSize,
+                                                kInodeSize));
+  }
+
+  Status put_inode(Ino ino, const DiskInode& node) {
+    RAEFS_TRY(auto block, read(geo.inode_block(ino)));
+    inode_into_table_block(block, geo.inode_slot(ino), node);
+    return write(geo.inode_block(ino), block);
+  }
+
+  /// The root directory's first data block, allocating one by hand if the
+  /// root is still empty (the attacker can fabricate anything).
+  Result<BlockNo> root_dir_block() {
+    RAEFS_TRY(DiskInode root, inode(kRootIno));
+    if (root.direct[0] != 0) return root.direct[0];
+
+    // Find a free data block, mark it allocated, attach it to root.
+    RAEFS_TRY(auto bitmap, read(geo.block_bitmap_start));
+    BitmapView view(bitmap, std::min<uint64_t>(kBitsPerBlock,
+                                               geo.total_blocks));
+    BlockNo chosen = 0;
+    for (BlockNo b = geo.data_start; b < geo.total_blocks &&
+                                     b < kBitsPerBlock; ++b) {
+      if (!view.test(b)) {
+        chosen = b;
+        view.set(b);
+        break;
+      }
+    }
+    if (chosen == 0) return Errno::kNoSpace;
+    RAEFS_TRY_VOID(write(geo.block_bitmap_start, bitmap));
+    RAEFS_TRY_VOID(write(chosen, std::vector<uint8_t>(kBlockSize, 0)));
+    root.direct[0] = chosen;
+    root.size = kBlockSize;
+    RAEFS_TRY_VOID(put_inode(kRootIno, root));
+    return chosen;
+  }
+};
+
+Result<Image> open_image(BlockDevice* dev) {
+  std::vector<uint8_t> sb_block(kBlockSize);
+  RAEFS_TRY_VOID(dev->read_block(0, sb_block));
+  RAEFS_TRY(Superblock sb, Superblock::decode(sb_block));
+  RAEFS_TRY(Geometry geo, sb.geometry());
+  return Image{dev, geo};
+}
+
+Status craft_bad_dirent(Image& img) {
+  RAEFS_TRY(BlockNo b, img.root_dir_block());
+  RAEFS_TRY(auto block, img.read(b));
+  auto slot = dirent_free_slot(block);
+  if (!slot) return Errno::kNoSpace;
+  // Hand-forge the record: valid ino (root itself), absurd name_len.
+  uint8_t* rec = block.data() + *slot * kDirentSize;
+  uint64_t ino = kRootIno;
+  std::memcpy(rec, &ino, sizeof(ino));
+  rec[8] = static_cast<uint8_t>(FileType::kRegular);
+  rec[9] = 200;  // name_len far beyond kMaxNameLen
+  std::memcpy(rec + 10, "boom", 4);
+  return img.write(b, block);
+}
+
+Status craft_dangling_dirent(Image& img) {
+  RAEFS_TRY(BlockNo b, img.root_dir_block());
+  RAEFS_TRY(auto block, img.read(b));
+  auto slot = dirent_free_slot(block);
+  if (!slot) return Errno::kNoSpace;
+  DirEntry e;
+  e.ino = img.geo.inode_count;  // valid range, but free (high inos unused)
+  e.type = FileType::kRegular;
+  e.name = "ghost";
+  dirent_encode(block, *slot, e);
+  return img.write(b, block);
+}
+
+Status craft_wild_inode_pointer(Image& img) {
+  // Fabricate an allocated inode whose direct[0] targets the inode table,
+  // and name it from the root. CRC is recomputed: only the pointer lies.
+  Ino victim = 2;
+  RAEFS_TRY(auto bitmap, img.read(img.geo.inode_bitmap_start));
+  BitmapView view(bitmap, img.geo.inode_count);
+  if (view.test(victim - 1)) {
+    // Find any free ino instead.
+    bool found = false;
+    for (Ino candidate = 2; candidate <= img.geo.inode_count; ++candidate) {
+      if (!view.test(candidate - 1)) {
+        victim = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Errno::kNoSpace;
+  }
+  view.set(victim - 1);
+  RAEFS_TRY_VOID(img.write(img.geo.inode_bitmap_start, bitmap));
+
+  DiskInode evil;
+  evil.type = FileType::kRegular;
+  evil.mode = 0644;
+  evil.nlink = 1;
+  evil.size = kBlockSize;
+  evil.generation = 1;
+  evil.direct[0] = img.geo.inode_table_start;  // the wild pointer
+  RAEFS_TRY_VOID(img.put_inode(victim, evil));
+
+  RAEFS_TRY(BlockNo b, img.root_dir_block());
+  RAEFS_TRY(auto block, img.read(b));
+  auto slot = dirent_free_slot(block);
+  if (!slot) return Errno::kNoSpace;
+  DirEntry e;
+  e.ino = victim;
+  e.type = FileType::kRegular;
+  e.name = "wild";
+  dirent_encode(block, *slot, e);
+  return img.write(b, block);
+}
+
+Status craft_bitmap_leak(Image& img) {
+  RAEFS_TRY(auto bitmap, img.read(img.geo.block_bitmap_start));
+  BitmapView view(bitmap,
+                  std::min<uint64_t>(kBitsPerBlock, img.geo.total_blocks));
+  for (BlockNo b = img.geo.total_blocks - 1; b >= img.geo.data_start; --b) {
+    if (b >= kBitsPerBlock) continue;
+    if (!view.test(b)) {
+      view.set(b);
+      return img.write(img.geo.block_bitmap_start, bitmap);
+    }
+  }
+  return Errno::kNoSpace;
+}
+
+Status craft_dir_cycle(Image& img) {
+  // Find any subdirectory entry in the root and duplicate it under a new
+  // name: the subdirectory becomes reachable twice.
+  RAEFS_TRY(BlockNo b, img.root_dir_block());
+  RAEFS_TRY(auto block, img.read(b));
+  RAEFS_TRY(auto entries, dirent_scan_block(block));
+  const DirEntry* subdir = nullptr;
+  for (const auto& e : entries) {
+    if (e.type == FileType::kDirectory) {
+      subdir = &e;
+      break;
+    }
+  }
+  if (subdir == nullptr) return Errno::kNoEnt;  // caller must create one
+  auto slot = dirent_free_slot(block);
+  if (!slot) return Errno::kNoSpace;
+  DirEntry dup = *subdir;
+  dup.name = subdir->name + "_again";
+  dirent_encode(block, *slot, dup);
+  return img.write(b, block);
+}
+
+}  // namespace
+
+Status craft_image(BlockDevice* dev, CraftKind kind) {
+  RAEFS_TRY(Image img, open_image(dev));
+  switch (kind) {
+    case CraftKind::kBadDirentNameLen: return craft_bad_dirent(img);
+    case CraftKind::kDanglingDirent: return craft_dangling_dirent(img);
+    case CraftKind::kWildInodePointer: return craft_wild_inode_pointer(img);
+    case CraftKind::kBitmapLeak: return craft_bitmap_leak(img);
+    case CraftKind::kDirCycleLink: return craft_dir_cycle(img);
+  }
+  return Errno::kInval;
+}
+
+}  // namespace raefs

@@ -1,0 +1,42 @@
+// Crafted disk-image generator: the attacker's toolkit from the paper's
+// motivation (§2.1). Each kind mutates a valid image into one that
+// *passes the weak FSCK* yet drives the base filesystem into a
+// deterministic runtime error (or a strict-fsck-visible inconsistency)
+// when a specific operation sequence touches the damage.
+#pragma once
+
+#include <string>
+
+#include "blockdev/block_device.h"
+#include "common/result.h"
+
+namespace raefs {
+
+enum class CraftKind : uint8_t {
+  /// A dirent with name_len > kMaxNameLen in the root directory: decoding
+  /// it panics the base (lookup/readdir), models a null-deref on a
+  /// crafted name record. Weak fsck never reads directory blocks.
+  kBadDirentNameLen = 0,
+  /// A dirent referencing an inode whose bitmap bit is clear: strict
+  /// fsck fatal; base lookups resolve into a free inode.
+  kDanglingDirent,
+  /// An inode whose direct[0] points into the inode table: validation
+  /// inside the base panics on first access; weak fsck skips inodes.
+  kWildInodePointer,
+  /// A block bitmap bit set for a block no inode owns: pure space leak,
+  /// strict-fsck kLeak, harmless to the base (tests the severity split).
+  kBitmapLeak,
+  /// A second dirent referencing an existing subdirectory: directory
+  /// reachable via two paths, breaking the tree invariant (strict fatal).
+  kDirCycleLink,
+};
+
+const char* to_string(CraftKind kind);
+
+/// Apply `kind` to the image on `dev` in place. Requires a valid raefs
+/// image; some kinds need at least one file or directory in the root (the
+/// caller prepares the victim image). All CRCs are recomputed -- the
+/// attacker knows the format -- so only the targeted lie remains.
+Status craft_image(BlockDevice* dev, CraftKind kind);
+
+}  // namespace raefs

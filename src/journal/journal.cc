@@ -1,0 +1,307 @@
+#include "journal/journal.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/serial.h"
+
+namespace raefs {
+namespace {
+
+enum class RecKind : uint32_t { kHeader = 0, kDescriptor = 1, kCommit = 2 };
+
+void seal_block(std::vector<uint8_t>* block) {
+  block->resize(kBlockSize - 4, 0);
+  uint32_t crc = crc32c(block->data(), block->size());
+  Encoder tail(block);
+  tail.put_u32(crc);
+}
+
+bool block_crc_ok(std::span<const uint8_t> block) {
+  if (block.size() != kBlockSize) return false;
+  uint32_t stored = static_cast<uint32_t>(block[kBlockSize - 4]) |
+                    (static_cast<uint32_t>(block[kBlockSize - 3]) << 8) |
+                    (static_cast<uint32_t>(block[kBlockSize - 2]) << 16) |
+                    (static_cast<uint32_t>(block[kBlockSize - 1]) << 24);
+  return crc32c(block.data(), kBlockSize - 4) == stored;
+}
+
+struct Header {
+  uint64_t floor_seq = 0;
+};
+
+std::vector<uint8_t> encode_header(const Header& h) {
+  std::vector<uint8_t> block;
+  Encoder enc(&block);
+  enc.put_u64(kJournalMagic);
+  enc.put_u32(static_cast<uint32_t>(RecKind::kHeader));
+  enc.put_u64(h.floor_seq);
+  seal_block(&block);
+  return block;
+}
+
+Result<Header> decode_header(std::span<const uint8_t> block) {
+  if (!block_crc_ok(block)) return Errno::kCorrupt;
+  Decoder dec(block);
+  if (dec.get_u64() != kJournalMagic) return Errno::kCorrupt;
+  if (dec.get_u32() != static_cast<uint32_t>(RecKind::kHeader)) {
+    return Errno::kCorrupt;
+  }
+  Header h;
+  h.floor_seq = dec.get_u64();
+  if (!dec.ok()) return Errno::kCorrupt;
+  return h;
+}
+
+struct Descriptor {
+  uint64_t seq = 0;
+  std::vector<BlockNo> targets;
+};
+
+std::vector<uint8_t> encode_descriptor(const Descriptor& d) {
+  std::vector<uint8_t> block;
+  Encoder enc(&block);
+  enc.put_u64(kJournalMagic);
+  enc.put_u32(static_cast<uint32_t>(RecKind::kDescriptor));
+  enc.put_u64(d.seq);
+  enc.put_u32(static_cast<uint32_t>(d.targets.size()));
+  for (BlockNo t : d.targets) enc.put_u64(t);
+  seal_block(&block);
+  return block;
+}
+
+Result<Descriptor> decode_descriptor(std::span<const uint8_t> block) {
+  if (!block_crc_ok(block)) return Errno::kCorrupt;
+  Decoder dec(block);
+  if (dec.get_u64() != kJournalMagic) return Errno::kCorrupt;
+  if (dec.get_u32() != static_cast<uint32_t>(RecKind::kDescriptor)) {
+    return Errno::kCorrupt;
+  }
+  Descriptor d;
+  d.seq = dec.get_u64();
+  uint32_t ntags = dec.get_u32();
+  // A descriptor's tags must fit in one block alongside the fixed fields.
+  if (ntags == 0 || ntags > (kBlockSize - 32) / 8) return Errno::kCorrupt;
+  d.targets.reserve(ntags);
+  for (uint32_t i = 0; i < ntags; ++i) d.targets.push_back(dec.get_u64());
+  if (!dec.ok()) return Errno::kCorrupt;
+  return d;
+}
+
+struct Commit {
+  uint64_t seq = 0;
+  uint32_t ntags = 0;
+  uint32_t payload_crc = 0;
+};
+
+std::vector<uint8_t> encode_commit(const Commit& c) {
+  std::vector<uint8_t> block;
+  Encoder enc(&block);
+  enc.put_u64(kJournalMagic);
+  enc.put_u32(static_cast<uint32_t>(RecKind::kCommit));
+  enc.put_u64(c.seq);
+  enc.put_u32(c.ntags);
+  enc.put_u32(c.payload_crc);
+  seal_block(&block);
+  return block;
+}
+
+Result<Commit> decode_commit(std::span<const uint8_t> block) {
+  if (!block_crc_ok(block)) return Errno::kCorrupt;
+  Decoder dec(block);
+  if (dec.get_u64() != kJournalMagic) return Errno::kCorrupt;
+  if (dec.get_u32() != static_cast<uint32_t>(RecKind::kCommit)) {
+    return Errno::kCorrupt;
+  }
+  Commit c;
+  c.seq = dec.get_u64();
+  c.ntags = dec.get_u32();
+  c.payload_crc = dec.get_u32();
+  if (!dec.ok()) return Errno::kCorrupt;
+  return c;
+}
+
+/// Payload CRC chains the target list and all payload bytes.
+uint32_t payload_crc(const std::vector<JournalRecord>& records) {
+  uint32_t crc = 0;
+  for (const auto& r : records) {
+    crc = crc32c(&r.target, sizeof(r.target), crc);
+    crc = crc32c(r.data.data(), r.data.size(), crc);
+  }
+  return crc;
+}
+
+/// One committed transaction found by a scan.
+struct ScannedTxn {
+  uint64_t seq = 0;
+  std::vector<JournalRecord> records;
+  BlockNo next_block = 0;  // journal block after the commit record
+};
+
+/// Scan the journal region for committed transactions after the header's
+/// floor. Returns them in order. Never fails on torn/garbage tails -- it
+/// just stops, exactly like crash recovery must.
+Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
+                                               const Geometry& geo) {
+  std::vector<uint8_t> buf(kBlockSize);
+  RAEFS_TRY_VOID(dev->read_block(geo.journal_start, buf));
+  RAEFS_TRY(Header hdr, decode_header(buf));
+
+  std::vector<ScannedTxn> txns;
+  BlockNo pos = geo.journal_start + 1;
+  const BlockNo end = geo.journal_start + geo.journal_blocks;
+  uint64_t expect_seq = hdr.floor_seq + 1;
+
+  while (pos < end) {
+    if (!dev->read_block(pos, buf).ok()) break;
+    auto desc = decode_descriptor(buf);
+    if (!desc.ok() || desc.value().seq != expect_seq) break;
+    const auto& d = desc.value();
+    if (pos + 1 + d.targets.size() + 1 > end) break;
+
+    ScannedTxn txn;
+    txn.seq = d.seq;
+    bool valid = true;
+    for (size_t i = 0; i < d.targets.size(); ++i) {
+      std::vector<uint8_t> payload(kBlockSize);
+      if (!dev->read_block(pos + 1 + i, payload).ok()) {
+        valid = false;
+        break;
+      }
+      txn.records.push_back(JournalRecord{d.targets[i], std::move(payload)});
+    }
+    if (!valid) break;
+
+    if (!dev->read_block(pos + 1 + d.targets.size(), buf).ok()) break;
+    auto commit = decode_commit(buf);
+    if (!commit.ok() || commit.value().seq != d.seq ||
+        commit.value().ntags != d.targets.size() ||
+        commit.value().payload_crc != payload_crc(txn.records)) {
+      break;  // torn or corrupted transaction: discard it and the tail
+    }
+
+    txn.next_block = pos + 1 + d.targets.size() + 1;
+    pos = txn.next_block;
+    ++expect_seq;
+    txns.push_back(std::move(txn));
+  }
+  return txns;
+}
+
+}  // namespace
+
+Journal::Journal(BlockDevice* dev, const Geometry& geo)
+    : dev_(dev), geo_(geo) {}
+
+Status Journal::format(BlockDevice* dev, const Geometry& geo,
+                       uint64_t floor_seq) {
+  auto block = encode_header(Header{floor_seq});
+  RAEFS_TRY_VOID(dev->write_block(geo.journal_start, block));
+  return dev->flush();
+}
+
+Status Journal::open() {
+  std::vector<uint8_t> buf(kBlockSize);
+  RAEFS_TRY_VOID(dev_->read_block(geo_.journal_start, buf));
+  RAEFS_TRY(Header hdr, decode_header(buf));
+  std::lock_guard<std::mutex> lk(mu_);
+  next_seq_ = hdr.floor_seq + 1;
+  cursor_ = geo_.journal_start + 1;
+  return Status::Ok();
+}
+
+bool Journal::has_space(size_t nrecords) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cursor_ + blocks_needed(nrecords) <=
+         geo_.journal_start + geo_.journal_blocks;
+}
+
+Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
+  if (records.empty()) return Errno::kInval;
+  for (const auto& r : records) {
+    if (r.data.size() != kBlockSize) return Errno::kInval;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cursor_ + blocks_needed(records.size()) >
+      geo_.journal_start + geo_.journal_blocks) {
+    return Errno::kNoSpace;
+  }
+  uint64_t seq = next_seq_;
+
+  Descriptor d;
+  d.seq = seq;
+  for (const auto& r : records) d.targets.push_back(r.target);
+  RAEFS_TRY_VOID(dev_->write_block(cursor_, encode_descriptor(d)));
+  for (size_t i = 0; i < records.size(); ++i) {
+    RAEFS_TRY_VOID(dev_->write_block(cursor_ + 1 + i, records[i].data));
+  }
+  // Barrier: descriptor+payload durable before the commit record exists.
+  RAEFS_TRY_VOID(dev_->flush());
+
+  Commit c;
+  c.seq = seq;
+  c.ntags = static_cast<uint32_t>(records.size());
+  c.payload_crc = payload_crc(records);
+  RAEFS_TRY_VOID(
+      dev_->write_block(cursor_ + 1 + records.size(), encode_commit(c)));
+  RAEFS_TRY_VOID(dev_->flush());
+
+  cursor_ += blocks_needed(records.size());
+  next_seq_ = seq + 1;
+  return seq;
+}
+
+Status Journal::checkpoint() {
+  std::lock_guard<std::mutex> lk(mu_);
+  RAEFS_TRY_VOID(format(dev_, geo_, next_seq_ - 1));
+  cursor_ = geo_.journal_start + 1;
+  return Status::Ok();
+}
+
+uint64_t Journal::committed_seq() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_seq_ - 1;
+}
+
+double Journal::fill_ratio() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t used = cursor_ - geo_.journal_start;
+  return static_cast<double>(used) / static_cast<double>(geo_.journal_blocks);
+}
+
+Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo) {
+  std::vector<uint8_t> buf(kBlockSize);
+  RAEFS_TRY_VOID(dev->read_block(geo.journal_start, buf));
+  RAEFS_TRY(Header hdr, decode_header(buf));
+
+  RAEFS_TRY(auto txns, scan_committed(dev, geo));
+  ReplayResult result;
+  // If no committed txns are found the floor must be *preserved*: lowering
+  // it would let an already-checkpointed stale transaction still sitting in
+  // the region be replayed on a later crash.
+  uint64_t last_seq = hdr.floor_seq;
+  for (const auto& txn : txns) {
+    for (const auto& rec : txn.records) {
+      if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
+      RAEFS_TRY_VOID(dev->write_block(rec.target, rec.data));
+      ++result.applied_blocks;
+    }
+    last_seq = txn.seq;
+    ++result.applied_txns;
+  }
+  RAEFS_TRY_VOID(dev->flush());
+  // Reset so a crash during/after replay re-runs idempotently.
+  RAEFS_TRY_VOID(format(dev, geo, last_seq));
+  return result;
+}
+
+Result<std::vector<uint64_t>> Journal::scan(BlockDevice* dev,
+                                            const Geometry& geo) {
+  RAEFS_TRY(auto txns, scan_committed(dev, geo));
+  std::vector<uint64_t> seqs;
+  seqs.reserve(txns.size());
+  for (const auto& t : txns) seqs.push_back(t.seq);
+  return seqs;
+}
+
+}  // namespace raefs

@@ -1,0 +1,97 @@
+// Write-ahead metadata journal.
+//
+// The base filesystem journals every metadata block it dirties before
+// writing it in place; after a crash (or a contained reboot) replay
+// reapplies all committed-but-not-checkpointed transactions, bringing the
+// image to the trusted state S0 that recovery starts from (paper §2.2).
+//
+// On-disk layout inside the journal region:
+//   journal_start + 0 : header block   {magic, kind=0, floor_seq}
+//   journal_start + 1.. transactions, each:
+//       descriptor block {magic, kind=1, seq, ntags, targets[]}
+//       ntags payload blocks (raw images of the target blocks)
+//       commit block     {magic, kind=2, seq, ntags, payload_crc}
+//
+// All header/descriptor/commit blocks carry a whole-block CRC32C. A
+// transaction is durable iff its commit block is valid and its payload CRC
+// matches; replay stops at the first invalid or out-of-sequence record
+// (torn transactions are discarded, exactly like jbd2).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "common/result.h"
+#include "format/layout.h"
+
+namespace raefs {
+
+inline constexpr uint64_t kJournalMagic = 0x4C4E524A46454152ull;  // "RAEFJRNL"
+
+/// One metadata block captured by a transaction.
+struct JournalRecord {
+  BlockNo target = 0;
+  std::vector<uint8_t> data;  // exactly kBlockSize bytes
+};
+
+/// Outcome of a crash-recovery scan.
+struct ReplayResult {
+  uint64_t applied_txns = 0;
+  uint64_t applied_blocks = 0;
+};
+
+class Journal {
+ public:
+  /// Attach to an already-formatted journal region. Call open() before use.
+  Journal(BlockDevice* dev, const Geometry& geo);
+
+  /// Write a clean header (floor_seq = seq). Used by mkfs and after replay.
+  static Status format(BlockDevice* dev, const Geometry& geo,
+                       uint64_t floor_seq = 0);
+
+  /// Read the header and position the write cursor at the start of the
+  /// free area (immediately after the header; the caller must have
+  /// replayed and reset beforehand, as mount does).
+  Status open();
+
+  /// Blocks needed to journal `nrecords` records.
+  static uint64_t blocks_needed(size_t nrecords) { return nrecords + 2; }
+
+  /// True if a transaction of `nrecords` records fits in the free area.
+  bool has_space(size_t nrecords) const;
+
+  /// Durably commit one transaction: descriptor + payload, flush, commit
+  /// record, flush. Returns the assigned sequence number.
+  Result<uint64_t> commit(const std::vector<JournalRecord>& records);
+
+  /// Declare all committed transactions checkpointed (their blocks have
+  /// been written in place and flushed by the caller): raise the floor and
+  /// reset the write cursor. Durable before returning.
+  Status checkpoint();
+
+  uint64_t committed_seq() const;
+
+  /// Fraction of the journal region currently used, in [0,1].
+  double fill_ratio() const;
+
+  /// Crash recovery: scan the region, apply every committed transaction
+  /// beyond the header's floor to the device in order, flush, and reset
+  /// the journal to a clean state.
+  static Result<ReplayResult> replay(BlockDevice* dev, const Geometry& geo);
+
+  /// Scan without applying (fsck and tests): returns committed
+  /// transactions' sequence numbers.
+  static Result<std::vector<uint64_t>> scan(BlockDevice* dev,
+                                            const Geometry& geo);
+
+ private:
+  BlockDevice* dev_;
+  Geometry geo_;
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  BlockNo cursor_ = 0;  // next free journal block
+};
+
+}  // namespace raefs

@@ -1,0 +1,201 @@
+#include "nvp/nvp.h"
+
+#include <algorithm>
+
+namespace raefs {
+
+NvpOptions NvpOptions::diverse() {
+  NvpOptions opts;
+  // Version 0: the full performance configuration (the "real" base).
+  // Version 1: all caches off, synchronous-ish -- a simple variant.
+  opts.versions[1].block_cache_blocks = 8;
+  opts.versions[1].use_dentry_cache = false;
+  opts.versions[1].use_inode_cache = false;
+  opts.versions[1].async_workers = 1;
+  // Version 2: intermediate -- no dentry cache, small block cache.
+  opts.versions[2].block_cache_blocks = 64;
+  opts.versions[2].use_dentry_cache = false;
+  return opts;
+}
+
+Result<std::unique_ptr<NvpSupervisor>> NvpSupervisor::start(
+    std::array<BlockDevice*, kNvpVersions> devs, const NvpOptions& opts,
+    SimClockPtr clock, BugRegistry* bugs_for_primary) {
+  std::unique_ptr<NvpSupervisor> sup(new NvpSupervisor());
+  for (int i = 0; i < kNvpVersions; ++i) {
+    RAEFS_TRY(sup->versions_[i],
+              BaseFs::mount(devs[i], opts.versions[i], clock,
+                            i == 0 ? bugs_for_primary : nullptr, nullptr));
+  }
+  return sup;
+}
+
+template <typename T>
+Result<T> NvpSupervisor::vote(const std::function<Result<T>(BaseFs&)>& fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return Errno::kIo;
+  ++stats_.ops;
+
+  std::array<std::optional<Result<T>>, kNvpVersions> results;
+  for (int i = 0; i < kNvpVersions; ++i) {
+    if (!alive_[i]) continue;
+    try {
+      results[i] = fn(*versions_[i]);
+    } catch (const FsPanicError&) {
+      // This version crashed; NVP masks it as long as a quorum survives.
+      alive_[i] = false;
+      ++stats_.dead_versions;
+      versions_[i].reset();
+    }
+  }
+
+  // Majority vote on the error code.
+  ++stats_.votes;
+  int live = 0;
+  for (int i = 0; i < kNvpVersions; ++i) {
+    if (results[i].has_value()) ++live;
+  }
+  if (live == 0) {
+    ++stats_.unmasked_failures;
+    return Errno::kIo;
+  }
+  if (live < kNvpVersions) ++stats_.masked_panics;
+
+  // Two versions agree when their error codes match AND, on success,
+  // their observable output values match (true output voting).
+  auto agree = [&](int i, int j) {
+    Errno ei = results[i]->ok() ? Errno::kOk : results[i]->error();
+    Errno ej = results[j]->ok() ? Errno::kOk : results[j]->error();
+    if (ei != ej) return false;
+    if (ei != Errno::kOk) return true;
+    return nvp_equal(results[i]->value(), results[j]->value());
+  };
+  std::array<int, kNvpVersions> agree_count{};
+  for (int i = 0; i < kNvpVersions; ++i) {
+    if (!results[i]) continue;
+    for (int j = 0; j < kNvpVersions; ++j) {
+      if (!results[j]) continue;
+      if (agree(i, j)) ++agree_count[i];
+    }
+  }
+  int winner = -1;
+  for (int i = 0; i < kNvpVersions; ++i) {
+    if (results[i] && agree_count[i] * 2 > live) {
+      winner = i;
+      break;
+    }
+  }
+  if (winner < 0) {
+    // No majority (three-way split): fall back to the first live version.
+    ++stats_.disagreements;
+    for (int i = 0; i < kNvpVersions; ++i) {
+      if (results[i]) return std::move(*results[i]);
+    }
+    return Errno::kIo;
+  }
+  if (agree_count[winner] < live) ++stats_.disagreements;
+  return std::move(*results[winner]);
+}
+
+Result<Ino> NvpSupervisor::lookup(std::string_view path) {
+  return vote<Ino>([&](BaseFs& fs) { return fs.lookup(path); });
+}
+Result<Ino> NvpSupervisor::create(std::string_view path, uint16_t mode) {
+  return vote<Ino>([&](BaseFs& fs) { return fs.create(path, mode); });
+}
+Result<Ino> NvpSupervisor::mkdir(std::string_view path, uint16_t mode) {
+  return vote<Ino>([&](BaseFs& fs) { return fs.mkdir(path, mode); });
+}
+Status NvpSupervisor::unlink(std::string_view path) {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.unlink(path));
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status NvpSupervisor::rmdir(std::string_view path) {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.rmdir(path));
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status NvpSupervisor::rename(std::string_view src, std::string_view dst) {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.rename(src, dst));
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status NvpSupervisor::link(std::string_view existing,
+                           std::string_view newpath) {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.link(existing, newpath));
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Result<Ino> NvpSupervisor::symlink(std::string_view linkpath,
+                                   std::string_view target) {
+  return vote<Ino>([&](BaseFs& fs) { return fs.symlink(linkpath, target); });
+}
+Result<std::string> NvpSupervisor::readlink(std::string_view path) {
+  return vote<std::string>([&](BaseFs& fs) { return fs.readlink(path); });
+}
+Result<std::vector<DirEntry>> NvpSupervisor::readdir(std::string_view path) {
+  return vote<std::vector<DirEntry>>(
+      [&](BaseFs& fs) { return fs.readdir(path); });
+}
+Result<StatResult> NvpSupervisor::stat(std::string_view path) {
+  return vote<StatResult>([&](BaseFs& fs) { return fs.stat(path); });
+}
+Result<StatResult> NvpSupervisor::stat_ino(Ino ino) {
+  return vote<StatResult>([&](BaseFs& fs) { return fs.stat_ino(ino); });
+}
+Result<std::vector<uint8_t>> NvpSupervisor::read(Ino ino, uint64_t gen,
+                                                 FileOff off, uint64_t len) {
+  return vote<std::vector<uint8_t>>(
+      [&](BaseFs& fs) { return fs.read(ino, gen, off, len); });
+}
+Result<uint64_t> NvpSupervisor::write(Ino ino, uint64_t gen, FileOff off,
+                                      std::span<const uint8_t> data) {
+  return vote<uint64_t>(
+      [&](BaseFs& fs) { return fs.write(ino, gen, off, data); });
+}
+Status NvpSupervisor::truncate(Ino ino, uint64_t gen, uint64_t new_size) {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.truncate(ino, gen, new_size));
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status NvpSupervisor::fsync(Ino ino) {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.fsync(ino));
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status NvpSupervisor::sync() {
+  auto r = vote<Ino>([&](BaseFs& fs) -> Result<Ino> {
+    RAEFS_TRY_VOID(fs.sync());
+    return Ino{0};
+  });
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+
+Status NvpSupervisor::shutdown() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return Errno::kInval;
+  shutdown_ = true;
+  Status last = Status::Ok();
+  for (int i = 0; i < kNvpVersions; ++i) {
+    if (alive_[i] && versions_[i]) {
+      Status st = versions_[i]->unmount();
+      if (!st.ok()) last = st;
+    }
+  }
+  return last;
+}
+
+}  // namespace raefs

@@ -1,0 +1,119 @@
+// N-version programming baseline (paper §2.1).
+//
+// The classic alternative to RAE for deterministic bugs: run N
+// independently-configured versions of the filesystem on every operation
+// and vote on the outputs. The paper's criticisms -- excessive overhead
+// (every op executes N times, N devices burn IO time) and the shaky
+// independence assumption (Knight & Leveson) -- are what bench_nvp
+// quantifies against RAE's record-and-recover design.
+//
+// Our three versions are configuration-diverse BaseFs instances (full
+// caches / no caches / no dentry cache + single worker) on three separate
+// devices. Version 0 is the primary: bug injection applies to it, so a
+// deterministic bug in the primary is outvoted by the replicas -- when
+// the versions really are independent.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "basefs/base_fs.h"
+#include "blockdev/block_device.h"
+
+namespace raefs {
+
+inline constexpr int kNvpVersions = 3;
+
+struct NvpOptions {
+  std::array<BaseFsOptions, kNvpVersions> versions;
+
+  /// Default: diverse cache/concurrency configurations.
+  static NvpOptions diverse();
+};
+
+struct NvpStats {
+  uint64_t ops = 0;
+  uint64_t votes = 0;
+  uint64_t disagreements = 0;    // minority outvoted (errno or value)
+  uint64_t masked_panics = 0;    // a version died; majority carried on
+  uint64_t unmasked_failures = 0;  // quorum lost
+  int dead_versions = 0;
+};
+
+/// Output equality for voting purposes. Values the application observes
+/// are compared; allocation-policy-independent fields only.
+inline bool nvp_equal(uint64_t a, uint64_t b) { return a == b; }
+inline bool nvp_equal(const std::string& a, const std::string& b) {
+  return a == b;
+}
+inline bool nvp_equal(const std::vector<uint8_t>& a,
+                      const std::vector<uint8_t>& b) {
+  return a == b;
+}
+inline bool nvp_equal(const StatResult& a, const StatResult& b) {
+  return a.ino == b.ino && a.type == b.type && a.size == b.size &&
+         a.nlink == b.nlink && a.mode == b.mode;
+}
+inline bool nvp_equal(const std::vector<DirEntry>& a,
+                      const std::vector<DirEntry>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ino != b[i].ino || a[i].type != b[i].type ||
+        a[i].name != b[i].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class NvpSupervisor {
+ public:
+  /// All three devices must be mkfs'ed identically beforehand. Bug
+  /// injection (if any) applies to version 0 only.
+  static Result<std::unique_ptr<NvpSupervisor>> start(
+      std::array<BlockDevice*, kNvpVersions> devs, const NvpOptions& opts,
+      SimClockPtr clock, BugRegistry* bugs_for_primary);
+
+  // Application-facing API (same shape as the other supervisors).
+  Result<Ino> lookup(std::string_view path);
+  Result<Ino> create(std::string_view path, uint16_t mode);
+  Result<Ino> mkdir(std::string_view path, uint16_t mode);
+  Status unlink(std::string_view path);
+  Status rmdir(std::string_view path);
+  Status rename(std::string_view src, std::string_view dst);
+  Status link(std::string_view existing, std::string_view newpath);
+  Result<Ino> symlink(std::string_view linkpath, std::string_view target);
+  Result<std::string> readlink(std::string_view path);
+  Result<std::vector<DirEntry>> readdir(std::string_view path);
+  Result<StatResult> stat(std::string_view path);
+  Result<StatResult> stat_ino(Ino ino);
+  Result<std::vector<uint8_t>> read(Ino ino, uint64_t gen, FileOff off,
+                                    uint64_t len);
+  Result<uint64_t> write(Ino ino, uint64_t gen, FileOff off,
+                         std::span<const uint8_t> data);
+  Status truncate(Ino ino, uint64_t gen, uint64_t new_size);
+  Status fsync(Ino ino);
+  Status sync();
+
+  Status shutdown();
+  const NvpStats& stats() const { return stats_; }
+
+ private:
+  NvpSupervisor() = default;
+
+  /// Execute `fn` on every live version; majority-vote the Errno; return
+  /// the result of the lowest-numbered version in the majority.
+  template <typename T>
+  Result<T> vote(const std::function<Result<T>(BaseFs&)>& fn);
+
+  std::mutex mu_;
+  std::array<std::unique_ptr<BaseFs>, kNvpVersions> versions_;
+  std::array<bool, kNvpVersions> alive_{true, true, true};
+  NvpStats stats_;
+  bool shutdown_ = false;
+};
+
+}  // namespace raefs

@@ -1,0 +1,68 @@
+#include "oplog/op.h"
+
+#include <sstream>
+
+namespace raefs {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kLookup: return "lookup";
+    case OpKind::kCreate: return "create";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kRmdir: return "rmdir";
+    case OpKind::kRename: return "rename";
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kTruncate: return "truncate";
+    case OpKind::kReaddir: return "readdir";
+    case OpKind::kStat: return "stat";
+    case OpKind::kLink: return "link";
+    case OpKind::kSymlink: return "symlink";
+    case OpKind::kReadlink: return "readlink";
+    case OpKind::kFsync: return "fsync";
+    case OpKind::kSync: return "sync";
+  }
+  return "?";
+}
+
+bool op_mutates(OpKind k) {
+  switch (k) {
+    case OpKind::kCreate:
+    case OpKind::kMkdir:
+    case OpKind::kUnlink:
+    case OpKind::kRmdir:
+    case OpKind::kRename:
+    case OpKind::kWrite:
+    case OpKind::kTruncate:
+    case OpKind::kLink:
+    case OpKind::kSymlink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string OpRequest::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " " << path;
+  if (ino != kInvalidIno) os << " ino=" << ino;
+  switch (kind) {
+    case OpKind::kRename:
+    case OpKind::kLink:
+    case OpKind::kSymlink:
+      os << " -> " << path2;
+      break;
+    case OpKind::kWrite:
+      os << " off=" << offset << " len=" << data.size();
+      break;
+    case OpKind::kTruncate:
+      os << " size=" << len;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace raefs

@@ -1,0 +1,101 @@
+// The operation vocabulary shared by the base filesystem, the shadow
+// filesystem, the op log and the NVP baseline.
+//
+// Only state-mutating operations (plus fsync/sync, which move the durable
+// watermark) are recorded: the log's job is to track the gap between the
+// application's view and the on-disk state (paper §3.2). Reads never widen
+// that gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/err.h"
+#include "common/types.h"
+
+namespace raefs {
+
+enum class OpKind : uint8_t {
+  kLookup = 0,
+  kCreate,
+  kMkdir,
+  kUnlink,
+  kRmdir,
+  kRename,
+  kRead,
+  kWrite,
+  kTruncate,
+  kReaddir,
+  kStat,
+  kLink,
+  kSymlink,
+  kReadlink,
+  kFsync,
+  kSync,
+};
+
+const char* to_string(OpKind k);
+
+/// True for operations that can change on-disk state.
+bool op_mutates(OpKind k);
+
+/// True for the sync family (not replayed by the shadow -- paper §3.3).
+inline bool op_is_sync(OpKind k) {
+  return k == OpKind::kFsync || k == OpKind::kSync;
+}
+
+/// A single filesystem request, normalized to path form. Which fields are
+/// meaningful depends on `kind`:
+///   kCreate/kMkdir:     path, mode
+///   kUnlink/kRmdir:     path
+///   kRename:            path (src), path2 (dst)
+///   kLink:              path (existing), path2 (new)
+///   kSymlink:           path (new link), path2 (target contents)
+///   kWrite:             ino, gen, offset, data (fd-based; path informative)
+///   kTruncate:          ino, gen, len (new size)
+///   kFsync:             ino
+///   kSync:              (none)
+struct OpRequest {
+  OpKind kind = OpKind::kSync;
+  std::string path;
+  std::string path2;
+  Ino ino = kInvalidIno;  // data ops address the inode directly (fd-based)
+  uint64_t gen = 0;       // inode generation captured at open() time
+  FileOff offset = 0;
+  uint64_t len = 0;
+  std::vector<uint8_t> data;
+  uint16_t mode = 0644;
+  Nanos stamp = 0;  // simulated time the op was admitted (for mtime replay)
+
+  /// Bytes of memory this request pins in the log.
+  size_t footprint() const {
+    return sizeof(OpRequest) + path.size() + path2.size() + data.size();
+  }
+
+  std::string describe() const;
+};
+
+/// The outcome the application observed (or will observe) for an op.
+/// Recorded so the shadow can cross-check its re-execution (constrained
+/// mode) and validate the base's policy decisions such as assigned inode
+/// numbers (paper §3.2).
+struct OpOutcome {
+  Errno err = Errno::kOk;
+  Ino assigned_ino = kInvalidIno;  // create/mkdir/symlink: new ino; lookup: ino
+  uint64_t result_len = 0;         // write: bytes written
+  /// Result payload for read-class ops executed by the shadow in
+  /// autonomous mode (the error-triggering op may be a read): file bytes,
+  /// or an encoded dirent list / stat record (see oplog/payload.h).
+  std::vector<uint8_t> payload;
+};
+
+/// One entry in the operation log.
+struct OpRecord {
+  Seq seq = 0;
+  OpRequest req;
+  OpOutcome out;
+  bool completed = false;  // outcome seen by the application?
+};
+
+}  // namespace raefs

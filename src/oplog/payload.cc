@@ -1,0 +1,60 @@
+#include "oplog/payload.h"
+
+#include "common/serial.h"
+
+namespace raefs {
+
+std::vector<uint8_t> encode_dirents(const std::vector<DirEntry>& entries) {
+  std::vector<uint8_t> bytes;
+  Encoder enc(&bytes);
+  enc.put_u32(static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    enc.put_u64(e.ino);
+    enc.put_u8(static_cast<uint8_t>(e.type));
+    enc.put_string(e.name);
+  }
+  return bytes;
+}
+
+Result<std::vector<DirEntry>> decode_dirents(std::span<const uint8_t> bytes) {
+  Decoder dec(bytes);
+  uint32_t n = dec.get_u32();
+  std::vector<DirEntry> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+    DirEntry e;
+    e.ino = dec.get_u64();
+    e.type = static_cast<FileType>(dec.get_u8());
+    e.name = dec.get_string();
+    out.push_back(std::move(e));
+  }
+  if (!dec.ok() || dec.remaining() != 0) return Errno::kCorrupt;
+  return out;
+}
+
+std::vector<uint8_t> encode_stat(const StatPayload& st) {
+  std::vector<uint8_t> bytes;
+  Encoder enc(&bytes);
+  enc.put_u64(st.ino);
+  enc.put_u8(static_cast<uint8_t>(st.type));
+  enc.put_u64(st.size);
+  enc.put_u32(st.nlink);
+  enc.put_u16(st.mode);
+  enc.put_u64(st.generation);
+  return bytes;
+}
+
+Result<StatPayload> decode_stat(std::span<const uint8_t> bytes) {
+  Decoder dec(bytes);
+  StatPayload st;
+  st.ino = dec.get_u64();
+  st.type = static_cast<FileType>(dec.get_u8());
+  st.size = dec.get_u64();
+  st.nlink = dec.get_u32();
+  st.mode = dec.get_u16();
+  st.generation = dec.get_u64();
+  if (!dec.ok() || dec.remaining() != 0) return Errno::kCorrupt;
+  return st;
+}
+
+}  // namespace raefs

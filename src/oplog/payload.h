@@ -1,0 +1,29 @@
+// Payload codecs for read-class results crossing the base<->shadow
+// interface: when the error-triggering operation is itself a read
+// (lookup/read/readdir/stat/readlink), the shadow executes it in
+// autonomous mode and ships the result back inside OpOutcome::payload.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "format/dirent.h"
+
+namespace raefs {
+
+struct StatPayload {
+  Ino ino = kInvalidIno;
+  FileType type = FileType::kNone;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint16_t mode = 0;
+  uint64_t generation = 0;
+};
+
+std::vector<uint8_t> encode_dirents(const std::vector<DirEntry>& entries);
+Result<std::vector<DirEntry>> decode_dirents(std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> encode_stat(const StatPayload& st);
+Result<StatPayload> decode_stat(std::span<const uint8_t> bytes);
+
+}  // namespace raefs

@@ -1,0 +1,183 @@
+#include "rae/crash_restart.h"
+
+namespace raefs {
+
+CrashRestartSupervisor::CrashRestartSupervisor(MemBlockDevice* dev,
+                                               const CrashRestartOptions& opts,
+                                               SimClockPtr clock,
+                                               BugRegistry* bugs)
+    : dev_(dev), opts_(opts), clock_(std::move(clock)), bugs_(bugs) {}
+
+Result<std::unique_ptr<CrashRestartSupervisor>> CrashRestartSupervisor::start(
+    MemBlockDevice* dev, const CrashRestartOptions& opts, SimClockPtr clock,
+    BugRegistry* bugs) {
+  std::unique_ptr<CrashRestartSupervisor> sup(
+      new CrashRestartSupervisor(dev, opts, std::move(clock), bugs));
+  RAEFS_TRY_VOID(sup->mount_base());
+  return sup;
+}
+
+Status CrashRestartSupervisor::mount_base() {
+  RAEFS_TRY(base_, BaseFs::mount(dev_, opts_.base, clock_, bugs_, &warns_));
+  base_->set_durable_callback([this](Seq seq) {
+    if (seq > durable_) durable_ = seq;
+  });
+  issued_ = 0;
+  durable_ = 0;
+  return Status::Ok();
+}
+
+void CrashRestartSupervisor::machine_crash() {
+  Nanos t0 = clock_ ? clock_->now() : 0;
+  ++stats_.crashes;
+  // Acked-but-unflushed updates die with the machine.
+  stats_.lost_acked_ops += issued_ > durable_ ? issued_ - durable_ : 0;
+  base_.reset();          // kernel memory gone
+  dev_->crash();          // volatile device cache gone
+  if (clock_) clock_->advance(opts_.machine_restart_cost);
+  (void)mount_base();     // journal replay happens inside mount
+  if (clock_) {
+    Nanos dt = clock_->now() - t0;
+    stats_.total_downtime += dt;
+    stats_.restart_time.record(dt);
+  }
+}
+
+template <typename T>
+Result<T> CrashRestartSupervisor::run(
+    const std::function<Result<T>(BaseFs&)>& fn, bool mutates) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_ || !base_) return Errno::kIo;
+  try {
+    if (mutates) base_->set_current_op_seq(issued_ + 1);
+    Result<T> result = fn(*base_);
+    if (mutates && result.ok()) ++issued_;
+    return result;
+  } catch (const FsPanicError&) {
+    // The machine goes down; the application sees EIO for this op.
+    ++stats_.app_visible_failures;
+    machine_crash();
+    return Errno::kIo;
+  }
+}
+
+Result<Ino> CrashRestartSupervisor::lookup(std::string_view path) {
+  return run<Ino>([&](BaseFs& fs) { return fs.lookup(path); }, false);
+}
+Result<Ino> CrashRestartSupervisor::create(std::string_view path,
+                                           uint16_t mode) {
+  return run<Ino>([&](BaseFs& fs) { return fs.create(path, mode); }, true);
+}
+Result<Ino> CrashRestartSupervisor::mkdir(std::string_view path,
+                                          uint16_t mode) {
+  return run<Ino>([&](BaseFs& fs) { return fs.mkdir(path, mode); }, true);
+}
+Status CrashRestartSupervisor::unlink(std::string_view path) {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.unlink(path));
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status CrashRestartSupervisor::rmdir(std::string_view path) {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.rmdir(path));
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status CrashRestartSupervisor::rename(std::string_view src,
+                                      std::string_view dst) {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.rename(src, dst));
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status CrashRestartSupervisor::link(std::string_view existing,
+                                    std::string_view newpath) {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.link(existing, newpath));
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Result<Ino> CrashRestartSupervisor::symlink(std::string_view linkpath,
+                                            std::string_view target) {
+  return run<Ino>([&](BaseFs& fs) { return fs.symlink(linkpath, target); },
+                  true);
+}
+Result<std::string> CrashRestartSupervisor::readlink(std::string_view path) {
+  return run<std::string>([&](BaseFs& fs) { return fs.readlink(path); },
+                          false);
+}
+Result<std::vector<DirEntry>> CrashRestartSupervisor::readdir(
+    std::string_view path) {
+  return run<std::vector<DirEntry>>(
+      [&](BaseFs& fs) { return fs.readdir(path); }, false);
+}
+Result<StatResult> CrashRestartSupervisor::stat(std::string_view path) {
+  return run<StatResult>([&](BaseFs& fs) { return fs.stat(path); }, false);
+}
+Result<StatResult> CrashRestartSupervisor::stat_ino(Ino ino) {
+  return run<StatResult>([&](BaseFs& fs) { return fs.stat_ino(ino); }, false);
+}
+Result<std::vector<uint8_t>> CrashRestartSupervisor::read(Ino ino,
+                                                          uint64_t gen,
+                                                          FileOff off,
+                                                          uint64_t len) {
+  return run<std::vector<uint8_t>>(
+      [&](BaseFs& fs) { return fs.read(ino, gen, off, len); }, false);
+}
+Result<uint64_t> CrashRestartSupervisor::write(Ino ino, uint64_t gen,
+                                               FileOff off,
+                                               std::span<const uint8_t> data) {
+  return run<uint64_t>(
+      [&](BaseFs& fs) { return fs.write(ino, gen, off, data); }, true);
+}
+Status CrashRestartSupervisor::truncate(Ino ino, uint64_t gen,
+                                        uint64_t new_size) {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.truncate(ino, gen, new_size));
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status CrashRestartSupervisor::fsync(Ino ino) {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.fsync(ino));
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+Status CrashRestartSupervisor::sync() {
+  auto r = run<Ino>(
+      [&](BaseFs& fs) -> Result<Ino> {
+        RAEFS_TRY_VOID(fs.sync());
+        return Ino{0};
+      },
+      true);
+  return r.ok() ? Status::Ok() : Status(r.error());
+}
+
+Status CrashRestartSupervisor::shutdown() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return Errno::kInval;
+  shutdown_ = true;
+  if (!base_) return Status::Ok();
+  return base_->unmount();
+}
+
+}  // namespace raefs

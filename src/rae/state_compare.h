@@ -1,0 +1,133 @@
+// Essential-state comparison between two filesystem views (library-grade
+// twin of the test suite's comparator). Used by the supervisor's deep
+// scrub: the shadow reconstructs what the state SHOULD be from the
+// recorded operations, and any divergence in names, types, link counts,
+// sizes, file contents or symlink targets indicts the base -- including
+// silent DATA corruption, which neither validate-on-sync (metadata only),
+// fsck (structure only), nor the outcome cross-check (return values only)
+// can see. The paper notes data pages are shared because "only
+// applications can detect their corruption" (§2.3); re-execution gives
+// the shadow that power too.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "format/dirent.h"
+
+namespace raefs {
+namespace state_compare {
+
+struct Options {
+  bool compare_inos = true;
+  bool compare_nlink = true;
+  /// Read and compare full file contents (the expensive, decisive part).
+  bool compare_content = true;
+  /// Stop after this many reported differences.
+  size_t max_diffs = 16;
+};
+
+namespace detail {
+
+template <typename A, typename B>
+void compare_dir(A& a, B& b, const std::string& path, const Options& opts,
+                 size_t* diffs, std::ostringstream& out) {
+  if (*diffs >= opts.max_diffs) return;
+  auto la = a.readdir(path);
+  auto lb = b.readdir(path);
+  if (!la.ok() || !lb.ok()) {
+    out << path << ": readdir "
+        << to_string(la.ok() ? Errno::kOk : la.error()) << " vs "
+        << to_string(lb.ok() ? Errno::kOk : lb.error()) << "\n";
+    ++*diffs;
+    return;
+  }
+  if (la.value().size() != lb.value().size()) {
+    out << path << ": entry count " << la.value().size() << " vs "
+        << lb.value().size() << "\n";
+    ++*diffs;
+    return;
+  }
+  for (size_t i = 0; i < la.value().size() && *diffs < opts.max_diffs; ++i) {
+    const DirEntry& ea = la.value()[i];
+    const DirEntry& eb = lb.value()[i];
+    std::string child = (path == "/" ? "" : path) + "/" + ea.name;
+    if (ea.name != eb.name || ea.type != eb.type) {
+      out << child << ": entry mismatch ('" << ea.name << "'/"
+          << to_string(ea.type) << " vs '" << eb.name << "'/"
+          << to_string(eb.type) << ")\n";
+      ++*diffs;
+      continue;
+    }
+    if (opts.compare_inos && ea.ino != eb.ino) {
+      out << child << ": ino " << ea.ino << " vs " << eb.ino << "\n";
+      ++*diffs;
+    }
+    auto sa = a.stat(child);
+    auto sb = b.stat(child);
+    if (!sa.ok() || !sb.ok()) {
+      out << child << ": stat errs\n";
+      ++*diffs;
+      continue;
+    }
+    if (ea.type != FileType::kDirectory &&
+        sa.value().size != sb.value().size) {
+      out << child << ": size " << sa.value().size << " vs "
+          << sb.value().size << "\n";
+      ++*diffs;
+    }
+    if (opts.compare_nlink && sa.value().nlink != sb.value().nlink) {
+      out << child << ": nlink " << sa.value().nlink << " vs "
+          << sb.value().nlink << "\n";
+      ++*diffs;
+    }
+    switch (ea.type) {
+      case FileType::kDirectory:
+        compare_dir(a, b, child, opts, diffs, out);
+        break;
+      case FileType::kRegular:
+        if (opts.compare_content) {
+          auto ca = a.read(sa.value().ino, 0, 0, sa.value().size);
+          auto cb = b.read(sb.value().ino, 0, 0, sb.value().size);
+          if (!ca.ok() || !cb.ok()) {
+            out << child << ": content read errs\n";
+            ++*diffs;
+          } else if (ca.value() != cb.value()) {
+            size_t at = 0;
+            size_t limit =
+                std::min(ca.value().size(), cb.value().size());
+            while (at < limit && ca.value()[at] == cb.value()[at]) ++at;
+            out << child << ": content differs at byte " << at << "\n";
+            ++*diffs;
+          }
+        }
+        break;
+      case FileType::kSymlink: {
+        auto ta = a.readlink(child);
+        auto tb = b.readlink(child);
+        if (!ta.ok() || !tb.ok() || ta.value() != tb.value()) {
+          out << child << ": symlink target differs\n";
+          ++*diffs;
+        }
+        break;
+      }
+      default:
+        out << child << ": unexpected type\n";
+        ++*diffs;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Empty string = essential states agree; otherwise a bounded diff.
+template <typename A, typename B>
+std::string diff_essential_state(A& a, B& b, Options opts = {}) {
+  std::ostringstream out;
+  size_t diffs = 0;
+  detail::compare_dir(a, b, "/", opts, &diffs, out);
+  return out.str();
+}
+
+}  // namespace state_compare
+}  // namespace raefs

@@ -1,0 +1,557 @@
+#include "rae/supervisor.h"
+
+#include "common/log.h"
+#include "journal/journal.h"
+#include "oplog/payload.h"
+#include "rae/state_compare.h"
+
+namespace raefs {
+
+// ---------------------------------------------------------------------------
+// lifecycle
+// ---------------------------------------------------------------------------
+
+RaeSupervisor::RaeSupervisor(BlockDevice* dev, const RaeOptions& opts,
+                             SimClockPtr clock, BugRegistry* bugs)
+    : dev_(dev),
+      opts_(opts),
+      clock_(std::move(clock)),
+      bugs_(bugs),
+      executor_(make_executor(opts.fork_shadow)) {}
+
+Result<std::unique_ptr<RaeSupervisor>> RaeSupervisor::start(
+    BlockDevice* dev, const RaeOptions& opts, SimClockPtr clock,
+    BugRegistry* bugs) {
+  std::unique_ptr<RaeSupervisor> sup(
+      new RaeSupervisor(dev, opts, std::move(clock), bugs));
+  RAEFS_TRY_VOID(sup->mount_base());
+  return sup;
+}
+
+RaeSupervisor::~RaeSupervisor() = default;
+
+Status RaeSupervisor::mount_base() {
+  RAEFS_TRY(base_, BaseFs::mount(dev_, opts_.base, clock_, bugs_, &warns_));
+  hook_base();
+  return Status::Ok();
+}
+
+void RaeSupervisor::hook_base() {
+  base_->set_durable_callback(
+      [this](Seq seq) { oplog_.truncate_durable(seq); });
+}
+
+Status RaeSupervisor::shutdown() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return Errno::kInval;
+  shutdown_ = true;
+  if (offline_ || !base_) return Status::Ok();
+  return base_->unmount();
+}
+
+BaseFsStats RaeSupervisor::base_stats() const {
+  return base_ ? base_->stats() : BaseFsStats{};
+}
+
+Result<ShadowOutcome> RaeSupervisor::scrub(bool deep) {
+  // The lock is held throughout: the snapshot, the op-log capture, and
+  // (for deep mode) the comparison against the live base must all see one
+  // consistent moment. Shallow scrubs are short; deep scrubs block
+  // operations for the duration -- a maintenance trade-off.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (offline_ || shutdown_ || !base_) return Errno::kIo;
+  auto* capable = dynamic_cast<SnapshotCapable*>(dev_);
+  if (capable == nullptr) return Errno::kNotSup;
+  std::unique_ptr<BlockDevice> snap = capable->snapshot();
+  std::vector<OpRecord> log = oplog_.snapshot();
+  Geometry geo = base_->geometry();
+
+  if (!Journal::replay(snap.get(), geo).ok()) return Errno::kIo;
+  ShadowOutcome outcome =
+      executor_->execute(snap.get(), log, opts_.shadow, clock_);
+
+  if (outcome.ok && deep) {
+    // Materialize the shadow's reconstruction on the scratch snapshot and
+    // compare ESSENTIAL STATE (content included) against the live base:
+    // catches silent data corruption nothing else can see.
+    bool applied = true;
+    for (const auto& ib : outcome.dirty) {
+      if (!snap->write_block(ib.block, ib.data).ok()) applied = false;
+    }
+    if (applied && snap->flush().ok()) {
+      auto reference = BaseFs::mount(snap.get(), BaseFsOptions{});
+      if (reference.ok()) {
+        auto diff = state_compare::diff_essential_state(*reference.value(),
+                                                        *base_);
+        if (!diff.empty()) {
+          outcome.discrepancies.push_back(
+              Discrepancy{0, "deep-scrub state divergence:\n" + diff});
+        }
+      }
+    }
+  }
+
+  for (const auto& d : outcome.discrepancies) {
+    RAEFS_LOG_WARN("rae") << "scrub discrepancy: " << d.description;
+  }
+  ++stats_.scrubs;
+  stats_.scrub_discrepancies += outcome.discrepancies.size();
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// recovery pipeline
+// ---------------------------------------------------------------------------
+
+Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
+                                             Seq inflight_seq) {
+  (void)inflight_seq;
+  Nanos t0 = clock_ ? clock_->now() : 0;
+  ++stats_.recoveries;
+  RAEFS_LOG_INFO("rae") << "recovery triggered by " << site.function << ": "
+                        << site.detail;
+
+  auto fail = [&](std::string why) -> Errno {
+    ++stats_.failed_recoveries;
+    stats_.last_failure = std::move(why);
+    offline_ = true;
+    if (clock_) {
+      Nanos dt = clock_->now() - t0;
+      stats_.total_downtime += dt;
+    }
+    RAEFS_LOG_ERROR("rae") << "recovery FAILED, filesystem offline: "
+                           << stats_.last_failure;
+    return Errno::kCorrupt;
+  };
+
+  // 1. Contained reboot: discard every byte of the base's in-memory state.
+  Geometry geo = base_ ? base_->geometry() : Geometry{};
+  base_.reset();
+  if (clock_) clock_->advance(opts_.contained_reboot_cost);
+
+  // 2. Reach the trusted on-disk state S0 via journal replay.
+  if (geo.total_blocks == 0) return fail("no geometry available");
+  auto replay = Journal::replay(dev_, geo);
+  if (!replay.ok()) return fail("journal replay failed");
+
+  // 3. Run the shadow over the recorded operation sequence. A refusal is
+  //    retried a configurable number of times: transient device faults
+  //    during replay vanish on retry, while genuine image corruption
+  //    refuses identically every attempt (§3.1 fault model).
+  auto log = oplog_.snapshot();
+  ShadowOutcome outcome;
+  for (uint32_t attempt = 0; attempt <= opts_.shadow_retries; ++attempt) {
+    if (attempt > 0) ++stats_.shadow_retries;
+    outcome = executor_->execute(dev_, log, opts_.shadow, clock_);
+    if (outcome.ok) break;
+    RAEFS_LOG_WARN("rae") << "shadow attempt " << attempt + 1
+                          << " refused: " << outcome.failure;
+  }
+  stats_.ops_replayed_total += outcome.ops_replayed;
+  stats_.discrepancies_total += outcome.discrepancies.size();
+  for (const auto& d : outcome.discrepancies) {
+    RAEFS_LOG_WARN("rae") << "shadow discrepancy: " << d.description;
+  }
+  if (!outcome.ok) return fail("shadow refused: " + outcome.failure);
+
+  // 4. Reboot the base and download the shadow's metadata (hand-off).
+  Status mounted = mount_base();
+  if (!mounted.ok()) return fail("base remount failed");
+  try {
+    Status installed = base_->install_blocks(outcome.dirty);
+    if (!installed.ok()) return fail("metadata download failed");
+  } catch (const FsPanicError& e) {
+    return fail(std::string("base panicked absorbing shadow output: ") +
+                e.what());
+  }
+
+  // 5. The recovered state is durable; the gap is closed.
+  oplog_.clear();
+  warns_.clear();
+
+  // 6. Re-issue any in-flight sync (paper §3.3).
+  if (!outcome.inflight_retry_syncs.empty()) {
+    Status synced = retry_sync_after_recovery();
+    if (!synced.ok()) return fail("post-recovery sync retry failed");
+  }
+
+  if (clock_) {
+    Nanos dt = clock_->now() - t0;
+    stats_.total_downtime += dt;
+    stats_.recovery_time.record(dt);
+  }
+  return outcome;
+}
+
+Status RaeSupervisor::retry_sync_after_recovery() {
+  try {
+    return base_->sync();
+  } catch (const FsPanicError& e) {
+    ++stats_.panics_trapped;
+    // One nested recovery (the op log is empty now), then a final retry.
+    auto rec = recover(e.site(), 0);
+    if (!rec.ok()) return Errno::kIo;
+    try {
+      return base_->sync();
+    } catch (const FsPanicError& e2) {
+      stats_.last_failure =
+          std::string("sync re-panicked after recovery: ") + e2.what();
+      offline_ = true;
+      return Errno::kIo;
+    }
+  }
+}
+
+void RaeSupervisor::maybe_recover_for_warns() {
+  if (opts_.warn_policy == RaeOptions::WarnPolicy::kIgnore) return;
+  uint64_t count = warns_.count();
+  if (count == 0) return;
+  bool trigger =
+      opts_.warn_policy == RaeOptions::WarnPolicy::kRecoverImmediately ||
+      count >= opts_.warn_threshold;
+  if (!trigger) return;
+  ++stats_.warn_recoveries;
+  auto events = warns_.events();
+  FaultSite site = events.empty() ? FaultSite{"warn", "escalation", -1}
+                                  : events.back().site;
+  (void)recover(site, 0);
+}
+
+// ---------------------------------------------------------------------------
+// operation plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Pack a base-filesystem result into the recorded outcome, by op kind.
+OpOutcome pack_outcome(OpKind kind, Errno err, uint64_t value) {
+  OpOutcome out;
+  out.err = err;
+  if (err != Errno::kOk) return out;
+  switch (kind) {
+    case OpKind::kCreate:
+    case OpKind::kMkdir:
+    case OpKind::kSymlink:
+      out.assigned_ino = value;
+      break;
+    case OpKind::kWrite:
+      out.result_len = value;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<uint64_t> RaeSupervisor::run_mutation_u64(
+    OpRequest req, const std::function<Result<uint64_t>(BaseFs&)>& fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (offline_ || shutdown_) return Errno::kIo;
+  OpKind kind = req.kind;
+  req.stamp = clock_ ? clock_->now() : 0;
+  if (clock_) {
+    // Recording cost: allocate the record + copy the write payload. Tiny
+    // next to device IO, but honestly accounted (bench_recording_overhead
+    // measures exactly this).
+    clock_->advance(100 + static_cast<Nanos>(req.data.size()) / 8);
+  }
+  Seq seq = oplog_.append_started(std::move(req));
+  base_->set_current_op_seq(seq);
+  try {
+    Result<uint64_t> result = fn(*base_);
+    oplog_.complete(seq, pack_outcome(kind, result.ok() ? Errno::kOk
+                                                        : result.error(),
+                                      result.ok() ? result.value() : 0));
+    if (op_is_sync(kind) && result.ok()) {
+      // A successful sync made everything before it durable, including
+      // records the durable callback's watermark missed (its own seq).
+      oplog_.truncate_durable(seq);
+    } else if (opts_.max_oplog_bytes > 0 &&
+               oplog_.stats().live_bytes > opts_.max_oplog_bytes) {
+      // Bound recording memory: force the gap closed (the app never asked
+      // for this sync, so its failure is not the app's problem -- a panic
+      // here flows through the normal recovery path on the next op).
+      ++stats_.forced_syncs;
+      try {
+        if (base_->sync().ok()) oplog_.truncate_durable(seq);
+      } catch (const FsPanicError& e) {
+        ++stats_.panics_trapped;
+        (void)recover(e.site(), 0);
+      }
+    }
+    maybe_recover_for_warns();
+    return result;
+  } catch (const FsPanicError& e) {
+    ++stats_.panics_trapped;
+    auto rec = recover(e.site(), seq);
+    if (!rec.ok()) return Errno::kIo;
+    if (op_is_sync(kind)) {
+      // recover() already re-issued the sync (inflight_retry_syncs).
+      return uint64_t{0};
+    }
+    for (const auto& [s, out] : rec.value().inflight_results) {
+      if (s != seq) continue;
+      if (out.err != Errno::kOk) return out.err;
+      switch (kind) {
+        case OpKind::kCreate:
+        case OpKind::kMkdir:
+        case OpKind::kSymlink:
+          return out.assigned_ino;
+        case OpKind::kWrite:
+          return out.result_len;
+        default:
+          return uint64_t{0};
+      }
+    }
+    // The shadow produced no result for the in-flight op: refuse rather
+    // than guess.
+    return Errno::kIo;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutating operations
+// ---------------------------------------------------------------------------
+
+Result<Ino> RaeSupervisor::create(std::string_view path, uint16_t mode) {
+  OpRequest req;
+  req.kind = OpKind::kCreate;
+  req.path = std::string(path);
+  req.mode = mode;
+  RAEFS_TRY(uint64_t ino, run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+              return fs.create(path, mode);
+            }));
+  return Ino{ino};
+}
+
+Result<Ino> RaeSupervisor::mkdir(std::string_view path, uint16_t mode) {
+  OpRequest req;
+  req.kind = OpKind::kMkdir;
+  req.path = std::string(path);
+  req.mode = mode;
+  RAEFS_TRY(uint64_t ino, run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+              return fs.mkdir(path, mode);
+            }));
+  return Ino{ino};
+}
+
+Result<Ino> RaeSupervisor::symlink(std::string_view linkpath,
+                                   std::string_view target) {
+  OpRequest req;
+  req.kind = OpKind::kSymlink;
+  req.path = std::string(linkpath);
+  req.path2 = std::string(target);
+  RAEFS_TRY(uint64_t ino, run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+              return fs.symlink(linkpath, target);
+            }));
+  return Ino{ino};
+}
+
+namespace {
+Result<uint64_t> as_u64(Status st) {
+  if (!st.ok()) return st.error();
+  return uint64_t{0};
+}
+}  // namespace
+
+Status RaeSupervisor::unlink(std::string_view path) {
+  OpRequest req;
+  req.kind = OpKind::kUnlink;
+  req.path = std::string(path);
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.unlink(path));
+  }));
+  return Status::Ok();
+}
+
+Status RaeSupervisor::rmdir(std::string_view path) {
+  OpRequest req;
+  req.kind = OpKind::kRmdir;
+  req.path = std::string(path);
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.rmdir(path));
+  }));
+  return Status::Ok();
+}
+
+Status RaeSupervisor::rename(std::string_view src, std::string_view dst) {
+  OpRequest req;
+  req.kind = OpKind::kRename;
+  req.path = std::string(src);
+  req.path2 = std::string(dst);
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.rename(src, dst));
+  }));
+  return Status::Ok();
+}
+
+Status RaeSupervisor::link(std::string_view existing,
+                           std::string_view newpath) {
+  OpRequest req;
+  req.kind = OpKind::kLink;
+  req.path = std::string(existing);
+  req.path2 = std::string(newpath);
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.link(existing, newpath));
+  }));
+  return Status::Ok();
+}
+
+Result<uint64_t> RaeSupervisor::write(Ino ino, uint64_t gen, FileOff off,
+                                      std::span<const uint8_t> data) {
+  OpRequest req;
+  req.kind = OpKind::kWrite;
+  req.ino = ino;
+  req.gen = gen;
+  req.offset = off;
+  req.data.assign(data.begin(), data.end());
+  return run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return fs.write(ino, gen, off, data);
+  });
+}
+
+Status RaeSupervisor::truncate(Ino ino, uint64_t gen, uint64_t new_size) {
+  OpRequest req;
+  req.kind = OpKind::kTruncate;
+  req.ino = ino;
+  req.gen = gen;
+  req.len = new_size;
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.truncate(ino, gen, new_size));
+  }));
+  return Status::Ok();
+}
+
+Status RaeSupervisor::fsync(Ino ino) {
+  OpRequest req;
+  req.kind = OpKind::kFsync;
+  req.ino = ino;
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.fsync(ino));
+  }));
+  return Status::Ok();
+}
+
+Status RaeSupervisor::sync() {
+  OpRequest req;
+  req.kind = OpKind::kSync;
+  RAEFS_TRY_VOID(run_mutation_u64(std::move(req), [&](BaseFs& fs) {
+    return as_u64(fs.sync());
+  }));
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// read operations
+// ---------------------------------------------------------------------------
+
+// Reads are not recorded (they widen no app/disk gap). When one triggers
+// an error, a synthetic in-flight record is appended to the shadow's input
+// so the shadow executes it autonomously -- the base never re-runs the
+// trigger (error avoidance for read-path deterministic bugs).
+template <typename T>
+Result<T> RaeSupervisor::run_read(
+    OpRequest probe, const std::function<Result<T>(BaseFs&)>& fn,
+    const std::function<Result<T>(const OpOutcome&)>& from_shadow) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (offline_ || shutdown_) return Errno::kIo;
+  try {
+    Result<T> result = fn(*base_);
+    maybe_recover_for_warns();
+    return result;
+  } catch (const FsPanicError& e) {
+    ++stats_.panics_trapped;
+    probe.stamp = clock_ ? clock_->now() : 0;
+    Seq seq = oplog_.append_started(std::move(probe));
+    auto rec = recover(e.site(), seq);
+    if (!rec.ok()) return Errno::kIo;
+    for (const auto& [s, out] : rec.value().inflight_results) {
+      if (s == seq) return from_shadow(out);
+    }
+    return Errno::kIo;
+  }
+}
+
+Result<Ino> RaeSupervisor::lookup(std::string_view path) {
+  OpRequest probe;
+  probe.kind = OpKind::kLookup;
+  probe.path = std::string(path);
+  return run_read<Ino>(
+      std::move(probe), [&](BaseFs& fs) { return fs.lookup(path); },
+      [](const OpOutcome& out) -> Result<Ino> {
+        if (out.err != Errno::kOk) return out.err;
+        return out.assigned_ino;
+      });
+}
+
+Result<std::string> RaeSupervisor::readlink(std::string_view path) {
+  OpRequest probe;
+  probe.kind = OpKind::kReadlink;
+  probe.path = std::string(path);
+  return run_read<std::string>(
+      std::move(probe), [&](BaseFs& fs) { return fs.readlink(path); },
+      [](const OpOutcome& out) -> Result<std::string> {
+        if (out.err != Errno::kOk) return out.err;
+        return std::string(out.payload.begin(), out.payload.end());
+      });
+}
+
+Result<std::vector<DirEntry>> RaeSupervisor::readdir(std::string_view path) {
+  OpRequest probe;
+  probe.kind = OpKind::kReaddir;
+  probe.path = std::string(path);
+  return run_read<std::vector<DirEntry>>(
+      std::move(probe), [&](BaseFs& fs) { return fs.readdir(path); },
+      [](const OpOutcome& out) -> Result<std::vector<DirEntry>> {
+        if (out.err != Errno::kOk) return out.err;
+        return decode_dirents(out.payload);
+      });
+}
+
+namespace {
+Result<StatResult> stat_from_outcome(const OpOutcome& out) {
+  if (out.err != Errno::kOk) return out.err;
+  RAEFS_TRY(StatPayload st, decode_stat(out.payload));
+  return StatResult{st.ino, st.type, st.size, st.nlink, st.mode,
+                    st.generation};
+}
+}  // namespace
+
+Result<StatResult> RaeSupervisor::stat(std::string_view path) {
+  OpRequest probe;
+  probe.kind = OpKind::kStat;
+  probe.path = std::string(path);
+  return run_read<StatResult>(
+      std::move(probe), [&](BaseFs& fs) { return fs.stat(path); },
+      stat_from_outcome);
+}
+
+Result<StatResult> RaeSupervisor::stat_ino(Ino ino) {
+  OpRequest probe;
+  probe.kind = OpKind::kStat;
+  probe.ino = ino;
+  return run_read<StatResult>(
+      std::move(probe), [&](BaseFs& fs) { return fs.stat_ino(ino); },
+      stat_from_outcome);
+}
+
+Result<std::vector<uint8_t>> RaeSupervisor::read(Ino ino, uint64_t gen,
+                                                 FileOff off, uint64_t len) {
+  OpRequest probe;
+  probe.kind = OpKind::kRead;
+  probe.ino = ino;
+  probe.gen = gen;
+  probe.offset = off;
+  probe.len = len;
+  return run_read<std::vector<uint8_t>>(
+      std::move(probe),
+      [&](BaseFs& fs) { return fs.read(ino, gen, off, len); },
+      [](const OpOutcome& out) -> Result<std::vector<uint8_t>> {
+        if (out.err != Errno::kOk) return out.err;
+        return out.payload;
+      });
+}
+
+}  // namespace raefs

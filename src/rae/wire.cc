@@ -1,0 +1,168 @@
+#include "rae/wire.h"
+
+#include "common/serial.h"
+
+namespace raefs {
+namespace wire {
+
+namespace {
+constexpr uint32_t kOpMagic = 0x52414F50;    // "RAOP"
+constexpr uint32_t kOutMagic = 0x52414F55;   // "RAOU"
+
+void encode_outcome_fields(Encoder& enc, const OpOutcome& out) {
+  enc.put_u32(static_cast<uint32_t>(out.err));
+  enc.put_u64(out.assigned_ino);
+  enc.put_u64(out.result_len);
+  enc.put_u32(static_cast<uint32_t>(out.payload.size()));
+  enc.put_bytes(out.payload);
+}
+
+OpOutcome decode_outcome_fields(Decoder& dec) {
+  OpOutcome out;
+  out.err = static_cast<Errno>(dec.get_u32());
+  out.assigned_ino = dec.get_u64();
+  out.result_len = dec.get_u64();
+  uint32_t payload_len = dec.get_u32();
+  out.payload = dec.get_bytes(payload_len);
+  return out;
+}
+}  // namespace
+
+std::vector<uint8_t> encode_op_records(const std::vector<OpRecord>& records) {
+  std::vector<uint8_t> bytes;
+  Encoder enc(&bytes);
+  enc.put_u32(kOpMagic);
+  enc.put_u32(static_cast<uint32_t>(records.size()));
+  for (const auto& rec : records) {
+    enc.put_u64(rec.seq);
+    enc.put_u8(static_cast<uint8_t>(rec.req.kind));
+    enc.put_string(rec.req.path);
+    enc.put_string(rec.req.path2);
+    enc.put_u64(rec.req.ino);
+    enc.put_u64(rec.req.gen);
+    enc.put_u64(rec.req.offset);
+    enc.put_u64(rec.req.len);
+    enc.put_u32(static_cast<uint32_t>(rec.req.data.size()));
+    enc.put_bytes(rec.req.data);
+    enc.put_u16(rec.req.mode);
+    enc.put_u64(rec.req.stamp);
+    enc.put_u8(rec.completed ? 1 : 0);
+    encode_outcome_fields(enc, rec.out);
+  }
+  return bytes;
+}
+
+Result<std::vector<OpRecord>> decode_op_records(
+    std::span<const uint8_t> bytes) {
+  Decoder dec(bytes);
+  if (dec.get_u32() != kOpMagic) return Errno::kCorrupt;
+  uint32_t n = dec.get_u32();
+  std::vector<OpRecord> records;
+  records.reserve(n);
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+    OpRecord rec;
+    rec.seq = dec.get_u64();
+    rec.req.kind = static_cast<OpKind>(dec.get_u8());
+    rec.req.path = dec.get_string();
+    rec.req.path2 = dec.get_string();
+    rec.req.ino = dec.get_u64();
+    rec.req.gen = dec.get_u64();
+    rec.req.offset = dec.get_u64();
+    rec.req.len = dec.get_u64();
+    uint32_t data_len = dec.get_u32();
+    rec.req.data = dec.get_bytes(data_len);
+    rec.req.mode = dec.get_u16();
+    rec.req.stamp = dec.get_u64();
+    rec.completed = dec.get_u8() != 0;
+    rec.out = decode_outcome_fields(dec);
+    records.push_back(std::move(rec));
+  }
+  if (!dec.ok() || dec.remaining() != 0) return Errno::kCorrupt;
+  return records;
+}
+
+std::vector<uint8_t> encode_outcome(const ShadowOutcome& outcome) {
+  std::vector<uint8_t> bytes;
+  Encoder enc(&bytes);
+  enc.put_u32(kOutMagic);
+  enc.put_u8(outcome.ok ? 1 : 0);
+  enc.put_string(outcome.failure);
+
+  enc.put_u32(static_cast<uint32_t>(outcome.dirty.size()));
+  for (const auto& ib : outcome.dirty) {
+    enc.put_u64(ib.block);
+    enc.put_u8(static_cast<uint8_t>(ib.cls));
+    enc.put_bytes(ib.data);
+  }
+
+  enc.put_u32(static_cast<uint32_t>(outcome.discrepancies.size()));
+  for (const auto& d : outcome.discrepancies) {
+    enc.put_u64(d.seq);
+    enc.put_string(d.description);
+  }
+
+  enc.put_u32(static_cast<uint32_t>(outcome.inflight_results.size()));
+  for (const auto& [seq, out] : outcome.inflight_results) {
+    enc.put_u64(seq);
+    encode_outcome_fields(enc, out);
+  }
+
+  enc.put_u32(static_cast<uint32_t>(outcome.inflight_retry_syncs.size()));
+  for (Seq seq : outcome.inflight_retry_syncs) enc.put_u64(seq);
+
+  enc.put_u64(outcome.ops_replayed);
+  enc.put_u64(outcome.ops_skipped_errored);
+  enc.put_u64(outcome.ops_skipped_sync);
+  enc.put_u64(outcome.device_reads);
+  enc.put_u64(outcome.checks);
+  enc.put_u64(outcome.sim_time_used);
+  return bytes;
+}
+
+Result<ShadowOutcome> decode_outcome(std::span<const uint8_t> bytes) {
+  Decoder dec(bytes);
+  if (dec.get_u32() != kOutMagic) return Errno::kCorrupt;
+  ShadowOutcome outcome;
+  outcome.ok = dec.get_u8() != 0;
+  outcome.failure = dec.get_string();
+
+  uint32_t ndirty = dec.get_u32();
+  for (uint32_t i = 0; i < ndirty && dec.ok(); ++i) {
+    InstallBlock ib;
+    ib.block = dec.get_u64();
+    ib.cls = static_cast<BlockClass>(dec.get_u8());
+    ib.data = dec.get_bytes(kBlockSize);
+    outcome.dirty.push_back(std::move(ib));
+  }
+
+  uint32_t ndisc = dec.get_u32();
+  for (uint32_t i = 0; i < ndisc && dec.ok(); ++i) {
+    Discrepancy d;
+    d.seq = dec.get_u64();
+    d.description = dec.get_string();
+    outcome.discrepancies.push_back(std::move(d));
+  }
+
+  uint32_t ninflight = dec.get_u32();
+  for (uint32_t i = 0; i < ninflight && dec.ok(); ++i) {
+    Seq seq = dec.get_u64();
+    outcome.inflight_results.emplace_back(seq, decode_outcome_fields(dec));
+  }
+
+  uint32_t nretry = dec.get_u32();
+  for (uint32_t i = 0; i < nretry && dec.ok(); ++i) {
+    outcome.inflight_retry_syncs.push_back(dec.get_u64());
+  }
+
+  outcome.ops_replayed = dec.get_u64();
+  outcome.ops_skipped_errored = dec.get_u64();
+  outcome.ops_skipped_sync = dec.get_u64();
+  outcome.device_reads = dec.get_u64();
+  outcome.checks = dec.get_u64();
+  outcome.sim_time_used = dec.get_u64();
+  if (!dec.ok() || dec.remaining() != 0) return Errno::kCorrupt;
+  return outcome;
+}
+
+}  // namespace wire
+}  // namespace raefs

@@ -1,0 +1,28 @@
+// Wire format for the base<->shadow interface.
+//
+// The paper requires "a lean, well-defined, and thoroughly tested
+// interface" between base and shadow (§4.3). This is it: the operation
+// sequence travels one way, the ShadowOutcome (dirty blocks + per-op
+// results + discrepancy report) travels back. The fork-based executor
+// sends these over a pipe between address spaces; tests exercise
+// round-trip fidelity directly.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "oplog/op.h"
+#include "shadowfs/shadow_replay.h"
+
+namespace raefs {
+namespace wire {
+
+std::vector<uint8_t> encode_op_records(const std::vector<OpRecord>& records);
+Result<std::vector<OpRecord>> decode_op_records(
+    std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> encode_outcome(const ShadowOutcome& outcome);
+Result<ShadowOutcome> decode_outcome(std::span<const uint8_t> bytes);
+
+}  // namespace wire
+}  // namespace raefs

@@ -1,0 +1,33 @@
+// shadow_fsck: the "verified version of the filesystem checker" the paper
+// calls for (§4.3) -- to guarantee the shadow's liveness on arbitrary
+// images, the input image must itself be validated by something held to
+// the shadow's standard of scrutiny.
+//
+// Implementation: open a ShadowFs at the extensive check level (whole
+// allocation state validated up front) and then walk the entire reachable
+// tree through the shadow's own checked accessors -- every directory
+// entry, inode, indirect block and symlink target passes the same
+// SHADOW_CHECKs recovery would apply. Any violation is reported instead
+// of thrown.
+#pragma once
+
+#include <string>
+
+#include "blockdev/block_device.h"
+#include "common/clock.h"
+
+namespace raefs {
+
+struct ShadowFsckReport {
+  bool ok = false;
+  std::string failure;      // first check that failed ("" when ok)
+  uint64_t inodes_walked = 0;
+  uint64_t entries_walked = 0;
+  uint64_t checks_performed = 0;
+  uint64_t device_reads = 0;
+};
+
+/// Validate the image on `dev` to the shadow's standard (read-only).
+ShadowFsckReport shadow_fsck(BlockDevice* dev, SimClockPtr clock = nullptr);
+
+}  // namespace raefs

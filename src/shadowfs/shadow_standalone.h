@@ -1,0 +1,77 @@
+// ShadowStandalone: drives a ShadowFs as an ordinary filesystem with the
+// shared operation surface (same duck-typed API as BaseFs / supervisors).
+//
+// Used by benchmarks to measure the shadow's standalone performance (the
+// Figure 2 contrast: simple-but-slow vs optimized-but-complex) and by
+// differential tests that want a fourth independent execution. All updates
+// accumulate in the shadow's overlay; the device is never written.
+#pragma once
+
+#include <span>
+
+#include "shadowfs/shadow_fs.h"
+
+namespace raefs {
+
+class ShadowStandalone {
+ public:
+  /// Throws ShadowCheckError if the image fails the shadow's validation.
+  ShadowStandalone(BlockDevice* dev, ShadowCheckLevel checks,
+                   SimClockPtr clock = nullptr)
+      : clock_(clock), fs_(dev, checks, std::move(clock)) {
+    fs_.open();
+  }
+
+  Result<Ino> lookup(std::string_view path) { return fs_.lookup(path); }
+  Result<Ino> create(std::string_view path, uint16_t mode) {
+    return fs_.create(path, mode, now());
+  }
+  Result<Ino> mkdir(std::string_view path, uint16_t mode) {
+    return fs_.mkdir(path, mode, now());
+  }
+  Status unlink(std::string_view path) { return fs_.unlink(path, now()); }
+  Status rmdir(std::string_view path) { return fs_.rmdir(path, now()); }
+  Status rename(std::string_view src, std::string_view dst) {
+    return fs_.rename(src, dst, now());
+  }
+  Status link(std::string_view existing, std::string_view newpath) {
+    return fs_.link(existing, newpath, now());
+  }
+  Result<Ino> symlink(std::string_view linkpath, std::string_view target) {
+    return fs_.symlink(linkpath, target, now());
+  }
+  Result<std::string> readlink(std::string_view path) {
+    return fs_.readlink(path);
+  }
+  Result<std::vector<DirEntry>> readdir(std::string_view path) {
+    return fs_.readdir(path);
+  }
+  Result<StatResult> stat(std::string_view path) { return fs_.stat(path); }
+  Result<StatResult> stat_ino(Ino ino) { return fs_.stat_ino(ino); }
+  Result<std::vector<uint8_t>> read(Ino ino, uint64_t gen, FileOff off,
+                                    uint64_t len) {
+    return fs_.read(ino, gen, off, len);
+  }
+  Result<uint64_t> write(Ino ino, uint64_t gen, FileOff off,
+                         std::span<const uint8_t> data) {
+    return fs_.write(ino, gen, off, data, now());
+  }
+  Status truncate(Ino ino, uint64_t gen, uint64_t new_size) {
+    return fs_.truncate(ino, gen, new_size, now());
+  }
+  /// The shadow never writes the device: sync is a no-op by design.
+  Status fsync(Ino ino) {
+    (void)ino;
+    return Status::Ok();
+  }
+  Status sync() { return Status::Ok(); }
+
+  ShadowFs& shadow() { return fs_; }
+
+ private:
+  Nanos now() const { return clock_ ? clock_->now() : 0; }
+  SimClockPtr clock_;
+  ShadowFs fs_;
+};
+
+}  // namespace raefs

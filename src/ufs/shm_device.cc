@@ -1,0 +1,63 @@
+#include "ufs/shm_device.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "blockdev/mem_device.h"
+
+namespace raefs {
+
+ShmBlockDevice::ShmBlockDevice(uint64_t block_count) : blocks_(block_count) {
+  size_t bytes = block_count * kBlockSize;
+  void* mapping = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED) {
+    throw std::runtime_error("ShmBlockDevice: mmap failed");
+  }
+  base_ = static_cast<uint8_t*>(mapping);
+  std::memset(base_, 0, bytes);
+}
+
+ShmBlockDevice::~ShmBlockDevice() {
+  if (base_ != nullptr) {
+    ::munmap(base_, blocks_ * kBlockSize);
+  }
+}
+
+Status ShmBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
+  if (block >= blocks_ || out.size() != kBlockSize) return Errno::kInval;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  std::memcpy(out.data(), base_ + block * kBlockSize, kBlockSize);
+  return Status::Ok();
+}
+
+Status ShmBlockDevice::write_block(BlockNo block,
+                                   std::span<const uint8_t> data) {
+  if (block >= blocks_ || data.size() != kBlockSize) return Errno::kInval;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  std::memcpy(base_ + block * kBlockSize, data.data(), kBlockSize);
+  return Status::Ok();
+}
+
+Status ShmBlockDevice::flush() {
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();  // shared memory: nothing volatile to persist
+}
+
+std::unique_ptr<BlockDevice> ShmBlockDevice::snapshot() const {
+  auto copy = std::make_unique<MemBlockDevice>(blocks_);
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint8_t> buf(kBlockSize);
+  for (BlockNo b = 0; b < blocks_; ++b) {
+    std::memcpy(buf.data(), base_ + b * kBlockSize, kBlockSize);
+    (void)copy->write_block(b, buf);
+  }
+  (void)copy->flush();
+  return copy;
+}
+
+}  // namespace raefs

@@ -1,0 +1,49 @@
+// Shared-memory block device for the microkernel filesystem path (paper
+// §4.2). The storage lives in a MAP_SHARED anonymous mapping created
+// before fork(): the filesystem-server process and the supervisor see the
+// same bytes, so when the server dies its persisted state survives in the
+// parent -- the microkernel analogue of "the disk outlives the crashed
+// subsystem".
+//
+// Crash-model note: unlike MemBlockDevice there is no volatile write
+// cache -- writes land in the shared mapping directly and flush() is a
+// barrier no-op. The microkernel experiments study *process* failure, not
+// device power loss (MemBlockDevice covers that).
+#pragma once
+
+#include <mutex>
+
+#include "blockdev/block_device.h"
+
+namespace raefs {
+
+class ShmBlockDevice final : public BlockDevice, public SnapshotCapable {
+ public:
+  /// Maps block_count * kBlockSize bytes MAP_SHARED|MAP_ANONYMOUS.
+  /// Throws std::runtime_error if the mapping fails.
+  explicit ShmBlockDevice(uint64_t block_count);
+  ~ShmBlockDevice() override;
+
+  ShmBlockDevice(const ShmBlockDevice&) = delete;
+  ShmBlockDevice& operator=(const ShmBlockDevice&) = delete;
+
+  uint32_t block_size() const override { return kBlockSize; }
+  uint64_t block_count() const override { return blocks_; }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override;
+  Status write_block(BlockNo block, std::span<const uint8_t> data) override;
+  Status flush() override;
+
+  const DeviceStats& stats() const override { return stats_; }
+
+  /// Deep copy into a private (non-shared) snapshot for scrubbing.
+  std::unique_ptr<BlockDevice> snapshot() const override;
+
+ private:
+  uint64_t blocks_;
+  uint8_t* base_ = nullptr;  // the shared mapping
+  DeviceStats stats_;        // per-process (ordinary memory)
+  mutable std::mutex mu_;    // per-process; RPC serializes across processes
+};
+
+}  // namespace raefs

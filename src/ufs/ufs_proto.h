@@ -1,0 +1,39 @@
+// RPC protocol between the microkernel-style filesystem server and its
+// client/supervisor: length-framed messages over a pipe pair. Requests
+// reuse OpRequest (every operation, reads included, has an OpKind);
+// responses reuse OpOutcome (payload carries read results). One control
+// frame asks the server to unmount and exit cleanly.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "oplog/op.h"
+
+namespace raefs {
+namespace ufs {
+
+enum class FrameKind : uint8_t {
+  kOp = 1,        // body: encoded OpRequest
+  kShutdown = 2,  // body: empty; server unmounts and exits 0
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kOp;
+  OpRequest req;
+};
+
+std::vector<uint8_t> encode_frame(const Frame& frame);
+Result<Frame> decode_frame(std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> encode_response(const OpOutcome& outcome);
+Result<OpOutcome> decode_response(std::span<const uint8_t> bytes);
+
+/// Length-prefixed IO over fds; false on EOF/error (peer death).
+bool send_message(int fd, std::span<const uint8_t> bytes);
+bool recv_message(int fd, std::vector<uint8_t>* out);
+
+}  // namespace ufs
+}  // namespace raefs

@@ -1,0 +1,28 @@
+// The microkernel-style filesystem server (paper §4.2): a BaseFs mounted
+// inside its own process, serving operations over the pipe protocol.
+//
+// Faithful failure semantics: a bug (FsPanicError) KILLS THE PROCESS --
+// the server exits without replying, the supervisor observes EOF on the
+// pipe, and fault isolation is exactly what the paper says microkernels
+// buy: "natural fault isolation and thus effortless delivery of a
+// contained reboot".
+#pragma once
+
+#include "blockdev/block_device.h"
+#include "faults/bug_registry.h"
+
+namespace raefs {
+namespace ufs {
+
+/// Exit codes the supervisor interprets.
+inline constexpr int kServerExitClean = 0;
+inline constexpr int kServerExitPanic = 42;
+inline constexpr int kServerExitMountFailed = 43;
+
+/// Run the server loop (never returns; calls _exit). `req_fd` delivers
+/// frames, `resp_fd` carries responses. `bugs` may be null.
+[[noreturn]] void run_server(BlockDevice* dev, int req_fd, int resp_fd,
+                             BugRegistry* bugs);
+
+}  // namespace ufs
+}  // namespace raefs

@@ -1,0 +1,50 @@
+#include "vfs/fd_table.h"
+
+namespace raefs {
+
+Fd FdTable::insert(Ino ino, uint64_t gen, uint32_t flags) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Fd fd = next_fd_++;
+  OpenFile of;
+  of.fd = fd;
+  of.ino = ino;
+  of.gen = gen;
+  of.flags = flags;
+  files_.emplace(fd, of);
+  return fd;
+}
+
+Result<OpenFile> FdTable::get(Fd fd) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(fd);
+  if (it == files_.end()) return Errno::kBadFd;
+  return it->second;
+}
+
+Status FdTable::set_offset(Fd fd, FileOff offset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(fd);
+  if (it == files_.end()) return Errno::kBadFd;
+  it->second.offset = offset;
+  return Status::Ok();
+}
+
+Status FdTable::close(Fd fd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.erase(fd) > 0 ? Status::Ok() : Status(Errno::kBadFd);
+}
+
+size_t FdTable::open_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.size();
+}
+
+std::vector<OpenFile> FdTable::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<OpenFile> out;
+  out.reserve(files_.size());
+  for (const auto& [fd, of] : files_) out.push_back(of);
+  return out;
+}
+
+}  // namespace raefs

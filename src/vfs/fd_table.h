@@ -1,0 +1,62 @@
+// File-descriptor table.
+//
+// Part of the *essential state* (paper §2.2, Figure 3): applications hold
+// fds across a recovery, so the table is owned by the layer above the
+// base filesystem (here: the VFS, used alongside a supervisor) and
+// survives the contained reboot. Descriptors carry the inode generation
+// captured at open() so post-recovery (or post-unlink) staleness is
+// detected instead of silently touching a reused inode.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace raefs {
+
+/// open() flags (combinable).
+enum OpenFlags : uint32_t {
+  kRdOnly = 1u << 0,
+  kWrOnly = 1u << 1,
+  kRdWr = kRdOnly | kWrOnly,
+  kCreate = 1u << 2,
+  kTrunc = 1u << 3,
+  kAppend = 1u << 4,
+  kExcl = 1u << 5,
+  kNoFollow = 1u << 6,  // do not resolve a trailing symlink (O_NOFOLLOW)
+};
+
+struct OpenFile {
+  Fd fd = kInvalidFd;
+  Ino ino = kInvalidIno;
+  uint64_t gen = 0;
+  FileOff offset = 0;
+  uint32_t flags = 0;
+};
+
+class FdTable {
+ public:
+  Fd insert(Ino ino, uint64_t gen, uint32_t flags);
+
+  /// Copy of the entry (fds are small; copies avoid lock-escape issues).
+  Result<OpenFile> get(Fd fd) const;
+
+  /// Overwrite the entry's offset.
+  Status set_offset(Fd fd, FileOff offset);
+
+  Status close(Fd fd);
+
+  size_t open_count() const;
+  std::vector<OpenFile> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Fd, OpenFile> files_;
+  Fd next_fd_ = 3;  // 0/1/2 reserved, as tradition demands
+};
+
+}  // namespace raefs

@@ -1,0 +1,169 @@
+// POSIX-style VFS front end, generic over the filesystem stack beneath it
+// (bare BaseFs, RaeSupervisor, CrashRestartSupervisor, NvpSupervisor --
+// anything exposing the shared operation surface).
+//
+// This is the application's view: open/close/pread/pwrite/sequential
+// read/write with offsets, on top of path-based namespace calls. With a
+// RaeSupervisor underneath, descriptors remain valid across recoveries --
+// the paper's requirement that "file descriptor numbers must be identical
+// to the applications for completed operations".
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "vfs/fd_table.h"
+
+namespace raefs {
+
+inline constexpr int kMaxSymlinkHops = 8;
+
+/// Combine a symlink's location with its target: absolute targets replace
+/// the path, relative ones resolve against the link's directory.
+inline std::string resolve_link_target(std::string_view link_path,
+                                       std::string_view target) {
+  if (!target.empty() && target.front() == '/') return std::string(target);
+  auto cut = link_path.find_last_of('/');
+  std::string dir = cut == std::string_view::npos
+                        ? std::string("/")
+                        : std::string(link_path.substr(0, cut));
+  if (dir.empty()) dir = "/";
+  return dir == "/" ? "/" + std::string(target)
+                    : dir + "/" + std::string(target);
+}
+
+template <typename FsT>
+class Vfs {
+ public:
+  explicit Vfs(FsT* fs) : fs_(fs) {}
+
+  /// Open (optionally creating/truncating) a regular file. Trailing
+  /// symlinks are resolved (lexically, up to kMaxSymlinkHops) unless
+  /// kNoFollow is set; loops return kLoop.
+  Result<Fd> open(std::string_view path, uint32_t flags, uint16_t mode = 0644) {
+    std::string current(path);
+    Ino ino = kInvalidIno;
+    for (int hop = 0;; ++hop) {
+      if (hop > kMaxSymlinkHops) return Errno::kLoop;
+      auto looked = fs_->lookup(current);
+      if (looked.ok()) {
+        if (flags & kExcl) return Errno::kExist;
+        ino = looked.value();
+      } else if (looked.error() == Errno::kNoEnt && (flags & kCreate)) {
+        auto created = fs_->create(current, mode);
+        if (!created.ok()) return created.error();
+        ino = created.value();
+      } else {
+        return looked.error();
+      }
+      auto peek = fs_->stat_ino(ino);
+      if (!peek.ok()) return peek.error();
+      if (peek.value().type != FileType::kSymlink) break;
+      if (flags & kNoFollow) return Errno::kLoop;  // POSIX O_NOFOLLOW
+      auto target = fs_->readlink(current);
+      if (!target.ok()) return target.error();
+      current = resolve_link_target(current, target.value());
+    }
+
+    auto st = fs_->stat_ino(ino);
+    if (!st.ok()) return st.error();
+    if (st.value().type == FileType::kDirectory) return Errno::kIsDir;
+    if (st.value().type != FileType::kRegular) return Errno::kInval;
+
+    if ((flags & kTrunc) && (flags & kWrOnly)) {
+      auto truncated = fs_->truncate(ino, st.value().generation, 0);
+      if (!truncated.ok()) return truncated.error();
+    }
+    return fds_.insert(ino, st.value().generation, flags);
+  }
+
+  Status close(Fd fd) { return fds_.close(fd); }
+
+  /// Sequential read at the descriptor's offset.
+  Result<std::vector<uint8_t>> read(Fd fd, uint64_t len) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    if (!(of.flags & kRdOnly)) return Errno::kBadFd;
+    RAEFS_TRY(auto data, fs_->read(of.ino, of.gen, of.offset, len));
+    RAEFS_TRY_VOID(fds_.set_offset(fd, of.offset + data.size()));
+    return data;
+  }
+
+  /// Sequential write at the descriptor's offset (or the end for kAppend).
+  Result<uint64_t> write(Fd fd, std::span<const uint8_t> data) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    if (!(of.flags & kWrOnly)) return Errno::kBadFd;
+    FileOff off = of.offset;
+    if (of.flags & kAppend) {
+      RAEFS_TRY(auto st, fs_->stat_ino(of.ino));
+      off = st.size;
+    }
+    RAEFS_TRY(uint64_t n, fs_->write(of.ino, of.gen, off, data));
+    RAEFS_TRY_VOID(fds_.set_offset(fd, off + n));
+    return n;
+  }
+
+  Result<std::vector<uint8_t>> pread(Fd fd, FileOff off, uint64_t len) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    if (!(of.flags & kRdOnly)) return Errno::kBadFd;
+    return fs_->read(of.ino, of.gen, off, len);
+  }
+
+  Result<uint64_t> pwrite(Fd fd, FileOff off, std::span<const uint8_t> data) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    if (!(of.flags & kWrOnly)) return Errno::kBadFd;
+    return fs_->write(of.ino, of.gen, off, data);
+  }
+
+  Result<FileOff> seek(Fd fd, FileOff offset) {
+    RAEFS_TRY_VOID(fds_.set_offset(fd, offset));
+    return offset;
+  }
+
+  Status ftruncate(Fd fd, uint64_t size) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    if (!(of.flags & kWrOnly)) return Errno::kBadFd;
+    return fs_->truncate(of.ino, of.gen, size);
+  }
+
+  Status fsync(Fd fd) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    return fs_->fsync(of.ino);
+  }
+
+  Result<StatResult> fstat(Fd fd) {
+    RAEFS_TRY(OpenFile of, fds_.get(fd));
+    auto st = fs_->stat_ino(of.ino);
+    // A freed or reused inode means the descriptor is stale, not that the
+    // file "does not exist" -- the app never passed a path here.
+    if (!st.ok()) {
+      return st.error() == Errno::kNoEnt ? Errno::kBadFd : st.error();
+    }
+    if (st.value().generation != of.gen) return Errno::kBadFd;
+    return st.value();
+  }
+
+  // Namespace passthroughs.
+  Status mkdir(std::string_view path, uint16_t mode = 0755) {
+    RAEFS_TRY_VOID(fs_->mkdir(path, mode));
+    return Status::Ok();
+  }
+  Status unlink(std::string_view path) { return fs_->unlink(path); }
+  Status rmdir(std::string_view path) { return fs_->rmdir(path); }
+  Status rename(std::string_view src, std::string_view dst) {
+    return fs_->rename(src, dst);
+  }
+  Result<std::vector<DirEntry>> readdir(std::string_view path) {
+    return fs_->readdir(path);
+  }
+  Result<StatResult> stat(std::string_view path) { return fs_->stat(path); }
+  Status sync() { return fs_->sync(); }
+
+  FdTable& fd_table() { return fds_; }
+  FsT& fs() { return *fs_; }
+
+ private:
+  FsT* fs_;
+  FdTable fds_;
+};
+
+}  // namespace raefs

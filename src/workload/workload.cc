@@ -1,0 +1,101 @@
+#include "workload/workload.h"
+
+namespace raefs {
+
+const char* to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMetadataHeavy: return "metadata-heavy";
+    case WorkloadKind::kWriteHeavy: return "write-heavy";
+    case WorkloadKind::kReadHeavy: return "read-heavy";
+    case WorkloadKind::kFileserver: return "fileserver";
+    case WorkloadKind::kVarmail: return "varmail";
+  }
+  return "?";
+}
+
+namespace {
+
+using Action = WorkloadStep::Action;
+
+/// Action mixes in percent; entries are cumulative thresholds.
+struct MixEntry {
+  Action action;
+  uint32_t weight;
+};
+
+const MixEntry kMetadataMix[] = {
+    {Action::kCreate, 30}, {Action::kUnlink, 22}, {Action::kMkdir, 8},
+    {Action::kRmdir, 4},   {Action::kRename, 10}, {Action::kReaddir, 12},
+    {Action::kStat, 14},
+};
+const MixEntry kWriteMix[] = {
+    {Action::kWrite, 70}, {Action::kCreate, 8}, {Action::kRead, 15},
+    {Action::kStat, 7},
+};
+const MixEntry kReadMix[] = {
+    {Action::kRead, 75}, {Action::kReaddir, 10}, {Action::kStat, 15},
+};
+const MixEntry kFileserverMix[] = {
+    {Action::kWrite, 30}, {Action::kRead, 30}, {Action::kCreate, 12},
+    {Action::kUnlink, 10}, {Action::kReaddir, 8}, {Action::kStat, 8},
+    {Action::kRename, 2},
+};
+
+Action pick(const MixEntry* mix, size_t n, Rng& rng) {
+  uint32_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += mix[i].weight;
+  uint64_t roll = rng.below(total);
+  for (size_t i = 0; i < n; ++i) {
+    if (roll < mix[i].weight) return mix[i].action;
+    roll -= mix[i].weight;
+  }
+  return mix[0].action;
+}
+
+}  // namespace
+
+std::vector<WorkloadStep> plan_workload(const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  std::vector<WorkloadStep> plan;
+  plan.reserve(options.nops);
+
+  for (uint64_t i = 0; i < options.nops; ++i) {
+    WorkloadStep step;
+    if (options.sync_every != 0 && i != 0 && i % options.sync_every == 0) {
+      step.action = Action::kSync;
+      plan.push_back(step);
+      continue;
+    }
+    switch (options.kind) {
+      case WorkloadKind::kMetadataHeavy:
+        step.action = pick(kMetadataMix, std::size(kMetadataMix), rng);
+        break;
+      case WorkloadKind::kWriteHeavy:
+        step.action = pick(kWriteMix, std::size(kWriteMix), rng);
+        break;
+      case WorkloadKind::kReadHeavy:
+        step.action = pick(kReadMix, std::size(kReadMix), rng);
+        break;
+      case WorkloadKind::kFileserver:
+        step.action = pick(kFileserverMix, std::size(kFileserverMix), rng);
+        break;
+      case WorkloadKind::kVarmail: {
+        // Mail-spool cycle: create, write, fsync, sometimes unlink.
+        switch (i % 4) {
+          case 0: step.action = Action::kCreate; break;
+          case 1: step.action = Action::kWrite; break;
+          case 2: step.action = Action::kFsyncFile; break;
+          default: step.action = Action::kUnlink; break;
+        }
+        break;
+      }
+    }
+    step.a = rng.next();
+    step.b = rng.next();
+    step.c = rng.next();
+    plan.push_back(step);
+  }
+  return plan;
+}
+
+}  // namespace raefs

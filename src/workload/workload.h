@@ -1,0 +1,244 @@
+// Deterministic workload generators, modelled on classic filesystem
+// benchmark profiles. Generic over the filesystem stack (bare BaseFs or
+// any supervisor), so identical op streams drive every configuration in
+// the benchmarks -- only the system under test changes.
+//
+// All randomness is seeded; a given (kind, seed, nops) triple produces
+// the same operation stream everywhere.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/err.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace raefs {
+
+enum class WorkloadKind : uint8_t {
+  kMetadataHeavy = 0,  // create/unlink/mkdir/readdir churn
+  kWriteHeavy,         // large sequential+random writes, few creates
+  kReadHeavy,          // reads over a prepopulated tree
+  kFileserver,         // mixed read/write/create/delete (filebench-like)
+  kVarmail,            // create-write-fsync-unlink cycles (mail spool)
+};
+
+const char* to_string(WorkloadKind kind);
+
+struct WorkloadOptions {
+  WorkloadKind kind = WorkloadKind::kFileserver;
+  uint64_t seed = 1;
+  uint64_t nops = 1000;
+  /// Prepopulation: files created (and filled) before the measured run.
+  uint64_t initial_files = 16;
+  uint64_t dirs = 4;
+  /// Write sizes are uniform in [1, max_io_bytes].
+  uint64_t max_io_bytes = 16 * 1024;
+  /// Cap on per-file size so runs fit small images.
+  uint64_t max_file_bytes = 256 * 1024;
+  /// Issue a sync every N ops (0 = only the final sync).
+  uint64_t sync_every = 64;
+  /// Abort the run after this many EIO results (stack offline/crashing).
+  uint64_t max_io_failures = 3;
+  /// Simulated application think time charged to `clock` before each op
+  /// (models the duty cycle availability is measured against).
+  Nanos think_ns_per_op = 0;
+  SimClockPtr clock;  // required when think_ns_per_op > 0
+};
+
+struct WorkloadResult {
+  uint64_t ops_issued = 0;
+  uint64_t ops_failed = 0;      // errno results (ENOSPC etc.)
+  uint64_t io_failures = 0;     // EIO: the stack went offline/crashed
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  bool aborted = false;         // stack stopped serving; run cut short
+};
+
+/// Per-op action plan, precomputed so every stack replays the identical
+/// stream.
+struct WorkloadStep {
+  enum class Action : uint8_t {
+    kCreate,
+    kUnlink,
+    kMkdir,
+    kRmdir,
+    kRename,
+    kWrite,
+    kRead,
+    kReaddir,
+    kStat,
+    kSync,
+    kFsyncFile,
+  } action;
+  uint64_t a = 0;  // generic operands (indices, offsets, sizes)
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+/// Precompute the op stream for (options). Exposed so tests can assert
+/// determinism and benchmarks can reuse one plan across stacks.
+std::vector<WorkloadStep> plan_workload(const WorkloadOptions& options);
+
+/// Drive `fs` through the plan. FsT must expose the shared operation
+/// surface (create/unlink/mkdir/rmdir/rename/write/read/readdir/stat/
+/// sync/fsync with the raefs signatures).
+template <typename FsT>
+WorkloadResult run_workload(FsT& fs, const WorkloadOptions& options) {
+  auto plan = plan_workload(options);
+  WorkloadResult result;
+
+  // Namespace state mirrors what the generator assumed: the driver keeps
+  // its own view of live paths so the stream stays deterministic even
+  // when individual ops fail.
+  std::vector<std::string> files;
+  std::vector<std::string> dirs;
+  std::vector<Ino> file_inos;
+  dirs.push_back("");  // root
+  uint64_t name_counter = 0;
+
+  auto dir_of = [&](uint64_t idx) -> const std::string& {
+    return dirs[idx % dirs.size()];
+  };
+
+  auto track = [&](Errno err) {
+    ++result.ops_issued;
+    if (err == Errno::kOk) return true;
+    ++result.ops_failed;
+    if (err == Errno::kIo) {
+      ++result.io_failures;
+    }
+    return false;
+  };
+
+  // Prepopulate.
+  for (uint64_t d = 1; d <= options.dirs; ++d) {
+    std::string path = "/d" + std::to_string(d);
+    auto r = fs.mkdir(path, 0755);
+    if (r.ok()) dirs.push_back(path);
+  }
+  std::vector<uint8_t> fill(options.max_io_bytes, 0xAB);
+  for (uint64_t f = 0; f < options.initial_files; ++f) {
+    std::string path =
+        dir_of(f) + "/f" + std::to_string(name_counter++);
+    auto created = fs.create(path, 0644);
+    if (!created.ok()) continue;
+    files.push_back(path);
+    file_inos.push_back(created.value());
+    (void)fs.write(created.value(), 0, 0,
+                   std::span<const uint8_t>(fill.data(),
+                                            options.max_io_bytes / 2 + 1));
+  }
+
+  std::vector<uint8_t> buffer(options.max_io_bytes, 0x5A);
+  for (const auto& step : plan) {
+    if (result.io_failures > options.max_io_failures) {
+      // The stack stopped serving (offline / crash loop): cut the run.
+      result.aborted = true;
+      break;
+    }
+    if (options.think_ns_per_op > 0 && options.clock) {
+      options.clock->advance(options.think_ns_per_op);
+    }
+    switch (step.action) {
+      case WorkloadStep::Action::kCreate: {
+        std::string path =
+            dir_of(step.a) + "/f" + std::to_string(name_counter++);
+        auto r = fs.create(path, 0644);
+        if (track(r.ok() ? Errno::kOk : r.error())) {
+          files.push_back(path);
+          file_inos.push_back(r.value());
+        }
+        break;
+      }
+      case WorkloadStep::Action::kUnlink: {
+        if (files.empty()) break;
+        uint64_t idx = step.a % files.size();
+        auto r = fs.unlink(files[idx]);
+        if (track(r.error())) {
+          files.erase(files.begin() + static_cast<ptrdiff_t>(idx));
+          file_inos.erase(file_inos.begin() + static_cast<ptrdiff_t>(idx));
+        }
+        break;
+      }
+      case WorkloadStep::Action::kMkdir: {
+        std::string path =
+            dir_of(step.a) + "/sub" + std::to_string(name_counter++);
+        auto r = fs.mkdir(path, 0755);
+        if (track(r.ok() ? Errno::kOk : r.error())) dirs.push_back(path);
+        break;
+      }
+      case WorkloadStep::Action::kRmdir: {
+        if (dirs.size() <= 1 + options.dirs) break;  // keep the base tree
+        uint64_t idx =
+            1 + options.dirs + step.a % (dirs.size() - 1 - options.dirs);
+        auto r = fs.rmdir(dirs[idx]);
+        if (track(r.error())) {
+          dirs.erase(dirs.begin() + static_cast<ptrdiff_t>(idx));
+        }
+        break;
+      }
+      case WorkloadStep::Action::kRename: {
+        if (files.empty()) break;
+        uint64_t idx = step.a % files.size();
+        std::string dst =
+            dir_of(step.b) + "/r" + std::to_string(name_counter++);
+        auto r = fs.rename(files[idx], dst);
+        if (track(r.error())) files[idx] = dst;
+        break;
+      }
+      case WorkloadStep::Action::kWrite: {
+        if (file_inos.empty()) break;
+        uint64_t idx = step.a % file_inos.size();
+        uint64_t len = 1 + step.c % options.max_io_bytes;
+        uint64_t off = step.b % (options.max_file_bytes - len + 1);
+        auto r = fs.write(file_inos[idx], 0, off,
+                          std::span<const uint8_t>(buffer.data(), len));
+        if (track(r.ok() ? Errno::kOk : r.error())) {
+          result.bytes_written += r.value();
+        }
+        break;
+      }
+      case WorkloadStep::Action::kRead: {
+        if (file_inos.empty()) break;
+        uint64_t idx = step.a % file_inos.size();
+        uint64_t len = 1 + step.c % options.max_io_bytes;
+        uint64_t off = step.b % options.max_file_bytes;
+        auto r = fs.read(file_inos[idx], 0, off, len);
+        if (track(r.ok() ? Errno::kOk : r.error())) {
+          result.bytes_read += r.value().size();
+        }
+        break;
+      }
+      case WorkloadStep::Action::kReaddir: {
+        auto r = fs.readdir(dirs[step.a % dirs.size()].empty()
+                                ? "/"
+                                : dirs[step.a % dirs.size()]);
+        track(r.ok() ? Errno::kOk : r.error());
+        break;
+      }
+      case WorkloadStep::Action::kStat: {
+        if (files.empty()) break;
+        auto r = fs.stat(files[step.a % files.size()]);
+        track(r.ok() ? Errno::kOk : r.error());
+        break;
+      }
+      case WorkloadStep::Action::kSync: {
+        track(fs.sync().error());
+        break;
+      }
+      case WorkloadStep::Action::kFsyncFile: {
+        if (file_inos.empty()) break;
+        track(fs.fsync(file_inos[step.a % file_inos.size()]).error());
+        break;
+      }
+    }
+  }
+  if (!result.aborted) (void)fs.sync();
+  return result;
+}
+
+}  // namespace raefs

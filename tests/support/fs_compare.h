@@ -1,0 +1,110 @@
+// Tree-equivalence checker used by differential and recovery tests.
+// Compares the application-visible *essential state* (paper §2.2):
+// directory structure, names, types, sizes, link counts, file contents,
+// symlink targets. Timestamps and block-allocation layout are policy and
+// deliberately not compared; inode numbers are compared only when
+// `compare_inos` is set (base-vs-shadow replay guarantees them; two
+// independently-run stacks do not).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "format/dirent.h"
+
+namespace raefs {
+namespace testing_support {
+
+struct CompareOptions {
+  bool compare_inos = true;
+  bool compare_nlink = true;
+};
+
+template <typename A, typename B>
+void compare_dir(A& a, B& b, const std::string& path,
+                 const CompareOptions& opts, std::ostringstream& diff) {
+  auto la = a.readdir(path);
+  auto lb = b.readdir(path);
+  if (!la.ok() || !lb.ok()) {
+    diff << path << ": readdir errs " << to_string(la.ok() ? Errno::kOk : la.error())
+         << " vs " << to_string(lb.ok() ? Errno::kOk : lb.error()) << "\n";
+    return;
+  }
+  const auto& ea = la.value();
+  const auto& eb = lb.value();
+  if (ea.size() != eb.size()) {
+    diff << path << ": entry count " << ea.size() << " vs " << eb.size()
+         << "\n";
+    return;
+  }
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].name != eb[i].name) {
+      diff << path << ": name '" << ea[i].name << "' vs '" << eb[i].name
+           << "'\n";
+      return;
+    }
+    if (ea[i].type != eb[i].type) {
+      diff << path << "/" << ea[i].name << ": type mismatch\n";
+      continue;
+    }
+    if (opts.compare_inos && ea[i].ino != eb[i].ino) {
+      diff << path << "/" << ea[i].name << ": ino " << ea[i].ino << " vs "
+           << eb[i].ino << "\n";
+    }
+    std::string child = (path == "/" ? "" : path) + "/" + ea[i].name;
+    auto sa = a.stat(child);
+    auto sb = b.stat(child);
+    if (!sa.ok() || !sb.ok()) {
+      diff << child << ": stat errs\n";
+      continue;
+    }
+    // Directory "size" is how many blocks of entry slots exist -- pure
+    // implementation policy; only file/symlink sizes are essential state.
+    if (ea[i].type != FileType::kDirectory &&
+        sa.value().size != sb.value().size) {
+      diff << child << ": size " << sa.value().size << " vs "
+           << sb.value().size << "\n";
+    }
+    if (opts.compare_nlink && sa.value().nlink != sb.value().nlink) {
+      diff << child << ": nlink " << sa.value().nlink << " vs "
+           << sb.value().nlink << "\n";
+    }
+    switch (ea[i].type) {
+      case FileType::kDirectory:
+        compare_dir(a, b, child, opts, diff);
+        break;
+      case FileType::kRegular: {
+        auto ca = a.read(sa.value().ino, 0, 0, sa.value().size);
+        auto cb = b.read(sb.value().ino, 0, 0, sb.value().size);
+        if (!ca.ok() || !cb.ok()) {
+          diff << child << ": content read errs\n";
+        } else if (ca.value() != cb.value()) {
+          diff << child << ": content differs (" << ca.value().size()
+               << " vs " << cb.value().size() << " bytes)\n";
+        }
+        break;
+      }
+      case FileType::kSymlink: {
+        auto ta = a.readlink(child);
+        auto tb = b.readlink(child);
+        if (!ta.ok() || !tb.ok() || ta.value() != tb.value()) {
+          diff << child << ": symlink target differs\n";
+        }
+        break;
+      }
+      default:
+        diff << child << ": unexpected type\n";
+    }
+  }
+}
+
+/// Empty string = trees match; otherwise a human-readable diff.
+template <typename A, typename B>
+std::string compare_trees(A& a, B& b, CompareOptions opts = {}) {
+  std::ostringstream diff;
+  compare_dir(a, b, "/", opts, diff);
+  return diff.str();
+}
+
+}  // namespace testing_support
+}  // namespace raefs

@@ -1,0 +1,289 @@
+#include "tests/support/model_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/path.h"
+
+namespace raefs {
+
+namespace {
+constexpr uint32_t kMaxNlink = 65000;
+}
+
+ModelFs::ModelFs(uint64_t inode_count) : inode_count_(inode_count) {
+  Node root;
+  root.type = FileType::kDirectory;
+  root.mode = 0755;
+  root.nlink = 2;
+  root.gen = 1;
+  nodes_[kRootIno] = std::move(root);
+  generations_[kRootIno] = 1;
+}
+
+Result<Ino> ModelFs::resolve(std::string_view path) {
+  RAEFS_TRY(auto parts, split_path(path));
+  Ino cur = kRootIno;
+  for (const auto& comp : parts) {
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) return Errno::kNoEnt;
+    if (it->second.type != FileType::kDirectory) return Errno::kNotDir;
+    auto child = it->second.children.find(comp);
+    if (child == it->second.children.end()) return Errno::kNoEnt;
+    cur = child->second;
+  }
+  return cur;
+}
+
+Result<ModelFs::ParentRef> ModelFs::resolve_parent(std::string_view path) {
+  RAEFS_TRY(auto parts, split_path(path));
+  if (parts.empty()) return Errno::kInval;
+  std::string leaf = parts.back();
+  parts.pop_back();
+  RAEFS_TRY(Ino parent, resolve(join_path(parts)));
+  if (node(parent).type != FileType::kDirectory) return Errno::kNotDir;
+  return ParentRef{parent, std::move(leaf)};
+}
+
+Result<Ino> ModelFs::alloc_ino() {
+  if (nodes_.size() >= inode_count_) return Errno::kNoSpace;
+  // Hint-based first-fit over inode indices, mirroring BaseFs policy.
+  for (uint64_t probe = 0; probe < inode_count_; ++probe) {
+    uint64_t index = (alloc_hint_ + probe) % inode_count_;
+    Ino ino = index + 1;
+    if (!nodes_.count(ino)) {
+      alloc_hint_ = index + 1;
+      return ino;
+    }
+  }
+  return Errno::kNoSpace;
+}
+
+Result<Ino> ModelFs::lookup(std::string_view path) { return resolve(path); }
+
+Result<Ino> ModelFs::create_common(std::string_view path, uint16_t mode,
+                                   FileType type, std::string_view target) {
+  RAEFS_TRY(ParentRef ref, resolve_parent(path));
+  if (!name_valid(ref.leaf)) {
+    return ref.leaf.size() > kMaxNameLen ? Errno::kNameTooLong : Errno::kInval;
+  }
+  Node& parent = node(ref.parent);
+  if (parent.children.count(ref.leaf)) return Errno::kExist;
+  if (type == FileType::kSymlink &&
+      (target.empty() || target.size() > kBlockSize)) {
+    return Errno::kInval;
+  }
+
+  RAEFS_TRY(Ino ino, alloc_ino());
+  Node child;
+  child.type = type;
+  child.mode = mode;
+  child.nlink = type == FileType::kDirectory ? 2 : 1;
+  child.gen = ++generations_[ino];
+  if (type == FileType::kSymlink) {
+    child.target = std::string(target);
+    child.size = target.size();
+  }
+  nodes_[ino] = std::move(child);
+  parent.children[ref.leaf] = ino;
+  if (type == FileType::kDirectory) ++parent.nlink;
+  return ino;
+}
+
+Result<Ino> ModelFs::create(std::string_view path, uint16_t mode) {
+  return create_common(path, mode, FileType::kRegular, {});
+}
+Result<Ino> ModelFs::mkdir(std::string_view path, uint16_t mode) {
+  return create_common(path, mode, FileType::kDirectory, {});
+}
+Result<Ino> ModelFs::symlink(std::string_view linkpath,
+                             std::string_view target) {
+  return create_common(linkpath, 0777, FileType::kSymlink, target);
+}
+
+void ModelFs::drop_if_unlinked(Ino ino) {
+  auto it = nodes_.find(ino);
+  if (it != nodes_.end() && it->second.nlink == 0) nodes_.erase(it);
+}
+
+Status ModelFs::unlink(std::string_view path) {
+  RAEFS_TRY(ParentRef ref, resolve_parent(path));
+  Node& parent = node(ref.parent);
+  auto it = parent.children.find(ref.leaf);
+  if (it == parent.children.end()) return Errno::kNoEnt;
+  Ino ino = it->second;
+  if (node(ino).type == FileType::kDirectory) return Errno::kIsDir;
+  parent.children.erase(it);
+  --node(ino).nlink;
+  drop_if_unlinked(ino);
+  return Status::Ok();
+}
+
+Status ModelFs::rmdir(std::string_view path) {
+  RAEFS_TRY(ParentRef ref, resolve_parent(path));
+  Node& parent = node(ref.parent);
+  auto it = parent.children.find(ref.leaf);
+  if (it == parent.children.end()) return Errno::kNoEnt;
+  Ino ino = it->second;
+  if (node(ino).type != FileType::kDirectory) return Errno::kNotDir;
+  if (!node(ino).children.empty()) return Errno::kNotEmpty;
+  parent.children.erase(it);
+  --parent.nlink;
+  nodes_.erase(ino);
+  return Status::Ok();
+}
+
+Status ModelFs::rename(std::string_view src, std::string_view dst) {
+  RAEFS_TRY(auto src_parts, split_path(src));
+  RAEFS_TRY(auto dst_parts, split_path(dst));
+  std::string src_canon = join_path(src_parts);
+  std::string dst_canon = join_path(dst_parts);
+  if (src_canon == "/" || dst_canon == "/") return Errno::kInval;
+  if (src_canon == dst_canon) return Status::Ok();
+  if (path_is_ancestor(src_canon, dst_canon)) return Errno::kInval;
+
+  RAEFS_TRY(ParentRef src_ref, resolve_parent(src_canon));
+  RAEFS_TRY(ParentRef dst_ref, resolve_parent(dst_canon));
+  if (!name_valid(dst_ref.leaf)) {
+    return dst_ref.leaf.size() > kMaxNameLen ? Errno::kNameTooLong
+                                             : Errno::kInval;
+  }
+  auto src_it = node(src_ref.parent).children.find(src_ref.leaf);
+  if (src_it == node(src_ref.parent).children.end()) return Errno::kNoEnt;
+  Ino moving = src_it->second;
+  FileType moving_type = node(moving).type;
+
+  auto dst_it = node(dst_ref.parent).children.find(dst_ref.leaf);
+  if (dst_it != node(dst_ref.parent).children.end()) {
+    Ino victim = dst_it->second;
+    if (victim == moving) return Status::Ok();
+    if (node(victim).type == FileType::kDirectory) {
+      if (moving_type != FileType::kDirectory) return Errno::kIsDir;
+      if (!node(victim).children.empty()) return Errno::kNotEmpty;
+      node(dst_ref.parent).children.erase(dst_it);
+      --node(dst_ref.parent).nlink;
+      nodes_.erase(victim);
+    } else {
+      if (moving_type == FileType::kDirectory) return Errno::kNotDir;
+      node(dst_ref.parent).children.erase(dst_it);
+      --node(victim).nlink;
+      drop_if_unlinked(victim);
+    }
+  }
+
+  node(src_ref.parent).children.erase(src_ref.leaf);
+  node(dst_ref.parent).children[dst_ref.leaf] = moving;
+  if (moving_type == FileType::kDirectory &&
+      src_ref.parent != dst_ref.parent) {
+    --node(src_ref.parent).nlink;
+    ++node(dst_ref.parent).nlink;
+  }
+  return Status::Ok();
+}
+
+Status ModelFs::link(std::string_view existing, std::string_view newpath) {
+  RAEFS_TRY(Ino target, resolve(existing));
+  if (node(target).type == FileType::kDirectory) return Errno::kIsDir;
+  if (node(target).nlink >= kMaxNlink) return Errno::kMLink;
+  RAEFS_TRY(ParentRef ref, resolve_parent(newpath));
+  if (!name_valid(ref.leaf)) {
+    return ref.leaf.size() > kMaxNameLen ? Errno::kNameTooLong : Errno::kInval;
+  }
+  Node& parent = node(ref.parent);
+  if (parent.children.count(ref.leaf)) return Errno::kExist;
+  parent.children[ref.leaf] = target;
+  ++node(target).nlink;
+  return Status::Ok();
+}
+
+Result<std::string> ModelFs::readlink(std::string_view path) {
+  RAEFS_TRY(Ino ino, resolve(path));
+  if (node(ino).type != FileType::kSymlink) return Errno::kInval;
+  return node(ino).target;
+}
+
+Result<std::vector<DirEntry>> ModelFs::readdir(std::string_view path) {
+  RAEFS_TRY(Ino ino, resolve(path));
+  if (node(ino).type != FileType::kDirectory) return Errno::kNotDir;
+  std::vector<DirEntry> out;
+  for (const auto& [name, child] : node(ino).children) {
+    DirEntry e;
+    e.ino = child;
+    e.type = node(child).type;
+    e.name = name;
+    out.push_back(std::move(e));
+  }
+  // children is a sorted map; entries come out name-ordered like BaseFs.
+  return out;
+}
+
+Result<StatResult> ModelFs::stat(std::string_view path) {
+  RAEFS_TRY(Ino ino, resolve(path));
+  const Node& n = node(ino);
+  return StatResult{ino, n.type, n.size, n.nlink, n.mode, n.gen};
+}
+
+Result<StatResult> ModelFs::stat_ino(Ino ino) {
+  if (ino < 1 || ino > inode_count_) return Errno::kInval;
+  auto it = nodes_.find(ino);
+  if (it == nodes_.end()) return Errno::kNoEnt;
+  const Node& n = it->second;
+  return StatResult{ino, n.type, n.size, n.nlink, n.mode, n.gen};
+}
+
+Result<std::vector<uint8_t>> ModelFs::read(Ino ino, uint64_t gen, FileOff off,
+                                           uint64_t len) {
+  if (ino < 1 || ino > inode_count_) return Errno::kInval;
+  auto it = nodes_.find(ino);
+  if (it == nodes_.end()) return Errno::kBadFd;
+  Node& n = it->second;
+  if (gen != 0 && gen != n.gen) return Errno::kBadFd;
+  if (n.type == FileType::kDirectory) return Errno::kIsDir;
+  if (n.type == FileType::kSymlink) {
+    // Matches the base: reading a symlink ino returns its target bytes.
+    if (off >= n.size) return std::vector<uint8_t>{};
+    len = std::min<uint64_t>(len, n.size - off);
+    return std::vector<uint8_t>(n.target.begin() + static_cast<ptrdiff_t>(off),
+                                n.target.begin() +
+                                    static_cast<ptrdiff_t>(off + len));
+  }
+  if (off >= n.size) return std::vector<uint8_t>{};
+  len = std::min<uint64_t>(len, n.size - off);
+  std::vector<uint8_t> out(len, 0);
+  if (off < n.data.size()) {
+    uint64_t have = std::min<uint64_t>(len, n.data.size() - off);
+    std::memcpy(out.data(), n.data.data() + off, have);
+  }
+  return out;
+}
+
+Result<uint64_t> ModelFs::write(Ino ino, uint64_t gen, FileOff off,
+                                std::span<const uint8_t> data) {
+  if (ino < 1 || ino > inode_count_) return Errno::kInval;
+  if (off + data.size() > kMaxFileSize) return Errno::kFBig;
+  auto it = nodes_.find(ino);
+  if (it == nodes_.end()) return Errno::kBadFd;
+  Node& n = it->second;
+  if (gen != 0 && gen != n.gen) return Errno::kBadFd;
+  if (n.type != FileType::kRegular) return Errno::kIsDir;
+
+  if (off + data.size() > n.data.size()) n.data.resize(off + data.size(), 0);
+  std::memcpy(n.data.data() + off, data.data(), data.size());
+  n.size = std::max<uint64_t>(n.size, off + data.size());
+  return data.size();
+}
+
+Status ModelFs::truncate(Ino ino, uint64_t gen, uint64_t new_size) {
+  if (ino < 1 || ino > inode_count_) return Errno::kInval;
+  if (new_size > kMaxFileSize) return Errno::kFBig;
+  auto it = nodes_.find(ino);
+  if (it == nodes_.end()) return Errno::kBadFd;
+  Node& n = it->second;
+  if (gen != 0 && gen != n.gen) return Errno::kBadFd;
+  if (n.type != FileType::kRegular) return Errno::kIsDir;
+  if (new_size < n.data.size()) n.data.resize(new_size);
+  n.size = new_size;
+  return Status::Ok();
+}
+
+}  // namespace raefs

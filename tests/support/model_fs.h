@@ -1,0 +1,84 @@
+// ModelFs: an independent in-memory reference filesystem used as the
+// differential-testing oracle (paper §4.3: "testing is necessary before
+// using the shadow... using the base as a reference"). It is the third
+// implementation of the raefs semantics -- structured completely
+// differently from both BaseFs (no blocks, no caches, no journal) and
+// ShadowFs (no disk at all) -- so agreement between all three is strong
+// evidence each is right.
+//
+// Policy mirroring: inode numbers are allocated with the same hint-based
+// first-fit the base uses, and generations bump on reuse, so even the
+// paper's "policy decisions" (assigned inode numbers) can be cross-checked
+// exactly, not just structurally.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "basefs/base_fs.h"  // StatResult
+#include "common/result.h"
+#include "format/dirent.h"
+
+namespace raefs {
+
+class ModelFs {
+ public:
+  /// `inode_count` bounds inode allocation like a real image does.
+  explicit ModelFs(uint64_t inode_count = 1024);
+
+  Result<Ino> lookup(std::string_view path);
+  Result<Ino> create(std::string_view path, uint16_t mode);
+  Result<Ino> mkdir(std::string_view path, uint16_t mode);
+  Status unlink(std::string_view path);
+  Status rmdir(std::string_view path);
+  Status rename(std::string_view src, std::string_view dst);
+  Status link(std::string_view existing, std::string_view newpath);
+  Result<Ino> symlink(std::string_view linkpath, std::string_view target);
+  Result<std::string> readlink(std::string_view path);
+  Result<std::vector<DirEntry>> readdir(std::string_view path);
+  Result<StatResult> stat(std::string_view path);
+  Result<StatResult> stat_ino(Ino ino);
+  Result<std::vector<uint8_t>> read(Ino ino, uint64_t gen, FileOff off,
+                                    uint64_t len);
+  Result<uint64_t> write(Ino ino, uint64_t gen, FileOff off,
+                         std::span<const uint8_t> data);
+  Status truncate(Ino ino, uint64_t gen, uint64_t new_size);
+  Status fsync(Ino ino) { (void)ino; return Status::Ok(); }
+  Status sync() { return Status::Ok(); }
+
+  size_t live_inodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    FileType type = FileType::kNone;
+    uint16_t mode = 0;
+    uint32_t nlink = 0;
+    uint64_t gen = 0;
+    uint64_t size = 0;
+    std::vector<uint8_t> data;                // regular file content
+    std::string target;                       // symlink target
+    std::map<std::string, Ino> children;      // directory entries
+  };
+
+  Result<Ino> resolve(std::string_view path);
+  struct ParentRef {
+    Ino parent;
+    std::string leaf;
+  };
+  Result<ParentRef> resolve_parent(std::string_view path);
+  Result<Ino> alloc_ino();
+  Node& node(Ino ino) { return nodes_.at(ino); }
+  Result<Ino> create_common(std::string_view path, uint16_t mode,
+                            FileType type, std::string_view target);
+  void drop_if_unlinked(Ino ino);
+
+  uint64_t inode_count_;
+  std::map<Ino, Node> nodes_;
+  std::map<Ino, uint64_t> generations_;  // persists across reuse
+  uint64_t alloc_hint_ = 0;              // 0-based index hint, like BaseFs
+};
+
+}  // namespace raefs

@@ -1,0 +1,237 @@
+// Edge-case and property sweeps for the base filesystem's data path:
+// parameterized write/read/truncate boundaries across the direct /
+// indirect / double-indirect transitions, tail-zeroing on shrink-regrow,
+// hole patterns, and full block-accounting round trips.
+#include <gtest/gtest.h>
+
+#include "fsck/fsck.h"
+#include "tests/support/fixtures.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_fs;
+using testing_support::pattern_bytes;
+using testing_support::TestFsOptions;
+
+TestFsOptions big_fs() {
+  TestFsOptions opts;
+  opts.total_blocks = 32768;  // 128 MiB: room for dindirect experiments
+  opts.inode_count = 512;
+  return opts;
+}
+
+// Byte offsets that straddle every mapping-structure transition.
+constexpr FileOff kDirectEnd = 12ull * kBlockSize;                  // 48 KiB
+constexpr FileOff kIndirectEnd = (12ull + 512) * kBlockSize;        // 2 MiB
+constexpr FileOff kBoundaries[] = {
+    0,
+    kBlockSize - 1,
+    kBlockSize,
+    kDirectEnd - 1,
+    kDirectEnd,
+    kDirectEnd + 1,
+    kIndirectEnd - kBlockSize - 1,
+    kIndirectEnd - 1,
+    kIndirectEnd,
+    kIndirectEnd + kBlockSize + 17,
+};
+
+class BoundaryWriteTest : public ::testing::TestWithParam<FileOff> {};
+
+TEST_P(BoundaryWriteTest, WriteReadRoundTripAcrossBoundary) {
+  auto t = make_test_fs(big_fs());
+  auto ino = t.fs->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  FileOff off = GetParam();
+  auto data = pattern_bytes(3 * kBlockSize,
+                            static_cast<uint8_t>(off % 251));
+  auto written = t.fs->write(ino.value(), 0, off, data);
+  ASSERT_TRUE(written.ok());
+  ASSERT_EQ(written.value(), data.size());
+  EXPECT_EQ(t.fs->stat("/f").value().size, off + data.size());
+
+  auto back = t.fs->read(ino.value(), 0, off, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+
+  // Bytes before the write are a hole and must read zero.
+  if (off >= 16) {
+    auto hole = t.fs->read(ino.value(), 0, off - 16, 16);
+    ASSERT_TRUE(hole.ok());
+    EXPECT_EQ(hole.value(), std::vector<uint8_t>(16, 0));
+  }
+
+  // And everything survives an unmount/remount round trip.
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto fs2 = BaseFs::mount(t.device.get(), BaseFsOptions{}, t.clock);
+  ASSERT_TRUE(fs2.ok());
+  auto persisted = fs2.value()->read(ino.value(), 0, off, data.size());
+  ASSERT_TRUE(persisted.ok());
+  EXPECT_EQ(persisted.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBoundaries, BoundaryWriteTest,
+                         ::testing::ValuesIn(kBoundaries));
+
+class BoundaryTruncateTest : public ::testing::TestWithParam<FileOff> {};
+
+TEST_P(BoundaryTruncateTest, ShrinkToBoundaryFreesAndZeroes) {
+  auto t = make_test_fs(big_fs());
+  auto ino = t.fs->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  FileOff boundary = GetParam();
+  FileOff total = boundary + 2 * kBlockSize;
+  // Fill [boundary - 1 block, total) with data so the shrink cuts content.
+  FileOff fill_from = boundary >= kBlockSize ? boundary - kBlockSize : 0;
+  auto data = pattern_bytes(total - fill_from, 7);
+  ASSERT_TRUE(t.fs->write(ino.value(), 0, fill_from, data).ok());
+  uint64_t free_before = t.fs->free_blocks();
+
+  ASSERT_TRUE(t.fs->truncate(ino.value(), 0, boundary).ok());
+  EXPECT_EQ(t.fs->stat("/f").value().size, boundary);
+  EXPECT_GE(t.fs->free_blocks(), free_before);
+
+  // Regrow: the cut range must be zero, the kept prefix intact.
+  ASSERT_TRUE(t.fs->truncate(ino.value(), 0, total).ok());
+  if (boundary > fill_from) {
+    auto kept = t.fs->read(ino.value(), 0, fill_from, boundary - fill_from);
+    ASSERT_TRUE(kept.ok());
+    EXPECT_TRUE(std::equal(kept.value().begin(), kept.value().end(),
+                           data.begin()));
+  }
+  auto zeroed = t.fs->read(ino.value(), 0, boundary, total - boundary);
+  ASSERT_TRUE(zeroed.ok());
+  for (size_t i = 0; i < zeroed.value().size(); ++i) {
+    ASSERT_EQ(zeroed.value()[i], 0) << "at " << boundary + i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBoundaries, BoundaryTruncateTest,
+                         ::testing::ValuesIn(kBoundaries));
+
+TEST(BaseFsEdge, FullBlockAccountingRoundTrip) {
+  // Allocate deep into the double-indirect range, then delete: every
+  // single block (data + indirect + dindirect + L1s) must come back.
+  auto t = make_test_fs(big_fs());
+  ASSERT_TRUE(t.fs->create("/warmup", 0644).ok());  // root dir block
+  uint64_t free_before = t.fs->free_blocks();
+  auto ino = t.fs->create("/deep", 0644);
+  ASSERT_TRUE(ino.ok());
+  // Sparse touches: one write per region, several L1 blocks.
+  const FileOff touch_points[] = {0, kDirectEnd, kIndirectEnd,
+                                  kIndirectEnd + 600ull * kBlockSize};
+  for (FileOff off : touch_points) {
+    ASSERT_TRUE(t.fs->write(ino.value(), 0, off, pattern_bytes(100)).ok());
+  }
+  EXPECT_LT(t.fs->free_blocks(), free_before);
+  ASSERT_TRUE(t.fs->unlink("/deep").ok());
+  EXPECT_EQ(t.fs->free_blocks(), free_before);
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST(BaseFsEdge, MaxFileSizeEnforced) {
+  auto t = make_test_fs(big_fs());
+  auto ino = t.fs->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  EXPECT_EQ(
+      t.fs->write(ino.value(), 0, kMaxFileSize - 1, pattern_bytes(2)).error(),
+      Errno::kFBig);
+  EXPECT_EQ(t.fs->truncate(ino.value(), 0, kMaxFileSize + 1).error(),
+            Errno::kFBig);
+  // Exactly at the limit is fine (sparse; no space needed).
+  EXPECT_TRUE(t.fs->truncate(ino.value(), 0, kMaxFileSize).ok());
+  EXPECT_EQ(t.fs->stat("/f").value().size, kMaxFileSize);
+}
+
+TEST(BaseFsEdge, ZeroLengthOps) {
+  auto t = make_test_fs();
+  auto ino = t.fs->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  auto w = t.fs->write(ino.value(), 0, 100, {});
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), 0u);
+  EXPECT_EQ(t.fs->stat("/f").value().size, 0u);  // zero write extends nothing
+  auto r = t.fs->read(ino.value(), 0, 0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_TRUE(t.fs->truncate(ino.value(), 0, 0).ok());
+}
+
+TEST(BaseFsEdge, ReadBeyondEofClamps) {
+  auto t = make_test_fs();
+  auto ino = t.fs->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(t.fs->write(ino.value(), 0, 0, pattern_bytes(100)).ok());
+  auto r = t.fs->read(ino.value(), 0, 50, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 50u);
+  auto past = t.fs->read(ino.value(), 0, 100, 10);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past.value().empty());
+  auto far = t.fs->read(ino.value(), 0, 1u << 20, 10);
+  ASSERT_TRUE(far.ok());
+  EXPECT_TRUE(far.value().empty());
+}
+
+TEST(BaseFsEdge, OverwriteInPlaceKeepsBlockCount) {
+  auto t = make_test_fs();
+  auto ino = t.fs->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(t.fs->write(ino.value(), 0, 0, pattern_bytes(40000, 1)).ok());
+  uint64_t free_after_first = t.fs->free_blocks();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(
+        t.fs->write(ino.value(), 0, 0,
+                    pattern_bytes(40000, static_cast<uint8_t>(round))).ok());
+    EXPECT_EQ(t.fs->free_blocks(), free_after_first);
+  }
+}
+
+TEST(BaseFsEdge, DeepDirectoryTree) {
+  auto t = make_test_fs();
+  std::string path;
+  for (int depth = 0; depth < 30; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(t.fs->mkdir(path, 0755).ok()) << path;
+  }
+  ASSERT_TRUE(t.fs->create(path + "/leaf", 0644).ok());
+  EXPECT_TRUE(t.fs->lookup(path + "/leaf").ok());
+  // Tear it down leaf-first.
+  ASSERT_TRUE(t.fs->unlink(path + "/leaf").ok());
+  for (int depth = 29; depth >= 0; --depth) {
+    ASSERT_TRUE(t.fs->rmdir(path).ok()) << path;
+    auto cut = path.find_last_of('/');
+    path.resize(cut);
+  }
+  EXPECT_TRUE(t.fs->readdir("/").value().empty());
+}
+
+TEST(BaseFsEdge, ManyFilesInManyDirs) {
+  TestFsOptions opts;
+  opts.total_blocks = 16384;
+  opts.inode_count = 2048;
+  auto t = make_test_fs(opts);
+  for (int d = 0; d < 8; ++d) {
+    std::string dir = "/dir" + std::to_string(d);
+    ASSERT_TRUE(t.fs->mkdir(dir, 0755).ok());
+    for (int f = 0; f < 100; ++f) {
+      ASSERT_TRUE(t.fs->create(dir + "/f" + std::to_string(f), 0644).ok());
+    }
+  }
+  for (int d = 0; d < 8; ++d) {
+    auto listing = t.fs->readdir("/dir" + std::to_string(d));
+    ASSERT_TRUE(listing.ok());
+    EXPECT_EQ(listing.value().size(), 100u);
+  }
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+}  // namespace
+}  // namespace raefs

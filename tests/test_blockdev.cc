@@ -1,0 +1,236 @@
+// Block-device substrate tests: memory device semantics, volatile-cache
+// crash behaviour, fault injection, read-only shadow view, async layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "blockdev/async_device.h"
+#include "blockdev/fault_device.h"
+#include "blockdev/file_device.h"
+#include "blockdev/mem_device.h"
+#include "common/panic.h"
+
+namespace raefs {
+namespace {
+
+std::vector<uint8_t> filled(uint8_t b) {
+  return std::vector<uint8_t>(kBlockSize, b);
+}
+
+TEST(MemDevice, ReadBackWhatWasWritten) {
+  MemBlockDevice dev(16);
+  ASSERT_TRUE(dev.write_block(3, filled(0x42)).ok());
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(3, out).ok());
+  EXPECT_EQ(out, filled(0x42));
+}
+
+TEST(MemDevice, FreshDeviceIsZero) {
+  MemBlockDevice dev(4);
+  std::vector<uint8_t> out(kBlockSize, 0xFF);
+  ASSERT_TRUE(dev.read_block(0, out).ok());
+  EXPECT_EQ(out, filled(0));
+}
+
+TEST(MemDevice, BoundsAndSizeChecks) {
+  MemBlockDevice dev(4);
+  std::vector<uint8_t> out(kBlockSize);
+  EXPECT_EQ(dev.read_block(4, out).error(), Errno::kInval);
+  std::vector<uint8_t> small(16);
+  EXPECT_EQ(dev.read_block(0, small).error(), Errno::kInval);
+  EXPECT_EQ(dev.write_block(4, filled(1)).error(), Errno::kInval);
+}
+
+TEST(MemDevice, CrashDropsUnflushedWrites) {
+  MemBlockDevice dev(8);
+  ASSERT_TRUE(dev.write_block(1, filled(0x11)).ok());
+  ASSERT_TRUE(dev.flush().ok());
+  ASSERT_TRUE(dev.write_block(1, filled(0x22)).ok());
+  ASSERT_TRUE(dev.write_block(2, filled(0x33)).ok());
+  EXPECT_EQ(dev.volatile_blocks(), 2u);
+
+  dev.crash();
+  EXPECT_EQ(dev.volatile_blocks(), 0u);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(1, out).ok());
+  EXPECT_EQ(out, filled(0x11));  // flushed version survived
+  ASSERT_TRUE(dev.read_block(2, out).ok());
+  EXPECT_EQ(out, filled(0x00));  // unflushed write lost
+}
+
+TEST(MemDevice, CrashWithPartialSurvival) {
+  MemBlockDevice dev(64);
+  for (BlockNo b = 0; b < 64; ++b) {
+    ASSERT_TRUE(dev.write_block(b, filled(0x77)).ok());
+  }
+  Rng rng(9);
+  dev.crash(&rng, 0.5);
+  int survived = 0;
+  std::vector<uint8_t> out(kBlockSize);
+  for (BlockNo b = 0; b < 64; ++b) {
+    ASSERT_TRUE(dev.read_block(b, out).ok());
+    if (out == filled(0x77)) ++survived;
+  }
+  EXPECT_GT(survived, 10);
+  EXPECT_LT(survived, 54);
+}
+
+TEST(MemDevice, LatencyChargesClock) {
+  auto clock = make_clock();
+  LatencyModel lat;
+  lat.read_ns = 10;
+  lat.write_ns = 20;
+  lat.flush_ns = 100;
+  MemBlockDevice dev(4, clock, lat);
+  std::vector<uint8_t> out(kBlockSize);
+  (void)dev.read_block(0, out);
+  (void)dev.write_block(0, filled(1));
+  (void)dev.flush();
+  EXPECT_EQ(clock->now(), 130u);
+}
+
+TEST(MemDevice, StatsCount) {
+  MemBlockDevice dev(4);
+  std::vector<uint8_t> out(kBlockSize);
+  (void)dev.read_block(0, out);
+  (void)dev.read_block(1, out);
+  (void)dev.write_block(0, filled(1));
+  (void)dev.flush();
+  EXPECT_EQ(dev.stats().reads.load(), 2u);
+  EXPECT_EQ(dev.stats().writes.load(), 1u);
+  EXPECT_EQ(dev.stats().flushes.load(), 1u);
+}
+
+TEST(MemDevice, CloneFullIncludesVolatile) {
+  MemBlockDevice dev(4);
+  ASSERT_TRUE(dev.write_block(2, filled(0x9A)).ok());  // unflushed
+  auto copy = dev.clone_full();
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(copy->read_block(2, out).ok());
+  EXPECT_EQ(out, filled(0x9A));
+}
+
+TEST(ReadOnlyDevice, RefusesWritesWithShadowCheck) {
+  MemBlockDevice inner(4);
+  ReadOnlyDevice ro(&inner);
+  std::vector<uint8_t> out(kBlockSize);
+  EXPECT_TRUE(ro.read_block(0, out).ok());
+  EXPECT_THROW((void)ro.write_block(0, filled(1)), ShadowCheckError);
+  EXPECT_THROW((void)ro.flush(), ShadowCheckError);
+  EXPECT_EQ(ro.refused_writes(), 2u);
+}
+
+TEST(FaultDevice, InjectsReadErrors) {
+  MemBlockDevice inner(4);
+  FaultDeviceConfig config;
+  config.read_error_prob = 1.0;
+  FaultBlockDevice dev(&inner, config);
+  std::vector<uint8_t> out(kBlockSize);
+  EXPECT_EQ(dev.read_block(0, out).error(), Errno::kIo);
+  EXPECT_EQ(dev.injected_read_errors(), 1u);
+  dev.disarm();
+  EXPECT_TRUE(dev.read_block(0, out).ok());
+}
+
+TEST(FaultDevice, SilentCorruptionFlipsOneBit) {
+  MemBlockDevice inner(4);
+  ASSERT_TRUE(inner.write_block(0, filled(0x00)).ok());
+  FaultDeviceConfig config;
+  config.read_corrupt_prob = 1.0;
+  FaultBlockDevice dev(&inner, config);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(0, out).ok());  // "succeeds" -- silently wrong
+  int bits = 0;
+  for (uint8_t b : out) bits += __builtin_popcount(b);
+  EXPECT_EQ(bits, 1);
+  EXPECT_EQ(dev.injected_corruptions(), 1u);
+}
+
+TEST(FaultDevice, WriteErrors) {
+  MemBlockDevice inner(4);
+  FaultDeviceConfig config;
+  config.write_error_prob = 1.0;
+  FaultBlockDevice dev(&inner, config);
+  EXPECT_EQ(dev.write_block(0, filled(1)).error(), Errno::kIo);
+  EXPECT_EQ(dev.injected_write_errors(), 1u);
+}
+
+TEST(AsyncDevice, CompletesReadsAndWrites) {
+  MemBlockDevice inner(8);
+  AsyncBlockDevice async(&inner, 2);
+  std::atomic<int> completions{0};
+
+  async.submit_write(3, filled(0x5C), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    ++completions;
+  });
+  async.drain();
+
+  async.submit_read(3, [&](Status st, std::vector<uint8_t> data) {
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(data, filled(0x5C));
+    ++completions;
+  });
+  async.drain();
+  EXPECT_EQ(completions.load(), 2);
+  EXPECT_EQ(async.pending(), 0u);
+}
+
+TEST(AsyncDevice, FlushIsABarrier) {
+  MemBlockDevice inner(64);
+  AsyncBlockDevice async(&inner, 4);
+  std::atomic<bool> flush_done{false};
+  std::atomic<int> writes_before_flush{0};
+
+  for (BlockNo b = 0; b < 32; ++b) {
+    async.submit_write(b, filled(1), [&](Status) {
+      EXPECT_FALSE(flush_done.load());
+      ++writes_before_flush;
+    });
+  }
+  async.submit_flush([&](Status st) {
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(writes_before_flush.load(), 32);
+    flush_done = true;
+  });
+  async.drain();
+  EXPECT_TRUE(flush_done.load());
+  EXPECT_EQ(inner.volatile_blocks(), 0u);
+}
+
+TEST(AsyncDevice, ManyConcurrentRequests) {
+  MemBlockDevice inner(256);
+  AsyncBlockDevice async(&inner, 4);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 4; ++round) {
+    for (BlockNo b = 0; b < 256; ++b) {
+      async.submit_write(b, filled(static_cast<uint8_t>(round)),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           ++done;
+                         });
+    }
+  }
+  async.drain();
+  EXPECT_EQ(done.load(), 1024);
+}
+
+TEST(FileDevice, RoundTripsThroughDisk) {
+  std::string path = ::testing::TempDir() + "/raefs_filedev_test.img";
+  {
+    FileBlockDevice dev(path, 8);
+    ASSERT_TRUE(dev.write_block(5, filled(0xEE)).ok());
+    ASSERT_TRUE(dev.flush().ok());
+  }
+  {
+    FileBlockDevice dev(path, 8);
+    std::vector<uint8_t> out(kBlockSize);
+    ASSERT_TRUE(dev.read_block(5, out).ok());
+    EXPECT_EQ(out, filled(0xEE));
+  }
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,152 @@
+// Bug-study tests: the corpus + classification pipeline must reproduce
+// the paper's Table 1 exactly and Figure 1's deterministic-by-year shape.
+#include <gtest/gtest.h>
+
+#include "bugstudy/bugstudy.h"
+
+namespace raefs {
+namespace bugstudy {
+namespace {
+
+TEST(BugStudy, CorpusHas256Bugs) {
+  EXPECT_EQ(ext4_corpus().size(), 256u);
+}
+
+TEST(BugStudy, CorpusIsDeterministic) {
+  const auto& a = ext4_corpus();
+  const auto& b = ext4_corpus();
+  ASSERT_EQ(&a, &b);  // single generation
+  EXPECT_EQ(a[0].id, 1);
+  EXPECT_EQ(a.back().id, 256);
+}
+
+TEST(BugStudy, Table1MatchesPaperExactly) {
+  auto table = build_table1(ext4_corpus());
+  auto cell = [&](StudyDeterminism d, StudyConsequence c) {
+    return table.counts[static_cast<size_t>(d)][static_cast<size_t>(c)];
+  };
+  // Paper Table 1, row by row.
+  EXPECT_EQ(cell(StudyDeterminism::kDeterministic,
+                 StudyConsequence::kNoCrash), 68u);
+  EXPECT_EQ(cell(StudyDeterminism::kDeterministic, StudyConsequence::kCrash),
+            78u);
+  EXPECT_EQ(cell(StudyDeterminism::kDeterministic, StudyConsequence::kWarn),
+            11u);
+  EXPECT_EQ(cell(StudyDeterminism::kDeterministic,
+                 StudyConsequence::kUnknown), 8u);
+  EXPECT_EQ(table.row_total(StudyDeterminism::kDeterministic), 165u);
+
+  EXPECT_EQ(cell(StudyDeterminism::kNonDeterministic,
+                 StudyConsequence::kNoCrash), 31u);
+  EXPECT_EQ(cell(StudyDeterminism::kNonDeterministic,
+                 StudyConsequence::kCrash), 26u);
+  EXPECT_EQ(cell(StudyDeterminism::kNonDeterministic,
+                 StudyConsequence::kWarn), 19u);
+  EXPECT_EQ(cell(StudyDeterminism::kNonDeterministic,
+                 StudyConsequence::kUnknown), 7u);
+  EXPECT_EQ(table.row_total(StudyDeterminism::kNonDeterministic), 83u);
+
+  EXPECT_EQ(cell(StudyDeterminism::kUnknown, StudyConsequence::kNoCrash), 5u);
+  EXPECT_EQ(cell(StudyDeterminism::kUnknown, StudyConsequence::kCrash), 2u);
+  EXPECT_EQ(cell(StudyDeterminism::kUnknown, StudyConsequence::kWarn), 1u);
+  EXPECT_EQ(cell(StudyDeterminism::kUnknown, StudyConsequence::kUnknown), 0u);
+  EXPECT_EQ(table.row_total(StudyDeterminism::kUnknown), 8u);
+
+  EXPECT_EQ(table.total(), 256u);
+}
+
+TEST(BugStudy, Figure1CoversStudyYearsAndSums) {
+  auto fig = build_figure1(ext4_corpus());
+  ASSERT_EQ(fig.size(), 11u);  // 2013..2023
+  EXPECT_EQ(fig.begin()->first, 2013);
+  EXPECT_EQ(fig.rbegin()->first, 2023);
+
+  uint64_t total = 0;
+  for (const auto& [year, counts] : fig) {
+    for (uint64_t c : counts) total += c;
+  }
+  EXPECT_EQ(total, 165u);  // all deterministic bugs, nothing else
+}
+
+TEST(BugStudy, Figure1ShowsRisingTrendPeaking2022) {
+  auto fig = build_figure1(ext4_corpus());
+  auto year_total = [&](int year) {
+    uint64_t total = 0;
+    for (uint64_t c : fig.at(year)) total += c;
+    return total;
+  };
+  // The paper's observation: more bugs fixed in recent years.
+  EXPECT_LT(year_total(2013), year_total(2019));
+  EXPECT_LT(year_total(2019), year_total(2022));
+  // 2022 is the tallest bar.
+  for (const auto& [year, counts] : fig) {
+    (void)counts;
+    EXPECT_LE(year_total(year), year_total(2022));
+  }
+  EXPECT_LE(year_total(2022), 30u);  // figure's y-axis tops at 30
+}
+
+TEST(BugStudy, ClassifierRulesMatchMethodology) {
+  BugRecord with_repro;
+  with_repro.repro = ReproStatus::kYes;
+  EXPECT_EQ(classify_determinism(with_repro),
+            StudyDeterminism::kDeterministic);
+
+  BugRecord no_repro = with_repro;
+  no_repro.repro = ReproStatus::kNo;
+  EXPECT_EQ(classify_determinism(no_repro),
+            StudyDeterminism::kNonDeterministic);
+
+  BugRecord io_bug = with_repro;
+  io_bug.io_interaction = true;
+  EXPECT_EQ(classify_determinism(io_bug),
+            StudyDeterminism::kNonDeterministic);
+
+  BugRecord race = with_repro;
+  race.threading = true;
+  EXPECT_EQ(classify_determinism(race), StudyDeterminism::kNonDeterministic);
+
+  BugRecord unknown;
+  unknown.repro = ReproStatus::kUnknown;
+  EXPECT_EQ(classify_determinism(unknown), StudyDeterminism::kUnknown);
+}
+
+TEST(BugStudy, ConsequenceKeywordRules) {
+  BugRecord rec;
+  rec.symptoms = "kernel BUG at fs/ext4/inode.c";
+  EXPECT_EQ(classify_consequence(rec), StudyConsequence::kCrash);
+  rec.symptoms = "WARN_ON_ONCE hit during writeback";
+  EXPECT_EQ(classify_consequence(rec), StudyConsequence::kWarn);
+  rec.symptoms = "data corruption after collapse range";
+  EXPECT_EQ(classify_consequence(rec), StudyConsequence::kNoCrash);
+  rec.symptoms = "";
+  EXPECT_EQ(classify_consequence(rec), StudyConsequence::kUnknown);
+}
+
+TEST(BugStudy, RenderersProduceReadableOutput) {
+  auto table = build_table1(ext4_corpus());
+  auto rendered = table.render();
+  EXPECT_NE(rendered.find("Deterministic"), std::string::npos);
+  EXPECT_NE(rendered.find("165"), std::string::npos);
+  EXPECT_NE(rendered.find("Total: 256"), std::string::npos);
+
+  auto fig = render_figure1(build_figure1(ext4_corpus()));
+  EXPECT_NE(fig.find("2013"), std::string::npos);
+  EXPECT_NE(fig.find("2023"), std::string::npos);
+}
+
+TEST(BugStudy, CrashPlusWarnDeterministicMatchesPaperClaim) {
+  // Paper: "a significant portion cause crashes or warnings that are
+  // detected as runtime errors (89/165)".
+  auto table = build_table1(ext4_corpus());
+  uint64_t detected =
+      table.counts[static_cast<size_t>(StudyDeterminism::kDeterministic)]
+                  [static_cast<size_t>(StudyConsequence::kCrash)] +
+      table.counts[static_cast<size_t>(StudyDeterminism::kDeterministic)]
+                  [static_cast<size_t>(StudyConsequence::kWarn)];
+  EXPECT_EQ(detected, 89u);
+}
+
+}  // namespace
+}  // namespace bugstudy
+}  // namespace raefs

@@ -1,0 +1,216 @@
+// Cache-layer tests: block cache (read-through, dirty pinning, eviction),
+// inode cache, dentry cache (positive/negative entries, invalidation).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "blockdev/mem_device.h"
+#include "cache/block_cache.h"
+#include "cache/dentry_cache.h"
+#include "cache/inode_cache.h"
+
+namespace raefs {
+namespace {
+
+std::vector<uint8_t> filled(uint8_t b) {
+  return std::vector<uint8_t>(kBlockSize, b);
+}
+
+TEST(BlockCache, ReadThroughAndHitCounting) {
+  MemBlockDevice dev(16);
+  ASSERT_TRUE(dev.write_block(2, filled(0x42)).ok());
+  BlockCache cache(&dev, 8);
+
+  auto first = cache.read(2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), filled(0x42));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto second = cache.read(2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(dev.stats().reads.load(), 1u);  // hit served from cache
+}
+
+TEST(BlockCache, WriteIsCachedNotDeviceVisible) {
+  MemBlockDevice dev(16);
+  BlockCache cache(&dev, 8);
+  ASSERT_TRUE(cache.write(5, filled(0x77)).ok());
+  EXPECT_EQ(cache.dirty_blocks(), 1u);
+
+  // Device still has zeros: write-back is the owner's job.
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(5, out).ok());
+  EXPECT_EQ(out, filled(0));
+
+  auto cached = cache.read(5);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached.value(), filled(0x77));
+}
+
+TEST(BlockCache, ModifyMarksDirty) {
+  MemBlockDevice dev(16);
+  BlockCache cache(&dev, 8);
+  ASSERT_TRUE(cache.modify(3, [](std::span<uint8_t> data) {
+    data[0] = 0xEE;
+  }).ok());
+  EXPECT_EQ(cache.dirty_blocks(), 1u);
+  auto snapshot = cache.dirty_snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, 3u);
+  EXPECT_EQ(snapshot[0].second[0], 0xEE);
+}
+
+TEST(BlockCache, MarkCleanAndDropAll) {
+  MemBlockDevice dev(16);
+  BlockCache cache(&dev, 8);
+  ASSERT_TRUE(cache.write(1, filled(1)).ok());
+  ASSERT_TRUE(cache.write(2, filled(2)).ok());
+  BlockNo blocks[] = {1};
+  cache.mark_clean(blocks);
+  EXPECT_EQ(cache.dirty_blocks(), 1u);
+  cache.drop_all();
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+  EXPECT_EQ(cache.dirty_blocks(), 0u);
+}
+
+TEST(BlockCache, EvictionSkipsDirtyBlocks) {
+  MemBlockDevice dev(256);
+  BlockCache cache(&dev, 8, /*shards=*/1);
+  // Dirty blocks must be pinned even under pressure.
+  for (BlockNo b = 0; b < 4; ++b) {
+    ASSERT_TRUE(cache.write(b, filled(static_cast<uint8_t>(b))).ok());
+  }
+  for (BlockNo b = 4; b < 200; ++b) {
+    ASSERT_TRUE(cache.read(b).ok());
+  }
+  EXPECT_EQ(cache.dirty_blocks(), 4u);  // none evicted
+  auto dirty = cache.dirty_snapshot();
+  for (BlockNo b = 0; b < 4; ++b) {
+    EXPECT_EQ(dirty[b].second, filled(static_cast<uint8_t>(b)));
+  }
+  // Clean blocks did get evicted: the cache stayed near capacity.
+  EXPECT_LT(cache.cached_blocks(), 32u);
+}
+
+TEST(BlockCache, DirtySnapshotIsSorted) {
+  MemBlockDevice dev(64);
+  BlockCache cache(&dev, 32);
+  for (BlockNo b : {17u, 3u, 42u, 8u}) {
+    ASSERT_TRUE(cache.write(b, filled(1)).ok());
+  }
+  auto dirty = cache.dirty_snapshot();
+  ASSERT_EQ(dirty.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(dirty.begin(), dirty.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             }));
+}
+
+TEST(BlockCache, ConcurrentMixedAccess) {
+  MemBlockDevice dev(512);
+  BlockCache cache(&dev, 128);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        BlockNo b = static_cast<BlockNo>((t * 131 + i) % 512);
+        if (i % 3 == 0) {
+          (void)cache.modify(b, [](std::span<uint8_t> d) { d[0]++; });
+        } else {
+          (void)cache.read(b);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(cache.cached_blocks(), 0u);
+}
+
+TEST(InodeCache, PutGetEraseDirty) {
+  InodeCache cache;
+  EXPECT_FALSE(cache.get(5).has_value());
+
+  DiskInode n;
+  n.type = FileType::kRegular;
+  n.nlink = 1;
+  n.size = 99;
+  cache.put(5, n, /*dirty=*/false);
+  auto got = cache.get(5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size, 99u);
+  EXPECT_TRUE(cache.dirty_snapshot().empty());
+
+  n.size = 100;
+  cache.put(5, n, /*dirty=*/true);
+  auto dirty = cache.dirty_snapshot();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].second.size, 100u);
+
+  cache.mark_clean(5);
+  EXPECT_TRUE(cache.dirty_snapshot().empty());
+  cache.erase(5);
+  EXPECT_FALSE(cache.get(5).has_value());
+}
+
+TEST(InodeCache, DirtyStickyAcrossCleanPut) {
+  InodeCache cache;
+  DiskInode n;
+  n.type = FileType::kRegular;
+  n.nlink = 1;
+  cache.put(9, n, /*dirty=*/true);
+  cache.put(9, n, /*dirty=*/false);  // must not lose dirtiness
+  EXPECT_EQ(cache.dirty_snapshot().size(), 1u);
+}
+
+TEST(DentryCache, PositiveNegativeAndInvalidate) {
+  DentryCache cache(64);
+  EXPECT_FALSE(cache.lookup(1, "a").has_value());
+
+  cache.insert(1, "a", 5, FileType::kRegular);
+  auto hit = cache.lookup(1, "a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ino, 5u);
+  EXPECT_FALSE(hit->negative());
+
+  cache.insert_negative(1, "gone");
+  auto neg = cache.lookup(1, "gone");
+  ASSERT_TRUE(neg.has_value());
+  EXPECT_TRUE(neg->negative());
+
+  cache.invalidate(1, "a");
+  EXPECT_FALSE(cache.lookup(1, "a").has_value());
+}
+
+TEST(DentryCache, InvalidateDirRemovesAllChildren) {
+  DentryCache cache(64);
+  cache.insert(7, "x", 10, FileType::kRegular);
+  cache.insert(7, "y", 11, FileType::kRegular);
+  cache.insert(8, "z", 12, FileType::kRegular);
+  cache.invalidate_dir(7);
+  EXPECT_FALSE(cache.lookup(7, "x").has_value());
+  EXPECT_FALSE(cache.lookup(7, "y").has_value());
+  EXPECT_TRUE(cache.lookup(8, "z").has_value());
+}
+
+TEST(DentryCache, EvictsUnderPressure) {
+  DentryCache cache(16, /*shards=*/1);
+  for (int i = 0; i < 100; ++i) {
+    cache.insert(1, "n" + std::to_string(i), static_cast<Ino>(i + 2),
+                 FileType::kRegular);
+  }
+  EXPECT_LE(cache.size(), 16u);
+  // The most recent entry survives.
+  EXPECT_TRUE(cache.lookup(1, "n99").has_value());
+}
+
+TEST(DentryCache, DropAll) {
+  DentryCache cache(64);
+  cache.insert(1, "a", 2, FileType::kDirectory);
+  cache.drop_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1, "a").has_value());
+}
+
+}  // namespace
+}  // namespace raefs

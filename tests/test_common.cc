@@ -1,0 +1,232 @@
+// Unit tests for the common substrate: Result, CRC32C, RNG, serialization,
+// stats, path normalization, panic/WARN machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/panic.h"
+#include "common/path.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/stats.h"
+
+namespace raefs {
+namespace {
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.error(), Errno::kOk);
+
+  Result<int> err(Errno::kNoEnt);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), Errno::kNoEnt);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(Result, StatusOkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  Status bad(Errno::kIo);
+  EXPECT_FALSE(bad.ok());
+}
+
+Result<int> try_helper(Result<int> in) {
+  RAEFS_TRY(int v, std::move(in));
+  return v + 1;
+}
+
+TEST(Result, TryMacroPropagates) {
+  EXPECT_EQ(try_helper(Result<int>(1)).value(), 2);
+  EXPECT_EQ(try_helper(Result<int>(Errno::kExist)).error(), Errno::kExist);
+}
+
+TEST(Checksum, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (standard check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(s, 9), 0xE3069283u);
+}
+
+TEST(Checksum, EmptyIsZero) { EXPECT_EQ(crc32c(nullptr, 0), 0u); }
+
+TEST(Checksum, SeedChaining) {
+  const char* s = "hello world";
+  uint32_t whole = crc32c(s, 11);
+  uint32_t part = crc32c(s, 5);
+  uint32_t chained = crc32c(s + 5, 6, part);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Checksum, DetectsBitFlip) {
+  std::vector<uint8_t> data(4096, 0xAA);
+  uint32_t before = crc32c(data.data(), data.size());
+  data[1234] ^= 0x01;
+  EXPECT_NE(before, crc32c(data.data(), data.size()));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  // Different seed diverges (overwhelmingly likely).
+  Rng a2(7);
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a2.next() != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    uint64_t v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Serial, RoundTripScalars) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.put_u8(0xAB);
+  enc.put_u16(0xCDEF);
+  enc.put_u32(0xDEADBEEF);
+  enc.put_u64(0x0123456789ABCDEFull);
+  enc.put_string("shadow");
+  enc.put_fixed("fs", 8);
+
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_u8(), 0xAB);
+  EXPECT_EQ(dec.get_u16(), 0xCDEF);
+  EXPECT_EQ(dec.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.get_string(), "shadow");
+  EXPECT_EQ(dec.get_fixed(8), "fs");
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(Serial, UnderrunSetsNotOk) {
+  std::vector<uint8_t> buf = {1, 2};
+  Decoder dec(buf);
+  dec.get_u64();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.get_u32(), 0u);  // poisoned reads return zero
+}
+
+TEST(Path, Normalization) {
+  auto p = split_path("/a//b/./c/../d");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(join_path(p.value()), "/a/b/d");
+  EXPECT_EQ(join_path(split_path("/").value()), "/");
+  EXPECT_EQ(join_path(split_path("/..").value()), "/");
+  EXPECT_FALSE(split_path("relative").ok());
+  EXPECT_FALSE(split_path("").ok());
+}
+
+TEST(Path, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 70; ++i) deep += "/d";
+  EXPECT_EQ(split_path(deep).error(), Errno::kNameTooLong);
+}
+
+TEST(Path, AncestorCheck) {
+  EXPECT_TRUE(path_is_ancestor("/a", "/a/b"));
+  EXPECT_TRUE(path_is_ancestor("/", "/a"));
+  EXPECT_FALSE(path_is_ancestor("/a", "/ab"));
+  EXPECT_FALSE(path_is_ancestor("/a/b", "/a"));
+  EXPECT_FALSE(path_is_ancestor("/a", "/a"));
+}
+
+TEST(Panic, FsPanicCarriesSite) {
+  try {
+    fs_panic(FaultSite{"test_fn", "boom", 42});
+    FAIL() << "should have thrown";
+  } catch (const FsPanicError& e) {
+    EXPECT_EQ(e.site().function, "test_fn");
+    EXPECT_EQ(e.site().bug_id, 42);
+  }
+}
+
+TEST(Panic, WarnSinkRecordsAndNotifies) {
+  WarnSink sink;
+  int notified = 0;
+  sink.set_observer([&](const WarnEvent& ev) {
+    ++notified;
+    EXPECT_GT(ev.seq, 0u);
+  });
+  sink.warn(FaultSite{"a", "x", 1});
+  sink.warn(FaultSite{"b", "y", 2});
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(notified, 2);
+  EXPECT_EQ(sink.events()[1].site.function, "b");
+  sink.clear();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(Panic, ShadowCheckThrows) {
+  EXPECT_THROW(SHADOW_CHECK(false, "must fail"), ShadowCheckError);
+  EXPECT_NO_THROW(SHADOW_CHECK(true, "fine"));
+}
+
+TEST(Clock, AdvanceIsMonotonic) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(100);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150u);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  LatencyHistogram h;
+  for (Nanos v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), 500.5, 1.0);
+  // Log buckets: quantiles are approximate, within a power of two.
+  EXPECT_LE(h.quantile(0.5), 1024u);
+  EXPECT_GE(h.quantile(0.99), 512u);
+}
+
+TEST(Stats, Availability) {
+  AvailabilityTracker t;
+  EXPECT_DOUBLE_EQ(t.availability(), 1.0);
+  t.record_up(900);
+  t.record_down(100);
+  EXPECT_DOUBLE_EQ(t.availability(), 0.9);
+  EXPECT_EQ(t.outages(), 1u);
+}
+
+TEST(Stats, FormatNanos) {
+  EXPECT_EQ(format_nanos(5), "5ns");
+  EXPECT_EQ(format_nanos(50 * kMicro), "50.0us");
+  EXPECT_EQ(format_nanos(12300 * kMicro), "12.3ms");
+  EXPECT_EQ(format_nanos(12 * kSecond), "12.00s");
+}
+
+TEST(Serial, HexdumpShape) {
+  std::vector<uint8_t> data = {'h', 'i', 0, 255};
+  auto dump = hexdump(data);
+  EXPECT_NE(dump.find("68 69 00 ff"), std::string::npos);
+  EXPECT_NE(dump.find("|hi..|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raefs

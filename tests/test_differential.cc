@@ -1,0 +1,188 @@
+// Differential / property tests (paper §4.3: test the shadow against a
+// reference over large op volumes and report discrepancies).
+//
+// Three-way agreement under parameter sweeps:
+//   - BaseFs vs ModelFs on identical op streams (no faults);
+//   - RAE-supervised BaseFs vs ModelFs with deterministic + transient
+//     bugs firing throughout (recoveries must be invisible: I3/I4);
+//   - crash-at-random-point + remount leaves a strict-fsck-consistent
+//     image (I2).
+#include <gtest/gtest.h>
+
+#include "faults/bug_library.h"
+#include "fsck/fsck.h"
+#include "rae/supervisor.h"
+#include "tests/support/fixtures.h"
+#include "tests/support/fs_compare.h"
+#include "tests/support/model_fs.h"
+#include "workload/workload.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_device;
+using testing_support::make_test_fs;
+using testing_support::TestFsOptions;
+
+struct SweepParam {
+  WorkloadKind kind;
+  uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string name = to_string(info.param.kind);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+std::vector<SweepParam> sweep() {
+  std::vector<SweepParam> params;
+  for (WorkloadKind kind :
+       {WorkloadKind::kMetadataHeavy, WorkloadKind::kWriteHeavy,
+        WorkloadKind::kFileserver, WorkloadKind::kVarmail}) {
+    for (uint64_t seed : {11ull, 22ull, 33ull}) {
+      params.push_back(SweepParam{kind, seed});
+    }
+  }
+  return params;
+}
+
+WorkloadOptions workload_for(const SweepParam& p) {
+  WorkloadOptions opts;
+  opts.kind = p.kind;
+  opts.seed = p.seed;
+  opts.nops = 400;
+  opts.initial_files = 8;
+  opts.max_io_bytes = 8 * 1024;
+  opts.max_file_bytes = 128 * 1024;
+  opts.sync_every = 48;
+  return opts;
+}
+
+TestFsOptions roomy_fs() {
+  TestFsOptions opts;
+  opts.total_blocks = 32768;
+  opts.inode_count = 2048;
+  return opts;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DifferentialTest, BaseAgreesWithModel) {
+  auto t = make_test_fs(roomy_fs());
+  ModelFs model(2048);
+  auto opts = workload_for(GetParam());
+
+  auto base_result = run_workload(*t.fs, opts);
+  auto model_result = run_workload(model, opts);
+  ASSERT_FALSE(base_result.aborted);
+  EXPECT_EQ(base_result.ops_issued, model_result.ops_issued);
+  EXPECT_EQ(base_result.bytes_written, model_result.bytes_written);
+
+  auto diff = testing_support::compare_trees(*t.fs, model);
+  EXPECT_EQ(diff, "") << diff;
+}
+
+TEST_P(DifferentialTest, RaeUnderDeterministicBugsAgreesWithModel) {
+  auto t = make_test_device(roomy_fs());
+  BugRegistry bugs;
+  bugs::install_deterministic_crash_suite(&bugs);
+  auto sup = RaeSupervisor::start(t.device.get(), {}, t.clock, &bugs);
+  ASSERT_TRUE(sup.ok());
+  ModelFs model(2048);
+
+  auto opts = workload_for(GetParam());
+  auto rae_result = run_workload(*sup.value(), opts);
+  auto model_result = run_workload(model, opts);
+
+  ASSERT_FALSE(rae_result.aborted) << sup.value()->offline_reason();
+  EXPECT_EQ(rae_result.io_failures, 0u);  // I4: bugs invisible to the app
+  EXPECT_EQ(rae_result.ops_issued, model_result.ops_issued);
+  EXPECT_EQ(rae_result.ops_failed, model_result.ops_failed);
+
+  // Inode numbers for ops issued *after* a recovery are allocation policy:
+  // the rebooted base's allocator hint legitimately restarts, while the
+  // model's keeps advancing. Only structure/content/nlink are essential.
+  testing_support::CompareOptions cmp;
+  cmp.compare_inos = false;
+  auto diff = testing_support::compare_trees(*sup.value(), model, cmp);
+  EXPECT_EQ(diff, "") << diff;
+
+  ASSERT_TRUE(sup.value()->shutdown().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST_P(DifferentialTest, RaeUnderTransientBugsAgreesWithModel) {
+  auto t = make_test_device(roomy_fs());
+  BugRegistry bugs(GetParam().seed);
+  bugs.install(bugs::make(bugs::kTransientPanic, 0.003));
+  bugs.install(bugs::make(bugs::kTransientWarn, 0.002));
+  RaeOptions rae_opts;
+  rae_opts.warn_policy = RaeOptions::WarnPolicy::kRecoverAfterN;
+  rae_opts.warn_threshold = 5;
+  auto sup = RaeSupervisor::start(t.device.get(), rae_opts, t.clock, &bugs);
+  ASSERT_TRUE(sup.ok());
+  ModelFs model(2048);
+
+  auto opts = workload_for(GetParam());
+  auto rae_result = run_workload(*sup.value(), opts);
+  auto model_result = run_workload(model, opts);
+
+  ASSERT_FALSE(rae_result.aborted) << sup.value()->offline_reason();
+  EXPECT_EQ(rae_result.io_failures, 0u);
+  EXPECT_EQ(rae_result.ops_failed, model_result.ops_failed);
+
+  testing_support::CompareOptions cmp;
+  cmp.compare_inos = false;  // see deterministic-bug test above
+  auto diff = testing_support::compare_trees(*sup.value(), model, cmp);
+  EXPECT_EQ(diff, "") << diff;
+  ASSERT_TRUE(sup.value()->shutdown().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST_P(DifferentialTest, CrashAtEndLeavesConsistentImage) {
+  auto t = make_test_fs(roomy_fs());
+  auto opts = workload_for(GetParam());
+  opts.nops = 250;
+  auto result = run_workload(*t.fs, opts);
+  ASSERT_FALSE(result.aborted);
+
+  // Crash without unmounting; a random subset of volatile writes lands.
+  t.fs.reset();
+  Rng rng(GetParam().seed * 7919);
+  t.device->crash(&rng, 0.3);
+
+  auto fs2 = BaseFs::mount(t.device.get(), BaseFsOptions{}, t.clock);
+  ASSERT_TRUE(fs2.ok());
+  ASSERT_TRUE(fs2.value()->unmount().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST_P(DifferentialTest, UnmountRemountPreservesTree) {
+  auto t = make_test_fs(roomy_fs());
+  ModelFs model(2048);
+  auto opts = workload_for(GetParam());
+  opts.nops = 250;
+  (void)run_workload(*t.fs, opts);
+  (void)run_workload(model, opts);
+  ASSERT_TRUE(t.fs->unmount().ok());
+
+  auto fs2 = BaseFs::mount(t.device.get(), BaseFsOptions{}, t.clock);
+  ASSERT_TRUE(fs2.ok());
+  auto diff = testing_support::compare_trees(*fs2.value(), model);
+  EXPECT_EQ(diff, "") << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialTest,
+                         ::testing::ValuesIn(sweep()), param_name);
+
+}  // namespace
+}  // namespace raefs

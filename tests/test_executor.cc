@@ -1,0 +1,154 @@
+// Executor tests: the in-process and fork-based shadow executors must
+// produce byte-identical outcomes; the fork boundary must contain shadow
+// address-space damage and survive child misbehaviour.
+#include <gtest/gtest.h>
+
+#include "rae/executor.h"
+#include "tests/support/fixtures.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_device;
+using testing_support::pattern_bytes;
+
+std::vector<OpRecord> sample_log() {
+  std::vector<OpRecord> log;
+  Seq seq = 1;
+
+  OpRecord mkdir_rec;
+  mkdir_rec.seq = seq++;
+  mkdir_rec.req.kind = OpKind::kMkdir;
+  mkdir_rec.req.path = "/d";
+  mkdir_rec.req.mode = 0755;
+  mkdir_rec.completed = true;
+  mkdir_rec.out.err = Errno::kOk;
+  mkdir_rec.out.assigned_ino = 2;
+  log.push_back(mkdir_rec);
+
+  OpRecord create_rec;
+  create_rec.seq = seq++;
+  create_rec.req.kind = OpKind::kCreate;
+  create_rec.req.path = "/d/f";
+  create_rec.completed = true;
+  create_rec.out.err = Errno::kOk;
+  create_rec.out.assigned_ino = 3;
+  log.push_back(create_rec);
+
+  OpRecord write_rec;
+  write_rec.seq = seq++;
+  write_rec.req.kind = OpKind::kWrite;
+  write_rec.req.ino = 3;
+  write_rec.req.data = pattern_bytes(10000, 2);
+  write_rec.completed = true;
+  write_rec.out.err = Errno::kOk;
+  write_rec.out.result_len = 10000;
+  log.push_back(write_rec);
+
+  OpRecord inflight;
+  inflight.seq = seq++;
+  inflight.req.kind = OpKind::kCreate;
+  inflight.req.path = "/d/pending";
+  inflight.completed = false;
+  log.push_back(inflight);
+  return log;
+}
+
+TEST(Executors, ForkMatchesInProcessExactly) {
+  auto t = make_test_device();
+  auto log = sample_log();
+
+  InProcessShadowExecutor inproc;
+  ForkShadowExecutor forked;
+  auto a = inproc.execute(t.device.get(), log, ShadowConfig{}, nullptr);
+  auto b = forked.execute(t.device.get(), log, ShadowConfig{}, nullptr);
+
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_EQ(a.ops_replayed, b.ops_replayed);
+  EXPECT_EQ(a.discrepancies.size(), b.discrepancies.size());
+  ASSERT_EQ(a.dirty.size(), b.dirty.size());
+  for (size_t i = 0; i < a.dirty.size(); ++i) {
+    EXPECT_EQ(a.dirty[i].block, b.dirty[i].block);
+    EXPECT_EQ(a.dirty[i].cls, b.dirty[i].cls);
+    EXPECT_EQ(a.dirty[i].data, b.dirty[i].data);
+  }
+  ASSERT_EQ(a.inflight_results.size(), 1u);
+  ASSERT_EQ(b.inflight_results.size(), 1u);
+  EXPECT_EQ(a.inflight_results[0].second.assigned_ino,
+            b.inflight_results[0].second.assigned_ino);
+}
+
+TEST(Executors, ForkLeavesParentDeviceUntouched) {
+  auto t = make_test_device();
+  auto before = t.device->persisted_image();
+  ForkShadowExecutor forked;
+  auto outcome = forked.execute(t.device.get(), sample_log(),
+                                ShadowConfig{}, nullptr);
+  ASSERT_TRUE(outcome.ok) << outcome.failure;
+  EXPECT_EQ(t.device->persisted_image(), before);
+  EXPECT_EQ(t.device->volatile_blocks(), 0u);
+}
+
+TEST(Executors, ForkReportsChildRefusalCleanly) {
+  // Garbage image: the shadow in the child refuses; the parent must get
+  // the structured failure over the pipe, not a crash.
+  MemBlockDevice garbage(64);
+  ForkShadowExecutor forked;
+  auto outcome = forked.execute(&garbage, sample_log(), ShadowConfig{},
+                                nullptr);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.failure.find("superblock"), std::string::npos);
+}
+
+TEST(Executors, ForkPropagatesSimulatedTime) {
+  auto t = make_test_device();
+  auto clock = make_clock();
+  clock->advance(12345);
+  ForkShadowExecutor forked;
+  auto outcome =
+      forked.execute(t.device.get(), sample_log(), ShadowConfig{}, clock);
+  ASSERT_TRUE(outcome.ok) << outcome.failure;
+  EXPECT_GT(outcome.sim_time_used, 0u);
+  EXPECT_EQ(clock->now(), 12345u + outcome.sim_time_used);
+}
+
+TEST(Executors, FactorySelects) {
+  EXPECT_STREQ(make_executor(false)->name(), "in-process");
+  EXPECT_STREQ(make_executor(true)->name(), "fork");
+}
+
+TEST(Executors, LargeLogThroughFork) {
+  auto t = make_test_device({.total_blocks = 16384, .inode_count = 1024,
+                             .journal_blocks = 128});
+  std::vector<OpRecord> log;
+  Seq seq = 1;
+  for (int i = 0; i < 200; ++i) {
+    OpRecord create_rec;
+    create_rec.seq = seq++;
+    create_rec.req.kind = OpKind::kCreate;
+    create_rec.req.path = "/f" + std::to_string(i);
+    create_rec.completed = true;
+    create_rec.out.err = Errno::kOk;
+    create_rec.out.assigned_ino = static_cast<Ino>(i + 2);
+    log.push_back(create_rec);
+
+    OpRecord write_rec;
+    write_rec.seq = seq++;
+    write_rec.req.kind = OpKind::kWrite;
+    write_rec.req.ino = static_cast<Ino>(i + 2);
+    write_rec.req.data = pattern_bytes(4096, static_cast<uint8_t>(i));
+    write_rec.completed = true;
+    write_rec.out.err = Errno::kOk;
+    write_rec.out.result_len = 4096;
+    log.push_back(write_rec);
+  }
+  ForkShadowExecutor forked;
+  auto outcome = forked.execute(t.device.get(), log, ShadowConfig{}, nullptr);
+  ASSERT_TRUE(outcome.ok) << outcome.failure;
+  EXPECT_EQ(outcome.ops_replayed, 400u);
+  EXPECT_GT(outcome.dirty.size(), 200u);
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,215 @@
+// Fault-model tests: BugRegistry semantics (triggers, probabilities,
+// fire limits, bookkeeping), the canonical bug library, and the
+// study-calibrated mix proportions.
+#include <gtest/gtest.h>
+
+#include "faults/bug_library.h"
+#include "faults/bug_registry.h"
+
+namespace raefs {
+namespace {
+
+BugContext ctx_at(std::string_view site, OpKind op = OpKind::kCreate,
+                  std::string_view path = "", uint64_t op_index = 0) {
+  BugContext ctx;
+  ctx.site = site;
+  ctx.op = op;
+  ctx.path = path;
+  ctx.op_index = op_index;
+  return ctx;
+}
+
+TEST(BugRegistry, DeterministicTriggerFiresExactlyOnMatch) {
+  BugRegistry registry;
+  BugSpec spec;
+  spec.id = 1;
+  spec.consequence = BugConsequence::kCrash;
+  spec.trigger = [](const BugContext& ctx) {
+    return ctx.site == "here" && ctx.op == OpKind::kUnlink;
+  };
+  registry.install(spec);
+
+  EXPECT_FALSE(registry.check(ctx_at("elsewhere", OpKind::kUnlink)));
+  EXPECT_FALSE(registry.check(ctx_at("here", OpKind::kCreate)));
+  auto fired = registry.check(ctx_at("here", OpKind::kUnlink));
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->id, 1);
+  EXPECT_EQ(fired->consequence, BugConsequence::kCrash);
+  // Deterministic: fires every time the predicate matches.
+  EXPECT_TRUE(registry.check(ctx_at("here", OpKind::kUnlink)));
+  EXPECT_EQ(registry.fire_counts().at(1), 2u);
+}
+
+TEST(BugRegistry, MaxFiresLimits) {
+  BugRegistry registry;
+  BugSpec spec;
+  spec.id = 2;
+  spec.max_fires = 2;
+  spec.trigger = [](const BugContext&) { return true; };
+  registry.install(spec);
+  EXPECT_TRUE(registry.check(ctx_at("x")));
+  EXPECT_TRUE(registry.check(ctx_at("x")));
+  EXPECT_FALSE(registry.check(ctx_at("x")));
+  EXPECT_EQ(registry.total_fires(), 2u);
+}
+
+TEST(BugRegistry, ProbabilisticRespectsRateAndSeed) {
+  auto count_fires = [](uint64_t seed, double p) {
+    BugRegistry registry(seed);
+    BugSpec spec;
+    spec.id = 3;
+    spec.determinism = BugDeterminism::kProbabilistic;
+    spec.probability = p;
+    spec.trigger = [](const BugContext&) { return true; };
+    registry.install(spec);
+    int fires = 0;
+    for (int i = 0; i < 10000; ++i) {
+      if (registry.check(ctx_at("x"))) ++fires;
+    }
+    return fires;
+  };
+  int at_1pct = count_fires(7, 0.01);
+  EXPECT_GT(at_1pct, 40);
+  EXPECT_LT(at_1pct, 220);
+  EXPECT_EQ(count_fires(7, 0.01), at_1pct);  // seed-deterministic
+  EXPECT_EQ(count_fires(9, 0.0), 0);
+  EXPECT_EQ(count_fires(9, 1.0), 10000);
+}
+
+TEST(BugRegistry, InstallReplaceRemoveClear) {
+  BugRegistry registry;
+  BugSpec spec;
+  spec.id = 5;
+  spec.consequence = BugConsequence::kWarn;
+  spec.trigger = [](const BugContext&) { return true; };
+  registry.install(spec);
+  EXPECT_EQ(registry.installed(), 1u);
+
+  spec.consequence = BugConsequence::kCrash;  // replace by id ("regress")
+  registry.install(spec);
+  EXPECT_EQ(registry.installed(), 1u);
+  EXPECT_EQ(registry.check(ctx_at("x"))->consequence,
+            BugConsequence::kCrash);
+
+  registry.remove(5);  // "patch it"
+  EXPECT_EQ(registry.installed(), 0u);
+  EXPECT_FALSE(registry.check(ctx_at("x")));
+
+  registry.install(spec);
+  registry.clear();
+  EXPECT_EQ(registry.installed(), 0u);
+}
+
+TEST(BugRegistry, DeterministicWithoutPredicateNeverFires) {
+  BugRegistry registry;
+  BugSpec spec;
+  spec.id = 6;  // misconfigured: deterministic, no trigger
+  registry.install(spec);
+  EXPECT_FALSE(registry.check(ctx_at("anything")));
+}
+
+TEST(BugLibrary, EverySpecBuildsWithRightConsequence) {
+  struct Expect {
+    int id;
+    BugConsequence consequence;
+    BugDeterminism determinism;
+  };
+  const Expect expectations[] = {
+      {bugs::kUnlinkLongNamePanic, BugConsequence::kCrash,
+       BugDeterminism::kDeterministic},
+      {bugs::kWriteIndirectBoundaryPanic, BugConsequence::kCrash,
+       BugDeterminism::kDeterministic},
+      {bugs::kCraftedNamePanic, BugConsequence::kCrash,
+       BugDeterminism::kDeterministic},
+      {bugs::kLargeDirPanic, BugConsequence::kCrash,
+       BugDeterminism::kDeterministic},
+      {bugs::kRenameOverwritePanic, BugConsequence::kCrash,
+       BugDeterminism::kDeterministic},
+      {bugs::kTruncateUnalignedWarn, BugConsequence::kWarn,
+       BugDeterminism::kDeterministic},
+      {bugs::kDeepPathWarn, BugConsequence::kWarn,
+       BugDeterminism::kDeterministic},
+      {bugs::kSymlinkBitmapCorrupt, BugConsequence::kCorrupt,
+       BugDeterminism::kDeterministic},
+      {bugs::kWriteShortLie, BugConsequence::kWrongResult,
+       BugDeterminism::kDeterministic},
+      {bugs::kTransientPanic, BugConsequence::kCrash,
+       BugDeterminism::kProbabilistic},
+      {bugs::kTransientWarn, BugConsequence::kWarn,
+       BugDeterminism::kProbabilistic},
+      {bugs::kTransientCorrupt, BugConsequence::kCorrupt,
+       BugDeterminism::kProbabilistic},
+  };
+  for (const auto& e : expectations) {
+    auto spec = bugs::make(e.id);
+    EXPECT_EQ(spec.id, e.id);
+    EXPECT_EQ(spec.consequence, e.consequence) << e.id;
+    EXPECT_EQ(spec.determinism, e.determinism) << e.id;
+    EXPECT_FALSE(spec.description.empty());
+  }
+  EXPECT_THROW(bugs::make(987654), std::invalid_argument);
+}
+
+TEST(BugLibrary, TriggerPredicatesMatchDocumentedConditions) {
+  auto unlink_spec = bugs::make(bugs::kUnlinkLongNamePanic);
+  std::string long_name(54, 'x');
+  EXPECT_TRUE(unlink_spec.trigger(
+      ctx_at("basefs.unlink.entry", OpKind::kUnlink, "/" + long_name)));
+  EXPECT_FALSE(unlink_spec.trigger(
+      ctx_at("basefs.unlink.entry", OpKind::kUnlink, "/short")));
+  EXPECT_FALSE(unlink_spec.trigger(
+      ctx_at("basefs.create.entry", OpKind::kCreate, "/" + long_name)));
+
+  auto boundary_spec = bugs::make(bugs::kWriteIndirectBoundaryPanic);
+  BugContext write_ctx = ctx_at("basefs.write.map_block", OpKind::kWrite);
+  write_ctx.offset = 12 * kBlockSize;
+  EXPECT_TRUE(boundary_spec.trigger(write_ctx));
+  write_ctx.offset = 11 * kBlockSize;
+  EXPECT_FALSE(boundary_spec.trigger(write_ctx));
+
+  auto crafted_spec = bugs::make(bugs::kCraftedNamePanic);
+  EXPECT_TRUE(crafted_spec.trigger(
+      ctx_at("basefs.lookup.component", OpKind::kLookup, "evilfile")));
+  EXPECT_FALSE(crafted_spec.trigger(
+      ctx_at("basefs.lookup.component", OpKind::kLookup, "benign")));
+
+  auto deep_spec = bugs::make(bugs::kDeepPathWarn);
+  EXPECT_TRUE(deep_spec.trigger(
+      ctx_at("basefs.create.entry", OpKind::kCreate, "/a/b/c/d/e/f/g")));
+  EXPECT_FALSE(deep_spec.trigger(
+      ctx_at("basefs.create.entry", OpKind::kCreate, "/a/b")));
+}
+
+TEST(BugLibrary, StudyMixProportionsFollowTable1) {
+  BugRegistry registry(11);
+  bugs::install_study_mix(&registry, 0.30);  // high rate: measurable counts
+  EXPECT_EQ(registry.installed(), 3u);
+
+  int crashes = 0;
+  int warns = 0;
+  int corruptions = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (auto fired = registry.check(ctx_at("basefs.op.dispatch"))) {
+      if (fired->consequence == BugConsequence::kCrash) ++crashes;
+      if (fired->consequence == BugConsequence::kWarn) ++warns;
+    }
+    if (auto fired = registry.check(ctx_at("basefs.symlink.alloc"))) {
+      if (fired->consequence == BugConsequence::kCorrupt) ++corruptions;
+    }
+  }
+  // Table 1 column totals: Crash 106, WARN 31, NoCrash 104. Ratios within
+  // generous statistical bounds.
+  EXPECT_GT(crashes, warns);
+  EXPECT_NEAR(static_cast<double>(crashes) / (warns + 1), 106.0 / 31.0, 1.6);
+  EXPECT_NEAR(static_cast<double>(corruptions) / (crashes + 1), 104.0 / 106.0,
+              0.5);
+}
+
+TEST(BugLibrary, DeterministicSuiteInstallsFiveCrashBugs) {
+  BugRegistry registry;
+  bugs::install_deterministic_crash_suite(&registry);
+  EXPECT_EQ(registry.installed(), 5u);
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,199 @@
+// fsck tests: clean images pass both levels; each crafted corruption is
+// caught by strict fsck; the weak level is bypassed by the attack kinds
+// that motivate the paper (§2.1); severity classification.
+#include <gtest/gtest.h>
+
+#include "fsck/crafted.h"
+#include "fsck/fsck.h"
+#include "tests/support/fixtures.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_device;
+using testing_support::make_test_fs;
+using testing_support::pattern_bytes;
+
+TEST(Fsck, FreshImageIsClean) {
+  auto t = make_test_device();
+  for (auto level : {FsckLevel::kWeak, FsckLevel::kStrict}) {
+    auto report = fsck(t.device.get(), level);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().clean()) << report.value().summary();
+  }
+}
+
+TEST(Fsck, PopulatedImageIsCleanAndCounted) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->mkdir("/d", 0755).ok());
+  ASSERT_TRUE(t.fs->mkdir("/d/e", 0755).ok());
+  auto ino = t.fs->create("/d/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(t.fs->write(ino.value(), 0, 0, pattern_bytes(60000)).ok());
+  ASSERT_TRUE(t.fs->symlink("/ln", "/d/f").ok());
+  ASSERT_TRUE(t.fs->link("/d/f", "/hard").ok());
+  ASSERT_TRUE(t.fs->unmount().ok());
+
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().clean()) << report.value().summary();
+  EXPECT_EQ(report.value().dirs, 3u);   // root, /d, /d/e
+  EXPECT_EQ(report.value().files, 1u);  // hardlink counted once
+  EXPECT_EQ(report.value().symlinks, 1u);
+  EXPECT_GT(report.value().blocks_claimed, 15u);  // 60000B -> 15 blocks + dirs
+}
+
+TEST(Fsck, MountedFlagIsANote) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->create("/f", 0644).ok());
+  ASSERT_TRUE(t.fs->sync().ok());
+  // Do not unmount: the image carries the mounted flag.
+  auto report = fsck(t.device->clone_full().get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().clean());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+struct CraftCase {
+  CraftKind kind;
+  bool weak_catches;
+  bool strict_fatal;  // fatal finding (vs leak)
+};
+
+class CraftedImageTest : public ::testing::TestWithParam<CraftCase> {};
+
+TEST_P(CraftedImageTest, WeakMissesStrictCatches) {
+  const CraftCase& c = GetParam();
+  auto t = make_test_fs();
+  // Give craft targets something to work with.
+  ASSERT_TRUE(t.fs->mkdir("/sub", 0755).ok());
+  ASSERT_TRUE(t.fs->create("/sub/f", 0644).ok());
+  ASSERT_TRUE(t.fs->unmount().ok());
+
+  ASSERT_TRUE(craft_image(t.device.get(), c.kind).ok())
+      << to_string(c.kind);
+
+  auto weak = fsck(t.device.get(), FsckLevel::kWeak);
+  ASSERT_TRUE(weak.ok());
+  EXPECT_EQ(!weak.value().consistent(), c.weak_catches)
+      << to_string(c.kind) << ": " << weak.value().summary();
+
+  auto strict = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict.value().clean())
+      << to_string(c.kind) << " must be visible to strict fsck";
+  EXPECT_EQ(!strict.value().consistent(), c.strict_fatal)
+      << to_string(c.kind) << ": " << strict.value().summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCraftKinds, CraftedImageTest,
+    ::testing::Values(
+        CraftCase{CraftKind::kBadDirentNameLen, false, true},
+        CraftCase{CraftKind::kDanglingDirent, false, true},
+        CraftCase{CraftKind::kWildInodePointer, false, true},
+        CraftCase{CraftKind::kBitmapLeak, false, false},
+        CraftCase{CraftKind::kDirCycleLink, false, true}),
+    [](const ::testing::TestParamInfo<CraftCase>& info) {
+      std::string name = to_string(info.param.kind);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Fsck, DetectsNlinkMismatch) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->create("/f", 0644).ok());
+  ASSERT_TRUE(t.fs->unmount().ok());
+
+  // Forge nlink = 5 directly in the inode table (valid CRC).
+  std::vector<uint8_t> sb_block(kBlockSize);
+  ASSERT_TRUE(t.device->read_block(0, sb_block).ok());
+  auto sb = Superblock::decode(sb_block);
+  ASSERT_TRUE(sb.ok());
+  auto geo = sb.value().geometry().value();
+
+  Ino victim = 2;
+  std::vector<uint8_t> table(kBlockSize);
+  ASSERT_TRUE(t.device->read_block(geo.inode_block(victim), table).ok());
+  auto node = inode_from_table_block(table, geo.inode_slot(victim), geo);
+  ASSERT_TRUE(node.ok());
+  auto tampered = node.value();
+  tampered.nlink = 5;
+  inode_into_table_block(table, geo.inode_slot(victim), tampered);
+  ASSERT_TRUE(t.device->write_block(geo.inode_block(victim), table).ok());
+  ASSERT_TRUE(t.device->flush().ok());
+
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().consistent()) << report.value().summary();
+}
+
+TEST(Fsck, DetectsGarbageSuperblock) {
+  MemBlockDevice dev(128);
+  auto report = fsck(&dev, FsckLevel::kWeak);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().consistent());
+}
+
+TEST(Fsck, OrphanInodeIsALeak) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->create("/f", 0644).ok());
+  ASSERT_TRUE(t.fs->unmount().ok());
+
+  // Allocate an inode in the bitmap + table but reference it nowhere.
+  std::vector<uint8_t> sb_block(kBlockSize);
+  ASSERT_TRUE(t.device->read_block(0, sb_block).ok());
+  auto geo = Superblock::decode(sb_block).value().geometry().value();
+
+  std::vector<uint8_t> bitmap(kBlockSize);
+  ASSERT_TRUE(t.device->read_block(geo.inode_bitmap_start, bitmap).ok());
+  BitmapView view(bitmap, geo.inode_count);
+  Ino orphan = 0;
+  for (Ino candidate = 2; candidate <= geo.inode_count; ++candidate) {
+    if (!view.test(candidate - 1)) {
+      orphan = candidate;
+      view.set(candidate - 1);
+      break;
+    }
+  }
+  ASSERT_NE(orphan, 0u);
+  ASSERT_TRUE(t.device->write_block(geo.inode_bitmap_start, bitmap).ok());
+
+  std::vector<uint8_t> table(kBlockSize);
+  ASSERT_TRUE(t.device->read_block(geo.inode_block(orphan), table).ok());
+  DiskInode node;
+  node.type = FileType::kRegular;
+  node.mode = 0600;
+  node.nlink = 1;
+  node.generation = 1;
+  inode_into_table_block(table, geo.inode_slot(orphan), node);
+  ASSERT_TRUE(t.device->write_block(geo.inode_block(orphan), table).ok());
+  ASSERT_TRUE(t.device->flush().ok());
+
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().clean());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+  bool found_leak = false;
+  for (const auto& f : report.value().findings) {
+    if (f.severity == FsckSeverity::kLeak &&
+        f.what.find("orphan inode") != std::string::npos) {
+      found_leak = true;
+    }
+  }
+  EXPECT_TRUE(found_leak) << report.value().summary();
+}
+
+TEST(Fsck, SummaryRendersFindings) {
+  auto t = make_test_device();
+  ASSERT_TRUE(craft_image(t.device.get(), CraftKind::kBitmapLeak).ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  auto summary = report.value().summary();
+  EXPECT_NE(summary.find("LEAK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raefs

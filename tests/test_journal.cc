@@ -1,0 +1,211 @@
+// Journal tests: commit/replay round trips, torn-transaction discard,
+// checkpoint floor behaviour, idempotent replay, the stale-transaction
+// floor-preservation regression.
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_device.h"
+#include "format/layout.h"
+#include "journal/journal.h"
+
+namespace raefs {
+namespace {
+
+struct JournalFixture : ::testing::Test {
+  void SetUp() override {
+    dev = std::make_unique<MemBlockDevice>(4096);
+    geo = compute_geometry(4096, 128, 64).value();
+    ASSERT_TRUE(Journal::format(dev.get(), geo).ok());
+  }
+
+  std::vector<uint8_t> block_of(uint8_t fill) {
+    return std::vector<uint8_t>(kBlockSize, fill);
+  }
+
+  JournalRecord record(BlockNo target, uint8_t fill) {
+    return JournalRecord{target, block_of(fill)};
+  }
+
+  std::vector<uint8_t> read_block(BlockNo b) {
+    std::vector<uint8_t> out(kBlockSize);
+    EXPECT_TRUE(dev->read_block(b, out).ok());
+    return out;
+  }
+
+  std::unique_ptr<MemBlockDevice> dev;
+  Geometry geo;
+};
+
+TEST_F(JournalFixture, CommitThenReplayApplies) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  BlockNo target = geo.data_start + 3;
+  auto seq = journal.commit({record(target, 0xAB)});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 1u);
+
+  // The target block itself was never written in place.
+  EXPECT_EQ(read_block(target), block_of(0));
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(replayed.value().applied_blocks, 1u);
+  EXPECT_EQ(read_block(target), block_of(0xAB));
+}
+
+TEST_F(JournalFixture, ReplayIsIdempotent) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  ASSERT_TRUE(Journal::replay(dev.get(), geo).ok());
+  auto second = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().applied_txns, 0u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x11));
+}
+
+TEST_F(JournalFixture, MultipleTxnsApplyInOrder) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  BlockNo target = geo.data_start;
+  ASSERT_TRUE(journal.commit({record(target, 0x01)}).ok());
+  ASSERT_TRUE(journal.commit({record(target, 0x02)}).ok());
+  ASSERT_TRUE(journal.commit({record(target, 0x03)}).ok());
+  ASSERT_TRUE(Journal::replay(dev.get(), geo).ok());
+  EXPECT_EQ(read_block(target), block_of(0x03));  // last writer wins
+}
+
+TEST_F(JournalFixture, TornCommitIsDiscarded) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start + 1, 0x22)}).ok());
+
+  // Corrupt the second transaction's commit block (journal block layout:
+  // header, then [desc, payload, commit] x2).
+  BlockNo second_commit = geo.journal_start + 1 + 3 + 2;
+  std::vector<uint8_t> garbage(kBlockSize, 0xFF);
+  ASSERT_TRUE(dev->write_block(second_commit, garbage).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x11));
+  EXPECT_EQ(read_block(geo.data_start + 1), block_of(0));  // torn: dropped
+}
+
+TEST_F(JournalFixture, PayloadCorruptionInvalidatesTxn) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  // Flip a byte of the payload block (journal_start+2).
+  auto payload = read_block(geo.journal_start + 2);
+  payload[100] ^= 0x01;
+  ASSERT_TRUE(dev->write_block(geo.journal_start + 2, payload).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 0u);
+}
+
+TEST_F(JournalFixture, CheckpointRaisesFloor) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  ASSERT_TRUE(journal.checkpoint().ok());
+
+  // After checkpoint, the committed txn must NOT replay again even though
+  // its blocks still sit in the journal region.
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 0u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0));
+}
+
+TEST_F(JournalFixture, ReplayPreservesFloorWhenNothingCommitted) {
+  // Regression: replay finding no txns must keep the existing floor.
+  // Otherwise a stale already-checkpointed txn could be replayed later.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x66)}).ok());
+  ASSERT_TRUE(journal.checkpoint().ok());  // floor = 1; stale txn remains
+
+  ASSERT_TRUE(Journal::replay(dev.get(), geo).ok());  // applies nothing
+  // A second replay (crash during recovery) must still apply nothing.
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 0u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0));
+}
+
+TEST_F(JournalFixture, SequencesContinueAfterReopen) {
+  {
+    Journal journal(dev.get(), geo);
+    ASSERT_TRUE(journal.open().ok());
+    ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+    EXPECT_EQ(journal.committed_seq(), 1u);
+  }
+  ASSERT_TRUE(Journal::replay(dev.get(), geo).ok());  // floor -> 1
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  auto seq = journal.commit({record(geo.data_start, 0x22)});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 2u);
+}
+
+TEST_F(JournalFixture, SpaceAccounting) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  EXPECT_TRUE(journal.has_space(10));
+  EXPECT_FALSE(journal.has_space(geo.journal_blocks));
+  EXPECT_DOUBLE_EQ(journal.fill_ratio(), 1.0 / 64.0);
+
+  // Fill the journal with single-record txns (3 blocks each).
+  size_t fitted = 0;
+  while (journal.has_space(1)) {
+    ASSERT_TRUE(journal.commit({record(geo.data_start, 0x01)}).ok());
+    ++fitted;
+  }
+  EXPECT_EQ(fitted, (geo.journal_blocks - 1) / 3);
+  EXPECT_EQ(journal.commit({record(geo.data_start, 0x01)}).error(),
+            Errno::kNoSpace);
+  ASSERT_TRUE(journal.checkpoint().ok());
+  EXPECT_TRUE(journal.has_space(1));
+}
+
+TEST_F(JournalFixture, MultiBlockTransactionAtomicity) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  std::vector<JournalRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(record(geo.data_start + i, static_cast<uint8_t>(i + 1)));
+  }
+  ASSERT_TRUE(journal.commit(records).ok());
+  ASSERT_TRUE(Journal::replay(dev.get(), geo).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(read_block(geo.data_start + i),
+              block_of(static_cast<uint8_t>(i + 1)));
+  }
+}
+
+TEST_F(JournalFixture, ScanListsCommittedSeqs) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 1)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 2)}).ok());
+  auto seqs = Journal::scan(dev.get(), geo);
+  ASSERT_TRUE(seqs.ok());
+  EXPECT_EQ(seqs.value(), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_F(JournalFixture, RejectsBadRecords) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  EXPECT_EQ(journal.commit({}).error(), Errno::kInval);
+  EXPECT_EQ(
+      journal.commit({JournalRecord{1, std::vector<uint8_t>(10)}}).error(),
+      Errno::kInval);
+}
+
+}  // namespace
+}  // namespace raefs

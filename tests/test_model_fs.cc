@@ -1,0 +1,91 @@
+// ModelFs oracle self-tests: the oracle must itself obey the raefs
+// semantics spec, otherwise differential tests prove nothing.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixtures.h"
+#include "tests/support/model_fs.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::pattern_bytes;
+
+TEST(ModelFs, BasicNamespace) {
+  ModelFs fs(64);
+  EXPECT_EQ(fs.lookup("/").value(), kRootIno);
+  ASSERT_TRUE(fs.mkdir("/d", 0755).ok());
+  auto ino = fs.create("/d/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  EXPECT_EQ(fs.lookup("/d/f").value(), ino.value());
+  EXPECT_EQ(fs.create("/d/f", 0644).error(), Errno::kExist);
+  EXPECT_EQ(fs.create("/x/y", 0644).error(), Errno::kNoEnt);
+  EXPECT_EQ(fs.stat("/").value().nlink, 3u);
+}
+
+TEST(ModelFs, DataPathMatchesSpec) {
+  ModelFs fs(64);
+  auto ino = fs.create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  auto data = pattern_bytes(5000);
+  ASSERT_TRUE(fs.write(ino.value(), 0, 0, data).ok());
+  EXPECT_EQ(fs.read(ino.value(), 0, 0, 5000).value(), data);
+
+  // Sparse: write far out, hole reads zeros.
+  ASSERT_TRUE(fs.write(ino.value(), 0, 100000, pattern_bytes(10)).ok());
+  EXPECT_EQ(fs.stat("/f").value().size, 100010u);
+  EXPECT_EQ(fs.read(ino.value(), 0, 50000, 16).value(),
+            std::vector<uint8_t>(16, 0));
+
+  // Truncate then grow reads zeros.
+  ASSERT_TRUE(fs.truncate(ino.value(), 0, 100).ok());
+  ASSERT_TRUE(fs.truncate(ino.value(), 0, 200).ok());
+  auto back = fs.read(ino.value(), 0, 0, 200);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 100; i < 200; ++i) EXPECT_EQ(back.value()[i], 0);
+}
+
+TEST(ModelFs, GenerationSemantics) {
+  ModelFs fs(64);
+  auto a = fs.create("/a", 0644);
+  ASSERT_TRUE(a.ok());
+  uint64_t gen = fs.stat("/a").value().generation;
+  EXPECT_EQ(fs.read(a.value(), gen + 1, 0, 1).error(), Errno::kBadFd);
+  ASSERT_TRUE(fs.unlink("/a").ok());
+  EXPECT_EQ(fs.read(a.value(), gen, 0, 1).error(), Errno::kBadFd);
+}
+
+TEST(ModelFs, RenameAndLinks) {
+  ModelFs fs(64);
+  ASSERT_TRUE(fs.mkdir("/a", 0755).ok());
+  ASSERT_TRUE(fs.mkdir("/b", 0755).ok());
+  auto f = fs.create("/a/f", 0644);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.link("/a/f", "/b/g").ok());
+  EXPECT_EQ(fs.stat("/a/f").value().nlink, 2u);
+  ASSERT_TRUE(fs.rename("/a/f", "/b/h").ok());
+  EXPECT_EQ(fs.lookup("/b/h").value(), f.value());
+  ASSERT_TRUE(fs.unlink("/b/g").ok());
+  EXPECT_EQ(fs.stat("/b/h").value().nlink, 1u);
+  EXPECT_EQ(fs.rename("/b", "/b/h/x").error(), Errno::kInval);
+}
+
+TEST(ModelFs, InodeExhaustionMatchesSpec) {
+  ModelFs fs(4);  // root + 3
+  ASSERT_TRUE(fs.create("/1", 0644).ok());
+  ASSERT_TRUE(fs.create("/2", 0644).ok());
+  ASSERT_TRUE(fs.create("/3", 0644).ok());
+  EXPECT_EQ(fs.create("/4", 0644).error(), Errno::kNoSpace);
+  ASSERT_TRUE(fs.unlink("/1").ok());
+  EXPECT_TRUE(fs.create("/4", 0644).ok());
+}
+
+TEST(ModelFs, SymlinksStoreTargets) {
+  ModelFs fs(64);
+  ASSERT_TRUE(fs.symlink("/ln", "/some/where").ok());
+  EXPECT_EQ(fs.readlink("/ln").value(), "/some/where");
+  EXPECT_EQ(fs.stat("/ln").value().type, FileType::kSymlink);
+  EXPECT_EQ(fs.symlink("/ln2", "").error(), Errno::kInval);
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,415 @@
+// End-to-end RAE tests: transparent recovery from deterministic and
+// transient panics, WARN escalation, validate-on-sync detection, read-path
+// bugs, fsync interruption (§3.3), fork-based shadow isolation, offline
+// fallback on unrecoverable images, and post-recovery consistency (I2-I4).
+#include <gtest/gtest.h>
+
+#include "fsck/crafted.h"
+#include "fsck/fsck.h"
+#include "faults/bug_library.h"
+#include "rae/crash_restart.h"
+#include "rae/supervisor.h"
+#include "tests/support/fixtures.h"
+#include "tests/support/fs_compare.h"
+#include "tests/support/model_fs.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_device;
+using testing_support::pattern_bytes;
+
+struct RaeTest : ::testing::Test {
+  void SetUp() override { t = make_test_device(); }
+
+  std::unique_ptr<RaeSupervisor> start(BugRegistry* bugs,
+                                       RaeOptions opts = {}) {
+    auto sup = RaeSupervisor::start(t.device.get(), opts, t.clock, bugs);
+    EXPECT_TRUE(sup.ok());
+    return std::move(sup).value();
+  }
+
+  testing_support::TestFs t;
+};
+
+TEST_F(RaeTest, NoFaultsBehavesLikeBareBase) {
+  auto sup = start(nullptr);
+  ASSERT_TRUE(sup->mkdir("/d", 0755).ok());
+  auto ino = sup->create("/d/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  auto data = pattern_bytes(5000);
+  ASSERT_TRUE(sup->write(ino.value(), 0, 0, data).ok());
+  auto back = sup->read(ino.value(), 0, 0, 5000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  EXPECT_EQ(sup->stats().recoveries, 0u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, TransparentRecoveryFromDeterministicPanic) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto sup = start(&bugs);
+
+  std::string trigger = "/" + std::string(54, 'x');
+  auto keep = sup->create("/keep", 0644);
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(sup->write(keep.value(), 0, 0, pattern_bytes(3000, 7)).ok());
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+
+  // The unlink panics the base; RAE must mask it: the call SUCCEEDS.
+  Status st = sup->unlink(trigger);
+  EXPECT_TRUE(st.ok()) << to_string(st.error());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+  EXPECT_EQ(sup->stats().panics_trapped, 1u);
+  EXPECT_FALSE(sup->offline());
+
+  // Application-visible state: trigger gone, earlier data intact.
+  EXPECT_EQ(sup->lookup(trigger).error(), Errno::kNoEnt);
+  auto back = sup->read(keep.value(), 0, 0, 3000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), pattern_bytes(3000, 7));
+
+  // New operations are admitted after hand-off.
+  ASSERT_TRUE(sup->create("/after", 0644).ok());
+  ASSERT_TRUE(sup->shutdown().ok());
+
+  // I2: strict fsck clean after recovery + shutdown.
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST_F(RaeTest, InflightResultComesFromShadowAutonomousMode) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kWriteIndirectBoundaryPanic));
+  auto sup = start(&bugs);
+  auto ino = sup->create("/big", 0644);
+  ASSERT_TRUE(ino.ok());
+  // This write crosses file block 12: the base panics mid-op; the shadow
+  // completes it and its result is returned transparently.
+  auto data = pattern_bytes(2000, 4);
+  auto written = sup->write(ino.value(), 0, 12 * kBlockSize, data);
+  ASSERT_TRUE(written.ok()) << to_string(written.error());
+  EXPECT_EQ(written.value(), data.size());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+
+  auto back = sup->read(ino.value(), 0, 12 * kBlockSize, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, DeterministicBugDoesNotRetriggerAfterRecovery) {
+  // Error avoidance (§2.2): the base must not re-execute the trigger.
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto sup = start(&bugs);
+  std::string trigger = "/" + std::string(54, 'y');
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  EXPECT_EQ(bugs.total_fires(), 1u);  // fired once, never re-executed
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+
+  // The *same bug* triggered by a *new* op recovers again (still there).
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  EXPECT_EQ(sup->stats().recoveries, 2u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, ReadPathDeterministicBugMaskedViaShadow) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kCraftedNamePanic));
+  auto sup = start(&bugs);
+  auto ino = sup->create("/evilfile", 0644);
+  ASSERT_TRUE(ino.ok()) << to_string(ino.error());
+  // Wait: creating resolves the parent, not the leaf; the bug fires on
+  // lookup of a component starting with "evil".
+  auto looked = sup->lookup("/evilfile");
+  ASSERT_TRUE(looked.ok()) << to_string(looked.error());
+  EXPECT_EQ(looked.value(), ino.value());
+  EXPECT_GE(sup->stats().recoveries, 1u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, WarnEscalationTriggersProactiveRecovery) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kTruncateUnalignedWarn));
+  RaeOptions opts;
+  opts.warn_policy = RaeOptions::WarnPolicy::kRecoverImmediately;
+  auto sup = start(&bugs, opts);
+  auto ino = sup->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(sup->write(ino.value(), 0, 0, pattern_bytes(5000)).ok());
+  // Unaligned truncate WARNs; policy recovers immediately after the op.
+  ASSERT_TRUE(sup->truncate(ino.value(), 0, 100).ok());
+  EXPECT_EQ(sup->stats().warn_recoveries, 1u);
+  EXPECT_EQ(sup->stat_ino(ino.value()).value().size, 100u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, WarnThresholdPolicy) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kTruncateUnalignedWarn));
+  RaeOptions opts;
+  opts.warn_policy = RaeOptions::WarnPolicy::kRecoverAfterN;
+  opts.warn_threshold = 3;
+  auto sup = start(&bugs, opts);
+  auto ino = sup->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(sup->truncate(ino.value(), 0, 1).ok());
+  ASSERT_TRUE(sup->truncate(ino.value(), 0, 2).ok());
+  EXPECT_EQ(sup->stats().warn_recoveries, 0u);
+  ASSERT_TRUE(sup->truncate(ino.value(), 0, 3).ok());
+  EXPECT_EQ(sup->stats().warn_recoveries, 1u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, SilentCorruptionDetectedAtSyncAndRecovered) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kSymlinkBitmapCorrupt));
+  auto sup = start(&bugs);
+  ASSERT_TRUE(sup->symlink("/ln", "/somewhere").ok());  // corrupts silently
+  // The sync detects the corruption before persistence, panics, and RAE
+  // rebuilds correct state from the log (which includes the symlink).
+  ASSERT_TRUE(sup->sync().ok());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+  EXPECT_EQ(sup->readlink("/ln").value(), "/somewhere");
+  ASSERT_TRUE(sup->shutdown().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST_F(RaeTest, RecoveryPreservesDataAcrossManyPriorOps) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kLargeDirPanic));
+  auto sup = start(&bugs);
+  ModelFs model(512);
+
+  ASSERT_TRUE(sup->mkdir("/d", 0755).ok());
+  ASSERT_TRUE(model.mkdir("/d", 0755).ok());
+  for (int i = 0; i < 64; ++i) {
+    std::string path = "/d/f" + std::to_string(i);
+    auto a = sup->create(path, 0644);
+    auto b = model.create(path, 0644);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value(), b.value());
+    auto payload = pattern_bytes(200 + i, static_cast<uint8_t>(i));
+    ASSERT_TRUE(sup->write(a.value(), 0, 0, payload).ok());
+    ASSERT_TRUE(model.write(b.value(), 0, 0, payload).ok());
+  }
+  // The 65th entry forces a directory grow -> panic -> recovery, with 129
+  // uncommitted ops in the log. The shadow replays them all.
+  auto a = sup->create("/d/overflow", 0644);
+  ASSERT_TRUE(a.ok());
+  auto b = model.create("/d/overflow", 0644);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+  EXPECT_GE(sup->stats().ops_replayed_total, 128u);
+
+  // I3: essential state equals the oracle.
+  auto diff = testing_support::compare_trees(*sup, model);
+  EXPECT_EQ(diff, "") << diff;
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, TransientBugsAlsoMasked) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kTransientPanic, 0.02));
+  auto sup = start(&bugs);
+  int succeeded = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (sup->create("/t" + std::to_string(i), 0644).ok()) ++succeeded;
+    if (sup->offline()) break;
+  }
+  EXPECT_EQ(succeeded, 300);  // every op succeeds despite random panics
+  EXPECT_GT(sup->stats().recoveries, 0u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, FsyncInterruptedRetriedAfterHandoff) {
+  // §3.3: if the base fails mid-fsync, the shadow recovers the prefix and
+  // the rebooted base performs the sync again.
+  BugRegistry bugs;
+  BugSpec spec;
+  spec.id = 999;
+  spec.description = "panic on first sync dispatch";
+  spec.consequence = BugConsequence::kCrash;
+  spec.max_fires = 1;
+  spec.trigger = [](const BugContext& ctx) {
+    return ctx.site == "basefs.op.dispatch" &&
+           (ctx.op == OpKind::kFsync || ctx.op == OpKind::kSync);
+  };
+  bugs.install(spec);
+  auto sup = start(&bugs);
+  auto ino = sup->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(sup->write(ino.value(), 0, 0, pattern_bytes(4000, 5)).ok());
+
+  ASSERT_TRUE(sup->fsync(ino.value()).ok());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+
+  // The data reached disk: crash the device and remount bare.
+  ASSERT_TRUE(sup->shutdown().ok());
+  t.device->crash();
+  auto fs = BaseFs::mount(t.device.get(), BaseFsOptions{});
+  ASSERT_TRUE(fs.ok());
+  auto st = fs.value()->stat("/f");
+  ASSERT_TRUE(st.ok());
+  auto back = fs.value()->read(st.value().ino, 0, 0, 4000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), pattern_bytes(4000, 5));
+}
+
+TEST_F(RaeTest, ForkExecutorAlsoRecovers) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  RaeOptions opts;
+  opts.fork_shadow = true;
+  auto sup = start(&bugs, opts);
+  std::string trigger = "/" + std::string(54, 'z');
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->create("/other", 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+  EXPECT_EQ(sup->lookup(trigger).error(), Errno::kNoEnt);
+  EXPECT_TRUE(sup->lookup("/other").ok());
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, CraftedImageTakenOfflineCleanlyInsteadOfCrashLoop) {
+  // The attack scenario: a crafted image passes weak fsck, the base
+  // panics on first touch, and the shadow -- whose checks are strict --
+  // refuses to recover. RAE's answer is a clean offline, not a machine
+  // crash or a recovery loop.
+  ASSERT_TRUE(craft_image(t.device.get(), CraftKind::kBadDirentNameLen).ok());
+  auto weak = fsck(t.device.get(), FsckLevel::kWeak);
+  ASSERT_TRUE(weak.ok());
+  EXPECT_TRUE(weak.value().consistent());  // the attack bypasses weak fsck
+
+  auto sup = start(nullptr);
+  auto looked = sup->lookup("/anything");
+  EXPECT_EQ(looked.error(), Errno::kIo);
+  EXPECT_TRUE(sup->offline());
+  EXPECT_EQ(sup->stats().failed_recoveries, 1u);
+  EXPECT_FALSE(sup->offline_reason().empty());
+  // Subsequent ops fail fast without crashing anything.
+  EXPECT_EQ(sup->create("/x", 0644).error(), Errno::kIo);
+  EXPECT_EQ(sup->stats().failed_recoveries, 1u);  // no recovery loop
+}
+
+TEST_F(RaeTest, OplogTruncatesOnSync) {
+  auto sup = start(nullptr);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sup->create("/f" + std::to_string(i), 0644).ok());
+  }
+  EXPECT_EQ(sup->oplog_stats().live_records, 10u);
+  ASSERT_TRUE(sup->sync().ok());
+  EXPECT_EQ(sup->oplog_stats().live_records, 0u);  // gap closed
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, RecoveryTimeAccountedInSimTime) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  RaeOptions opts;
+  opts.contained_reboot_cost = 5 * kMilli;
+  auto sup = start(&bugs, opts);
+  std::string trigger = "/" + std::string(54, 'q');
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  EXPECT_GE(sup->stats().total_downtime, 5 * kMilli);
+  EXPECT_EQ(sup->stats().recovery_time.count(), 1u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+// --- crash-restart baseline ---------------------------------------------
+
+TEST(CrashRestartBaseline, PanicCrashesMachineAndLosesAckedOps) {
+  auto t = make_test_device();
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  CrashRestartOptions opts;
+  auto sup = CrashRestartSupervisor::start(t.device.get(), opts, t.clock,
+                                           &bugs);
+  ASSERT_TRUE(sup.ok());
+  auto& cs = *sup.value();
+
+  std::string trigger = "/" + std::string(54, 'x');
+  ASSERT_TRUE(cs.create(trigger, 0644).ok());
+  ASSERT_TRUE(cs.create("/acked-but-unflushed", 0644).ok());
+
+  // The app sees the bug as EIO -- no masking here.
+  EXPECT_EQ(cs.unlink(trigger).error(), Errno::kIo);
+  EXPECT_EQ(cs.stats().crashes, 1u);
+  EXPECT_EQ(cs.stats().app_visible_failures, 1u);
+  EXPECT_GE(cs.stats().lost_acked_ops, 2u);
+  EXPECT_GE(cs.stats().total_downtime, opts.machine_restart_cost);
+
+  // Acked-but-unflushed updates vanished with the machine.
+  EXPECT_EQ(cs.lookup("/acked-but-unflushed").error(), Errno::kNoEnt);
+  ASSERT_TRUE(cs.shutdown().ok());
+}
+
+TEST(CrashRestartBaseline, SyncedDataSurvivesCrash) {
+  auto t = make_test_device();
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto sup = CrashRestartSupervisor::start(t.device.get(), {}, t.clock,
+                                           &bugs);
+  ASSERT_TRUE(sup.ok());
+  auto& cs = *sup.value();
+  ASSERT_TRUE(cs.create("/durable", 0644).ok());
+  ASSERT_TRUE(cs.sync().ok());
+  std::string trigger = "/" + std::string(54, 'x');
+  ASSERT_TRUE(cs.create(trigger, 0644).ok());
+  EXPECT_EQ(cs.unlink(trigger).error(), Errno::kIo);
+  EXPECT_TRUE(cs.lookup("/durable").ok());
+  ASSERT_TRUE(cs.shutdown().ok());
+}
+
+TEST_F(RaeTest, RenameOverwritePanicMasked) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kRenameOverwritePanic));
+  auto sup = start(&bugs);
+  auto src = sup->create("/src", 0644);
+  auto dst = sup->create("/dst", 0644);
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE(sup->write(src.value(), 0, 0, pattern_bytes(300, 1)).ok());
+  ASSERT_TRUE(sup->write(dst.value(), 0, 0, pattern_bytes(300, 2)).ok());
+
+  // Overwriting rename hits the lock-order BUG(); RAE masks it.
+  ASSERT_TRUE(sup->rename("/src", "/dst").ok());
+  EXPECT_EQ(sup->stats().recoveries, 1u);
+  EXPECT_EQ(sup->lookup("/src").error(), Errno::kNoEnt);
+  auto st = sup->stat("/dst");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().ino, src.value());
+  auto content = sup->read(st.value().ino, 0, 0, 300);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), pattern_bytes(300, 1));
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, OplogMemoryBoundedByForcedSyncs) {
+  RaeOptions opts;
+  opts.max_oplog_bytes = 32 * 1024;
+  auto sup = start(nullptr, opts);
+  auto ino = sup->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sup->write(ino.value(), 0, static_cast<FileOff>(i) * 8192,
+                           pattern_bytes(8192)).ok());
+  }
+  EXPECT_GT(sup->stats().forced_syncs, 0u);
+  EXPECT_LE(sup->oplog_stats().live_bytes, 48 * 1024u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,103 @@
+// shadow_fsck tests: the verified-checker stand-in (paper §4.3) must pass
+// every healthy image -- including ones that went through crashes and
+// recoveries -- and refuse every crafted corruption, with a named reason.
+#include <gtest/gtest.h>
+
+#include "fsck/crafted.h"
+#include "shadowfs/shadow_fsck.h"
+#include "tests/support/fixtures.h"
+#include "workload/workload.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_device;
+using testing_support::make_test_fs;
+using testing_support::pattern_bytes;
+
+TEST(ShadowFsck, FreshImagePasses) {
+  auto t = make_test_device();
+  auto report = shadow_fsck(t.device.get());
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_EQ(report.entries_walked, 0u);
+  EXPECT_GT(report.checks_performed, 0u);
+}
+
+TEST(ShadowFsck, PopulatedImagePassesAndWalksEverything) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->mkdir("/a", 0755).ok());
+  ASSERT_TRUE(t.fs->mkdir("/a/b", 0755).ok());
+  auto ino = t.fs->create("/a/b/file", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(t.fs->write(ino.value(), 0, 0, pattern_bytes(60000)).ok());
+  ASSERT_TRUE(t.fs->symlink("/a/ln", "/a/b/file").ok());
+  ASSERT_TRUE(t.fs->unmount().ok());
+
+  auto report = shadow_fsck(t.device.get());
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_EQ(report.entries_walked, 4u);  // a, b, file, ln
+}
+
+TEST(ShadowFsck, WorkloadProducedImagePasses) {
+  testing_support::TestFsOptions opts;
+  opts.total_blocks = 16384;
+  opts.inode_count = 1024;
+  auto t = make_test_fs(opts);
+  WorkloadOptions wl;
+  wl.kind = WorkloadKind::kFileserver;
+  wl.nops = 400;
+  (void)run_workload(*t.fs, wl);
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto report = shadow_fsck(t.device.get());
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_GT(report.inodes_walked, 5u);
+}
+
+struct ShadowFsckCase {
+  CraftKind kind;
+  bool refused;  // bitmap leaks are not reachable-tree violations
+};
+
+class ShadowFsckCraftTest
+    : public ::testing::TestWithParam<ShadowFsckCase> {};
+
+TEST_P(ShadowFsckCraftTest, CraftedImagesHandled) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->mkdir("/sub", 0755).ok());
+  ASSERT_TRUE(t.fs->create("/sub/f", 0644).ok());
+  ASSERT_TRUE(t.fs->unmount().ok());
+  ASSERT_TRUE(craft_image(t.device.get(), GetParam().kind).ok());
+
+  auto report = shadow_fsck(t.device.get());
+  EXPECT_EQ(!report.ok, GetParam().refused)
+      << to_string(GetParam().kind) << ": " << report.failure;
+  if (!report.ok) EXPECT_FALSE(report.failure.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCraftKinds, ShadowFsckCraftTest,
+    ::testing::Values(
+        ShadowFsckCase{CraftKind::kBadDirentNameLen, true},
+        ShadowFsckCase{CraftKind::kDanglingDirent, true},
+        ShadowFsckCase{CraftKind::kWildInodePointer, true},
+        // A pure space leak harms nobody's liveness: the shadow can still
+        // execute safely on this image (strict fsck flags it as kLeak).
+        ShadowFsckCase{CraftKind::kBitmapLeak, false},
+        ShadowFsckCase{CraftKind::kDirCycleLink, true}),
+    [](const ::testing::TestParamInfo<ShadowFsckCase>& info) {
+      std::string name = to_string(info.param.kind);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ShadowFsck, GarbageDeviceRefused) {
+  MemBlockDevice garbage(64);
+  auto report = shadow_fsck(&garbage);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.failure.find("superblock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,256 @@
+// Microkernel filesystem path tests (paper §4.2): the base runs in its
+// own process over shared-memory storage; a bug genuinely kills that
+// process; the supervisor's contained reboot is a waitpid + fork. Covers
+// the RPC protocol, normal operation, transparent recovery, per-kind
+// crash handling, durability semantics and the oracle equivalence.
+#include <gtest/gtest.h>
+
+#include "faults/bug_library.h"
+#include "fsck/fsck.h"
+#include "tests/support/fixtures.h"
+#include "tests/support/fs_compare.h"
+#include "tests/support/model_fs.h"
+#include "ufs/ufs_proto.h"
+#include "ufs/ufs_supervisor.h"
+#include "workload/workload.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::pattern_bytes;
+
+struct UfsRig {
+  SimClockPtr clock;
+  std::unique_ptr<ShmBlockDevice> device;
+  std::unique_ptr<UfsSupervisor> sup;
+};
+
+UfsRig make_ufs(BugRegistry* bugs, uint64_t total_blocks = 8192,
+                uint64_t inode_count = 1024) {
+  UfsRig rig;
+  rig.clock = make_clock();
+  rig.device = std::make_unique<ShmBlockDevice>(total_blocks);
+  MkfsOptions mkfs;
+  mkfs.total_blocks = total_blocks;
+  mkfs.inode_count = inode_count;
+  mkfs.journal_blocks = 128;
+  EXPECT_TRUE(BaseFs::mkfs(rig.device.get(), mkfs).ok());
+  auto sup = UfsSupervisor::start(rig.device.get(), {}, rig.clock, bugs);
+  EXPECT_TRUE(sup.ok());
+  rig.sup = std::move(sup).value();
+  return rig;
+}
+
+TEST(UfsProto, FrameAndResponseRoundTrip) {
+  ufs::Frame frame;
+  frame.kind = ufs::FrameKind::kOp;
+  frame.req.kind = OpKind::kWrite;
+  frame.req.ino = 7;
+  frame.req.offset = 4096;
+  frame.req.data = pattern_bytes(1000);
+  auto decoded = ufs::decode_frame(ufs::encode_frame(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().req.kind, OpKind::kWrite);
+  EXPECT_EQ(decoded.value().req.data, frame.req.data);
+
+  ufs::Frame shutdown_frame;
+  shutdown_frame.kind = ufs::FrameKind::kShutdown;
+  auto sd = ufs::decode_frame(ufs::encode_frame(shutdown_frame));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd.value().kind, ufs::FrameKind::kShutdown);
+
+  OpOutcome out;
+  out.err = Errno::kExist;
+  out.assigned_ino = 9;
+  out.payload = {1, 2, 3};
+  auto resp = ufs::decode_response(ufs::encode_response(out));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().err, Errno::kExist);
+  EXPECT_EQ(resp.value().payload, (std::vector<uint8_t>{1, 2, 3}));
+
+  auto bytes = ufs::encode_frame(frame);
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(ufs::decode_frame(bytes).ok());
+}
+
+TEST(ShmDevice, SharedSemantics) {
+  ShmBlockDevice dev(16);
+  std::vector<uint8_t> block(kBlockSize, 0x3C);
+  ASSERT_TRUE(dev.write_block(5, block).ok());
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(5, out).ok());
+  EXPECT_EQ(out, block);
+  EXPECT_EQ(dev.read_block(16, out).error(), Errno::kInval);
+  auto snap = dev.snapshot();
+  ASSERT_TRUE(snap->read_block(5, out).ok());
+  EXPECT_EQ(out, block);
+}
+
+TEST(Ufs, NormalOperationOverRpc) {
+  auto rig = make_ufs(nullptr);
+  ASSERT_TRUE(rig.sup->mkdir("/d", 0755).ok());
+  auto ino = rig.sup->create("/d/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  auto data = pattern_bytes(10000, 7);
+  auto written = rig.sup->write(ino.value(), 0, 0, data);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), data.size());
+
+  auto back = rig.sup->read(ino.value(), 0, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+
+  auto listing = rig.sup->readdir("/d");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing.value().size(), 1u);
+  EXPECT_EQ(listing.value()[0].name, "f");
+
+  auto st = rig.sup->stat("/d/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, data.size());
+
+  ASSERT_TRUE(rig.sup->symlink("/ln", "/d/f").ok());
+  EXPECT_EQ(rig.sup->readlink("/ln").value(), "/d/f");
+  EXPECT_EQ(rig.sup->create("/d/f", 0644).error(), Errno::kExist);
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+TEST(Ufs, ServerCrashIsMaskedFromTheApplication) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto rig = make_ufs(&bugs);
+
+  auto keep = rig.sup->create("/keep", 0644);
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(rig.sup->write(keep.value(), 0, 0, pattern_bytes(3000, 5)).ok());
+
+  std::string trigger = "/" + std::string(54, 'x');
+  ASSERT_TRUE(rig.sup->create(trigger, 0644).ok());
+
+  // The unlink kills the server PROCESS. The app sees success.
+  ASSERT_TRUE(rig.sup->unlink(trigger).ok());
+  EXPECT_EQ(rig.sup->stats().server_crashes, 1u);
+  EXPECT_EQ(rig.sup->stats().recoveries, 1u);
+  EXPECT_EQ(rig.sup->stats().respawns, 2u);  // initial + post-recovery
+  EXPECT_FALSE(rig.sup->offline());
+
+  EXPECT_EQ(rig.sup->lookup(trigger).error(), Errno::kNoEnt);
+  auto back = rig.sup->read(keep.value(), 0, 0, 3000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), pattern_bytes(3000, 5));
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+
+  auto snap = rig.device->snapshot();
+  auto report = fsck(snap.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST(Ufs, InflightOpAnsweredByShadow) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kWriteIndirectBoundaryPanic));
+  auto rig = make_ufs(&bugs);
+  auto ino = rig.sup->create("/big", 0644);
+  ASSERT_TRUE(ino.ok());
+  auto data = pattern_bytes(1500, 2);
+  auto written = rig.sup->write(ino.value(), 0, 12 * kBlockSize, data);
+  ASSERT_TRUE(written.ok()) << to_string(written.error());
+  EXPECT_EQ(written.value(), data.size());
+  EXPECT_EQ(rig.sup->stats().server_crashes, 1u);
+
+  auto back = rig.sup->read(ino.value(), 0, 12 * kBlockSize, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+TEST(Ufs, ReadTriggeredCrashAnsweredByShadow) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kCraftedNamePanic));
+  auto rig = make_ufs(&bugs);
+  auto ino = rig.sup->create("/evilname", 0644);
+  ASSERT_TRUE(ino.ok());
+  auto looked = rig.sup->lookup("/evilname");
+  ASSERT_TRUE(looked.ok()) << to_string(looked.error());
+  EXPECT_EQ(looked.value(), ino.value());
+  EXPECT_GE(rig.sup->stats().server_crashes, 1u);
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+TEST(Ufs, FsyncInterruptedRetriedOnFreshServer) {
+  // Note: each respawned server gets a fresh COW copy of the registry, so
+  // a max_fires=1 bug would re-arm on every respawn. Gate on op_index
+  // instead: the original fsync is the 3rd op of its server (index 2);
+  // the post-recovery retry sync is the fresh server's first op (index 0)
+  // and sails through -- which is exactly the paper's §3.3 story.
+  BugRegistry bugs;
+  BugSpec spec;
+  spec.id = 9300;
+  spec.description = "kill server on a warmed-up sync";
+  spec.consequence = BugConsequence::kCrash;
+  spec.trigger = [](const BugContext& ctx) {
+    return ctx.site == "basefs.op.dispatch" && op_is_sync(ctx.op) &&
+           ctx.op_index >= 2;
+  };
+  bugs.install(spec);
+  auto rig = make_ufs(&bugs);
+  auto ino = rig.sup->create("/f", 0644);
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(rig.sup->write(ino.value(), 0, 0, pattern_bytes(2000, 9)).ok());
+
+  ASSERT_TRUE(rig.sup->fsync(ino.value()).ok());
+  EXPECT_EQ(rig.sup->stats().server_crashes, 1u);
+  EXPECT_EQ(rig.sup->lookup("/f").value(), ino.value());
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+TEST(Ufs, DeterministicBugSurvivesRepeatedTriggers) {
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto rig = make_ufs(&bugs);
+  std::string trigger = "/" + std::string(54, 'z');
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(rig.sup->create(trigger, 0644).ok());
+    ASSERT_TRUE(rig.sup->unlink(trigger).ok()) << "round " << round;
+  }
+  EXPECT_EQ(rig.sup->stats().server_crashes, 4u);
+  EXPECT_FALSE(rig.sup->offline());
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+TEST(Ufs, WorkloadUnderTransientBugsMatchesModel) {
+  BugRegistry bugs(321);
+  bugs.install(bugs::make(bugs::kTransientPanic, 0.004));
+  auto rig = make_ufs(&bugs, 16384, 2048);
+  ModelFs model(2048);
+
+  WorkloadOptions wl;
+  wl.kind = WorkloadKind::kFileserver;
+  wl.seed = 99;
+  wl.nops = 250;
+  wl.initial_files = 8;
+  auto ufs_result = run_workload(*rig.sup, wl);
+  auto model_result = run_workload(model, wl);
+  EXPECT_EQ(ufs_result.io_failures, 0u);
+  EXPECT_EQ(ufs_result.ops_failed, model_result.ops_failed);
+
+  testing_support::CompareOptions cmp;
+  cmp.compare_inos = false;
+  auto diff = testing_support::compare_trees(*rig.sup, model, cmp);
+  EXPECT_EQ(diff, "") << diff;
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+TEST(Ufs, OplogTruncatesOnSync) {
+  auto rig = make_ufs(nullptr);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.sup->create("/f" + std::to_string(i), 0644).ok());
+  }
+  EXPECT_EQ(rig.sup->oplog_stats().live_records, 5u);
+  ASSERT_TRUE(rig.sup->sync().ok());
+  EXPECT_EQ(rig.sup->oplog_stats().live_records, 0u);
+  ASSERT_TRUE(rig.sup->shutdown().ok());
+}
+
+}  // namespace
+}  // namespace raefs

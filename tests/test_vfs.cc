@@ -1,0 +1,231 @@
+// VFS tests: descriptor lifecycle, offsets, open flags, append, stale
+// descriptors after unlink, descriptor survival across RAE recovery.
+#include <gtest/gtest.h>
+
+#include "faults/bug_library.h"
+#include "rae/supervisor.h"
+#include "tests/support/fixtures.h"
+#include "vfs/vfs.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_device;
+using testing_support::make_test_fs;
+using testing_support::pattern_bytes;
+
+TEST(FdTable, InsertGetClose) {
+  FdTable fds;
+  Fd fd = fds.insert(5, 1, kRdWr);
+  EXPECT_GE(fd, 3);
+  auto of = fds.get(fd);
+  ASSERT_TRUE(of.ok());
+  EXPECT_EQ(of.value().ino, 5u);
+  EXPECT_EQ(fds.open_count(), 1u);
+  ASSERT_TRUE(fds.close(fd).ok());
+  EXPECT_EQ(fds.get(fd).error(), Errno::kBadFd);
+  EXPECT_EQ(fds.close(fd).error(), Errno::kBadFd);
+}
+
+TEST(Vfs, OpenCreateWriteReadClose) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+
+  auto fd = vfs.open("/file", kRdWr | kCreate, 0644);
+  ASSERT_TRUE(fd.ok());
+  auto data = pattern_bytes(6000);
+  auto written = vfs.write(fd.value(), data);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), data.size());
+
+  // Sequential offset advanced; seek back and read it all.
+  ASSERT_TRUE(vfs.seek(fd.value(), 0).ok());
+  auto back = vfs.read(fd.value(), 6000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+
+  // Sequential read continues from the offset.
+  auto eof = vfs.read(fd.value(), 100);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_TRUE(eof.value().empty());
+  ASSERT_TRUE(vfs.close(fd.value()).ok());
+}
+
+TEST(Vfs, OpenFlagsSemantics) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  EXPECT_EQ(vfs.open("/nope", kRdOnly).error(), Errno::kNoEnt);
+
+  auto fd = vfs.open("/f", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(vfs.open("/f", kWrOnly | kCreate | kExcl).error(), Errno::kExist);
+  EXPECT_EQ(vfs.read(fd.value(), 10).error(), Errno::kBadFd);  // write-only
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(100)).ok());
+
+  auto ro = vfs.open("/f", kRdOnly);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(vfs.write(ro.value(), pattern_bytes(1)).error(), Errno::kBadFd);
+
+  // kTrunc resets content.
+  auto tr = vfs.open("/f", kWrOnly | kTrunc);
+  ASSERT_TRUE(tr.ok());
+  EXPECT_EQ(vfs.fstat(tr.value()).value().size, 0u);
+
+  ASSERT_TRUE(vfs.mkdir("/d").ok());
+  EXPECT_EQ(vfs.open("/d", kRdOnly).error(), Errno::kIsDir);
+}
+
+TEST(Vfs, AppendAlwaysWritesAtEnd) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  auto fd = vfs.open("/log", kWrOnly | kCreate | kAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(100, 1)).ok());
+  ASSERT_TRUE(vfs.seek(fd.value(), 0).ok());  // append ignores offset
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(100, 2)).ok());
+  EXPECT_EQ(vfs.fstat(fd.value()).value().size, 200u);
+
+  auto ro = vfs.open("/log", kRdOnly);
+  ASSERT_TRUE(ro.ok());
+  auto all = vfs.pread(ro.value(), 100, 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), pattern_bytes(100, 2));
+}
+
+TEST(Vfs, PreadPwriteDoNotMoveOffset) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  auto fd = vfs.open("/f", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.pwrite(fd.value(), 1000, pattern_bytes(50, 3)).ok());
+  auto back = vfs.pread(fd.value(), 1000, 50);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), pattern_bytes(50, 3));
+  // Sequential read still starts at 0.
+  auto seq = vfs.read(fd.value(), 10);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), std::vector<uint8_t>(10, 0));
+}
+
+TEST(Vfs, UnlinkedFileDescriptorGoesStale) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  auto fd = vfs.open("/f", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.unlink("/f").ok());
+  // raefs semantics: unlink frees immediately; the handle is stale.
+  EXPECT_EQ(vfs.pwrite(fd.value(), 0, pattern_bytes(1)).error(),
+            Errno::kBadFd);
+  EXPECT_EQ(vfs.fstat(fd.value()).error(), Errno::kBadFd);
+}
+
+TEST(Vfs, FtruncateAndFsync) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  auto fd = vfs.open("/f", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(5000)).ok());
+  ASSERT_TRUE(vfs.ftruncate(fd.value(), 10).ok());
+  EXPECT_EQ(vfs.fstat(fd.value()).value().size, 10u);
+  EXPECT_TRUE(vfs.fsync(fd.value()).ok());
+}
+
+TEST(Vfs, DescriptorsSurviveRaeRecovery) {
+  // The paper's essential-state requirement: applications keep their fds
+  // (and those fds keep working) across a contained reboot + recovery.
+  auto t = make_test_device();
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto sup = RaeSupervisor::start(t.device.get(), {}, t.clock, &bugs);
+  ASSERT_TRUE(sup.ok());
+  Vfs<RaeSupervisor> vfs(sup.value().get());
+
+  auto fd = vfs.open("/app-data", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(2000, 8)).ok());
+
+  std::string trigger = "/" + std::string(54, 'x');
+  auto tfd = vfs.open(trigger, kWrOnly | kCreate);
+  ASSERT_TRUE(tfd.ok());
+  ASSERT_TRUE(vfs.close(tfd.value()).ok());
+  ASSERT_TRUE(vfs.unlink(trigger).ok());  // panics; RAE recovers
+  EXPECT_EQ(sup.value()->stats().recoveries, 1u);
+
+  // The old descriptor still works: same ino, same generation, same data.
+  ASSERT_TRUE(vfs.seek(fd.value(), 0).ok());
+  auto back = vfs.read(fd.value(), 2000);
+  ASSERT_TRUE(back.ok()) << to_string(back.error());
+  EXPECT_EQ(back.value(), pattern_bytes(2000, 8));
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(100, 9)).ok());
+  ASSERT_TRUE(sup.value()->shutdown().ok());
+}
+
+TEST(VfsSymlinks, OpenFollowsChains) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  auto fd = vfs.open("/real", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(64, 4)).ok());
+  ASSERT_TRUE(vfs.close(fd.value()).ok());
+
+  ASSERT_TRUE(t.fs->symlink("/ln1", "/real").ok());
+  ASSERT_TRUE(t.fs->symlink("/ln2", "/ln1").ok());  // chain of two
+
+  auto via = vfs.open("/ln2", kRdOnly);
+  ASSERT_TRUE(via.ok()) << to_string(via.error());
+  auto back = vfs.read(via.value(), 64);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), pattern_bytes(64, 4));
+}
+
+TEST(VfsSymlinks, RelativeTargetsResolveAgainstLinkDir) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  ASSERT_TRUE(vfs.mkdir("/d").ok());
+  auto fd = vfs.open("/d/file", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(10, 1)).ok());
+  ASSERT_TRUE(t.fs->symlink("/d/rel", "file").ok());        // same dir
+  ASSERT_TRUE(t.fs->symlink("/d/up", "../d/file").ok());    // via parent
+
+  for (const char* path : {"/d/rel", "/d/up"}) {
+    auto via = vfs.open(path, kRdOnly);
+    ASSERT_TRUE(via.ok()) << path << ": " << to_string(via.error());
+    auto back = vfs.read(via.value(), 10);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), pattern_bytes(10, 1)) << path;
+  }
+}
+
+TEST(VfsSymlinks, LoopsReturnELoop) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  ASSERT_TRUE(t.fs->symlink("/a", "/b").ok());
+  ASSERT_TRUE(t.fs->symlink("/b", "/a").ok());
+  EXPECT_EQ(vfs.open("/a", kRdOnly).error(), Errno::kLoop);
+}
+
+TEST(VfsSymlinks, NoFollowRefusesTrailingLink) {
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  auto fd = vfs.open("/real", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(t.fs->symlink("/ln", "/real").ok());
+  EXPECT_EQ(vfs.open("/ln", kRdOnly | kNoFollow).error(), Errno::kLoop);
+  EXPECT_TRUE(vfs.open("/real", kRdOnly | kNoFollow).ok());
+}
+
+TEST(VfsSymlinks, DanglingLinkCreatesTargetWithCreate) {
+  // POSIX: open(O_CREAT) through a dangling symlink creates the target.
+  auto t = make_test_fs();
+  Vfs<BaseFs> vfs(t.fs.get());
+  ASSERT_TRUE(t.fs->symlink("/ln", "/target").ok());
+  auto fd = vfs.open("/ln", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok()) << to_string(fd.error());
+  ASSERT_TRUE(vfs.write(fd.value(), pattern_bytes(5, 2)).ok());
+  EXPECT_TRUE(t.fs->lookup("/target").ok());
+  EXPECT_EQ(t.fs->stat("/target").value().size, 5u);
+}
+
+}  // namespace
+}  // namespace raefs

@@ -1,0 +1,164 @@
+// Wire-format tests: the base<->shadow interface must round-trip
+// faithfully and reject corrupted payloads (paper §4.3: the interface must
+// be lean, well-defined, and thoroughly tested).
+#include <gtest/gtest.h>
+
+#include "rae/wire.h"
+#include "tests/support/fixtures.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::pattern_bytes;
+
+std::vector<OpRecord> sample_records() {
+  std::vector<OpRecord> records;
+  OpRecord create;
+  create.seq = 1;
+  create.req.kind = OpKind::kCreate;
+  create.req.path = "/dir/file with spaces";
+  create.req.mode = 0640;
+  create.req.stamp = 123456789;
+  create.completed = true;
+  create.out.err = Errno::kOk;
+  create.out.assigned_ino = 42;
+  records.push_back(create);
+
+  OpRecord write;
+  write.seq = 2;
+  write.req.kind = OpKind::kWrite;
+  write.req.ino = 42;
+  write.req.gen = 3;
+  write.req.offset = 8192;
+  write.req.data = pattern_bytes(5000);
+  write.completed = true;
+  write.out.result_len = 5000;
+  records.push_back(write);
+
+  OpRecord rename;
+  rename.seq = 3;
+  rename.req.kind = OpKind::kRename;
+  rename.req.path = "/a";
+  rename.req.path2 = "/b";
+  rename.completed = false;  // in-flight
+  records.push_back(rename);
+  return records;
+}
+
+TEST(Wire, OpRecordsRoundTrip) {
+  auto records = sample_records();
+  auto bytes = wire::encode_op_records(records);
+  auto decoded = wire::decode_op_records(bytes);
+  ASSERT_TRUE(decoded.ok());
+  const auto& out = decoded.value();
+  ASSERT_EQ(out.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out[i].seq, records[i].seq);
+    EXPECT_EQ(out[i].req.kind, records[i].req.kind);
+    EXPECT_EQ(out[i].req.path, records[i].req.path);
+    EXPECT_EQ(out[i].req.path2, records[i].req.path2);
+    EXPECT_EQ(out[i].req.ino, records[i].req.ino);
+    EXPECT_EQ(out[i].req.gen, records[i].req.gen);
+    EXPECT_EQ(out[i].req.offset, records[i].req.offset);
+    EXPECT_EQ(out[i].req.data, records[i].req.data);
+    EXPECT_EQ(out[i].req.mode, records[i].req.mode);
+    EXPECT_EQ(out[i].req.stamp, records[i].req.stamp);
+    EXPECT_EQ(out[i].completed, records[i].completed);
+    EXPECT_EQ(out[i].out.err, records[i].out.err);
+    EXPECT_EQ(out[i].out.assigned_ino, records[i].out.assigned_ino);
+    EXPECT_EQ(out[i].out.result_len, records[i].out.result_len);
+  }
+}
+
+TEST(Wire, EmptyLogRoundTrips) {
+  auto bytes = wire::encode_op_records({});
+  auto decoded = wire::decode_op_records(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(Wire, RejectsBadMagicAndTruncation) {
+  auto bytes = wire::encode_op_records(sample_records());
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(wire::decode_op_records(bad).ok());
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(wire::decode_op_records(truncated).ok());
+
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(wire::decode_op_records(padded).ok());
+}
+
+TEST(Wire, OutcomeRoundTrip) {
+  ShadowOutcome outcome;
+  outcome.ok = true;
+  outcome.failure = "";
+  InstallBlock ib;
+  ib.block = 77;
+  ib.cls = BlockClass::kDirMeta;
+  ib.data = pattern_bytes(kBlockSize);
+  outcome.dirty.push_back(ib);
+  outcome.discrepancies.push_back(Discrepancy{5, "op 5 mismatch"});
+  OpOutcome inflight;
+  inflight.err = Errno::kOk;
+  inflight.assigned_ino = 9;
+  inflight.payload = {1, 2, 3};
+  outcome.inflight_results.emplace_back(6, inflight);
+  outcome.inflight_retry_syncs.push_back(7);
+  outcome.ops_replayed = 4;
+  outcome.ops_skipped_errored = 1;
+  outcome.ops_skipped_sync = 2;
+  outcome.device_reads = 123;
+  outcome.checks = 456;
+  outcome.sim_time_used = 789;
+
+  auto bytes = wire::encode_outcome(outcome);
+  auto decoded = wire::decode_outcome(bytes);
+  ASSERT_TRUE(decoded.ok());
+  const auto& out = decoded.value();
+  EXPECT_TRUE(out.ok);
+  ASSERT_EQ(out.dirty.size(), 1u);
+  EXPECT_EQ(out.dirty[0].block, 77u);
+  EXPECT_EQ(out.dirty[0].cls, BlockClass::kDirMeta);
+  EXPECT_EQ(out.dirty[0].data, ib.data);
+  ASSERT_EQ(out.discrepancies.size(), 1u);
+  EXPECT_EQ(out.discrepancies[0].seq, 5u);
+  EXPECT_EQ(out.discrepancies[0].description, "op 5 mismatch");
+  ASSERT_EQ(out.inflight_results.size(), 1u);
+  EXPECT_EQ(out.inflight_results[0].first, 6u);
+  EXPECT_EQ(out.inflight_results[0].second.assigned_ino, 9u);
+  EXPECT_EQ(out.inflight_results[0].second.payload,
+            (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(out.inflight_retry_syncs, (std::vector<Seq>{7}));
+  EXPECT_EQ(out.ops_replayed, 4u);
+  EXPECT_EQ(out.device_reads, 123u);
+  EXPECT_EQ(out.sim_time_used, 789u);
+}
+
+TEST(Wire, FailureOutcomeRoundTrips) {
+  ShadowOutcome outcome;
+  outcome.ok = false;
+  outcome.failure = "shadow check failed: image corrupt";
+  auto decoded = wire::decode_outcome(wire::encode_outcome(outcome));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().failure, outcome.failure);
+}
+
+TEST(Wire, OutcomeRejectsCorruption) {
+  ShadowOutcome outcome;
+  outcome.ok = true;
+  auto bytes = wire::encode_outcome(outcome);
+  bytes[1] ^= 0x55;
+  auto mangled = bytes;
+  mangled[0] ^= 0xFF;
+  EXPECT_FALSE(wire::decode_outcome(mangled).ok());
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(wire::decode_outcome(bytes).ok());
+}
+
+}  // namespace
+}  // namespace raefs

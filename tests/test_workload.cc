@@ -1,0 +1,124 @@
+// Workload generator tests: determinism, mix composition, and that every
+// profile drives a real filesystem without unexpected errors.
+#include <gtest/gtest.h>
+
+#include "tests/support/fixtures.h"
+#include "tests/support/model_fs.h"
+#include "workload/workload.h"
+
+namespace raefs {
+namespace {
+
+using testing_support::make_test_fs;
+using testing_support::TestFsOptions;
+
+TEST(Workload, PlanIsDeterministic) {
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kFileserver;
+  opts.seed = 42;
+  opts.nops = 500;
+  auto a = plan_workload(opts);
+  auto b = plan_workload(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].action, b[i].action);
+    EXPECT_EQ(a[i].a, b[i].a);
+  }
+  opts.seed = 43;
+  auto c = plan_workload(opts);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].action != c[i].action || a[i].a != c[i].a) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, SyncCadenceRespected) {
+  WorkloadOptions opts;
+  opts.nops = 200;
+  opts.sync_every = 50;
+  auto plan = plan_workload(opts);
+  int syncs = 0;
+  for (const auto& step : plan) {
+    if (step.action == WorkloadStep::Action::kSync) ++syncs;
+  }
+  EXPECT_EQ(syncs, 3);  // at 50, 100, 150
+}
+
+TEST(Workload, MixesDifferByKind) {
+  auto count_action = [](WorkloadKind kind, WorkloadStep::Action action) {
+    WorkloadOptions opts;
+    opts.kind = kind;
+    opts.nops = 2000;
+    opts.sync_every = 0;
+    int n = 0;
+    for (const auto& step : plan_workload(opts)) {
+      if (step.action == action) ++n;
+    }
+    return n;
+  };
+  // Write-heavy has far more writes than metadata-heavy.
+  EXPECT_GT(count_action(WorkloadKind::kWriteHeavy,
+                         WorkloadStep::Action::kWrite),
+            3 * count_action(WorkloadKind::kMetadataHeavy,
+                             WorkloadStep::Action::kWrite) + 100);
+  // Metadata-heavy has many creates.
+  EXPECT_GT(count_action(WorkloadKind::kMetadataHeavy,
+                         WorkloadStep::Action::kCreate),
+            400);
+  // Read-heavy is dominated by reads.
+  EXPECT_GT(count_action(WorkloadKind::kReadHeavy,
+                         WorkloadStep::Action::kRead),
+            1200);
+  // Varmail fsyncs.
+  EXPECT_GT(count_action(WorkloadKind::kVarmail,
+                         WorkloadStep::Action::kFsyncFile),
+            300);
+}
+
+class WorkloadDriveTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadDriveTest, DrivesBaseFsWithoutIoFailures) {
+  TestFsOptions fs_opts;
+  fs_opts.total_blocks = 16384;
+  fs_opts.inode_count = 1024;
+  auto t = make_test_fs(fs_opts);
+  WorkloadOptions opts;
+  opts.kind = GetParam();
+  opts.seed = 7;
+  opts.nops = 800;
+  opts.max_io_bytes = 8192;
+  auto result = run_workload(*t.fs, opts);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.io_failures, 0u);
+  EXPECT_GT(result.ops_issued, 0u);
+  // Benign errors (ENOSPC near full, etc.) are allowed but must be rare
+  // on an amply-sized image.
+  EXPECT_LT(result.ops_failed, result.ops_issued / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WorkloadDriveTest,
+    ::testing::Values(WorkloadKind::kMetadataHeavy, WorkloadKind::kWriteHeavy,
+                      WorkloadKind::kReadHeavy, WorkloadKind::kFileserver,
+                      WorkloadKind::kVarmail),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Workload, SameWorkloadDrivesModelFs) {
+  ModelFs model(1024);
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kFileserver;
+  opts.nops = 500;
+  auto result = run_workload(model, opts);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_GT(result.bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace raefs

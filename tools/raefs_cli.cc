@@ -1,0 +1,412 @@
+// raefs -- command-line tool for raefs images (file-backed block devices).
+//
+//   raefs mkfs  <image> [blocks] [inodes] [journal]   format an image
+//   raefs info  <image>                               superblock + geometry
+//   raefs fsck  <image> [weak|strict|shadow]          run a checker
+//   raefs ls    <image> <path>                        list a directory
+//   raefs tree  <image> [path]                        recursive listing
+//   raefs cat   <image> <path>                        print file contents
+//   raefs put   <image> <host-file> <path>            copy a file in
+//   raefs get   <image> <path> <host-file>            copy a file out
+//   raefs mkdir <image> <path>                        create a directory
+//   raefs rm    <image> <path>                        unlink a file
+//   raefs craft <image> <kind>                        apply an attack
+//   raefs workload <image> <kind> <nops> [seed]       populate via workload
+//   raefs bugstudy [table1|fig1]                      print the study
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "basefs/base_fs.h"
+#include "blockdev/file_device.h"
+#include "bugstudy/bugstudy.h"
+#include "fsck/crafted.h"
+#include "fsck/fsck.h"
+#include "shadowfs/shadow_fsck.h"
+#include "workload/workload.h"
+
+using namespace raefs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: raefs <mkfs|info|fsck|ls|tree|cat|put|get|mkdir|rm|"
+               "craft|workload|bugstudy> ...\n"
+               "run with a command and no arguments for its usage\n");
+  return 2;
+}
+
+uint64_t image_blocks(const std::string& path, uint64_t fallback) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) return fallback;
+  auto bytes = static_cast<uint64_t>(in.tellg());
+  return bytes >= kBlockSize ? bytes / kBlockSize : fallback;
+}
+
+/// Open an existing image sized from the file itself.
+std::unique_ptr<FileBlockDevice> open_image(const std::string& path) {
+  uint64_t blocks = image_blocks(path, 0);
+  if (blocks == 0) {
+    std::fprintf(stderr, "raefs: %s: not a raefs image\n", path.c_str());
+    return nullptr;
+  }
+  return std::make_unique<FileBlockDevice>(path, blocks);
+}
+
+Result<Superblock> read_superblock(BlockDevice* dev) {
+  std::vector<uint8_t> block(kBlockSize);
+  RAEFS_TRY_VOID(dev->read_block(0, block));
+  return Superblock::decode(block);
+}
+
+int cmd_mkfs(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: raefs mkfs <image> [blocks] [inodes] "
+                         "[journal]\n");
+    return 2;
+  }
+  MkfsOptions opts;
+  opts.total_blocks = argc > 1 ? std::stoull(argv[1]) : 8192;
+  opts.inode_count = argc > 2 ? std::stoull(argv[2]) : 1024;
+  opts.journal_blocks = argc > 3 ? std::stoull(argv[3]) : 128;
+  FileBlockDevice dev(argv[0], opts.total_blocks);
+  Status st = BaseFs::mkfs(&dev, opts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "mkfs failed: %s\n", to_string(st.error()));
+    return 1;
+  }
+  std::printf("formatted %s: %llu blocks (%llu MiB), %llu inodes, "
+              "%llu-block journal\n",
+              argv[0], static_cast<unsigned long long>(opts.total_blocks),
+              static_cast<unsigned long long>(opts.total_blocks * kBlockSize /
+                                              (1024 * 1024)),
+              static_cast<unsigned long long>(opts.inode_count),
+              static_cast<unsigned long long>(opts.journal_blocks));
+  return 0;
+}
+
+int cmd_info(const std::string& image) {
+  auto dev = open_image(image);
+  if (!dev) return 1;
+  auto sb = read_superblock(dev.get());
+  if (!sb.ok()) {
+    std::fprintf(stderr, "superblock invalid (%s)\n",
+                 to_string(sb.error()));
+    return 1;
+  }
+  auto geo = sb.value().geometry().value();
+  std::printf("raefs image %s\n", image.c_str());
+  std::printf("  version:       %u\n", sb.value().version);
+  std::printf("  state:         %s\n",
+              sb.value().state == FsState::kClean ? "clean"
+                                                  : "mounted/unclean");
+  std::printf("  mounts:        %llu\n",
+              static_cast<unsigned long long>(sb.value().mount_count));
+  std::printf("  total blocks:  %llu (%llu MiB)\n",
+              static_cast<unsigned long long>(geo.total_blocks),
+              static_cast<unsigned long long>(geo.total_blocks * kBlockSize /
+                                              (1024 * 1024)));
+  std::printf("  inodes:        %llu\n",
+              static_cast<unsigned long long>(geo.inode_count));
+  std::printf("  layout:        sb=0 ibm=%llu bbm=%llu itab=%llu "
+              "journal=%llu..%llu data=%llu..\n",
+              static_cast<unsigned long long>(geo.inode_bitmap_start),
+              static_cast<unsigned long long>(geo.block_bitmap_start),
+              static_cast<unsigned long long>(geo.inode_table_start),
+              static_cast<unsigned long long>(geo.journal_start),
+              static_cast<unsigned long long>(geo.journal_start +
+                                              geo.journal_blocks - 1),
+              static_cast<unsigned long long>(geo.data_start));
+  return 0;
+}
+
+int cmd_fsck(const std::string& image, const std::string& level) {
+  auto dev = open_image(image);
+  if (!dev) return 1;
+  if (level == "shadow") {
+    auto report = shadow_fsck(dev.get());
+    std::printf("shadow-fsck: %s\n", report.ok ? "OK" : "REFUSED");
+    if (!report.ok) std::printf("  %s\n", report.failure.c_str());
+    std::printf("  walked %llu inodes, %llu entries; %llu checks, "
+                "%llu device reads\n",
+                static_cast<unsigned long long>(report.inodes_walked),
+                static_cast<unsigned long long>(report.entries_walked),
+                static_cast<unsigned long long>(report.checks_performed),
+                static_cast<unsigned long long>(report.device_reads));
+    return report.ok ? 0 : 1;
+  }
+  FsckLevel fl = level == "weak" ? FsckLevel::kWeak : FsckLevel::kStrict;
+  auto report = fsck(dev.get(), fl);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck failed to run: %s\n",
+                 to_string(report.error()));
+    return 1;
+  }
+  std::printf("%s\n", report.value().summary().c_str());
+  return report.value().consistent() ? 0 : 1;
+}
+
+/// Mount, run `fn`, unmount. Returns its exit code.
+template <typename Fn>
+int with_mounted(const std::string& image, Fn&& fn) {
+  auto dev = open_image(image);
+  if (!dev) return 1;
+  auto fs = BaseFs::mount(dev.get(), BaseFsOptions{});
+  if (!fs.ok()) {
+    std::fprintf(stderr, "mount failed: %s\n", to_string(fs.error()));
+    return 1;
+  }
+  int rc;
+  try {
+    rc = fn(*fs.value());
+  } catch (const FsPanicError& e) {
+    std::fprintf(stderr, "filesystem panicked: %s\n", e.what());
+    return 1;
+  }
+  Status st = fs.value()->unmount();
+  if (!st.ok()) {
+    std::fprintf(stderr, "unmount failed: %s\n", to_string(st.error()));
+    return 1;
+  }
+  return rc;
+}
+
+const char* type_char(FileType t) {
+  switch (t) {
+    case FileType::kDirectory: return "d";
+    case FileType::kSymlink: return "l";
+    default: return "-";
+  }
+}
+
+int cmd_ls(const std::string& image, const std::string& path) {
+  return with_mounted(image, [&](BaseFs& fs) {
+    auto listing = fs.readdir(path);
+    if (!listing.ok()) {
+      std::fprintf(stderr, "ls: %s: %s\n", path.c_str(),
+                   to_string(listing.error()));
+      return 1;
+    }
+    for (const auto& e : listing.value()) {
+      auto st = fs.stat_ino(e.ino);
+      std::printf("%s %8llu  ino=%-6llu %s\n", type_char(e.type),
+                  st.ok() ? static_cast<unsigned long long>(st.value().size)
+                          : 0ull,
+                  static_cast<unsigned long long>(e.ino), e.name.c_str());
+    }
+    return 0;
+  });
+}
+
+void tree_walk(BaseFs& fs, const std::string& path, int depth) {
+  auto listing = fs.readdir(path);
+  if (!listing.ok()) return;
+  for (const auto& e : listing.value()) {
+    std::printf("%*s%s%s\n", depth * 2, "", e.name.c_str(),
+                e.type == FileType::kDirectory ? "/" : "");
+    if (e.type == FileType::kDirectory) {
+      tree_walk(fs, (path == "/" ? "" : path) + "/" + e.name, depth + 1);
+    }
+  }
+}
+
+int cmd_tree(const std::string& image, const std::string& path) {
+  return with_mounted(image, [&](BaseFs& fs) {
+    std::printf("%s\n", path.c_str());
+    tree_walk(fs, path, 1);
+    return 0;
+  });
+}
+
+int cmd_cat(const std::string& image, const std::string& path) {
+  return with_mounted(image, [&](BaseFs& fs) {
+    auto st = fs.stat(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cat: %s: %s\n", path.c_str(),
+                   to_string(st.error()));
+      return 1;
+    }
+    auto data = fs.read(st.value().ino, 0, 0, st.value().size);
+    if (!data.ok()) return 1;
+    std::fwrite(data.value().data(), 1, data.value().size(), stdout);
+    return 0;
+  });
+}
+
+int cmd_put(const std::string& image, const std::string& host,
+            const std::string& path) {
+  std::ifstream in(host, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "put: cannot read %s\n", host.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  return with_mounted(image, [&](BaseFs& fs) {
+    auto existing = fs.lookup(path);
+    Ino ino;
+    if (existing.ok()) {
+      ino = existing.value();
+      if (!fs.truncate(ino, 0, 0).ok()) return 1;
+    } else {
+      auto created = fs.create(path, 0644);
+      if (!created.ok()) {
+        std::fprintf(stderr, "put: %s: %s\n", path.c_str(),
+                     to_string(created.error()));
+        return 1;
+      }
+      ino = created.value();
+    }
+    auto written = fs.write(ino, 0, 0, data);
+    if (!written.ok() || written.value() != data.size()) {
+      std::fprintf(stderr, "put: short write\n");
+      return 1;
+    }
+    std::printf("wrote %zu bytes to %s\n", data.size(), path.c_str());
+    return 0;
+  });
+}
+
+int cmd_get(const std::string& image, const std::string& path,
+            const std::string& host) {
+  return with_mounted(image, [&](BaseFs& fs) {
+    auto st = fs.stat(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "get: %s: %s\n", path.c_str(),
+                   to_string(st.error()));
+      return 1;
+    }
+    auto data = fs.read(st.value().ino, 0, 0, st.value().size);
+    if (!data.ok()) return 1;
+    std::ofstream out(host, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.value().data()),
+              static_cast<std::streamsize>(data.value().size()));
+    std::printf("copied %zu bytes to %s\n", data.value().size(),
+                host.c_str());
+    return 0;
+  });
+}
+
+int cmd_mkdir(const std::string& image, const std::string& path) {
+  return with_mounted(image, [&](BaseFs& fs) {
+    auto r = fs.mkdir(path, 0755);
+    if (!r.ok()) {
+      std::fprintf(stderr, "mkdir: %s: %s\n", path.c_str(),
+                   to_string(r.error()));
+      return 1;
+    }
+    return 0;
+  });
+}
+
+int cmd_rm(const std::string& image, const std::string& path) {
+  return with_mounted(image, [&](BaseFs& fs) {
+    Status st = fs.unlink(path);
+    if (!st.ok() && st.error() == Errno::kIsDir) st = fs.rmdir(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "rm: %s: %s\n", path.c_str(),
+                   to_string(st.error()));
+      return 1;
+    }
+    return 0;
+  });
+}
+
+int cmd_craft(const std::string& image, const std::string& kind_name) {
+  auto dev = open_image(image);
+  if (!dev) return 1;
+  const CraftKind kinds[] = {
+      CraftKind::kBadDirentNameLen, CraftKind::kDanglingDirent,
+      CraftKind::kWildInodePointer, CraftKind::kBitmapLeak,
+      CraftKind::kDirCycleLink};
+  for (CraftKind kind : kinds) {
+    if (kind_name == to_string(kind)) {
+      Status st = craft_image(dev.get(), kind);
+      if (!st.ok()) {
+        std::fprintf(stderr, "craft failed: %s (does the image have the "
+                             "needed victim objects?)\n",
+                     to_string(st.error()));
+        return 1;
+      }
+      std::printf("applied %s to %s\n", kind_name.c_str(), image.c_str());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown kind; one of:");
+  for (CraftKind kind : kinds) std::fprintf(stderr, " %s", to_string(kind));
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int cmd_workload(const std::string& image, const std::string& kind_name,
+                 uint64_t nops, uint64_t seed) {
+  WorkloadOptions opts;
+  opts.nops = nops;
+  opts.seed = seed;
+  bool found = false;
+  for (auto kind : {WorkloadKind::kMetadataHeavy, WorkloadKind::kWriteHeavy,
+                    WorkloadKind::kReadHeavy, WorkloadKind::kFileserver,
+                    WorkloadKind::kVarmail}) {
+    if (kind_name == to_string(kind)) {
+      opts.kind = kind;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown workload kind %s\n", kind_name.c_str());
+    return 2;
+  }
+  return with_mounted(image, [&](BaseFs& fs) {
+    auto result = run_workload(fs, opts);
+    std::printf("%llu ops issued, %llu failed, %llu bytes written, "
+                "%llu bytes read\n",
+                static_cast<unsigned long long>(result.ops_issued),
+                static_cast<unsigned long long>(result.ops_failed),
+                static_cast<unsigned long long>(result.bytes_written),
+                static_cast<unsigned long long>(result.bytes_read));
+    return result.aborted ? 1 : 0;
+  });
+}
+
+int cmd_bugstudy(const std::string& which) {
+  using namespace bugstudy;
+  if (which == "fig1") {
+    std::printf("%s", render_figure1(build_figure1(ext4_corpus())).c_str());
+  } else {
+    std::printf("%s", build_table1(ext4_corpus()).render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  int rest = argc - 2;
+  char** args = argv + 2;
+
+  if (cmd == "mkfs") return cmd_mkfs(rest, args);
+  if (cmd == "bugstudy") return cmd_bugstudy(rest > 0 ? args[0] : "table1");
+
+  if (rest < 1) return usage();
+  std::string image = args[0];
+  if (cmd == "info") return cmd_info(image);
+  if (cmd == "fsck") return cmd_fsck(image, rest > 1 ? args[1] : "strict");
+  if (cmd == "ls") return cmd_ls(image, rest > 1 ? args[1] : "/");
+  if (cmd == "tree") return cmd_tree(image, rest > 1 ? args[1] : "/");
+  if (cmd == "cat" && rest >= 2) return cmd_cat(image, args[1]);
+  if (cmd == "put" && rest >= 3) return cmd_put(image, args[1], args[2]);
+  if (cmd == "get" && rest >= 3) return cmd_get(image, args[1], args[2]);
+  if (cmd == "mkdir" && rest >= 2) return cmd_mkdir(image, args[1]);
+  if (cmd == "rm" && rest >= 2) return cmd_rm(image, args[1]);
+  if (cmd == "craft" && rest >= 2) return cmd_craft(image, args[1]);
+  if (cmd == "workload" && rest >= 3) {
+    return cmd_workload(image, args[1], std::stoull(args[2]),
+                        rest > 3 ? std::stoull(args[3]) : 1);
+  }
+  return usage();
+}
