@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_common_case.dir/bench_common_case.cc.o"
+  "CMakeFiles/bench_common_case.dir/bench_common_case.cc.o.d"
+  "bench_common_case"
+  "bench_common_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nvp.dir/bench_nvp.cc.o"
+  "CMakeFiles/bench_nvp.dir/bench_nvp.cc.o.d"
+  "bench_nvp"
+  "bench_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recording_overhead.dir/bench_recording_overhead.cc.o"
+  "CMakeFiles/bench_recording_overhead.dir/bench_recording_overhead.cc.o.d"
+  "bench_recording_overhead"
+  "bench_recording_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recording_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shadow_checks.dir/bench_shadow_checks.cc.o"
+  "CMakeFiles/bench_shadow_checks.dir/bench_shadow_checks.cc.o.d"
+  "bench_shadow_checks"
+  "bench_shadow_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shadow_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

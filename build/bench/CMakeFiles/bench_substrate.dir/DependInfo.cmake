@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_substrate.cc" "bench/CMakeFiles/bench_substrate.dir/bench_substrate.cc.o" "gcc" "bench/CMakeFiles/bench_substrate.dir/bench_substrate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raefs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/raefs_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/raefs_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/raefs_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/raefs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/raefs_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/oplog/CMakeFiles/raefs_oplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/basefs/CMakeFiles/raefs_basefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadowfs/CMakeFiles/raefs_shadowfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsck/CMakeFiles/raefs_fsck.dir/DependInfo.cmake"
+  "/root/repo/build/src/rae/CMakeFiles/raefs_rae.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvp/CMakeFiles/raefs_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/raefs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugstudy/CMakeFiles/raefs_bugstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/raefs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/raefs_ufs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafted_image_attack.dir/crafted_image_attack.cpp.o"
+  "CMakeFiles/crafted_image_attack.dir/crafted_image_attack.cpp.o.d"
+  "crafted_image_attack"
+  "crafted_image_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafted_image_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crafted_image_attack.
+# This may be replaced when dependencies are built.

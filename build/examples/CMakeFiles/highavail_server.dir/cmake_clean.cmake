@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highavail_server.dir/highavail_server.cpp.o"
+  "CMakeFiles/highavail_server.dir/highavail_server.cpp.o.d"
+  "highavail_server"
+  "highavail_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highavail_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_error_testing.dir/post_error_testing.cpp.o"
+  "CMakeFiles/post_error_testing.dir/post_error_testing.cpp.o.d"
+  "post_error_testing"
+  "post_error_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_error_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

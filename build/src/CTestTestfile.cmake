@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("blockdev")
+subdirs("format")
+subdirs("journal")
+subdirs("cache")
+subdirs("faults")
+subdirs("oplog")
+subdirs("basefs")
+subdirs("shadowfs")
+subdirs("fsck")
+subdirs("rae")
+subdirs("nvp")
+subdirs("vfs")
+subdirs("bugstudy")
+subdirs("workload")
+subdirs("ufs")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_basefs.dir/base_fs.cc.o"
+  "CMakeFiles/raefs_basefs.dir/base_fs.cc.o.d"
+  "CMakeFiles/raefs_basefs.dir/base_io.cc.o"
+  "CMakeFiles/raefs_basefs.dir/base_io.cc.o.d"
+  "CMakeFiles/raefs_basefs.dir/base_ops.cc.o"
+  "CMakeFiles/raefs_basefs.dir/base_ops.cc.o.d"
+  "CMakeFiles/raefs_basefs.dir/base_txn.cc.o"
+  "CMakeFiles/raefs_basefs.dir/base_txn.cc.o.d"
+  "libraefs_basefs.a"
+  "libraefs_basefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_basefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockdev/async_device.cc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/async_device.cc.o" "gcc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/async_device.cc.o.d"
+  "/root/repo/src/blockdev/fault_device.cc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/fault_device.cc.o" "gcc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/fault_device.cc.o.d"
+  "/root/repo/src/blockdev/file_device.cc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/file_device.cc.o" "gcc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/file_device.cc.o.d"
+  "/root/repo/src/blockdev/mem_device.cc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/mem_device.cc.o" "gcc" "src/blockdev/CMakeFiles/raefs_blockdev.dir/mem_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raefs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_blockdev.dir/async_device.cc.o"
+  "CMakeFiles/raefs_blockdev.dir/async_device.cc.o.d"
+  "CMakeFiles/raefs_blockdev.dir/fault_device.cc.o"
+  "CMakeFiles/raefs_blockdev.dir/fault_device.cc.o.d"
+  "CMakeFiles/raefs_blockdev.dir/file_device.cc.o"
+  "CMakeFiles/raefs_blockdev.dir/file_device.cc.o.d"
+  "CMakeFiles/raefs_blockdev.dir/mem_device.cc.o"
+  "CMakeFiles/raefs_blockdev.dir/mem_device.cc.o.d"
+  "libraefs_blockdev.a"
+  "libraefs_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

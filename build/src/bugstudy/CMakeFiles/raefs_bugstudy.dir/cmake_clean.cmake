@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_bugstudy.dir/classify.cc.o"
+  "CMakeFiles/raefs_bugstudy.dir/classify.cc.o.d"
+  "CMakeFiles/raefs_bugstudy.dir/corpus.cc.o"
+  "CMakeFiles/raefs_bugstudy.dir/corpus.cc.o.d"
+  "libraefs_bugstudy.a"
+  "libraefs_bugstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_bugstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_cache.dir/block_cache.cc.o"
+  "CMakeFiles/raefs_cache.dir/block_cache.cc.o.d"
+  "CMakeFiles/raefs_cache.dir/dentry_cache.cc.o"
+  "CMakeFiles/raefs_cache.dir/dentry_cache.cc.o.d"
+  "CMakeFiles/raefs_cache.dir/inode_cache.cc.o"
+  "CMakeFiles/raefs_cache.dir/inode_cache.cc.o.d"
+  "libraefs_cache.a"
+  "libraefs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

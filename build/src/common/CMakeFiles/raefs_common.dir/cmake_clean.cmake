@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_common.dir/checksum.cc.o"
+  "CMakeFiles/raefs_common.dir/checksum.cc.o.d"
+  "CMakeFiles/raefs_common.dir/log.cc.o"
+  "CMakeFiles/raefs_common.dir/log.cc.o.d"
+  "CMakeFiles/raefs_common.dir/panic.cc.o"
+  "CMakeFiles/raefs_common.dir/panic.cc.o.d"
+  "CMakeFiles/raefs_common.dir/serial.cc.o"
+  "CMakeFiles/raefs_common.dir/serial.cc.o.d"
+  "CMakeFiles/raefs_common.dir/stats.cc.o"
+  "CMakeFiles/raefs_common.dir/stats.cc.o.d"
+  "libraefs_common.a"
+  "libraefs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

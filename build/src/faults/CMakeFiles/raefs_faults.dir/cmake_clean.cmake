@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_faults.dir/bug_library.cc.o"
+  "CMakeFiles/raefs_faults.dir/bug_library.cc.o.d"
+  "CMakeFiles/raefs_faults.dir/bug_registry.cc.o"
+  "CMakeFiles/raefs_faults.dir/bug_registry.cc.o.d"
+  "libraefs_faults.a"
+  "libraefs_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/bitmap.cc" "src/format/CMakeFiles/raefs_format.dir/bitmap.cc.o" "gcc" "src/format/CMakeFiles/raefs_format.dir/bitmap.cc.o.d"
+  "/root/repo/src/format/dirent.cc" "src/format/CMakeFiles/raefs_format.dir/dirent.cc.o" "gcc" "src/format/CMakeFiles/raefs_format.dir/dirent.cc.o.d"
+  "/root/repo/src/format/inode.cc" "src/format/CMakeFiles/raefs_format.dir/inode.cc.o" "gcc" "src/format/CMakeFiles/raefs_format.dir/inode.cc.o.d"
+  "/root/repo/src/format/layout.cc" "src/format/CMakeFiles/raefs_format.dir/layout.cc.o" "gcc" "src/format/CMakeFiles/raefs_format.dir/layout.cc.o.d"
+  "/root/repo/src/format/superblock.cc" "src/format/CMakeFiles/raefs_format.dir/superblock.cc.o" "gcc" "src/format/CMakeFiles/raefs_format.dir/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raefs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/raefs_blockdev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_format.dir/bitmap.cc.o"
+  "CMakeFiles/raefs_format.dir/bitmap.cc.o.d"
+  "CMakeFiles/raefs_format.dir/dirent.cc.o"
+  "CMakeFiles/raefs_format.dir/dirent.cc.o.d"
+  "CMakeFiles/raefs_format.dir/inode.cc.o"
+  "CMakeFiles/raefs_format.dir/inode.cc.o.d"
+  "CMakeFiles/raefs_format.dir/layout.cc.o"
+  "CMakeFiles/raefs_format.dir/layout.cc.o.d"
+  "CMakeFiles/raefs_format.dir/superblock.cc.o"
+  "CMakeFiles/raefs_format.dir/superblock.cc.o.d"
+  "libraefs_format.a"
+  "libraefs_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_fsck.dir/crafted.cc.o"
+  "CMakeFiles/raefs_fsck.dir/crafted.cc.o.d"
+  "CMakeFiles/raefs_fsck.dir/fsck.cc.o"
+  "CMakeFiles/raefs_fsck.dir/fsck.cc.o.d"
+  "libraefs_fsck.a"
+  "libraefs_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_journal.dir/journal.cc.o"
+  "CMakeFiles/raefs_journal.dir/journal.cc.o.d"
+  "libraefs_journal.a"
+  "libraefs_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_nvp.dir/nvp.cc.o"
+  "CMakeFiles/raefs_nvp.dir/nvp.cc.o.d"
+  "libraefs_nvp.a"
+  "libraefs_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

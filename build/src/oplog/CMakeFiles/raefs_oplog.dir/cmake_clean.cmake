@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_oplog.dir/op.cc.o"
+  "CMakeFiles/raefs_oplog.dir/op.cc.o.d"
+  "CMakeFiles/raefs_oplog.dir/op_log.cc.o"
+  "CMakeFiles/raefs_oplog.dir/op_log.cc.o.d"
+  "CMakeFiles/raefs_oplog.dir/payload.cc.o"
+  "CMakeFiles/raefs_oplog.dir/payload.cc.o.d"
+  "libraefs_oplog.a"
+  "libraefs_oplog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_oplog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraefs_oplog.a"
+)

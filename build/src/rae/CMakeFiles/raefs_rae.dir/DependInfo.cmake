@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rae/crash_restart.cc" "src/rae/CMakeFiles/raefs_rae.dir/crash_restart.cc.o" "gcc" "src/rae/CMakeFiles/raefs_rae.dir/crash_restart.cc.o.d"
+  "/root/repo/src/rae/executor.cc" "src/rae/CMakeFiles/raefs_rae.dir/executor.cc.o" "gcc" "src/rae/CMakeFiles/raefs_rae.dir/executor.cc.o.d"
+  "/root/repo/src/rae/supervisor.cc" "src/rae/CMakeFiles/raefs_rae.dir/supervisor.cc.o" "gcc" "src/rae/CMakeFiles/raefs_rae.dir/supervisor.cc.o.d"
+  "/root/repo/src/rae/wire.cc" "src/rae/CMakeFiles/raefs_rae.dir/wire.cc.o" "gcc" "src/rae/CMakeFiles/raefs_rae.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raefs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/raefs_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/raefs_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/raefs_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/basefs/CMakeFiles/raefs_basefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadowfs/CMakeFiles/raefs_shadowfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/oplog/CMakeFiles/raefs_oplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/raefs_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/raefs_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_rae.dir/crash_restart.cc.o"
+  "CMakeFiles/raefs_rae.dir/crash_restart.cc.o.d"
+  "CMakeFiles/raefs_rae.dir/executor.cc.o"
+  "CMakeFiles/raefs_rae.dir/executor.cc.o.d"
+  "CMakeFiles/raefs_rae.dir/supervisor.cc.o"
+  "CMakeFiles/raefs_rae.dir/supervisor.cc.o.d"
+  "CMakeFiles/raefs_rae.dir/wire.cc.o"
+  "CMakeFiles/raefs_rae.dir/wire.cc.o.d"
+  "libraefs_rae.a"
+  "libraefs_rae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_rae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

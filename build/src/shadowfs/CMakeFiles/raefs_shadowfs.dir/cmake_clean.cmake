@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_shadowfs.dir/shadow_fs.cc.o"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_fs.cc.o.d"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_fsck.cc.o"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_fsck.cc.o.d"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_ops.cc.o"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_ops.cc.o.d"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_replay.cc.o"
+  "CMakeFiles/raefs_shadowfs.dir/shadow_replay.cc.o.d"
+  "libraefs_shadowfs.a"
+  "libraefs_shadowfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_shadowfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

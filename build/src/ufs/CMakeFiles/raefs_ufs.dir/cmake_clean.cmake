@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_ufs.dir/shm_device.cc.o"
+  "CMakeFiles/raefs_ufs.dir/shm_device.cc.o.d"
+  "CMakeFiles/raefs_ufs.dir/ufs_proto.cc.o"
+  "CMakeFiles/raefs_ufs.dir/ufs_proto.cc.o.d"
+  "CMakeFiles/raefs_ufs.dir/ufs_server.cc.o"
+  "CMakeFiles/raefs_ufs.dir/ufs_server.cc.o.d"
+  "CMakeFiles/raefs_ufs.dir/ufs_supervisor.cc.o"
+  "CMakeFiles/raefs_ufs.dir/ufs_supervisor.cc.o.d"
+  "libraefs_ufs.a"
+  "libraefs_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

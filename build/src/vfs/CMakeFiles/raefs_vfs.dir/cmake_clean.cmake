@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_vfs.dir/fd_table.cc.o"
+  "CMakeFiles/raefs_vfs.dir/fd_table.cc.o.d"
+  "libraefs_vfs.a"
+  "libraefs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_workload.dir/workload.cc.o"
+  "CMakeFiles/raefs_workload.dir/workload.cc.o.d"
+  "libraefs_workload.a"
+  "libraefs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_test_support.dir/support/model_fs.cc.o"
+  "CMakeFiles/raefs_test_support.dir/support/model_fs.cc.o.d"
+  "libraefs_test_support.a"
+  "libraefs_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

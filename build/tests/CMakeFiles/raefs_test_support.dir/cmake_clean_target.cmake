@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraefs_test_support.a"
+)

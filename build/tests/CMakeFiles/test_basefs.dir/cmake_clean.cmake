@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basefs.dir/test_basefs.cc.o"
+  "CMakeFiles/test_basefs.dir/test_basefs.cc.o.d"
+  "test_basefs"
+  "test_basefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basefs_edge.dir/test_basefs_edge.cc.o"
+  "CMakeFiles/test_basefs_edge.dir/test_basefs_edge.cc.o.d"
+  "test_basefs_edge"
+  "test_basefs_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basefs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

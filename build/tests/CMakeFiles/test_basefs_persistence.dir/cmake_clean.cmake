@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basefs_persistence.dir/test_basefs_persistence.cc.o"
+  "CMakeFiles/test_basefs_persistence.dir/test_basefs_persistence.cc.o.d"
+  "test_basefs_persistence"
+  "test_basefs_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basefs_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

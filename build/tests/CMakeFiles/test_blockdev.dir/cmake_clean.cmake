@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockdev.dir/test_blockdev.cc.o"
+  "CMakeFiles/test_blockdev.dir/test_blockdev.cc.o.d"
+  "test_blockdev"
+  "test_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bugstudy.dir/test_bugstudy.cc.o"
+  "CMakeFiles/test_bugstudy.dir/test_bugstudy.cc.o.d"
+  "test_bugstudy"
+  "test_bugstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bugstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

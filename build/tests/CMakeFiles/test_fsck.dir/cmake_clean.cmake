@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsck.dir/test_fsck.cc.o"
+  "CMakeFiles/test_fsck.dir/test_fsck.cc.o.d"
+  "test_fsck"
+  "test_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_images.dir/test_fuzz_images.cc.o"
+  "CMakeFiles/test_fuzz_images.dir/test_fuzz_images.cc.o.d"
+  "test_fuzz_images"
+  "test_fuzz_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

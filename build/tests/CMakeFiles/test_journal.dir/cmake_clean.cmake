@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journal.dir/test_journal.cc.o"
+  "CMakeFiles/test_journal.dir/test_journal.cc.o.d"
+  "test_journal"
+  "test_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

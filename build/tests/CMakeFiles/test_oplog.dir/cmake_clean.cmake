@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oplog.dir/test_oplog.cc.o"
+  "CMakeFiles/test_oplog.dir/test_oplog.cc.o.d"
+  "test_oplog"
+  "test_oplog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oplog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rae.dir/test_rae.cc.o"
+  "CMakeFiles/test_rae.dir/test_rae.cc.o.d"
+  "test_rae"
+  "test_rae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rae_concurrent.dir/test_rae_concurrent.cc.o"
+  "CMakeFiles/test_rae_concurrent.dir/test_rae_concurrent.cc.o.d"
+  "test_rae_concurrent"
+  "test_rae_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rae_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrub_retry.dir/test_scrub_retry.cc.o"
+  "CMakeFiles/test_scrub_retry.dir/test_scrub_retry.cc.o.d"
+  "test_scrub_retry"
+  "test_scrub_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrub_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

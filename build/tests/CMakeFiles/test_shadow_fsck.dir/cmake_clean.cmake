@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_fsck.dir/test_shadow_fsck.cc.o"
+  "CMakeFiles/test_shadow_fsck.dir/test_shadow_fsck.cc.o.d"
+  "test_shadow_fsck"
+  "test_shadow_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_standalone.dir/test_shadow_standalone.cc.o"
+  "CMakeFiles/test_shadow_standalone.dir/test_shadow_standalone.cc.o.d"
+  "test_shadow_standalone"
+  "test_shadow_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadowfs.dir/test_shadowfs.cc.o"
+  "CMakeFiles/test_shadowfs.dir/test_shadowfs.cc.o.d"
+  "test_shadowfs"
+  "test_shadowfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadowfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ufs.dir/test_ufs.cc.o"
+  "CMakeFiles/test_ufs.dir/test_ufs.cc.o.d"
+  "test_ufs"
+  "test_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

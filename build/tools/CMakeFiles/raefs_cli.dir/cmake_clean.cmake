@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raefs_cli.dir/raefs_cli.cc.o"
+  "CMakeFiles/raefs_cli.dir/raefs_cli.cc.o.d"
+  "raefs"
+  "raefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raefs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
