@@ -108,6 +108,132 @@ void BM_Shadow(benchmark::State& state) {
                           static_cast<int64_t>(state.iterations()));
 }
 
+// ---------------------------------------------------------------------------
+// Data-path microbenchmarks (wall time): large-IO read/write throughput of
+// the base filesystem against a fully warmed cache. These are the numbers
+// tracked in BENCH_datapath.json -- the zero-copy block cache and the
+// extent-batched mapping walk are aimed squarely at them.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kDataPathIoBytes = 64 * 1024;        // one 16-block IO
+constexpr uint64_t kDataPathFileBytes = 8 * 1024 * 1024;  // spans dindirect
+
+struct DataPathRig {
+  std::unique_ptr<MemBlockDevice> device;
+  std::unique_ptr<BaseFs> fs;
+  Ino ino = kInvalidIno;
+};
+
+DataPathRig make_datapath_rig() {
+  DataPathRig rig;
+  rig.device = std::make_unique<MemBlockDevice>(32768);  // no clock: wall time
+  MkfsOptions mkfs;
+  mkfs.total_blocks = 32768;
+  mkfs.inode_count = 512;
+  mkfs.journal_blocks = 512;
+  if (!BaseFs::mkfs(rig.device.get(), mkfs).ok()) std::abort();
+  BaseFsOptions opts;
+  opts.block_cache_blocks = 32768;  // whole image fits: pure cache-hit path
+  auto mounted = BaseFs::mount(rig.device.get(), opts);
+  if (!mounted.ok()) std::abort();
+  rig.fs = std::move(mounted).value();
+  rig.ino = rig.fs->create("/big", 0644).value();
+  std::vector<uint8_t> chunk(kDataPathIoBytes, 0xA5);
+  for (FileOff off = 0; off < kDataPathFileBytes; off += kDataPathIoBytes) {
+    if (!rig.fs->write(rig.ino, 0, off, chunk).ok()) std::abort();
+  }
+  if (!rig.fs->sync().ok()) std::abort();
+  return rig;
+}
+
+// Deterministic block-aligned offset sequence for the random variants.
+FileOff next_rand_off(uint64_t& lcg) {
+  lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+  uint64_t slots = (kDataPathFileBytes - kDataPathIoBytes) / kBlockSize;
+  return ((lcg >> 33) % slots) * kBlockSize;
+}
+
+void BM_DataPathSeqRead(benchmark::State& state) {
+  auto rig = make_datapath_rig();
+  FileOff off = 0;
+  for (auto _ : state) {
+    auto out = rig.fs->read(rig.ino, 0, off, kDataPathIoBytes);
+    if (!out.ok() || out.value().size() != kDataPathIoBytes) {
+      state.SkipWithError("read failed");
+    }
+    benchmark::DoNotOptimize(out.value().data());
+    off = (off + kDataPathIoBytes) % kDataPathFileBytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDataPathIoBytes));
+  (void)rig.fs->unmount();
+}
+
+void BM_DataPathRandRead(benchmark::State& state) {
+  auto rig = make_datapath_rig();
+  uint64_t lcg = 12345;
+  for (auto _ : state) {
+    auto out = rig.fs->read(rig.ino, 0, next_rand_off(lcg), kDataPathIoBytes);
+    if (!out.ok() || out.value().size() != kDataPathIoBytes) {
+      state.SkipWithError("read failed");
+    }
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDataPathIoBytes));
+  (void)rig.fs->unmount();
+}
+
+void BM_DataPathSeqWrite(benchmark::State& state) {
+  auto rig = make_datapath_rig();
+  std::vector<uint8_t> chunk(kDataPathIoBytes, 0x3C);
+  FileOff off = 0;
+  for (auto _ : state) {
+    auto n = rig.fs->write(rig.ino, 0, off, chunk);
+    if (!n.ok() || n.value() != kDataPathIoBytes) {
+      state.SkipWithError("write failed");
+    }
+    off = (off + kDataPathIoBytes) % kDataPathFileBytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDataPathIoBytes));
+  (void)rig.fs->unmount();
+}
+
+void BM_DataPathRandWrite(benchmark::State& state) {
+  auto rig = make_datapath_rig();
+  std::vector<uint8_t> chunk(kDataPathIoBytes, 0x7E);
+  uint64_t lcg = 54321;
+  for (auto _ : state) {
+    auto n = rig.fs->write(rig.ino, 0, next_rand_off(lcg), chunk);
+    if (!n.ok() || n.value() != kDataPathIoBytes) {
+      state.SkipWithError("write failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDataPathIoBytes));
+  (void)rig.fs->unmount();
+}
+
+// Write + fsync per iteration: exercises the full commit pipeline
+// (dirty_snapshot, journaling, write-back submission).
+void BM_DataPathOverwriteSync(benchmark::State& state) {
+  auto rig = make_datapath_rig();
+  std::vector<uint8_t> chunk(kDataPathIoBytes, 0x99);
+  FileOff off = 0;
+  for (auto _ : state) {
+    auto n = rig.fs->write(rig.ino, 0, off, chunk);
+    if (!n.ok() || n.value() != kDataPathIoBytes) {
+      state.SkipWithError("write failed");
+    }
+    if (!rig.fs->fsync(rig.ino).ok()) state.SkipWithError("fsync failed");
+    off = (off + kDataPathIoBytes) % kDataPathFileBytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDataPathIoBytes));
+  (void)rig.fs->unmount();
+}
+
 // Wall-time thread scaling of the base's data path: per-inode locking and
 // the sharded caches let writes to distinct files proceed in parallel.
 // The shadow is sequential by design -- this benchmark has no shadow twin.
@@ -157,6 +283,11 @@ BENCHMARK(BM_Shadow)
     ->UseManualTime()
     ->Iterations(2)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DataPathSeqRead);
+BENCHMARK(BM_DataPathRandRead);
+BENCHMARK(BM_DataPathSeqWrite);
+BENCHMARK(BM_DataPathRandWrite);
+BENCHMARK(BM_DataPathOverwriteSync);
 BENCHMARK(BM_BaseParallelWrites)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace

@@ -217,6 +217,9 @@ void BaseFs::charge_op() {
 }
 
 void BaseFs::note_mutation() {
+  // Any metadata mutation may change block mappings; retire all cached
+  // extent hints by bumping the global epoch (conservative but cheap).
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
   Seq seq = current_op_seq_.load(std::memory_order_relaxed);
   Seq prev = max_dirty_seq_.load(std::memory_order_relaxed);
   while (seq > prev &&
@@ -306,7 +309,7 @@ Result<bool> BaseFs::bitmap_test(BlockNo bitmap_start, uint64_t index) {
   BlockNo block = bitmap_start + index / kBitsPerBlock;
   uint64_t bit = index % kBitsPerBlock;
   RAEFS_TRY(auto data, block_cache_.read(block));
-  BitmapView view(data, kBitsPerBlock);
+  ConstBitmapView view(data, kBitsPerBlock);
   return view.test(bit);
 }
 
@@ -321,7 +324,7 @@ Result<Ino> BaseFs::alloc_inode(FileType type, uint16_t mode) {
     RAEFS_TRY(auto data, block_cache_.read(bm_block));
     uint64_t bits_here = std::min<uint64_t>(
         kBitsPerBlock, geo_.inode_count - (index / kBitsPerBlock) * kBitsPerBlock);
-    BitmapView view(data, bits_here);
+    ConstBitmapView view(data, bits_here);
     auto clear = view.find_clear(index % kBitsPerBlock);
     if (!clear) {
       // Advance to the next bitmap block.
@@ -395,7 +398,7 @@ Result<BlockNo> BaseFs::alloc_block() {
     uint64_t block_base = (index / kBitsPerBlock) * kBitsPerBlock;
     uint64_t bits_here =
         std::min<uint64_t>(kBitsPerBlock, geo_.total_blocks - block_base);
-    BitmapView view(data, bits_here);
+    ConstBitmapView view(data, bits_here);
     auto clear = view.find_clear(index % kBitsPerBlock);
     if (!clear || block_base + *clear >= geo_.total_blocks) {
       probe += bits_here - (index % kBitsPerBlock);
@@ -450,11 +453,33 @@ BaseFsStats BaseFs::stats() const {
   s.journal_replays_at_mount = replays_at_mount_;
   s.block_cache_hits = block_cache_.hits();
   s.block_cache_misses = block_cache_.misses();
+  s.block_cache_cow_clones = block_cache_.cow_clones();
+  s.block_cache_bytes_copied = block_cache_.bytes_copied();
+  s.extent_walks = extent_walks_.load();
+  s.extent_hint_hits = extent_hint_hits_.load();
   s.dentry_hits = dentry_cache_.hits();
   s.dentry_misses = dentry_cache_.misses();
   s.inode_cache_hits = inode_cache_.hits();
   s.inode_cache_misses = inode_cache_.misses();
   return s;
+}
+
+CounterSet BaseFsStats::to_counters() const {
+  CounterSet c;
+  c.add("ops", ops);
+  c.add("commits", commits);
+  c.add("checkpoints", checkpoints);
+  c.add("block_cache_hits", block_cache_hits);
+  c.add("block_cache_misses", block_cache_misses);
+  c.add("cow_clones", block_cache_cow_clones);
+  c.add("bytes_copied", block_cache_bytes_copied);
+  c.add("dentry_hits", dentry_hits);
+  c.add("dentry_misses", dentry_misses);
+  c.add("inode_cache_hits", inode_cache_hits);
+  c.add("inode_cache_misses", inode_cache_misses);
+  c.add("extent_walks", extent_walks);
+  c.add("extent_hint_hits", extent_hint_hits);
+  return c;
 }
 
 }  // namespace raefs

@@ -43,6 +43,7 @@
 #include "common/clock.h"
 #include "common/panic.h"
 #include "common/result.h"
+#include "common/stats.h"
 #include "faults/bug_registry.h"
 #include "format/bitmap.h"
 #include "format/dirent.h"
@@ -93,10 +94,18 @@ struct BaseFsStats {
   uint64_t journal_replays_at_mount = 0;
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
+  uint64_t block_cache_cow_clones = 0;
+  uint64_t block_cache_bytes_copied = 0;
   uint64_t dentry_hits = 0;
   uint64_t dentry_misses = 0;
   uint64_t inode_cache_hits = 0;
   uint64_t inode_cache_misses = 0;
+  uint64_t extent_walks = 0;
+  uint64_t extent_hint_hits = 0;
+
+  /// The cache-efficiency counters as a named CounterSet for experiment
+  /// reporting (CLI, benches).
+  CounterSet to_counters() const;
 };
 
 /// Classification of a data-region block's role. Blocks below data_start
@@ -215,9 +224,26 @@ class BaseFs {
   Result<bool> bitmap_test(BlockNo bitmap_start, uint64_t index);
 
   // -- block mapping (base_io.cc) ----------------------------------------
+  /// A run of contiguous file blocks mapped to contiguous disk blocks.
+  /// disk_block == 0 marks a hole run (unmapped blocks read as zeros).
+  struct Extent {
+    uint64_t file_block = 0;
+    BlockNo disk_block = 0;
+    uint64_t len = 0;  // in blocks
+  };
+
   /// Map file block -> device block; allocates (and zeroes) missing blocks
   /// when `alloc`. Returns 0 for unmapped holes when !alloc.
   Result<BlockNo> map_block(DiskInode* inode, uint64_t file_block, bool alloc);
+
+  /// Batched, non-allocating mapping walk: yields the extents covering
+  /// [first_fb, first_fb + count) with ONE pass over the direct /
+  /// indirect / double-indirect pointers (each pointer block is read at
+  /// most once, vs once per file block for repeated map_block calls).
+  /// Serves fully-mapped ranges from the per-inode extent hint when the
+  /// hint is still valid (no note_mutation() since it was recorded).
+  Result<std::vector<Extent>> map_range(Ino ino, const DiskInode& inode,
+                                        uint64_t first_fb, uint64_t count);
   Status free_file_blocks(DiskInode* inode, uint64_t keep_blocks);
 
   // -- path resolution (base_ops.cc) --------------------------------------
@@ -242,7 +268,11 @@ class BaseFs {
   Status commit_txn(bool force_checkpoint);
   Status checkpoint_locked();
   Status validate_dirty_locked(
-      const std::vector<std::pair<BlockNo, std::vector<uint8_t>>>& dirty);
+      const std::vector<std::pair<BlockNo, BlockBufPtr>>& dirty);
+  /// Submit `dirty[first..last)` (sorted by block number) to the async
+  /// layer as coalesced contiguous-run writes and wait for completion.
+  Status writeback_coalesced(
+      const std::vector<std::pair<BlockNo, BlockBufPtr>>& blocks);
   Status write_superblock(FsState state);
 
   bool is_meta_block(BlockNo b) const;
@@ -275,6 +305,21 @@ class BaseFs {
   // content rather than file data.
   mutable std::mutex meta_blocks_mu_;
   std::unordered_map<BlockNo, BlockClass> meta_blocks_;
+
+  // Per-inode extent hint: the last mapped run map_range() saw, tagged
+  // with the mutation epoch it was recorded under. note_mutation() bumps
+  // the epoch, which invalidates every hint at once (conservative: any
+  // metadata mutation anywhere kills all hints, so a hint can never serve
+  // a stale mapping).
+  struct ExtentHint {
+    Extent ext;
+    uint64_t epoch = 0;
+  };
+  mutable std::mutex extent_hint_mu_;
+  std::unordered_map<Ino, ExtentHint> extent_hints_;
+  std::atomic<uint64_t> mutation_epoch_{0};
+  std::atomic<uint64_t> extent_walks_{0};
+  std::atomic<uint64_t> extent_hint_hits_{0};
 
   std::atomic<uint64_t> free_blocks_{0};
   std::atomic<uint64_t> free_inodes_{0};

@@ -114,6 +114,159 @@ Result<BlockNo> BaseFs::map_block(DiskInode* inode, uint64_t file_block,
 }
 
 // ---------------------------------------------------------------------------
+// batched mapping walk
+// ---------------------------------------------------------------------------
+
+Result<std::vector<BaseFs::Extent>> BaseFs::map_range(Ino ino,
+                                                      const DiskInode& inode,
+                                                      uint64_t first_fb,
+                                                      uint64_t count) {
+  std::vector<Extent> out;
+  if (count == 0) return out;
+  if (first_fb >= kMaxFileBlocks || count > kMaxFileBlocks - first_fb) {
+    return Errno::kFBig;
+  }
+  const uint64_t end = first_fb + count;
+  const uint64_t epoch = mutation_epoch_.load(std::memory_order_acquire);
+
+  // Hint fast path: the whole request lies inside the last mapped run
+  // recorded for this inode, and no mutation has happened since.
+  {
+    std::lock_guard<std::mutex> lk(extent_hint_mu_);
+    auto it = extent_hints_.find(ino);
+    if (it != extent_hints_.end() && it->second.epoch == epoch) {
+      const Extent& h = it->second.ext;
+      if (h.disk_block != 0 && first_fb >= h.file_block &&
+          end <= h.file_block + h.len) {
+        extent_hint_hits_.fetch_add(1, std::memory_order_relaxed);
+        out.push_back(
+            Extent{first_fb, h.disk_block + (first_fb - h.file_block), count});
+        return out;
+      }
+    }
+  }
+  extent_walks_.fetch_add(1, std::memory_order_relaxed);
+
+  // Coalesce a single mapped (or hole) block onto the extent list.
+  auto push = [&out](uint64_t fb, BlockNo b, uint64_t len) {
+    if (!out.empty()) {
+      Extent& last = out.back();
+      if (last.file_block + last.len == fb &&
+          ((last.disk_block == 0 && b == 0) ||
+           (last.disk_block != 0 && b != 0 &&
+            last.disk_block + last.len == b))) {
+        last.len += len;
+        return;
+      }
+    }
+    out.push_back(Extent{fb, b, len});
+  };
+
+  // Pointer-block context, loaded at most once each per walk. This is the
+  // whole point: an N-block IO touches each indirect block once, not N
+  // times.
+  BlockRef ind;                      // single-indirect pointer block
+  BlockRef dind;                     // double-indirect top block
+  BlockRef l1_data;                  // current double-indirect L1 block
+  uint64_t l1_loaded = ~uint64_t{0};
+
+  uint64_t fb = first_fb;
+  while (fb < end) {
+    if (fb < kNumDirect) {
+      BlockNo b = inode.direct[fb];
+      BASE_BUG_ON(b != 0 && !geo_.is_data_block(b), "BaseFs::map_range",
+                  "direct pointer outside data region");
+      push(fb, b, 1);
+      ++fb;
+      continue;
+    }
+    uint64_t rel = fb - kNumDirect;
+    if (rel < kPtrsPerBlock) {
+      if (inode.indirect == 0) {
+        uint64_t run = std::min(end - fb, kPtrsPerBlock - rel);
+        push(fb, 0, run);
+        fb += run;
+        continue;
+      }
+      if (!ind) RAEFS_TRY(ind, block_cache_.read(inode.indirect));
+      BlockNo b = read_ptr(ind, static_cast<uint32_t>(rel));
+      BASE_BUG_ON(b != 0 && !geo_.is_data_block(b), "BaseFs::map_range",
+                  "indirect pointer outside data region");
+      push(fb, b, 1);
+      ++fb;
+      continue;
+    }
+    rel -= kPtrsPerBlock;
+    if (inode.dindirect == 0) {
+      push(fb, 0, end - fb);  // the whole remaining range is a hole
+      break;
+    }
+    uint64_t l1 = rel / kPtrsPerBlock;
+    uint64_t l2 = rel % kPtrsPerBlock;
+    if (!dind) RAEFS_TRY(dind, block_cache_.read(inode.dindirect));
+    BlockNo l1_block = read_ptr(dind, static_cast<uint32_t>(l1));
+    if (l1_block == 0) {
+      uint64_t run = std::min(end - fb, kPtrsPerBlock - l2);
+      push(fb, 0, run);
+      fb += run;
+      continue;
+    }
+    BASE_BUG_ON(!geo_.is_data_block(l1_block), "BaseFs::map_range",
+                "double-indirect L1 pointer outside data region");
+    if (l1_loaded != l1) {
+      RAEFS_TRY(l1_data, block_cache_.read(l1_block));
+      l1_loaded = l1;
+    }
+    BlockNo b = read_ptr(l1_data, static_cast<uint32_t>(l2));
+    BASE_BUG_ON(b != 0 && !geo_.is_data_block(b), "BaseFs::map_range",
+                "double-indirect pointer outside data region");
+    push(fb, b, 1);
+    ++fb;
+    continue;
+  }
+
+  // Extend the final mapped run past the request using only the pointer
+  // context already in hand (no extra reads), so the recorded hint can
+  // serve the next sequential IO without a walk.
+  Extent hint{};
+  if (!out.empty() && out.back().disk_block != 0) hint = out.back();
+  if (hint.len != 0 && hint.file_block + hint.len == end) {
+    constexpr uint64_t kHintCap = 1024;
+    uint64_t efb = end;
+    while (efb < kMaxFileBlocks && hint.len < kHintCap) {
+      BlockNo b = 0;
+      if (efb < kNumDirect) {
+        b = inode.direct[efb];
+      } else if (efb - kNumDirect < kPtrsPerBlock) {
+        if (!ind) break;
+        b = read_ptr(ind, static_cast<uint32_t>(efb - kNumDirect));
+      } else {
+        uint64_t erel = efb - kNumDirect - kPtrsPerBlock;
+        if (l1_loaded != erel / kPtrsPerBlock) break;
+        b = read_ptr(l1_data, static_cast<uint32_t>(erel % kPtrsPerBlock));
+      }
+      if (b == 0 || !geo_.is_data_block(b) ||
+          b != hint.disk_block + hint.len) {
+        break;
+      }
+      ++hint.len;
+      ++efb;
+    }
+  } else {
+    // Otherwise remember the longest mapped run of the walk.
+    for (const Extent& e : out) {
+      if (e.disk_block != 0 && e.len > hint.len) hint = e;
+    }
+  }
+  if (hint.len != 0) {
+    std::lock_guard<std::mutex> lk(extent_hint_mu_);
+    if (extent_hints_.size() > 1024) extent_hints_.clear();
+    extent_hints_[ino] = ExtentHint{hint, epoch};
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // freeing
 // ---------------------------------------------------------------------------
 
@@ -218,21 +371,33 @@ Result<std::vector<uint8_t>> BaseFs::read(Ino ino, uint64_t gen, FileOff off,
   if (off >= node.size) return std::vector<uint8_t>{};
   len = std::min<uint64_t>(len, node.size - off);
   std::vector<uint8_t> out(len);
+  if (len == 0) return out;
+
+  // One mapping walk for the whole request, then per-extent copies.
+  uint64_t first_fb = off / kBlockSize;
+  uint64_t last_fb = (off + len - 1) / kBlockSize;
+  RAEFS_TRY(auto extents, map_range(ino, node, first_fb, last_fb - first_fb + 1));
 
   uint64_t done = 0;
-  while (done < len) {
-    uint64_t pos = off + done;
-    uint64_t fb = pos / kBlockSize;
-    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
-    uint64_t chunk = std::min<uint64_t>(len - done, kBlockSize - in_block);
-    RAEFS_TRY(BlockNo b, map_block(&node, fb, /*alloc=*/false));
-    if (b == 0) {
-      std::memset(out.data() + done, 0, chunk);  // hole
-    } else {
-      RAEFS_TRY(auto data, block_cache_.read(b));
-      std::memcpy(out.data() + done, data.data() + in_block, chunk);
+  for (const Extent& e : extents) {
+    if (done >= len) break;
+    if (e.disk_block == 0) {
+      // Hole: the extent reads as zeros up to its end (or the request end).
+      uint64_t ext_end = (e.file_block + e.len) * kBlockSize;
+      uint64_t chunk = std::min<uint64_t>(len - done, ext_end - (off + done));
+      std::memset(out.data() + done, 0, chunk);
+      done += chunk;
+      continue;
     }
-    done += chunk;
+    for (uint64_t i = 0; i < e.len && done < len; ++i) {
+      uint64_t pos = off + done;
+      uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+      uint64_t chunk = std::min<uint64_t>(len - done, kBlockSize - in_block);
+      uint64_t idx = pos / kBlockSize - e.file_block;
+      RAEFS_TRY(auto data, block_cache_.read(e.disk_block + idx));
+      std::memcpy(out.data() + done, data.data() + in_block, chunk);
+      done += chunk;
+    }
   }
   return out;
 }
@@ -243,13 +408,29 @@ Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kWrite, "", ino, off, data.size());
   if (!geo_.ino_valid(ino)) return Errno::kInval;
-  if (off + data.size() > kMaxFileSize) return Errno::kFBig;
+  // Overflow-safe bound check: `off + data.size()` can wrap uint64 for
+  // offsets near UINT64_MAX, which would slip past a naive comparison.
+  if (data.size() > kMaxFileSize || off > kMaxFileSize - data.size()) {
+    return Errno::kFBig;
+  }
 
   std::unique_lock il(inode_lock(ino));
   RAEFS_TRY(DiskInode node, get_inode(ino));
   if (!node.in_use()) return Errno::kBadFd;
   if (gen != 0 && gen != node.generation) return Errno::kBadFd;
   if (node.type != FileType::kRegular) return Errno::kIsDir;
+
+  // Pre-walk the existing mappings once; only holes fall back to the
+  // per-block allocating walk. Allocation never remaps an existing block,
+  // so extents gathered here stay valid across mid-write allocations.
+  std::vector<Extent> extents;
+  if (!data.empty()) {
+    uint64_t first_fb = off / kBlockSize;
+    uint64_t last_fb = (off + data.size() - 1) / kBlockSize;
+    auto mapped = map_range(ino, node, first_fb, last_fb - first_fb + 1);
+    if (mapped.ok()) extents = std::move(mapped).value();
+  }
+  size_t ei = 0;
 
   uint64_t done = 0;
   Errno failure = Errno::kOk;
@@ -262,15 +443,26 @@ Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
 
     bug_site("basefs.write.map_block", OpKind::kWrite, "", ino,
              fb * kBlockSize, chunk);
-    auto mapped = map_block(&node, fb, /*alloc=*/true);
-    if (!mapped.ok()) {
-      failure = mapped.error();
-      break;
+    BlockNo target = 0;
+    while (ei < extents.size() &&
+           extents[ei].file_block + extents[ei].len <= fb) {
+      ++ei;
     }
-    Status st = block_cache_.modify(
-        mapped.value(), [&](std::span<uint8_t> blk) {
-          std::memcpy(blk.data() + in_block, data.data() + done, chunk);
-        });
+    if (ei < extents.size() && extents[ei].file_block <= fb &&
+        extents[ei].disk_block != 0) {
+      target = extents[ei].disk_block + (fb - extents[ei].file_block);
+    }
+    if (target == 0) {
+      auto mapped = map_block(&node, fb, /*alloc=*/true);
+      if (!mapped.ok()) {
+        failure = mapped.error();
+        break;
+      }
+      target = mapped.value();
+    }
+    Status st = block_cache_.modify(target, [&](std::span<uint8_t> blk) {
+      std::memcpy(blk.data() + in_block, data.data() + done, chunk);
+    });
     if (!st.ok()) {
       failure = st.error();
       break;
@@ -280,10 +472,9 @@ Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
     // re-execution (the deep scrub / recovery replay) can.
     bug_site("basefs.write.data", OpKind::kWrite, "", ino, fb * kBlockSize,
              chunk, [&] {
-               (void)block_cache_.modify(mapped.value(),
-                                         [&](std::span<uint8_t> blk) {
-                                           blk[in_block] ^= 0x01;
-                                         });
+               (void)block_cache_.modify(target, [&](std::span<uint8_t> blk) {
+                 blk[in_block] ^= 0x01;
+               });
              });
     done += chunk;
   }

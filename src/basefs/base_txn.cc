@@ -30,9 +30,10 @@ Status BaseFs::commit_txn(bool force_checkpoint) {
                 "dirty metadata failed validation before persist");
   }
 
-  // Partition the dirty set.
+  // Partition the dirty set. Snapshot entries are shared handles out of
+  // the cache -- nothing here copies a block payload.
   std::vector<JournalRecord> meta;
-  std::vector<std::pair<BlockNo, std::vector<uint8_t>>> data;
+  std::vector<std::pair<BlockNo, BlockBufPtr>> data;
   for (auto& [block, bytes] : dirty) {
     if (is_meta_block(block)) {
       meta.push_back(JournalRecord{block, std::move(bytes)});
@@ -42,16 +43,10 @@ Status BaseFs::commit_txn(bool force_checkpoint) {
   }
 
   // Ordered mode: file data reaches the device before the metadata that
-  // references it commits.
+  // references it commits. Contiguous runs go down as single coalesced
+  // submissions.
   if (!data.empty()) {
-    std::atomic<bool> io_failed{false};
-    for (auto& [block, bytes] : data) {
-      async_.submit_write(block, std::move(bytes), [&](Status st) {
-        if (!st.ok()) io_failed.store(true);
-      });
-    }
-    async_.drain();
-    if (io_failed.load()) return Errno::kIo;
+    RAEFS_TRY_VOID(writeback_coalesced(data));
     RAEFS_TRY_VOID(dev_->flush());
     std::vector<BlockNo> data_blocks;
     data_blocks.reserve(data.size());
@@ -97,16 +92,10 @@ Status BaseFs::checkpoint_locked() {
   // journaled by a committed transaction (commit_txn journals the full
   // dirty metadata set each time), so in-place writes cannot violate WAL.
   auto dirty = block_cache_.dirty_snapshot();
-  std::atomic<bool> io_failed{false};
   std::vector<BlockNo> written;
-  for (auto& [block, bytes] : dirty) {
-    written.push_back(block);
-    async_.submit_write(block, std::move(bytes), [&](Status st) {
-      if (!st.ok()) io_failed.store(true);
-    });
-  }
-  async_.drain();
-  if (io_failed.load()) return Errno::kIo;
+  written.reserve(dirty.size());
+  for (const auto& [block, bytes] : dirty) written.push_back(block);
+  RAEFS_TRY_VOID(writeback_coalesced(dirty));
   RAEFS_TRY_VOID(dev_->flush());
   RAEFS_TRY_VOID(journal_.checkpoint());
   block_cache_.mark_clean(written);
@@ -114,18 +103,47 @@ Status BaseFs::checkpoint_locked() {
   return Status::Ok();
 }
 
+Status BaseFs::writeback_coalesced(
+    const std::vector<std::pair<BlockNo, BlockBufPtr>>& blocks) {
+  if (blocks.empty()) return Status::Ok();
+  // Sort by block number, group contiguous runs, and hand each run to the
+  // async layer as one submission. Payloads are shared, never copied.
+  std::vector<std::pair<BlockNo, BlockBufPtr>> sorted(blocks);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::atomic<bool> io_failed{false};
+  size_t i = 0;
+  while (i < sorted.size()) {
+    BlockNo first = sorted[i].first;
+    std::vector<BlockBufPtr> run;
+    run.push_back(sorted[i].second);
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j].first == first + run.size()) {
+      run.push_back(sorted[j].second);
+      ++j;
+    }
+    async_.submit_writev(first, std::move(run), [&](Status st) {
+      if (!st.ok()) io_failed.store(true);
+    });
+    i = j;
+  }
+  async_.drain();
+  if (io_failed.load()) return Errno::kIo;
+  return Status::Ok();
+}
+
 Status BaseFs::validate_dirty_locked(
-    const std::vector<std::pair<BlockNo, std::vector<uint8_t>>>& dirty) {
+    const std::vector<std::pair<BlockNo, BlockBufPtr>>& dirty) {
   bool bitmap_touched = false;
   for (const auto& [block, bytes] : dirty) {
     if (block == 0) {
-      if (!Superblock::decode(bytes).ok()) return Errno::kCorrupt;
+      if (!Superblock::decode(*bytes).ok()) return Errno::kCorrupt;
     } else if (block >= geo_.inode_table_start &&
                block < geo_.inode_table_start + geo_.inode_table_blocks) {
       for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
         auto inode = DiskInode::decode(
-            std::span<const uint8_t>(bytes).subspan(slot * kInodeSize,
-                                                    kInodeSize),
+            std::span<const uint8_t>(*bytes).subspan(slot * kInodeSize,
+                                                     kInodeSize),
             geo_);
         if (!inode.ok()) return Errno::kCorrupt;
       }
@@ -139,11 +157,11 @@ Status BaseFs::validate_dirty_locked(
       auto it = meta_blocks_.find(block);
       if (it == meta_blocks_.end()) continue;  // file data: not validated
       if (it->second == BlockClass::kDirMeta) {
-        if (!dirent_scan_block(bytes).ok()) return Errno::kCorrupt;
+        if (!dirent_scan_block(*bytes).ok()) return Errno::kCorrupt;
       } else if (it->second == BlockClass::kIndirectMeta) {
         for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
           uint64_t ptr = 0;
-          std::memcpy(&ptr, bytes.data() + i * 8, sizeof(ptr));
+          std::memcpy(&ptr, bytes->data() + i * 8, sizeof(ptr));
           if (ptr != 0 && !geo_.is_data_block(ptr)) return Errno::kCorrupt;
         }
       }

@@ -31,10 +31,31 @@ void AsyncBlockDevice::submit_read(BlockNo block, ReadCallback done) {
 
 void AsyncBlockDevice::submit_write(BlockNo block, std::vector<uint8_t> data,
                                     WriteCallback done) {
+  submit_write(block, std::make_shared<const std::vector<uint8_t>>(std::move(data)),
+               std::move(done));
+}
+
+void AsyncBlockDevice::submit_write(BlockNo block, BlockBufPtr data,
+                                    WriteCallback done) {
   Request r;
   r.kind = Request::Kind::kWrite;
   r.block = block;
   r.data = std::move(data);
+  r.write_done = std::move(done);
+  enqueue(std::move(r));
+}
+
+void AsyncBlockDevice::submit_writev(BlockNo first,
+                                     std::vector<BlockBufPtr> bufs,
+                                     WriteCallback done) {
+  if (bufs.empty()) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  Request r;
+  r.kind = Request::Kind::kWritev;
+  r.block = first;
+  r.bufs = std::move(bufs);
   r.write_done = std::move(done);
   enqueue(std::move(r));
 }
@@ -102,7 +123,16 @@ void AsyncBlockDevice::worker_loop() {
         break;
       }
       case Request::Kind::kWrite: {
-        Status st = inner_->write_block(req.block, req.data);
+        Status st = inner_->write_block(req.block, *req.data);
+        if (req.write_done) req.write_done(st);
+        break;
+      }
+      case Request::Kind::kWritev: {
+        Status st = Status::Ok();
+        for (size_t i = 0; i < req.bufs.size(); ++i) {
+          st = inner_->write_block(req.block + i, *req.bufs[i]);
+          if (!st.ok()) break;
+        }
         if (req.write_done) req.write_done(st);
         break;
       }
@@ -112,6 +142,12 @@ void AsyncBlockDevice::worker_loop() {
         break;
       }
     }
+
+    // Release payload references before completion is observable: a
+    // drained caller must be able to mutate its buffers without tripping
+    // copy-on-write against a request we are still tearing down.
+    req.data.reset();
+    req.bufs.clear();
 
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -33,9 +33,19 @@ class AsyncBlockDevice {
   /// Queue a block read; `done` runs on a worker thread.
   void submit_read(BlockNo block, ReadCallback done);
 
-  /// Queue a block write (data copied); `done` runs on a worker thread.
+  /// Queue a block write (data moved into the request); `done` runs on a
+  /// worker thread.
   void submit_write(BlockNo block, std::vector<uint8_t> data,
                     WriteCallback done);
+
+  /// Zero-copy variant: the request shares ownership of the buffer.
+  void submit_write(BlockNo block, BlockBufPtr data, WriteCallback done);
+
+  /// Coalesced write of `bufs.size()` contiguous blocks starting at
+  /// `first`. One queue round-trip for the whole extent; `done` runs once
+  /// with the first failure (or Ok). Buffers are shared, never copied.
+  void submit_writev(BlockNo first, std::vector<BlockBufPtr> bufs,
+                     WriteCallback done);
 
   /// Queue a flush barrier: serviced only after all earlier requests.
   void submit_flush(WriteCallback done);
@@ -52,9 +62,10 @@ class AsyncBlockDevice {
 
  private:
   struct Request {
-    enum class Kind { kRead, kWrite, kFlush } kind;
+    enum class Kind { kRead, kWrite, kWritev, kFlush } kind;
     BlockNo block = 0;
-    std::vector<uint8_t> data;
+    BlockBufPtr data;                // kWrite
+    std::vector<BlockBufPtr> bufs;   // kWritev: blocks block..block+n-1
     ReadCallback read_done;
     WriteCallback write_done;
   };

@@ -17,43 +17,64 @@ Result<BlockCache::Entry*> BlockCache::load_locked(Shard& s, BlockNo block) {
     return &it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<uint8_t> data(dev_->block_size());
-  RAEFS_TRY_VOID(dev_->read_block(block, data));
+  auto data = std::make_shared<BlockBuf>(dev_->block_size());
+  RAEFS_TRY_VOID(dev_->read_block(block, *data));
   evict_locked(s);
   s.lru.push_front(block);
+  s.clean_lru.push_front(block);
   Entry e;
   e.data = std::move(data);
   e.lru_pos = s.lru.begin();
+  e.clean_pos = s.clean_lru.begin();
   auto [pos, inserted] = s.map.emplace(block, std::move(e));
   (void)inserted;
   return &pos->second;
 }
 
 void BlockCache::touch_locked(Shard& s, BlockNo block, Entry& e) {
-  s.lru.erase(e.lru_pos);
-  s.lru.push_front(block);
-  e.lru_pos = s.lru.begin();
+  (void)block;
+  s.lru.splice(s.lru.begin(), s.lru, e.lru_pos);
+  if (!e.dirty) s.clean_lru.splice(s.clean_lru.begin(), s.clean_lru, e.clean_pos);
 }
 
 void BlockCache::evict_locked(Shard& s) {
-  if (s.map.size() < per_shard_capacity_) return;
-  // Evict the least-recently-used *clean* block; dirty blocks are pinned.
-  for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
-    auto mit = s.map.find(*it);
-    if (mit != s.map.end() && !mit->second.dirty) {
-      s.lru.erase(std::next(it).base());
-      s.map.erase(mit);
-      return;
-    }
+  // Evict least-recently-used *clean* blocks; dirty blocks are pinned.
+  // The clean-LRU list makes each eviction O(1) even when dirty blocks
+  // dominate the shard. When everything is dirty the cache grows past
+  // capacity (soft limit); the clean list lets it shrink back as soon as
+  // write-back marks blocks clean again.
+  while (s.map.size() >= per_shard_capacity_ && !s.clean_lru.empty()) {
+    BlockNo victim = s.clean_lru.back();
+    auto it = s.map.find(victim);
+    s.clean_lru.pop_back();
+    s.lru.erase(it->second.lru_pos);
+    s.map.erase(it);
   }
-  // All dirty: allow the cache to grow past capacity (soft limit).
 }
 
-Result<std::vector<uint8_t>> BlockCache::read(BlockNo block) {
+void BlockCache::mark_dirty_locked(Shard& s, Entry& e) {
+  if (e.dirty) return;
+  e.dirty = true;
+  s.clean_lru.erase(e.clean_pos);
+  ++s.dirty_count;
+}
+
+void BlockCache::ensure_unique_locked(Entry& e) {
+  // A handle escaped via read() or dirty_snapshot(): clone before writing
+  // so the holder keeps its point-in-time view. Handles are only acquired
+  // under the shard lock, so a use_count of 1 here cannot race upward.
+  if (e.data.use_count() > 1) {
+    cow_clones_.fetch_add(1, std::memory_order_relaxed);
+    bytes_copied_.fetch_add(e.data->size(), std::memory_order_relaxed);
+    e.data = std::make_shared<BlockBuf>(*e.data);
+  }
+}
+
+Result<BlockRef> BlockCache::read(BlockNo block) {
   Shard& s = shard_of(block);
   std::lock_guard<std::mutex> lk(s.mu);
   RAEFS_TRY(Entry * e, load_locked(s, block));
-  return e->data;
+  return BlockRef(BlockBufPtr(e->data));
 }
 
 Status BlockCache::write(BlockNo block, std::vector<uint8_t> data) {
@@ -62,18 +83,20 @@ Status BlockCache::write(BlockNo block, std::vector<uint8_t> data) {
   std::lock_guard<std::mutex> lk(s.mu);
   auto it = s.map.find(block);
   if (it != s.map.end()) {
-    it->second.data = std::move(data);
-    it->second.dirty = true;
+    // Whole-block replace: swap in the new buffer, never copy.
+    it->second.data = std::make_shared<BlockBuf>(std::move(data));
+    mark_dirty_locked(s, it->second);
     touch_locked(s, block, it->second);
     return Status::Ok();
   }
   evict_locked(s);
   s.lru.push_front(block);
   Entry e;
-  e.data = std::move(data);
+  e.data = std::make_shared<BlockBuf>(std::move(data));
   e.dirty = true;
   e.lru_pos = s.lru.begin();
   s.map.emplace(block, std::move(e));
+  ++s.dirty_count;
   return Status::Ok();
 }
 
@@ -82,18 +105,20 @@ Status BlockCache::modify(BlockNo block,
   Shard& s = shard_of(block);
   std::lock_guard<std::mutex> lk(s.mu);
   RAEFS_TRY(Entry * e, load_locked(s, block));
-  fn(std::span<uint8_t>(e->data));
-  e->dirty = true;
+  ensure_unique_locked(*e);
+  fn(std::span<uint8_t>(*e->data));
+  mark_dirty_locked(s, *e);
   return Status::Ok();
 }
 
-std::vector<std::pair<BlockNo, std::vector<uint8_t>>>
+std::vector<std::pair<BlockNo, BlockBufPtr>>
 BlockCache::dirty_snapshot() const {
-  std::vector<std::pair<BlockNo, std::vector<uint8_t>>> out;
+  std::vector<std::pair<BlockNo, BlockBufPtr>> out;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s.mu);
+    out.reserve(out.size() + s.dirty_count);
     for (const auto& [block, e] : s.map) {
-      if (e.dirty) out.emplace_back(block, e.data);
+      if (e.dirty) out.emplace_back(block, BlockBufPtr(e.data));
     }
   }
   std::sort(out.begin(), out.end(),
@@ -106,7 +131,12 @@ void BlockCache::mark_clean(std::span<const BlockNo> blocks) {
     Shard& s = shard_of(block);
     std::lock_guard<std::mutex> lk(s.mu);
     auto it = s.map.find(block);
-    if (it != s.map.end()) it->second.dirty = false;
+    if (it != s.map.end() && it->second.dirty) {
+      it->second.dirty = false;
+      --s.dirty_count;
+      s.clean_lru.push_front(block);
+      it->second.clean_pos = s.clean_lru.begin();
+    }
   }
 }
 
@@ -115,6 +145,8 @@ void BlockCache::drop_all() {
     std::lock_guard<std::mutex> lk(s.mu);
     s.map.clear();
     s.lru.clear();
+    s.clean_lru.clear();
+    s.dirty_count = 0;
   }
 }
 
@@ -124,6 +156,11 @@ void BlockCache::drop(BlockNo block) {
   auto it = s.map.find(block);
   if (it != s.map.end()) {
     s.lru.erase(it->second.lru_pos);
+    if (it->second.dirty) {
+      --s.dirty_count;
+    } else {
+      s.clean_lru.erase(it->second.clean_pos);
+    }
     s.map.erase(it);
   }
 }
@@ -141,10 +178,7 @@ size_t BlockCache::dirty_blocks() const {
   size_t total = 0;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s.mu);
-    for (const auto& [block, e] : s.map) {
-      (void)block;
-      if (e.dirty) ++total;
-    }
+    total += s.dirty_count;
   }
   return total;
 }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 namespace raefs {
 
@@ -23,6 +25,13 @@ using Seq = uint64_t;
 
 /// Simulated time in nanoseconds (see common/clock.h).
 using Nanos = uint64_t;
+
+/// One block's payload. Shared-ownership handles to immutable buffers are
+/// the currency of the zero-copy data path: the block cache hands them to
+/// readers and to the commit pipeline, and clones only on a shared write
+/// (copy-on-write).
+using BlockBuf = std::vector<uint8_t>;
+using BlockBufPtr = std::shared_ptr<const BlockBuf>;
 
 inline constexpr uint32_t kBlockSize = 4096;
 inline constexpr Ino kInvalidIno = 0;

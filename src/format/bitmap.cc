@@ -27,6 +27,17 @@ uint64_t BitmapView::count_set() const {
   return total;
 }
 
+std::optional<uint64_t> ConstBitmapView::find_clear(uint64_t from) const {
+  for (uint64_t i = from; i < nbits_; ++i) {
+    if (i % 8 == 0) {
+      while (i + 8 <= nbits_ && bytes_[i / 8] == 0xFF) i += 8;
+      if (i >= nbits_) break;
+    }
+    if (!test(i)) return i;
+  }
+  return std::nullopt;
+}
+
 uint64_t ConstBitmapView::count_set() const {
   uint64_t total = 0;
   for (uint64_t i = 0; i < nbits_ / 8; ++i) {

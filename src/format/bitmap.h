@@ -46,6 +46,9 @@ class ConstBitmapView {
   bool test(uint64_t i) const { return (bytes_[i / 8] >> (i % 8)) & 1; }
   uint64_t count_set() const;
 
+  /// First clear bit at or after `from`, or nullopt when full.
+  std::optional<uint64_t> find_clear(uint64_t from = 0) const;
+
  private:
   std::span<const uint8_t> bytes_;
   uint64_t nbits_;

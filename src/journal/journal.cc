@@ -126,7 +126,7 @@ uint32_t payload_crc(const std::vector<JournalRecord>& records) {
   uint32_t crc = 0;
   for (const auto& r : records) {
     crc = crc32c(&r.target, sizeof(r.target), crc);
-    crc = crc32c(r.data.data(), r.data.size(), crc);
+    crc = crc32c(r.data->data(), r.data->size(), crc);
   }
   return crc;
 }
@@ -219,7 +219,7 @@ bool Journal::has_space(size_t nrecords) const {
 Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
   if (records.empty()) return Errno::kInval;
   for (const auto& r : records) {
-    if (r.data.size() != kBlockSize) return Errno::kInval;
+    if (!r.data || r.data->size() != kBlockSize) return Errno::kInval;
   }
   std::lock_guard<std::mutex> lk(mu_);
   if (cursor_ + blocks_needed(records.size()) >
@@ -233,7 +233,7 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
   for (const auto& r : records) d.targets.push_back(r.target);
   RAEFS_TRY_VOID(dev_->write_block(cursor_, encode_descriptor(d)));
   for (size_t i = 0; i < records.size(); ++i) {
-    RAEFS_TRY_VOID(dev_->write_block(cursor_ + 1 + i, records[i].data));
+    RAEFS_TRY_VOID(dev_->write_block(cursor_ + 1 + i, *records[i].data));
   }
   // Barrier: descriptor+payload durable before the commit record exists.
   RAEFS_TRY_VOID(dev_->flush());
@@ -283,7 +283,7 @@ Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo) {
   for (const auto& txn : txns) {
     for (const auto& rec : txn.records) {
       if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
-      RAEFS_TRY_VOID(dev->write_block(rec.target, rec.data));
+      RAEFS_TRY_VOID(dev->write_block(rec.target, *rec.data));
       ++result.applied_blocks;
     }
     last_seq = txn.seq;

@@ -29,10 +29,19 @@ namespace raefs {
 
 inline constexpr uint64_t kJournalMagic = 0x4C4E524A46454152ull;  // "RAEFJRNL"
 
-/// One metadata block captured by a transaction.
+/// One metadata block captured by a transaction. The payload is a shared
+/// handle straight out of the block cache's dirty snapshot: journaling a
+/// transaction copies no block payloads (the journal region write is the
+/// only data movement).
 struct JournalRecord {
+  JournalRecord() = default;
+  JournalRecord(BlockNo t, std::vector<uint8_t> bytes)
+      : target(t),
+        data(std::make_shared<const std::vector<uint8_t>>(std::move(bytes))) {}
+  JournalRecord(BlockNo t, BlockBufPtr buf) : target(t), data(std::move(buf)) {}
+
   BlockNo target = 0;
-  std::vector<uint8_t> data;  // exactly kBlockSize bytes
+  BlockBufPtr data;  // exactly kBlockSize bytes
 };
 
 /// Outcome of a crash-recovery scan.

@@ -23,7 +23,7 @@ TEST(BlockCache, ReadThroughAndHitCounting) {
 
   auto first = cache.read(2);
   ASSERT_TRUE(first.ok());
-  EXPECT_EQ(first.value(), filled(0x42));
+  EXPECT_EQ(first.value().vec(), filled(0x42));
   EXPECT_EQ(cache.misses(), 1u);
 
   auto second = cache.read(2);
@@ -45,7 +45,7 @@ TEST(BlockCache, WriteIsCachedNotDeviceVisible) {
 
   auto cached = cache.read(5);
   ASSERT_TRUE(cached.ok());
-  EXPECT_EQ(cached.value(), filled(0x77));
+  EXPECT_EQ(cached.value().vec(), filled(0x77));
 }
 
 TEST(BlockCache, ModifyMarksDirty) {
@@ -58,7 +58,7 @@ TEST(BlockCache, ModifyMarksDirty) {
   auto snapshot = cache.dirty_snapshot();
   ASSERT_EQ(snapshot.size(), 1u);
   EXPECT_EQ(snapshot[0].first, 3u);
-  EXPECT_EQ(snapshot[0].second[0], 0xEE);
+  EXPECT_EQ((*snapshot[0].second)[0], 0xEE);
 }
 
 TEST(BlockCache, MarkCleanAndDropAll) {
@@ -87,10 +87,77 @@ TEST(BlockCache, EvictionSkipsDirtyBlocks) {
   EXPECT_EQ(cache.dirty_blocks(), 4u);  // none evicted
   auto dirty = cache.dirty_snapshot();
   for (BlockNo b = 0; b < 4; ++b) {
-    EXPECT_EQ(dirty[b].second, filled(static_cast<uint8_t>(b)));
+    EXPECT_EQ(*dirty[b].second, filled(static_cast<uint8_t>(b)));
   }
   // Clean blocks did get evicted: the cache stayed near capacity.
   EXPECT_LT(cache.cached_blocks(), 32u);
+}
+
+TEST(BlockCache, ReadHitsCopyZeroPayloadBytes) {
+  MemBlockDevice dev(16);
+  ASSERT_TRUE(dev.write_block(3, filled(0xAB)).ok());
+  BlockCache cache(&dev, 8);
+  for (int i = 0; i < 100; ++i) {
+    auto ref = cache.read(3);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref.value()[0], 0xAB);
+  }
+  EXPECT_EQ(cache.hits(), 99u);
+  // Zero-copy contract: hits hand out refcounted handles, not copies.
+  EXPECT_EQ(cache.bytes_copied(), 0u);
+  EXPECT_EQ(cache.cow_clones(), 0u);
+}
+
+TEST(BlockCache, CowClonesOnlyWhenHandleHeld) {
+  MemBlockDevice dev(16);
+  BlockCache cache(&dev, 8);
+  ASSERT_TRUE(cache.write(4, filled(0x01)).ok());
+
+  // No handle outstanding: modify mutates in place, no clone.
+  ASSERT_TRUE(cache.modify(4, [](std::span<uint8_t> d) { d[0] = 0x02; }).ok());
+  EXPECT_EQ(cache.cow_clones(), 0u);
+  EXPECT_EQ(cache.bytes_copied(), 0u);
+
+  // Handle outstanding (as commit_txn holds dirty_snapshot handles):
+  // modify must clone, and the handle keeps its point-in-time view.
+  auto snap = cache.dirty_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  ASSERT_TRUE(cache.modify(4, [](std::span<uint8_t> d) { d[0] = 0x03; }).ok());
+  EXPECT_EQ(cache.cow_clones(), 1u);
+  EXPECT_EQ(cache.bytes_copied(), kBlockSize);
+  EXPECT_EQ((*snap[0].second)[0], 0x02);
+  auto now = cache.read(4);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now.value()[0], 0x03);
+}
+
+TEST(BlockCache, CapacityRespectedUnderMixedCleanDirty) {
+  MemBlockDevice dev(4096);
+  BlockCache cache(&dev, 64, /*shards=*/1);
+  // Interleave dirty writes with a large clean scan. Dirty blocks are
+  // pinned, but the clean population must keep total size near capacity.
+  for (BlockNo b = 0; b < 1000; ++b) {
+    if (b % 10 == 0) {
+      ASSERT_TRUE(cache.write(b, filled(static_cast<uint8_t>(b))).ok());
+    } else {
+      ASSERT_TRUE(cache.read(b).ok());
+    }
+  }
+  EXPECT_EQ(cache.dirty_blocks(), 100u);
+  // All dirty blocks plus at most a capacity's worth of clean ones.
+  EXPECT_LE(cache.cached_blocks(), 100u + 64u);
+
+  // Once write-back marks them clean, the cache shrinks back below
+  // capacity on the next insertions.
+  auto dirty = cache.dirty_snapshot();
+  std::vector<BlockNo> blocks;
+  for (const auto& [b, buf] : dirty) blocks.push_back(b);
+  cache.mark_clean(blocks);
+  for (BlockNo b = 1000; b < 1200; ++b) {
+    ASSERT_TRUE(cache.read(b).ok());
+  }
+  EXPECT_LE(cache.cached_blocks(), 64u);
+  EXPECT_EQ(cache.dirty_blocks(), 0u);
 }
 
 TEST(BlockCache, DirtySnapshotIsSorted) {

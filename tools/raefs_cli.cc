@@ -367,6 +367,7 @@ int cmd_workload(const std::string& image, const std::string& kind_name,
                 static_cast<unsigned long long>(result.ops_failed),
                 static_cast<unsigned long long>(result.bytes_written),
                 static_cast<unsigned long long>(result.bytes_read));
+    std::printf("counters: %s\n", fs.stats().to_counters().summary().c_str());
     return result.aborted ? 1 : 0;
   });
 }
