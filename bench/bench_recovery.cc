@@ -124,6 +124,41 @@ int main() {
                 format_nanos(row.rae_recovery).c_str());
   }
 
+  // --- recovery latency breakdown (Figure 3's phases) ---------------------
+  // The pipeline's six phases are timed individually (RaeStats per-phase
+  // fields, mirrored as the rae.recovery.*_ns metrics and the
+  // rae.recovery.* trace spans -- docs/OBSERVABILITY.md). The reboot
+  // phase's fixed contained-reboot cost dominates short logs; replay
+  // grows with the log and overtakes it.
+  std::printf("\n--- recovery latency breakdown by phase ---\n");
+  std::printf("%8s %10s %10s %10s %10s %10s %10s %12s\n", "log_ops",
+              "detect", "contain", "reboot", "replay", "download", "resume",
+              "total");
+  for (uint64_t log_len : {16u, 256u, 1024u}) {
+    auto rig = make_rig();
+    BugRegistry bugs;
+    auto sup = RaeSupervisor::start(rig.device.get(), {}, rig.clock, &bugs);
+    if (!sup.ok()) std::abort();
+    for (uint64_t i = 0; i < log_len; ++i) {
+      if (!sup.value()->create("/f" + std::to_string(i), 0644).ok()) {
+        std::abort();
+      }
+    }
+    bugs.install(fire_at_op(0));
+    if (!sup.value()->create("/trigger", 0644).ok()) std::abort();
+    const RaeStats& s = sup.value()->stats();
+    std::printf("%8llu %10s %10s %10s %10s %10s %10s %12s\n",
+                static_cast<unsigned long long>(log_len),
+                format_nanos(s.detect_ns).c_str(),
+                format_nanos(s.contain_ns).c_str(),
+                format_nanos(s.reboot_ns).c_str(),
+                format_nanos(s.replay_ns).c_str(),
+                format_nanos(s.download_ns).c_str(),
+                format_nanos(s.resume_ns).c_str(),
+                format_nanos(s.total_downtime).c_str());
+    (void)sup.value()->shutdown();
+  }
+
   // --- executor ablation: in-process vs forked shadow --------------------
   // The paper's design runs the shadow as a separate userspace process
   // for fault isolation (§3.2). The process boundary costs real wall time

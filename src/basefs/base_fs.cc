@@ -3,6 +3,9 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace raefs {
 
@@ -119,8 +122,12 @@ Result<std::unique_ptr<BaseFs>> BaseFs::mount(BlockDevice* dev,
   uint64_t replays = 0;
   if (sb.state == FsState::kMounted) {
     // Unclean previous mount: crash recovery via journal replay.
+    obs::TraceSpan rspan(obs::kSpanJournalReplay, clock.get());
     RAEFS_TRY(ReplayResult rr, Journal::replay(dev, geo));
     replays = rr.applied_txns;
+    obs::flight().record(obs::Component::kJournal, "replay", "",
+                         clock ? clock->now() : 0, rr.applied_txns,
+                         rr.applied_blocks);
   }
 
   std::unique_ptr<BaseFs> fs(
@@ -129,6 +136,34 @@ Result<std::unique_ptr<BaseFs>> BaseFs::mount(BlockDevice* dev,
   RAEFS_TRY_VOID(fs->journal_.open());
   RAEFS_TRY_VOID(fs->reload_counters());
   RAEFS_TRY_VOID(fs->write_superblock(FsState::kMounted));
+  // Export this instance's stats under the canonical namespace; multiple
+  // mounted instances sum.
+  BaseFs* raw = fs.get();
+  fs->obs_collector_ = obs::metrics().register_collector(
+      [raw](obs::MetricsSink& sink) {
+        BaseFsStats s = raw->stats();
+        sink.counter(obs::kMBaseOps, s.ops);
+        sink.counter(obs::kMBaseCommits, s.commits);
+        sink.counter(obs::kMBaseCheckpoints, s.checkpoints);
+        sink.counter(obs::kMBaseJournalReplays, s.journal_replays_at_mount);
+        sink.counter(obs::kMBaseCacheHits, s.block_cache_hits);
+        sink.counter(obs::kMBaseCacheMisses, s.block_cache_misses);
+        sink.counter(obs::kMBaseCacheCowClones, s.block_cache_cow_clones);
+        sink.counter(obs::kMBaseCacheBytesCopied, s.block_cache_bytes_copied);
+        sink.counter(obs::kMBaseDentryHits, s.dentry_hits);
+        sink.counter(obs::kMBaseDentryMisses, s.dentry_misses);
+        sink.counter(obs::kMBaseInodeCacheHits, s.inode_cache_hits);
+        sink.counter(obs::kMBaseInodeCacheMisses, s.inode_cache_misses);
+        sink.counter(obs::kMBaseExtentWalks, s.extent_walks);
+        sink.counter(obs::kMBaseExtentHintHits, s.extent_hint_hits);
+        sink.gauge(obs::kMBaseFreeBlocks,
+                   static_cast<int64_t>(raw->free_blocks()));
+        sink.gauge(obs::kMBaseFreeInodes,
+                   static_cast<int64_t>(raw->free_inodes()));
+      });
+  obs::flight().record(obs::Component::kBaseFs, "mount",
+                       replays != 0 ? "unclean (journal replayed)" : "clean",
+                       raw->clock_ ? raw->clock_->now() : 0, replays);
   return fs;
 }
 
@@ -168,10 +203,15 @@ Status BaseFs::unmount() {
   async_.drain();
   RAEFS_TRY_VOID(write_superblock(FsState::kClean));
   async_.shutdown();
+  obs::flight().record(obs::Component::kBaseFs, "unmount", "clean",
+                       clock_ ? clock_->now() : 0);
   return Status::Ok();
 }
 
 BaseFs::~BaseFs() {
+  // Deregister before any member dies; a concurrent snapshot serializes
+  // against this under the registry lock.
+  obs_collector_.reset();
   // Intentionally no write-back: see header comment (contained reboot
   // discards all in-memory state).
   async_.shutdown();

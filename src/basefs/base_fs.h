@@ -50,6 +50,7 @@
 #include "format/inode.h"
 #include "format/superblock.h"
 #include "journal/journal.h"
+#include "obs/metrics.h"
 #include "oplog/op.h"
 
 namespace raefs {
@@ -335,6 +336,11 @@ class BaseFs {
   std::atomic<uint64_t> checkpoints_{0};
   uint64_t replays_at_mount_ = 0;
   std::atomic<bool> unmounted_{false};
+
+  // Exports stats() into the global metrics registry for as long as this
+  // instance may be sampled; reset explicitly at the top of ~BaseFs so a
+  // snapshot can never observe a partially destroyed filesystem.
+  obs::MetricsRegistry::CollectorHandle obs_collector_;
 
   friend class BaseFsTestPeer;
 };

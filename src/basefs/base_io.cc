@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "basefs/base_fs.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace raefs {
 
@@ -357,6 +359,7 @@ Status BaseFs::free_file_blocks(DiskInode* inode, uint64_t keep_blocks) {
 
 Result<std::vector<uint8_t>> BaseFs::read(Ino ino, uint64_t gen, FileOff off,
                                           uint64_t len) {
+  obs::TraceSpan span(obs::kSpanBaseRead, clock_.get());
   std::shared_lock gate(op_gate_);
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kRead, "", ino, off, len);
@@ -404,6 +407,7 @@ Result<std::vector<uint8_t>> BaseFs::read(Ino ino, uint64_t gen, FileOff off,
 
 Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
                                std::span<const uint8_t> data) {
+  obs::TraceSpan span(obs::kSpanBaseWrite, clock_.get());
   std::shared_lock gate(op_gate_);
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kWrite, "", ino, off, data.size());

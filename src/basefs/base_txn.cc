@@ -8,10 +8,14 @@
 #include <cstring>
 
 #include "basefs/base_fs.h"
+#include "obs/flight_recorder.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace raefs {
 
 Status BaseFs::commit_txn(bool force_checkpoint) {
+  obs::TraceSpan span(obs::kSpanBaseCommit, clock_.get());
   std::unique_lock gate(op_gate_);  // exclusive: drain all in-flight ops
   Seq durable_seq = max_dirty_seq_.load();
 
@@ -55,6 +59,7 @@ Status BaseFs::commit_txn(bool force_checkpoint) {
   }
 
   if (!meta.empty()) {
+    obs::TraceSpan jspan(obs::kSpanJournalCommit, clock_.get(), span.id());
     // The journal must fit the transaction. Like jbd2, an oversized
     // transaction is split into capacity-sized chunks with a checkpoint
     // between them (each chunk is internally atomic).
@@ -77,6 +82,8 @@ Status BaseFs::commit_txn(bool force_checkpoint) {
     }
   }
   commits_.fetch_add(1);
+  obs::flight().record(obs::Component::kBaseFs, "commit", "",
+                       clock_ ? clock_->now() : 0, dirty.size());
 
   if (force_checkpoint ||
       journal_.fill_ratio() > opts_.checkpoint_fill_threshold) {
@@ -88,6 +95,7 @@ Status BaseFs::commit_txn(bool force_checkpoint) {
 }
 
 Status BaseFs::checkpoint_locked() {
+  obs::TraceSpan span(obs::kSpanBaseCheckpoint, clock_.get());
   // Write every dirty metadata block in place. All of them have been
   // journaled by a committed transaction (commit_txn journals the full
   // dirty metadata set each time), so in-place writes cannot violate WAL.
@@ -100,12 +108,15 @@ Status BaseFs::checkpoint_locked() {
   RAEFS_TRY_VOID(journal_.checkpoint());
   block_cache_.mark_clean(written);
   checkpoints_.fetch_add(1);
+  obs::flight().record(obs::Component::kBaseFs, "checkpoint", "",
+                       clock_ ? clock_->now() : 0, written.size());
   return Status::Ok();
 }
 
 Status BaseFs::writeback_coalesced(
     const std::vector<std::pair<BlockNo, BlockBufPtr>>& blocks) {
   if (blocks.empty()) return Status::Ok();
+  obs::TraceSpan span(obs::kSpanBlockdevWriteback, clock_.get());
   // Sort by block number, group contiguous runs, and hand each run to the
   // async layer as one submission. Payloads are shared, never copied.
   std::vector<std::pair<BlockNo, BlockBufPtr>> sorted(blocks);
@@ -213,6 +224,8 @@ Status BaseFs::install_blocks(const std::vector<InstallBlock>& blocks) {
   inode_cache_.drop_all();
   dentry_cache_.drop_all();
   RAEFS_TRY_VOID(reload_counters());
+  obs::flight().record(obs::Component::kBaseFs, "install_blocks", "",
+                       clock_ ? clock_->now() : 0, blocks.size());
   // Make the recovered state durable before any new operation is admitted.
   return commit_txn(/*force_checkpoint=*/true);
 }

@@ -1,6 +1,28 @@
 #include "blockdev/async_device.h"
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+
 namespace raefs {
+namespace {
+
+// Global (cross-instance) block-layer metrics; registered once, then each
+// update is one relaxed atomic op.
+struct BlockdevMetrics {
+  obs::Counter& reads = obs::metrics().counter(obs::kMBlockdevReads);
+  obs::Counter& writes = obs::metrics().counter(obs::kMBlockdevWrites);
+  obs::Counter& writev_batches =
+      obs::metrics().counter(obs::kMBlockdevWritevBatches);
+  obs::Counter& flushes = obs::metrics().counter(obs::kMBlockdevFlushes);
+  obs::Gauge& inflight = obs::metrics().gauge(obs::kMBlockdevInflight);
+};
+
+BlockdevMetrics& bm() {
+  static BlockdevMetrics m;
+  return m;
+}
+
+}  // namespace
 
 AsyncBlockDevice::AsyncBlockDevice(BlockDevice* inner, int workers)
     : inner_(inner) {
@@ -18,10 +40,12 @@ void AsyncBlockDevice::enqueue(Request req) {
     if (stopping_) return;  // dropped; callers should not race shutdown
     queue_.push_back(std::move(req));
   }
+  bm().inflight.add(1);
   cv_.notify_one();
 }
 
 void AsyncBlockDevice::submit_read(BlockNo block, ReadCallback done) {
+  bm().reads.inc();
   Request r;
   r.kind = Request::Kind::kRead;
   r.block = block;
@@ -37,6 +61,7 @@ void AsyncBlockDevice::submit_write(BlockNo block, std::vector<uint8_t> data,
 
 void AsyncBlockDevice::submit_write(BlockNo block, BlockBufPtr data,
                                     WriteCallback done) {
+  bm().writes.inc();
   Request r;
   r.kind = Request::Kind::kWrite;
   r.block = block;
@@ -52,6 +77,8 @@ void AsyncBlockDevice::submit_writev(BlockNo first,
     if (done) done(Status::Ok());
     return;
   }
+  bm().writev_batches.inc();
+  bm().writes.inc(bufs.size());
   Request r;
   r.kind = Request::Kind::kWritev;
   r.block = first;
@@ -61,6 +88,7 @@ void AsyncBlockDevice::submit_writev(BlockNo first,
 }
 
 void AsyncBlockDevice::submit_flush(WriteCallback done) {
+  bm().flushes.inc();
   Request r;
   r.kind = Request::Kind::kFlush;
   r.write_done = std::move(done);
@@ -149,6 +177,7 @@ void AsyncBlockDevice::worker_loop() {
     req.data.reset();
     req.bufs.clear();
 
+    bm().inflight.add(-1);
     {
       std::lock_guard<std::mutex> lk(mu_);
       --in_flight_;

@@ -4,20 +4,68 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/clock.h"
+#include "common/stats.h"
+
 namespace raefs {
 namespace {
+
 std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
+std::atomic<const SimClock*> g_clock{nullptr};
 std::mutex g_io_mu;
+std::function<void(LogLevel, const std::string&)> g_sink;  // under g_io_mu
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+  }
+  return "?";
+}
+
+// Small sequential per-thread id: stable, readable, and free of the
+// platform-sized opaque values std::this_thread::get_id() prints.
+int this_thread_log_id() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_clock(const SimClock* clock) { g_clock.store(clock); }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lk(g_io_mu);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) > g_level.load()) return;
+  // Assemble the complete line before taking the lock; emission is then a
+  // single serialized write, so concurrent writers cannot interleave.
+  std::string line;
+  const SimClock* clock = g_clock.load();
+  line += clock != nullptr ? format_nanos(clock->now()) : "-";
+  line += " T";
+  line += std::to_string(this_thread_log_id());
+  line += " ";
+  line += level_tag(level);
+  line += " ";
+  line += msg;
   std::lock_guard<std::mutex> lk(g_io_mu);
-  std::fprintf(stderr, "%s\n", msg.c_str());
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace raefs

@@ -1,11 +1,20 @@
 // Minimal leveled logger. Quiet by default so tests and benchmarks stay
 // readable; raise the level for debugging.
+//
+// Each line is assembled in full -- "<timestamp> T<tid> LEVEL [tag] msg" --
+// before a single serialized emission, so concurrent writers can never
+// interleave fragments. The timestamp is simulated time (set_log_clock);
+// "-" when no clock is attached. The thread id is a small sequential
+// number assigned per logging thread, stable for the thread's lifetime.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace raefs {
+
+class SimClock;
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
@@ -13,7 +22,17 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one log line (already formatted) at `level`.
+/// Attach the simulated clock whose now() stamps every line (nullptr to
+/// detach). The clock must outlive logging.
+void set_log_clock(const SimClock* clock);
+
+/// Redirect fully formatted lines to `sink` instead of stderr (tests);
+/// nullptr restores stderr. Invoked under the emission lock.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Emit one log line. `msg` is the "[tag] body" payload; the timestamp,
+/// thread id and level prefix are added here, and the complete line is
+/// written in one serialized operation.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -4,7 +4,27 @@
 
 namespace raefs {
 
-void fs_panic(FaultSite site) { throw FsPanicError(std::move(site)); }
+namespace {
+
+std::mutex g_panic_hook_mu;
+std::function<void(const FaultSite&)> g_panic_hook;
+
+}  // namespace
+
+void set_panic_hook(std::function<void(const FaultSite&)> hook) {
+  std::lock_guard<std::mutex> lk(g_panic_hook_mu);
+  g_panic_hook = std::move(hook);
+}
+
+void fs_panic(FaultSite site) {
+  std::function<void(const FaultSite&)> hook;
+  {
+    std::lock_guard<std::mutex> lk(g_panic_hook_mu);
+    hook = g_panic_hook;
+  }
+  if (hook) hook(site);
+  throw FsPanicError(std::move(site));
+}
 
 uint64_t WarnSink::warn(FaultSite site) {
   WarnEvent ev;

@@ -53,6 +53,12 @@ class ShadowCheckError : public std::runtime_error {
 /// detected fatal bug is explicit.
 [[noreturn]] void fs_panic(FaultSite site);
 
+/// Observer invoked synchronously inside fs_panic, before the exception is
+/// thrown -- while the faulting state is still live. Used by the obs flight
+/// recorder to dump its ring at the moment of detection. At most one hook;
+/// it must not throw.
+void set_panic_hook(std::function<void(const FaultSite&)> hook);
+
 /// One WARN_ON()-style event emitted by the base.
 struct WarnEvent {
   FaultSite site;

@@ -24,6 +24,9 @@ class LatencyHistogram {
   /// Approximate quantile (q in [0,1]) from the log buckets.
   Nanos quantile(double q) const;
 
+  /// Bucket-wise accumulate `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
   std::string summary() const;
 
  private:

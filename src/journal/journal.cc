@@ -4,9 +4,25 @@
 
 #include "common/checksum.h"
 #include "common/serial.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace raefs {
 namespace {
+
+// Registered once; inc() afterwards is a single relaxed atomic add.
+obs::Counter& commit_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::kMJournalCommits);
+  return c;
+}
+obs::Counter& blocks_written_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::kMJournalBlocksWritten);
+  return c;
+}
+obs::Counter& checkpoint_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::kMJournalCheckpoints);
+  return c;
+}
 
 enum class RecKind : uint32_t { kHeader = 0, kDescriptor = 1, kCommit = 2 };
 
@@ -248,6 +264,8 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
 
   cursor_ += blocks_needed(records.size());
   next_seq_ = seq + 1;
+  commit_counter().inc();
+  blocks_written_counter().inc(blocks_needed(records.size()));
   return seq;
 }
 
@@ -255,6 +273,7 @@ Status Journal::checkpoint() {
   std::lock_guard<std::mutex> lk(mu_);
   RAEFS_TRY_VOID(format(dev_, geo_, next_seq_ - 1));
   cursor_ = geo_.journal_start + 1;
+  checkpoint_counter().inc();
   return Status::Ok();
 }
 

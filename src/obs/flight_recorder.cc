@@ -1,0 +1,126 @@
+#include "obs/flight_recorder.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/panic.h"
+#include "common/stats.h"
+
+namespace raefs {
+namespace obs {
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::kBaseFs: return "basefs";
+    case Component::kJournal: return "journal";
+    case Component::kBlockDev: return "blockdev";
+    case Component::kRae: return "rae";
+    case Component::kShadow: return "shadow";
+    case Component::kVfs: return "vfs";
+    case Component::kOther: return "other";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(Component comp, const char* kind,
+                            std::string_view detail, Nanos t, uint64_t a,
+                            uint64_t b, uint64_t c) {
+  FlightEvent ev;
+  ev.t = t;
+  ev.component = comp;
+  ev.kind = kind;
+  size_t n = std::min(detail.size(), sizeof(ev.detail) - 1);
+  std::memcpy(ev.detail, detail.data(), n);
+  ev.detail[n] = '\0';
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::string FlightRecorder::dump(std::string_view reason) const {
+  std::vector<FlightEvent> events = snapshot();
+  uint64_t total;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    total = total_;
+  }
+  std::ostringstream os;
+  os << "== flight recorder: " << reason << " (showing " << events.size()
+     << " of " << total << " events) ==\n";
+  for (const FlightEvent& ev : events) {
+    os << "t=" << format_nanos(ev.t) << " [" << to_string(ev.component)
+       << "] " << ev.kind;
+    if (ev.detail[0] != '\0') os << " " << ev.detail;
+    if (ev.a != 0 || ev.b != 0 || ev.c != 0) {
+      os << " a=" << ev.a << " b=" << ev.b << " c=" << ev.c;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void FlightRecorder::dump_now(std::string_view reason) {
+  std::string text = dump(reason);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_dump_ = text;
+  }
+  RAEFS_LOG_DEBUG("flight") << text;
+}
+
+std::string FlightRecorder::last_dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_dump_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder* g = [] {
+    auto* rec = new FlightRecorder(512);  // never destroyed
+    // Every masked (or fatal) bug leaves a post-mortem artifact.
+    set_panic_hook([rec](const FaultSite& site) {
+      rec->record(Component::kOther, "panic", site.function, 0,
+                  static_cast<uint64_t>(site.bug_id + 1));
+      rec->dump_now("panic in " + site.function);
+    });
+    return rec;
+  }();
+  return *g;
+}
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,0 +1,87 @@
+// Flight recorder: a fixed-size ring of recent operations and state
+// transitions, per component, dumped automatically when something goes
+// wrong. Every masked bug leaves a post-mortem artifact: "what did the
+// system do in the ops leading up to the trip".
+//
+// Recording is cheap by construction -- a POD event (fixed-size detail
+// buffer, no allocation) copied into a mutex-guarded ring. Formatting
+// happens only at dump time. Dumps are triggered:
+//   - on base-filesystem panic (via the common-layer panic hook, installed
+//     the first time the global recorder is touched),
+//   - on error detection / recovery by the RAE supervisor,
+//   - on demand (`raefs stats` prints the ring).
+// The formatted dump goes to the debug log and is retained in
+// last_dump() so supervisors, tools and tests can fetch the artifact
+// without scraping stderr (tests deliberately panic thousands of times;
+// stderr must stay quiet). Format reference: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace raefs {
+namespace obs {
+
+enum class Component : uint8_t {
+  kBaseFs = 0,
+  kJournal,
+  kBlockDev,
+  kRae,
+  kShadow,
+  kVfs,
+  kOther,
+};
+
+const char* to_string(Component c);
+
+struct FlightEvent {
+  Nanos t = 0;                 // simulated time (0 when no clock)
+  Component component = Component::kOther;
+  const char* kind = "";       // static string literal ("op", "commit", ...)
+  char detail[48] = {};        // truncated free text (path, reason)
+  uint64_t a = 0, b = 0, c = 0;  // operands: ino / offset / length / counts
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 512);
+
+  void record(Component comp, const char* kind, std::string_view detail,
+              Nanos t, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0);
+
+  /// Buffered events, oldest first.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Render the ring (header + one line per event).
+  std::string dump(std::string_view reason) const;
+
+  /// dump() + stash as last_dump() + emit at debug log level.
+  void dump_now(std::string_view reason);
+
+  /// The most recent dump_now() artifact ("" if none yet).
+  std::string last_dump() const;
+
+  void clear();
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;
+  size_t next_ = 0;  // write cursor once full
+  uint64_t total_ = 0;
+  std::string last_dump_;
+};
+
+/// Process-global recorder. First use installs the panic hook that dumps
+/// the ring on every FsPanicError (see common/panic.h).
+FlightRecorder& flight();
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace raefs {
+namespace obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::CollectorHandle& MetricsRegistry::CollectorHandle::operator=(
+    CollectorHandle&& o) noexcept {
+  if (this != &o) {
+    reset();
+    reg_ = o.reg_;
+    id_ = o.id_;
+    o.reg_ = nullptr;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::CollectorHandle::reset() {
+  if (reg_ != nullptr && id_ != 0) reg_->deregister_collector(id_);
+  reg_ = nullptr;
+  id_ = 0;
+}
+
+MetricsRegistry::CollectorHandle MetricsRegistry::register_collector(
+    Collector fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t id = next_collector_id_++;
+  collectors_[id] = std::move(fn);
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::deregister_collector(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_.erase(id);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSink sink;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) sink.counter(name, c->value());
+  for (const auto& [name, g] : gauges_) sink.gauge(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    sink.histogram(name, h->snapshot());
+  }
+  // Collectors run under the registry lock: deregistration (component
+  // destruction) serializes against sampling, so a collector never runs
+  // on a dead instance.
+  for (const auto& [id, fn] : collectors_) fn(sink);
+  return sink.snap_;
+}
+
+void MetricsRegistry::reset_owned() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed
+  return *g;
+}
+
+namespace {
+
+void json_histogram(std::ostringstream& os, const LatencyHistogram& h) {
+  os << "{\"count\": " << h.count() << ", \"mean_ns\": "
+     << static_cast<uint64_t>(h.mean()) << ", \"min_ns\": " << h.min()
+     << ", \"p50_ns\": " << h.quantile(0.5)
+     << ", \"p99_ns\": " << h.quantile(0.99) << ", \"max_ns\": " << h.max()
+     << "}";
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "raefs_";
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    json_histogram(os, h);
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    // Exposed as a precomputed summary (log-bucketed quantiles).
+    std::string p = prom_name(name);
+    os << "# TYPE " << p << " summary\n";
+    os << p << "{quantile=\"0.5\"} " << h.quantile(0.5) << "\n";
+    os << p << "{quantile=\"0.99\"} " << h.quantile(0.99) << "\n";
+    os << p << "_sum " << static_cast<uint64_t>(h.mean() *
+                                                static_cast<double>(h.count()))
+       << "\n";
+    os << p << "_count " << h.count() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,0 +1,162 @@
+// Metrics registry: the one namespace every component reports through.
+//
+// Three metric kinds, all registered by canonical name (obs/names.h):
+//   Counter   -- monotonically increasing uint64 (relaxed atomic inc).
+//   Gauge     -- instantaneous int64 (set/add).
+//   Histogram -- thread-safe LatencyHistogram over simulated nanoseconds.
+//
+// Components report in one of two ways:
+//   1. Owned metrics: `metrics().counter(name)` find-or-registers and
+//      returns a stable reference; hot paths cache it and inc() is one
+//      relaxed atomic add (the lock is paid once, at registration).
+//   2. Collectors: components that already keep instance-local stats
+//      (BaseFsStats, RaeStats, ...) register a callback that exports them
+//      under canonical names at snapshot time. A collector handle
+//      deregisters on destruction, so dying instances (contained reboots,
+//      test fixtures) can never be sampled after free.
+//
+// snapshot() merges both sources; same-named contributions from multiple
+// instances SUM (two mounted filesystems add their cache hits), which is
+// the aggregate a fleet-level scrape wants. Export as JSON or Prometheus
+// text via to_json() / to_prometheus().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace raefs {
+namespace obs {
+
+class Counter {
+ public:
+  void inc(uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Thread-safe histogram (LatencyHistogram is not; recovery and scrub
+/// paths record from whichever thread trapped the error).
+class Histogram {
+ public:
+  void record(Nanos v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_.record(v);
+  }
+  LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return h_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    h_ = LatencyHistogram{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram h_;
+};
+
+/// Point-in-time view of the whole registry. Same-named contributions are
+/// summed (counters, gauges) or bucket-merged (histograms).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, LatencyHistogram> histograms;
+};
+
+/// Write-side view handed to collectors at snapshot time.
+class MetricsSink {
+ public:
+  void counter(const std::string& name, uint64_t v) {
+    snap_.counters[name] += v;
+  }
+  void gauge(const std::string& name, int64_t v) { snap_.gauges[name] += v; }
+  void histogram(const std::string& name, const LatencyHistogram& h) {
+    snap_.histograms[name].merge(h);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  MetricsSnapshot snap_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-register. The returned reference is stable for the life of
+  /// the registry (entries are never erased, only reset).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  using Collector = std::function<void(MetricsSink&)>;
+
+  /// RAII deregistration: a component holds the handle for exactly as
+  /// long as it may be sampled.
+  class CollectorHandle {
+   public:
+    CollectorHandle() = default;
+    CollectorHandle(CollectorHandle&& o) noexcept { *this = std::move(o); }
+    CollectorHandle& operator=(CollectorHandle&& o) noexcept;
+    CollectorHandle(const CollectorHandle&) = delete;
+    CollectorHandle& operator=(const CollectorHandle&) = delete;
+    ~CollectorHandle() { reset(); }
+    void reset();
+
+   private:
+    friend class MetricsRegistry;
+    CollectorHandle(MetricsRegistry* r, uint64_t id) : reg_(r), id_(id) {}
+    MetricsRegistry* reg_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  [[nodiscard]] CollectorHandle register_collector(Collector fn);
+
+  /// Merge owned metrics and collector contributions.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero all owned metric values (collectors are untouched: they report
+  /// live component state). Test support.
+  void reset_owned();
+
+ private:
+  friend class CollectorHandle;
+  void deregister_collector(uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_collector_id_ = 1;
+};
+
+/// The process-global registry (Prometheus default-registry style).
+MetricsRegistry& metrics();
+
+/// Render a snapshot as pretty-printed JSON / Prometheus exposition text
+/// (dots become underscores, `raefs_` prefix, histograms as summaries).
+std::string to_json(const MetricsSnapshot& snap);
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace raefs {
+namespace obs {
+
+void Tracer::finish(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_] = rec;
+    next_ = (next_ + 1) % kCapacity;
+  }
+  ++total_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_).
+  for (size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::spans_named(const char* name) const {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : snapshot()) {
+    if (std::strcmp(s.name, name) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+uint64_t Tracer::total_finished() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+Tracer& tracer() {
+  static Tracer* g = new Tracer();  // never destroyed
+  return *g;
+}
+
+}  // namespace obs
+}  // namespace raefs

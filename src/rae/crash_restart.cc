@@ -1,5 +1,9 @@
 #include "rae/crash_restart.h"
 
+#include "obs/flight_recorder.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
 namespace raefs {
 
 CrashRestartSupervisor::CrashRestartSupervisor(MemBlockDevice* dev,
@@ -30,6 +34,9 @@ Status CrashRestartSupervisor::mount_base() {
 void CrashRestartSupervisor::machine_crash() {
   Nanos t0 = clock_ ? clock_->now() : 0;
   ++stats_.crashes;
+  obs::flight().record(obs::Component::kRae, "machine_crash", "", t0,
+                       stats_.crashes);
+  obs::TraceSpan span(obs::kSpanCrashRestart, clock_.get());
   // Acked-but-unflushed updates die with the machine.
   stats_.lost_acked_ops += issued_ > durable_ ? issued_ - durable_ : 0;
   base_.reset();          // kernel memory gone

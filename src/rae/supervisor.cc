@@ -2,6 +2,9 @@
 
 #include "common/log.h"
 #include "journal/journal.h"
+#include "obs/flight_recorder.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "oplog/payload.h"
 #include "rae/state_compare.h"
 
@@ -25,6 +28,34 @@ Result<std::unique_ptr<RaeSupervisor>> RaeSupervisor::start(
   std::unique_ptr<RaeSupervisor> sup(
       new RaeSupervisor(dev, opts, std::move(clock), bugs));
   RAEFS_TRY_VOID(sup->mount_base());
+  RaeSupervisor* raw = sup.get();
+  sup->obs_collector_ = obs::metrics().register_collector(
+      [raw](obs::MetricsSink& sink) {
+        const RaeStats& s = raw->stats_;
+        sink.counter(obs::kMRaeRecoveries, s.recoveries);
+        sink.counter(obs::kMRaeRecoveriesFailed, s.failed_recoveries);
+        sink.counter(obs::kMRaePanicsTrapped, s.panics_trapped);
+        sink.counter(obs::kMRaeWarnRecoveries, s.warn_recoveries);
+        sink.counter(obs::kMRaeShadowRetries, s.shadow_retries);
+        sink.counter(obs::kMRaeOpsReplayed, s.ops_replayed_total);
+        sink.counter(obs::kMRaeDiscrepancies, s.discrepancies_total);
+        sink.counter(obs::kMRaeScrubs, s.scrubs);
+        sink.counter(obs::kMRaeScrubDiscrepancies, s.scrub_discrepancies);
+        sink.counter(obs::kMRaeForcedSyncs, s.forced_syncs);
+        sink.counter(obs::kMRaeDowntimeNs, s.total_downtime);
+        sink.counter(obs::kMRaeRecoveryDetectNs, s.detect_ns);
+        sink.counter(obs::kMRaeRecoveryContainNs, s.contain_ns);
+        sink.counter(obs::kMRaeRecoveryRebootNs, s.reboot_ns);
+        sink.counter(obs::kMRaeRecoveryReplayNs, s.replay_ns);
+        sink.counter(obs::kMRaeRecoveryDownloadNs, s.download_ns);
+        sink.counter(obs::kMRaeRecoveryResumeNs, s.resume_ns);
+        sink.histogram(obs::kMRaeRecoveryTimeNs, s.recovery_time);
+        OpLogStats ol = raw->oplog_stats();
+        sink.gauge(obs::kMRaeOplogLiveRecords,
+                   static_cast<int64_t>(ol.live_records));
+        sink.gauge(obs::kMRaeOplogLiveBytes,
+                   static_cast<int64_t>(ol.live_bytes));
+      });
   return sup;
 }
 
@@ -62,6 +93,7 @@ Result<ShadowOutcome> RaeSupervisor::scrub(bool deep) {
   if (offline_ || shutdown_ || !base_) return Errno::kIo;
   auto* capable = dynamic_cast<SnapshotCapable*>(dev_);
   if (capable == nullptr) return Errno::kNotSup;
+  obs::TraceSpan span(obs::kSpanScrub, clock_.get());
   std::unique_ptr<BlockDevice> snap = capable->snapshot();
   std::vector<OpRecord> log = oplog_.snapshot();
   Geometry geo = base_->geometry();
@@ -96,6 +128,9 @@ Result<ShadowOutcome> RaeSupervisor::scrub(bool deep) {
   }
   ++stats_.scrubs;
   stats_.scrub_discrepancies += outcome.discrepancies.size();
+  obs::flight().record(obs::Component::kRae, "scrub", deep ? "deep" : "shallow",
+                       clock_ ? clock_->now() : 0, outcome.ops_replayed,
+                       outcome.discrepancies.size());
   return outcome;
 }
 
@@ -110,6 +145,25 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   ++stats_.recoveries;
   RAEFS_LOG_INFO("rae") << "recovery triggered by " << site.function << ": "
                         << site.detail;
+  obs::flight().record(obs::Component::kRae, "recover.begin", site.function,
+                       t0, stats_.recoveries);
+  obs::TraceSpan rspan(obs::kSpanRecovery, clock_.get());
+
+  auto now = [&]() -> Nanos { return clock_ ? clock_->now() : 0; };
+  auto charge_phase = [&] {
+    if (clock_ && opts_.phase_bookkeeping_cost) {
+      clock_->advance(opts_.phase_bookkeeping_cost);
+    }
+  };
+  // Each phase is one scoped span (child of the recovery span), its
+  // duration accumulated into the RaeStats per-phase fields -- which the
+  // collector exports as the rae.recovery.*_ns counters (accumulating
+  // them here as owned counters too would double-count in snapshots).
+  Nanos phase_begin = t0;
+  auto end_phase = [&](Nanos RaeStats::*field) {
+    stats_.*field += now() - phase_begin;
+    phase_begin = now();
+  };
 
   auto fail = [&](std::string why) -> Errno {
     ++stats_.failed_recoveries;
@@ -121,65 +175,125 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     }
     RAEFS_LOG_ERROR("rae") << "recovery FAILED, filesystem offline: "
                            << stats_.last_failure;
+    obs::flight().record(obs::Component::kRae, "recover.fail",
+                         stats_.last_failure, now());
+    obs::flight().dump_now("recovery failed: " + stats_.last_failure);
     return Errno::kCorrupt;
   };
 
-  // 1. Contained reboot: discard every byte of the base's in-memory state.
+  // Detect: the error has been trapped; classify and account for it
+  // before touching any state.
+  {
+    obs::TraceSpan ps(obs::kSpanRecoveryDetect, clock_.get(), rspan.id());
+    charge_phase();
+  }
+  end_phase(&RaeStats::detect_ns);
+
+  // Contain: discard every byte of the base's in-memory state -- all of
+  // it is untrusted after the error.
   Geometry geo = base_ ? base_->geometry() : Geometry{};
-  base_.reset();
-  if (clock_) clock_->advance(opts_.contained_reboot_cost);
+  {
+    obs::TraceSpan ps(obs::kSpanRecoveryContain, clock_.get(), rspan.id());
+    base_.reset();
+    charge_phase();
+  }
+  end_phase(&RaeStats::contain_ns);
 
-  // 2. Reach the trusted on-disk state S0 via journal replay.
-  if (geo.total_blocks == 0) return fail("no geometry available");
-  auto replay = Journal::replay(dev_, geo);
-  if (!replay.ok()) return fail("journal replay failed");
+  // Reboot: pay the contained-reboot cost and reach the trusted on-disk
+  // state S0 via journal replay.
+  {
+    obs::TraceSpan ps(obs::kSpanRecoveryReboot, clock_.get(), rspan.id());
+    if (clock_) clock_->advance(opts_.contained_reboot_cost);
+    if (geo.total_blocks == 0) {
+      end_phase(&RaeStats::reboot_ns);
+      return fail("no geometry available");
+    }
+    obs::TraceSpan js(obs::kSpanJournalReplay, clock_.get(), ps.id());
+    auto replay = Journal::replay(dev_, geo);
+    js.end();
+    if (!replay.ok()) {
+      end_phase(&RaeStats::reboot_ns);
+      return fail("journal replay failed");
+    }
+  }
+  end_phase(&RaeStats::reboot_ns);
 
-  // 3. Run the shadow over the recorded operation sequence. A refusal is
-  //    retried a configurable number of times: transient device faults
-  //    during replay vanish on retry, while genuine image corruption
-  //    refuses identically every attempt (§3.1 fault model).
+  // Replay: run the shadow over the recorded operation sequence. A
+  // refusal is retried a configurable number of times: transient device
+  // faults during replay vanish on retry, while genuine image corruption
+  // refuses identically every attempt (§3.1 fault model).
   auto log = oplog_.snapshot();
   ShadowOutcome outcome;
-  for (uint32_t attempt = 0; attempt <= opts_.shadow_retries; ++attempt) {
-    if (attempt > 0) ++stats_.shadow_retries;
-    outcome = executor_->execute(dev_, log, opts_.shadow, clock_);
-    if (outcome.ok) break;
-    RAEFS_LOG_WARN("rae") << "shadow attempt " << attempt + 1
-                          << " refused: " << outcome.failure;
+  {
+    obs::TraceSpan ps(obs::kSpanRecoveryReplay, clock_.get(), rspan.id());
+    for (uint32_t attempt = 0; attempt <= opts_.shadow_retries; ++attempt) {
+      if (attempt > 0) ++stats_.shadow_retries;
+      outcome = executor_->execute(dev_, log, opts_.shadow, clock_);
+      if (outcome.ok) break;
+      RAEFS_LOG_WARN("rae") << "shadow attempt " << attempt + 1
+                            << " refused: " << outcome.failure;
+    }
+    charge_phase();
   }
   stats_.ops_replayed_total += outcome.ops_replayed;
   stats_.discrepancies_total += outcome.discrepancies.size();
   for (const auto& d : outcome.discrepancies) {
     RAEFS_LOG_WARN("rae") << "shadow discrepancy: " << d.description;
   }
+  end_phase(&RaeStats::replay_ns);
   if (!outcome.ok) return fail("shadow refused: " + outcome.failure);
 
-  // 4. Reboot the base and download the shadow's metadata (hand-off).
-  Status mounted = mount_base();
-  if (!mounted.ok()) return fail("base remount failed");
-  try {
-    Status installed = base_->install_blocks(outcome.dirty);
-    if (!installed.ok()) return fail("metadata download failed");
-  } catch (const FsPanicError& e) {
-    return fail(std::string("base panicked absorbing shadow output: ") +
-                e.what());
+  // Download: reboot the base and absorb the shadow's metadata (hand-off).
+  {
+    obs::TraceSpan ps(obs::kSpanRecoveryDownload, clock_.get(), rspan.id());
+    Status mounted = mount_base();
+    if (!mounted.ok()) {
+      end_phase(&RaeStats::download_ns);
+      return fail("base remount failed");
+    }
+    try {
+      Status installed = base_->install_blocks(outcome.dirty);
+      if (!installed.ok()) {
+        end_phase(&RaeStats::download_ns);
+        return fail("metadata download failed");
+      }
+    } catch (const FsPanicError& e) {
+      end_phase(&RaeStats::download_ns);
+      return fail(std::string("base panicked absorbing shadow output: ") +
+                  e.what());
+    }
+    charge_phase();
   }
+  end_phase(&RaeStats::download_ns);
 
-  // 5. The recovered state is durable; the gap is closed.
-  oplog_.clear();
-  warns_.clear();
+  // Resume: close the gap and re-admit operations.
+  {
+    obs::TraceSpan ps(obs::kSpanRecoveryResume, clock_.get(), rspan.id());
+    // The recovered state is durable; the gap is closed.
+    oplog_.clear();
+    warns_.clear();
 
-  // 6. Re-issue any in-flight sync (paper §3.3).
-  if (!outcome.inflight_retry_syncs.empty()) {
-    Status synced = retry_sync_after_recovery();
-    if (!synced.ok()) return fail("post-recovery sync retry failed");
+    // Re-issue any in-flight sync (paper §3.3).
+    if (!outcome.inflight_retry_syncs.empty()) {
+      Status synced = retry_sync_after_recovery();
+      if (!synced.ok()) {
+        end_phase(&RaeStats::resume_ns);
+        return fail("post-recovery sync retry failed");
+      }
+    }
+    charge_phase();
   }
+  end_phase(&RaeStats::resume_ns);
 
   if (clock_) {
     Nanos dt = clock_->now() - t0;
     stats_.total_downtime += dt;
     stats_.recovery_time.record(dt);
   }
+  obs::flight().record(obs::Component::kRae, "recover.end", site.function,
+                       now(), outcome.ops_replayed,
+                       outcome.discrepancies.size());
+  obs::flight().dump_now("recovery completed");
   return outcome;
 }
 
@@ -214,6 +328,8 @@ void RaeSupervisor::maybe_recover_for_warns() {
   auto events = warns_.events();
   FaultSite site = events.empty() ? FaultSite{"warn", "escalation", -1}
                                   : events.back().site;
+  obs::flight().record(obs::Component::kRae, "warn_escalation", site.function,
+                       clock_ ? clock_->now() : 0, count);
   (void)recover(site, 0);
 }
 
@@ -257,6 +373,9 @@ Result<uint64_t> RaeSupervisor::run_mutation_u64(
     // measures exactly this).
     clock_->advance(100 + static_cast<Nanos>(req.data.size()) / 8);
   }
+  obs::flight().record(obs::Component::kRae, to_string(req.kind), req.path,
+                       req.stamp, req.ino, static_cast<uint64_t>(req.offset),
+                       req.data.empty() ? req.len : req.data.size());
   Seq seq = oplog_.append_started(std::move(req));
   base_->set_current_op_seq(seq);
   try {
@@ -464,6 +583,9 @@ Result<T> RaeSupervisor::run_read(
   } catch (const FsPanicError& e) {
     ++stats_.panics_trapped;
     probe.stamp = clock_ ? clock_->now() : 0;
+    obs::flight().record(obs::Component::kRae, to_string(probe.kind),
+                         probe.path, probe.stamp, probe.ino,
+                         static_cast<uint64_t>(probe.offset), probe.len);
     Seq seq = oplog_.append_started(std::move(probe));
     auto rec = recover(e.site(), seq);
     if (!rec.ok()) return Errno::kIo;

@@ -56,6 +56,12 @@ struct RaeOptions {
   /// journal replay bookkeeping, remount) beyond the device IO it does.
   Nanos contained_reboot_cost = 2 * kMilli;
 
+  /// Simulated CPU cost charged once per recovery phase (detection
+  /// bookkeeping, containment, hand-off, resume). Keeps every phase of the
+  /// detect -> resume timeline visibly nonzero even on a device with no
+  /// latency model, so phase breakdowns are always meaningful.
+  Nanos phase_bookkeeping_cost = 10 * kMicro;
+
   /// Transient-fault tolerance (§3.1): how many times to re-run the
   /// shadow when it refuses, before declaring the recovery failed. A
   /// transient device EIO during replay disappears on retry; a corrupt
@@ -83,6 +89,17 @@ struct RaeStats {
   Nanos total_downtime = 0;
   LatencyHistogram recovery_time;
   std::string last_failure;
+
+  // Cumulative simulated time per recovery phase (paper Figure 3's
+  // breakdown: detect -> contain -> reboot -> replay -> download ->
+  // resume). Sums to total_downtime for successfully completed
+  // recoveries.
+  Nanos detect_ns = 0;
+  Nanos contain_ns = 0;
+  Nanos reboot_ns = 0;
+  Nanos replay_ns = 0;
+  Nanos download_ns = 0;
+  Nanos resume_ns = 0;
 };
 
 class RaeSupervisor {
@@ -184,6 +201,12 @@ class RaeSupervisor {
   RaeStats stats_;
   bool offline_ = false;
   bool shutdown_ = false;
+
+  // Exports RaeStats + op-log occupancy into the global metrics registry.
+  // Deliberately does NOT take mu_ (snapshot holds the registry lock and
+  // mount paths register collectors while holding mu_); sampled values may
+  // be a moment stale, never dangling.
+  obs::MetricsRegistry::CollectorHandle obs_collector_;
 };
 
 }  // namespace raefs

@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "common/panic.h"
+#include "obs/flight_recorder.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "oplog/payload.h"
 
 namespace raefs {
@@ -131,6 +134,9 @@ ShadowOutcome shadow_execute(BlockDevice* dev,
                              const ShadowConfig& config, SimClockPtr clock) {
   ShadowOutcome outcome;
   Nanos start = clock ? clock->now() : 0;
+  obs::TraceSpan span(obs::kSpanShadowReplay, clock.get());
+  obs::flight().record(obs::Component::kShadow, "replay.begin", "", start,
+                       log.size());
   ShadowFs fs(dev, config.checks, clock);
   try {
     fs.open();
@@ -185,6 +191,11 @@ ShadowOutcome shadow_execute(BlockDevice* dev,
     outcome.checks = fs.checks_performed();
   }
   outcome.sim_time_used = clock ? clock->now() - start : 0;
+  obs::flight().record(obs::Component::kShadow,
+                       outcome.ok ? "replay.end" : "replay.refused",
+                       outcome.ok ? "" : std::string_view(outcome.failure),
+                       clock ? clock->now() : 0, outcome.ops_replayed,
+                       outcome.discrepancies.size(), outcome.dirty.size());
   return outcome;
 }
 

@@ -12,6 +12,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/clock.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "vfs/fd_table.h"
 
 namespace raefs {
@@ -35,12 +38,16 @@ inline std::string resolve_link_target(std::string_view link_path,
 template <typename FsT>
 class Vfs {
  public:
-  explicit Vfs(FsT* fs) : fs_(fs) {}
+  /// `clock` (optional) timestamps the vfs.* trace spans; pass the same
+  /// simulated clock the stack beneath runs on.
+  explicit Vfs(FsT* fs, SimClockPtr clock = nullptr)
+      : fs_(fs), clock_(std::move(clock)) {}
 
   /// Open (optionally creating/truncating) a regular file. Trailing
   /// symlinks are resolved (lexically, up to kMaxSymlinkHops) unless
   /// kNoFollow is set; loops return kLoop.
   Result<Fd> open(std::string_view path, uint32_t flags, uint16_t mode = 0644) {
+    obs::TraceSpan span(obs::kSpanVfsOpen, clock_.get());
     std::string current(path);
     Ino ino = kInvalidIno;
     for (int hop = 0;; ++hop) {
@@ -81,6 +88,7 @@ class Vfs {
 
   /// Sequential read at the descriptor's offset.
   Result<std::vector<uint8_t>> read(Fd fd, uint64_t len) {
+    obs::TraceSpan span(obs::kSpanVfsRead, clock_.get());
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kRdOnly)) return Errno::kBadFd;
     RAEFS_TRY(auto data, fs_->read(of.ino, of.gen, of.offset, len));
@@ -90,6 +98,7 @@ class Vfs {
 
   /// Sequential write at the descriptor's offset (or the end for kAppend).
   Result<uint64_t> write(Fd fd, std::span<const uint8_t> data) {
+    obs::TraceSpan span(obs::kSpanVfsWrite, clock_.get());
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kWrOnly)) return Errno::kBadFd;
     FileOff off = of.offset;
@@ -163,6 +172,7 @@ class Vfs {
 
  private:
   FsT* fs_;
+  SimClockPtr clock_;
   FdTable fds_;
 };
 

@@ -1,0 +1,217 @@
+// Observability subsystem: metrics registry, trace spans, flight recorder.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/panic.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
+namespace raefs {
+namespace obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  // The registry, tracer and recorder are process-global; start each test
+  // from a clean slate.
+  void SetUp() override {
+    metrics().reset_owned();
+    tracer().clear();
+    Tracer::set_enabled(false);
+    flight().clear();
+  }
+  void TearDown() override { Tracer::set_enabled(false); }
+};
+
+TEST_F(ObsTest, CounterGaugeHistogramRoundtrip) {
+  Counter& c = metrics().counter("test.counter");
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(c.value(), 10u);
+  // Find-or-register returns the same object.
+  EXPECT_EQ(&metrics().counter("test.counter"), &c);
+
+  Gauge& g = metrics().gauge("test.gauge");
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+
+  Histogram& h = metrics().histogram("test.hist");
+  h.record(100);
+  h.record(300);
+  auto snap = metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("test.counter"), 10u);
+  EXPECT_EQ(snap.gauges.at("test.gauge"), 4);
+  EXPECT_EQ(snap.histograms.at("test.hist").count(), 2u);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  Counter& c = metrics().counter("test.mt_counter");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIncs; ++j) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIncs);
+}
+
+TEST_F(ObsTest, CollectorContributesUntilHandleDropped) {
+  uint64_t live_value = 42;
+  auto handle = metrics().register_collector([&](MetricsSink& sink) {
+    sink.counter("test.collected", live_value);
+    sink.gauge("test.collected_gauge", 5);
+  });
+  EXPECT_EQ(metrics().snapshot().counters.at("test.collected"), 42u);
+
+  live_value = 50;
+  EXPECT_EQ(metrics().snapshot().counters.at("test.collected"), 50u);
+
+  handle.reset();
+  auto snap = metrics().snapshot();
+  EXPECT_EQ(snap.counters.count("test.collected"), 0u);
+  EXPECT_EQ(snap.gauges.count("test.collected_gauge"), 0u);
+}
+
+TEST_F(ObsTest, SameNamedContributionsSum) {
+  auto h1 = metrics().register_collector(
+      [](MetricsSink& s) { s.counter("test.shared", 3); });
+  auto h2 = metrics().register_collector(
+      [](MetricsSink& s) { s.counter("test.shared", 4); });
+  metrics().counter("test.shared").inc(10);
+  EXPECT_EQ(metrics().snapshot().counters.at("test.shared"), 17u);
+}
+
+TEST_F(ObsTest, JsonAndPrometheusRendering) {
+  metrics().counter("basefs.ops").inc(12);
+  metrics().gauge("blockdev.inflight").set(2);
+  metrics().histogram("rae.recovery.time_ns").record(5000);
+  auto snap = metrics().snapshot();
+
+  std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"basefs.ops\": 12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"blockdev.inflight\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rae.recovery.time_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+
+  std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("raefs_basefs_ops 12"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE raefs_basefs_ops counter"), std::string::npos);
+  EXPECT_NE(prom.find("raefs_blockdev_inflight 2"), std::string::npos);
+  EXPECT_NE(prom.find("raefs_rae_recovery_time_ns_count 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, SpansDisabledByDefaultAndRecordWhenEnabled) {
+  SimClock clock;
+  {
+    TraceSpan off("test.off", &clock);
+  }
+  EXPECT_TRUE(tracer().snapshot().empty());
+
+  Tracer::set_enabled(true);
+  clock.advance(100);
+  SpanId parent_id;
+  {
+    TraceSpan parent(kSpanRecovery, &clock);
+    parent_id = parent.id();
+    clock.advance(40);
+    {
+      TraceSpan child(kSpanRecoveryDetect, &clock, parent.id());
+      clock.advance(10);
+    }
+    clock.advance(5);
+  }
+  auto spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // children finish first
+  EXPECT_STREQ(spans[0].name, kSpanRecoveryDetect);
+  EXPECT_EQ(spans[0].parent, parent_id);
+  EXPECT_EQ(spans[0].duration(), 10);
+  EXPECT_STREQ(spans[1].name, kSpanRecovery);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].duration(), 55);
+
+  auto named = tracer().spans_named(kSpanRecovery);
+  ASSERT_EQ(named.size(), 1u);
+  EXPECT_EQ(named[0].id, parent_id);
+}
+
+TEST_F(ObsTest, TracerRingOverwritesOldest) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  for (size_t i = 0; i < Tracer::kCapacity + 10; ++i) {
+    TraceSpan s("test.ring", &clock);
+    clock.advance(1);
+  }
+  auto spans = tracer().snapshot();
+  EXPECT_EQ(spans.size(), Tracer::kCapacity);
+  EXPECT_EQ(tracer().total_finished(), Tracer::kCapacity + 10);
+  // Oldest first: the first 10 spans were overwritten.
+  EXPECT_EQ(spans.front().start, 10);
+}
+
+TEST_F(ObsTest, FlightRecorderWraparound) {
+  FlightRecorder rec(8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    rec.record(Component::kBaseFs, "op", "path", /*t=*/i * 10, i);
+  }
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  // Oldest first, and only the newest 8 survive.
+  EXPECT_EQ(events.front().a, 12u);
+  EXPECT_EQ(events.back().a, 19u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].t, events[i].t);
+  }
+}
+
+TEST_F(ObsTest, FlightDetailTruncatesSafely) {
+  FlightRecorder rec(4);
+  std::string long_detail(200, 'x');
+  rec.record(Component::kVfs, "op", long_detail, 0);
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  std::string stored(events[0].detail);
+  EXPECT_EQ(stored.size(), sizeof(events[0].detail) - 1);
+  EXPECT_EQ(stored, long_detail.substr(0, stored.size()));
+}
+
+TEST_F(ObsTest, FlightDumpFormat) {
+  FlightRecorder rec(16);
+  rec.record(Component::kRae, "recover.begin", "panic in BaseFs::write",
+             2 * kMicro, 7);
+  std::string dump = rec.dump("unit test");
+  EXPECT_NE(dump.find("flight recorder: unit test"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("showing 1 of 1 events"), std::string::npos);
+  EXPECT_NE(dump.find("[rae] recover.begin panic in BaseFs::write"),
+            std::string::npos);
+  EXPECT_NE(dump.find("a=7"), std::string::npos);
+}
+
+TEST_F(ObsTest, PanicDumpsGlobalFlightRing) {
+  flight().record(Component::kBaseFs, "op", "/victim", 0, 1);
+  EXPECT_THROW(
+      fs_panic(FaultSite{"BaseFs::test", "injected for obs test", 3}),
+      FsPanicError);
+  std::string dump = flight().last_dump();
+  EXPECT_NE(dump.find("panic in BaseFs::test"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("/victim"), std::string::npos);
+  // The hook records the panic itself as the final event.
+  auto events = flight().snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_STREQ(events.back().kind, "panic");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace raefs

@@ -4,9 +4,14 @@
 // fallback on unrecoverable images, and post-recovery consistency (I2-I4).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fsck/crafted.h"
 #include "fsck/fsck.h"
 #include "faults/bug_library.h"
+#include "obs/flight_recorder.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "rae/crash_restart.h"
 #include "rae/supervisor.h"
 #include "tests/support/fixtures.h"
@@ -408,6 +413,78 @@ TEST_F(RaeTest, OplogMemoryBoundedByForcedSyncs) {
   }
   EXPECT_GT(sup->stats().forced_syncs, 0u);
   EXPECT_LE(sup->oplog_stats().live_bytes, 48 * 1024u);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+// --- observability: the recovery pipeline as a span timeline --------------
+
+TEST_F(RaeTest, RecoveryTimelineSpansMatchDowntime) {
+  obs::tracer().clear();
+  // The per-phase counters are process-global and earlier tests in this
+  // binary also recover; zero them so the registry cross-check below sees
+  // only this test's recovery.
+  obs::metrics().reset_owned();
+  obs::Tracer::set_enabled(true);
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto sup = start(&bugs);
+  std::string trigger = "/" + std::string(54, 'x');
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  ASSERT_EQ(sup->stats().recoveries, 1u);
+  obs::Tracer::set_enabled(false);
+
+  auto roots = obs::tracer().spans_named(obs::kSpanRecovery);
+  ASSERT_EQ(roots.size(), 1u);
+
+  // The full pipeline, in paper order, each phase exactly once, parented
+  // on the recovery root, contiguous (phase N+1 starts where N ends) and
+  // visibly nonzero (phase_bookkeeping_cost guarantees this even with no
+  // device latency model).
+  const char* phases[] = {
+      obs::kSpanRecoveryDetect,  obs::kSpanRecoveryContain,
+      obs::kSpanRecoveryReboot,  obs::kSpanRecoveryReplay,
+      obs::kSpanRecoveryDownload, obs::kSpanRecoveryResume};
+  Nanos span_sum = 0;
+  Nanos cursor = roots[0].start;
+  for (const char* name : phases) {
+    auto spans = obs::tracer().spans_named(name);
+    ASSERT_EQ(spans.size(), 1u) << name;
+    EXPECT_EQ(spans[0].parent, roots[0].id) << name;
+    EXPECT_EQ(spans[0].start, cursor) << name;
+    EXPECT_GT(spans[0].duration(), 0) << name;
+    span_sum += spans[0].duration();
+    cursor = spans[0].end;
+  }
+
+  // Three independent accountings of the same downtime must agree: the
+  // span timeline, the per-phase stats fields, and the availability
+  // number applications experience.
+  const RaeStats& st = sup->stats();
+  Nanos stat_sum = st.detect_ns + st.contain_ns + st.reboot_ns +
+                   st.replay_ns + st.download_ns + st.resume_ns;
+  EXPECT_EQ(stat_sum, st.total_downtime);
+  EXPECT_EQ(span_sum, st.total_downtime);
+
+  // A journal replay nests inside the reboot phase (the remount during
+  // Download replays again, as a root span of its own).
+  auto replay = obs::tracer().spans_named(obs::kSpanJournalReplay);
+  auto reboot = obs::tracer().spans_named(obs::kSpanRecoveryReboot);
+  ASSERT_FALSE(replay.empty());
+  EXPECT_TRUE(std::any_of(replay.begin(), replay.end(), [&](const auto& s) {
+    return s.parent == reboot[0].id;
+  }));
+
+  // Per-phase counters export the same breakdown to the registry.
+  auto snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.counters.at(obs::kMRaeRecoveryDetectNs),
+            static_cast<uint64_t>(st.detect_ns));
+  EXPECT_EQ(snap.counters.at(obs::kMRaeRecoveryReplayNs),
+            static_cast<uint64_t>(st.replay_ns));
+
+  // A completed recovery leaves a flight-recorder post-mortem.
+  EXPECT_NE(obs::flight().last_dump().find("recovery completed"),
+            std::string::npos);
   ASSERT_TRUE(sup->shutdown().ok());
 }
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# doc_lint -- fail if any canonical observability name is undocumented.
+#
+# src/obs/names.h is the single source of truth for metric and span names;
+# every quoted dotted name in it must appear verbatim in
+# docs/OBSERVABILITY.md. Run from anywhere:
+#
+#   tools/doc_lint.sh [repo-root]
+#
+# Registered as the `doc_lint` ctest, so the reference doc cannot rot
+# silently when a name is added or renamed.
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+names_h="$root/src/obs/names.h"
+doc="$root/docs/OBSERVABILITY.md"
+
+if [ ! -f "$names_h" ]; then
+  echo "doc_lint: missing $names_h" >&2
+  exit 1
+fi
+if [ ! -f "$doc" ]; then
+  echo "doc_lint: missing $doc" >&2
+  exit 1
+fi
+
+# Extract every "a.b" / "a.b.c" string literal from names.h.
+names=$(grep -o '"[a-z_]*\.[a-z_.]*"' "$names_h" | tr -d '"' | sort -u)
+if [ -z "$names" ]; then
+  echo "doc_lint: extracted no names from $names_h (regex rotted?)" >&2
+  exit 1
+fi
+
+missing=0
+for name in $names; do
+  if ! grep -qF "$name" "$doc"; then
+    echo "doc_lint: '$name' (src/obs/names.h) is not documented in" \
+         "docs/OBSERVABILITY.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+total=$(echo "$names" | wc -l)
+if [ "$missing" -ne 0 ]; then
+  echo "doc_lint: $missing of $total names undocumented" >&2
+  exit 1
+fi
+echo "doc_lint: all $total observability names documented"
+exit 0

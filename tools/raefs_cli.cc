@@ -12,6 +12,7 @@
 //   raefs rm    <image> <path>                        unlink a file
 //   raefs craft <image> <kind>                        apply an attack
 //   raefs workload <image> <kind> <nops> [seed]       populate via workload
+//   raefs stats <image> [json|prom|flight] [nops]     metrics registry dump
 //   raefs bugstudy [table1|fig1]                      print the study
 #include <cstdio>
 #include <cstring>
@@ -24,6 +25,10 @@
 #include "bugstudy/bugstudy.h"
 #include "fsck/crafted.h"
 #include "fsck/fsck.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rae/supervisor.h"
 #include "shadowfs/shadow_fsck.h"
 #include "workload/workload.h"
 
@@ -34,7 +39,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: raefs <mkfs|info|fsck|ls|tree|cat|put|get|mkdir|rm|"
-               "craft|workload|bugstudy> ...\n"
+               "craft|workload|stats|bugstudy> ...\n"
                "run with a command and no arguments for its usage\n");
   return 2;
 }
@@ -372,6 +377,47 @@ int cmd_workload(const std::string& image, const std::string& kind_name,
   });
 }
 
+/// Mount the image under RAE supervision, drive a short fileserver
+/// workload through every layer (vfs-level paths are exercised by the
+/// supervisor surface; cache, journal and blockdev underneath), then dump
+/// the global metrics registry. Note the workload mutates the image.
+int cmd_stats(const std::string& image, const std::string& format,
+              uint64_t nops) {
+  if (format != "json" && format != "prom" && format != "flight") {
+    std::fprintf(stderr,
+                 "usage: raefs stats <image> [json|prom|flight] [nops]\n");
+    return 2;
+  }
+  auto dev = open_image(image);
+  if (!dev) return 1;
+  auto clock = std::make_shared<SimClock>();
+  obs::Tracer::set_enabled(true);
+  auto sup = RaeSupervisor::start(dev.get(), RaeOptions{}, clock, nullptr);
+  if (!sup.ok()) {
+    std::fprintf(stderr, "stats: mount under RAE failed: %s\n",
+                 to_string(sup.error()));
+    return 1;
+  }
+  WorkloadOptions wl;
+  wl.kind = WorkloadKind::kFileserver;
+  wl.nops = nops;
+  wl.clock = clock;
+  auto result = run_workload(*sup.value(), wl);
+  Status st = sup.value()->shutdown();
+  if (result.aborted || !st.ok()) {
+    std::fprintf(stderr, "stats: workload aborted / unclean shutdown\n");
+    return 1;
+  }
+  if (format == "flight") {
+    std::printf("%s", obs::flight().dump("raefs stats").c_str());
+    return 0;
+  }
+  auto snap = obs::metrics().snapshot();
+  std::printf("%s", format == "prom" ? obs::to_prometheus(snap).c_str()
+                                     : obs::to_json(snap).c_str());
+  return 0;
+}
+
 int cmd_bugstudy(const std::string& which) {
   using namespace bugstudy;
   if (which == "fig1") {
@@ -408,6 +454,10 @@ int main(int argc, char** argv) {
   if (cmd == "workload" && rest >= 3) {
     return cmd_workload(image, args[1], std::stoull(args[2]),
                         rest > 3 ? std::stoull(args[3]) : 1);
+  }
+  if (cmd == "stats") {
+    return cmd_stats(image, rest > 1 ? args[1] : "json",
+                     rest > 2 ? std::stoull(args[2]) : 200);
   }
   return usage();
 }
