@@ -10,6 +10,8 @@
 
 #include "bench/bench_support.h"
 #include "faults/bug_library.h"
+#include "obs/names.h"
+#include "obs/sampler.h"
 #include "rae/crash_restart.h"
 #include "rae/supervisor.h"
 #include "workload/workload.h"
@@ -139,6 +141,31 @@ Row run_study_mix(double rate) {
   return row;
 }
 
+/// Plottable time series for one representative fault rate: operations
+/// completed, recoveries, and cumulative downtime against simulated time.
+/// Counters are process-cumulative across the sweep above; plot deltas
+/// for rates.
+void print_timeline(double rate) {
+  auto rig = make_rig(65536, 8192);
+  BugRegistry bugs(1234);
+  bugs.install(bugs::make(bugs::kTransientPanic, rate));
+  auto sup = RaeSupervisor::start(rig.device.get(), {}, rig.clock, &bugs);
+  if (!sup.ok()) std::abort();
+  obs::MetricsSampler sampler(
+      rig.clock.get(), 50 * kMilli,
+      {obs::kMBaseOps, obs::kMRaeRecoveries, obs::kMRaeDowntimeNs});
+  WorkloadOptions wl = workload(rig.clock);
+  // One cheap clock comparison per op; a registry snapshot only when a
+  // 50ms simulated interval has elapsed.
+  wl.on_op = [&](uint64_t, const WorkloadResult&) { sampler.maybe_sample(); };
+  auto result = run_workload(*sup.value(), wl);
+  (void)result;
+  sampler.sample_now();  // closing sample at the final clock reading
+  (void)sup.value()->shutdown();
+  std::printf("\ntimeline (fault_rate=%.0e, %zu samples):\n%s\n", rate,
+              sampler.times().size(), sampler.to_json().c_str());
+}
+
 }  // namespace
 }  // namespace raefs
 
@@ -160,5 +187,7 @@ int main() {
     print_row(run_study_mix(rate));
     print_row(run_crash_restart(rate));
   }
+
+  print_timeline(5e-3);
   return 0;
 }

@@ -360,7 +360,12 @@ Status BaseFs::free_file_blocks(DiskInode* inode, uint64_t keep_blocks) {
 Result<std::vector<uint8_t>> BaseFs::read(Ino ino, uint64_t gen, FileOff off,
                                           uint64_t len) {
   obs::TraceSpan span(obs::kSpanBaseRead, clock_.get());
+  // Gate wait measured separately: with a commit draining ops, the time a
+  // reader spends blocked here is lock wait, not cache work, and the
+  // slow-op watchdog reports it as such.
+  obs::TraceSpan lock_wait(obs::kSpanBaseLockWait, clock_.get());
   std::shared_lock gate(op_gate_);
+  lock_wait.end();
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kRead, "", ino, off, len);
   if (!geo_.ino_valid(ino)) return Errno::kInval;
@@ -408,7 +413,9 @@ Result<std::vector<uint8_t>> BaseFs::read(Ino ino, uint64_t gen, FileOff off,
 Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
                                std::span<const uint8_t> data) {
   obs::TraceSpan span(obs::kSpanBaseWrite, clock_.get());
+  obs::TraceSpan lock_wait(obs::kSpanBaseLockWait, clock_.get());
   std::shared_lock gate(op_gate_);
+  lock_wait.end();
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kWrite, "", ino, off, data.size());
   if (!geo_.ino_valid(ino)) return Errno::kInval;

@@ -16,7 +16,11 @@ namespace raefs {
 
 Status BaseFs::commit_txn(bool force_checkpoint) {
   obs::TraceSpan span(obs::kSpanBaseCommit, clock_.get());
+  // Draining every in-flight op is the commit's lock wait; measured as a
+  // child span so the watchdog can report it apart from journal work.
+  obs::TraceSpan lock_wait(obs::kSpanBaseLockWait, clock_.get());
   std::unique_lock gate(op_gate_);  // exclusive: drain all in-flight ops
+  lock_wait.end();
   Seq durable_seq = max_dirty_seq_.load();
 
   RAEFS_TRY_VOID(flush_inode_cache_locked());

@@ -25,6 +25,8 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+}  // namespace
+
 // Small sequential per-thread id: stable, readable, and free of the
 // platform-sized opaque values std::this_thread::get_id() prints.
 int this_thread_log_id() {
@@ -32,8 +34,6 @@ int this_thread_log_id() {
   thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
-
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 

@@ -35,6 +35,11 @@ void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
 /// written in one serialized operation.
 void log_line(LogLevel level, const std::string& msg);
 
+/// The small sequential per-thread id printed as `T<tid>` in log lines.
+/// Trace spans stamp the same id, so a span's `tid` cross-references the
+/// log stream directly during incident forensics.
+int this_thread_log_id();
+
 namespace detail {
 struct LogMessage {
   LogMessage(LogLevel level, const char* tag) : level_(level) {

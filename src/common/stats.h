@@ -19,6 +19,10 @@ class LatencyHistogram {
   uint64_t count() const { return count_; }
   Nanos min() const { return count_ ? min_ : 0; }
   Nanos max() const { return max_; }
+  /// Exact running sum of recorded values (exporters must use this, not
+  /// mean()*count(): the round trip through double drops low bits once
+  /// the sum passes 2^53).
+  Nanos sum() const { return sum_; }
   double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
 
   /// Approximate quantile (q in [0,1]) from the log buckets.

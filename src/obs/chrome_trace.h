@@ -1,0 +1,32 @@
+// Chrome trace-event JSON exporter for the span ring.
+//
+// Renders a span snapshot in the Trace Event Format (the JSON dialect
+// chrome://tracing and Perfetto load directly): one complete ("X") event
+// per finished span on a per-thread track, with ts/dur in microseconds of
+// simulated time and {op_id, span id, parent} in args so the causal chain
+// survives into the viewer's selection panel. Metadata ("M") events name
+// each track after the logger's T<tid> convention.
+//
+// Ring-wrap tolerance: the span ring is bounded, so a long run can
+// overwrite a parent while its child survives. Such orphans are emitted
+// as ROOT events (parent cleared in args), never dropped -- a wrapped
+// trace stays loadable and every surviving span stays visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace raefs {
+namespace obs {
+
+/// `spans` rendered as a complete trace-event JSON document
+/// (`{"traceEvents": [...], ...}`). Deterministic for a given snapshot.
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+/// Convenience: snapshot the global tracer and export it.
+std::string chrome_trace_snapshot();
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,0 +1,52 @@
+// Minimal JSON string escaping, shared by every obs exporter (metrics
+// to_json, the Chrome trace exporter, incident reports, slow-op records).
+//
+// Metric and span names are constants from obs/names.h today, but no
+// exporter is allowed to depend on that: anything interpolated into a
+// JSON string literal goes through json_escape() first, so a quote,
+// backslash or control byte in a path, failure message or future dynamic
+// name can never produce syntactically invalid output.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace raefs {
+namespace obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes are NOT
+/// added by this function).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// `"escaped"` -- the quoted form, for the common emit pattern.
+inline std::string json_quote(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+}  // namespace obs
+}  // namespace raefs

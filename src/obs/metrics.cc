@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace raefs {
 namespace obs {
 
@@ -87,9 +89,10 @@ MetricsRegistry& metrics() {
 namespace {
 
 void json_histogram(std::ostringstream& os, const LatencyHistogram& h) {
-  os << "{\"count\": " << h.count() << ", \"mean_ns\": "
-     << static_cast<uint64_t>(h.mean()) << ", \"min_ns\": " << h.min()
-     << ", \"p50_ns\": " << h.quantile(0.5)
+  os << "{\"count\": " << h.count() << ", \"sum_ns\": " << h.sum()
+     << ", \"mean_ns\": " << static_cast<uint64_t>(h.mean())
+     << ", \"min_ns\": " << h.min() << ", \"p50_ns\": " << h.quantile(0.5)
+     << ", \"p90_ns\": " << h.quantile(0.9)
      << ", \"p99_ns\": " << h.quantile(0.99) << ", \"max_ns\": " << h.max()
      << "}";
 }
@@ -107,19 +110,19 @@ std::string to_json(const MetricsSnapshot& snap) {
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : snap.counters) {
-    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": " << v;
     first = false;
   }
   os << "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, v] : snap.gauges) {
-    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": " << v;
     first = false;
   }
   os << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : snap.histograms) {
-    os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": ";
     json_histogram(os, h);
     first = false;
   }
@@ -142,10 +145,11 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     std::string p = prom_name(name);
     os << "# TYPE " << p << " summary\n";
     os << p << "{quantile=\"0.5\"} " << h.quantile(0.5) << "\n";
+    os << p << "{quantile=\"0.9\"} " << h.quantile(0.9) << "\n";
     os << p << "{quantile=\"0.99\"} " << h.quantile(0.99) << "\n";
-    os << p << "_sum " << static_cast<uint64_t>(h.mean() *
-                                                static_cast<double>(h.count()))
-       << "\n";
+    // Exact integer sum; reconstructing it as mean()*count() drifts once
+    // the true sum exceeds double's 2^53 integer range.
+    os << p << "_sum " << h.sum() << "\n";
     os << p << "_count " << h.count() << "\n";
   }
   return os.str();

@@ -71,12 +71,17 @@ inline constexpr const char* kMRaeRecoveryResumeNs = "rae.recovery.resume_ns";
 inline constexpr const char* kMRaeRecoveryTimeNs =
     "rae.recovery.time_ns";                                         // histogram
 
+// --- metrics: observability internals ---------------------------------------
+inline constexpr const char* kMObsSlowOps = "obs.slow_ops";
+inline constexpr const char* kMObsIncidents = "obs.incidents";
+
 // --- trace spans ------------------------------------------------------------
 inline constexpr const char* kSpanVfsOpen = "vfs.open";
 inline constexpr const char* kSpanVfsRead = "vfs.read";
 inline constexpr const char* kSpanVfsWrite = "vfs.write";
 inline constexpr const char* kSpanBaseRead = "basefs.read";
 inline constexpr const char* kSpanBaseWrite = "basefs.write";
+inline constexpr const char* kSpanBaseLockWait = "basefs.lock_wait";
 inline constexpr const char* kSpanBaseCommit = "basefs.commit";
 inline constexpr const char* kSpanBaseCheckpoint = "basefs.checkpoint";
 inline constexpr const char* kSpanJournalCommit = "journal.commit";

@@ -1,0 +1,63 @@
+#include "obs/sampler.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace raefs {
+namespace obs {
+
+MetricsSampler::MetricsSampler(const SimClock* clock, Nanos interval,
+                               std::vector<std::string> names)
+    : clock_(clock), interval_(interval == 0 ? 1 : interval) {
+  series_.reserve(names.size());
+  for (std::string& n : names) series_.push_back({std::move(n), {}});
+}
+
+bool MetricsSampler::maybe_sample() {
+  const Nanos now = clock_->now();
+  if (sampled_once_ && now - last_ < interval_) return false;
+  sample_now();
+  return true;
+}
+
+void MetricsSampler::sample_now() {
+  const Nanos now = clock_->now();
+  last_ = now;
+  sampled_once_ = true;
+  const MetricsSnapshot snap = metrics().snapshot();
+  times_.push_back(now);
+  for (Series& s : series_) {
+    uint64_t v = 0;
+    if (auto it = snap.counters.find(s.name); it != snap.counters.end()) {
+      v = it->second;
+    } else if (auto gt = snap.gauges.find(s.name); gt != snap.gauges.end()) {
+      v = gt->second < 0 ? 0 : static_cast<uint64_t>(gt->second);
+    }
+    s.values.push_back(v);
+  }
+}
+
+std::string MetricsSampler::to_json() const {
+  std::ostringstream os;
+  os << "{\"interval_ns\": " << interval_ << ", \"t_ns\": [";
+  for (size_t i = 0; i < times_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << times_[i];
+  }
+  os << "], \"series\": {";
+  for (size_t si = 0; si < series_.size(); ++si) {
+    if (si != 0) os << ", ";
+    os << json_quote(series_[si].name) << ": [";
+    for (size_t i = 0; i < series_[si].values.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << series_[si].values[i];
+    }
+    os << "]";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,0 +1,64 @@
+// Time-series metrics sampler: periodic snapshots of selected counters
+// and gauges over simulated time, for availability plots.
+//
+// bench_availability's headline artifact is "operations completed vs
+// time across injected faults". The sampler produces exactly that: the
+// driving loop calls maybe_sample() after each operation (cheap -- one
+// clock read and a comparison until the interval elapses), and every
+// `interval` simulated nanoseconds the sampler records the current value
+// of each tracked metric. series() then yields aligned columns ready for
+// plotting; to_json() emits them as a plottable document
+// (BENCH_availability timeline sections).
+//
+// The sampler reads the global registry snapshot, so it sees owned
+// metrics and collector-backed ones (RaeStats et al.) alike.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace raefs {
+namespace obs {
+
+class MetricsSampler {
+ public:
+  /// Track `names` (counters or gauges, by canonical name; a name absent
+  /// from the snapshot samples as 0). `clock` must outlive the sampler.
+  MetricsSampler(const SimClock* clock, Nanos interval,
+                 std::vector<std::string> names);
+
+  /// Take a sample if at least `interval` simulated ns elapsed since the
+  /// last one (multiple intervals elapsed = one sample; the time axis
+  /// records actual sample times, so plots stay truthful under bursts).
+  /// Returns true when a sample was taken.
+  bool maybe_sample();
+
+  /// Unconditional sample at the current simulated time.
+  void sample_now();
+
+  struct Series {
+    std::string name;
+    std::vector<uint64_t> values;  // aligned with times()
+  };
+
+  const std::vector<Nanos>& times() const { return times_; }
+  const std::vector<Series>& series() const { return series_; }
+
+  /// {"interval_ns": ..., "t_ns": [...], "series": {name: [...]}}.
+  std::string to_json() const;
+
+ private:
+  const SimClock* clock_;
+  Nanos interval_;
+  Nanos last_ = 0;
+  bool sampled_once_ = false;
+  std::vector<Nanos> times_;
+  std::vector<Series> series_;
+};
+
+}  // namespace obs
+}  // namespace raefs

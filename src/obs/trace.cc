@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/watchdog.h"
+
 namespace raefs {
 namespace obs {
 
@@ -14,6 +16,15 @@ void Tracer::finish(const SpanRecord& rec) {
     next_ = (next_ + 1) % kCapacity;
   }
   ++total_;
+  // Op roots over the watchdog threshold get a per-layer breakdown built
+  // from the child spans still in the ring. The watchdog takes only its
+  // own lock and the metrics lock -- neither path calls back into the
+  // tracer, so holding mu_ across the call cannot deadlock.
+  const Nanos threshold = SlowOpWatchdog::threshold();
+  if (threshold != 0 && rec.parent == 0 && rec.op_id != 0 &&
+      rec.duration() >= threshold) {
+    watchdog().observe(rec, ring_);
+  }
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
@@ -30,6 +41,15 @@ std::vector<SpanRecord> Tracer::spans_named(const char* name) const {
   std::vector<SpanRecord> out;
   for (const SpanRecord& s : snapshot()) {
     if (std::strcmp(s.name, name) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::spans_of_op(uint64_t op_id) const {
+  std::vector<SpanRecord> out;
+  if (op_id == 0) return out;
+  for (const SpanRecord& s : snapshot()) {
+    if (s.op_id == op_id) out.push_back(s);
   }
   return out;
 }

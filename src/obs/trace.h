@@ -1,4 +1,5 @@
-// Phase-timed trace spans over the simulated clock.
+// Phase-timed trace spans over the simulated clock, with request-scoped
+// causal context.
 //
 // A TraceSpan measures one named region (obs/names.h) in simulated
 // nanoseconds; finished spans land in the global Tracer's bounded ring
@@ -6,26 +7,41 @@
 // detect -> contain -> reboot -> replay -> download -> resume breakdown
 // is read exactly this way -- see docs/OBSERVABILITY.md).
 //
-// Parent/child structure is explicit: pass `parent = other.id()`. No
-// thread-local ambient context -- deterministic, and free of TLS cost on
-// the hot path.
+// Causality: every span carries the OpContext of the operation that
+// caused it -- a monotonic op id minted at the operation boundary (VFS
+// entry points; the RAE supervisor mints one when driven directly) plus
+// the small per-thread id the logger also prints (`T<tid>`). An OpScope
+// establishes the context for everything beneath it on the same thread,
+// so a `vfs.write` and the `journal.commit` / `blockdev.writeback` it
+// caused share one op id and the Chrome exporter (obs/chrome_trace.h)
+// can render them as one causal chain.
+//
+// Parent/child structure: pass `parent = other.id()` explicitly, or let
+// the ambient context supply it -- while a span is open it is the
+// default parent for spans opened beneath it on the same thread. The
+// ambient chain assumes LIFO span lifetime per thread (guaranteed by
+// RAII scoping; an early `end()` is fine when no span was opened in
+// between).
 //
 // Cost model:
-//   - Tracing DISABLED (default): constructing a span is one relaxed
-//     atomic load and a branch. bench_common_case's DataPath suite holds
-//     this under 2% of the uninstrumented data path (BENCH_datapath.json).
-//   - Tracing ENABLED: two clock reads plus one mutex-guarded ring append
-//     per span.
+//   - Tracing DISABLED (default): constructing a span (or an OpScope) is
+//     one relaxed atomic load and a branch. bench_common_case's DataPath
+//     suite holds this under 2% of the uninstrumented data path
+//     (BENCH_datapath.json).
+//   - Tracing ENABLED: two clock reads, one thread-local context update,
+//     plus one mutex-guarded ring append per span.
 //   - Compiled out (-DRAEFS_OBS_NOTRACE): spans are empty objects; zero
 //     code is emitted at the call sites.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/log.h"
 
 namespace raefs {
 namespace obs {
@@ -38,8 +54,23 @@ struct SpanRecord {
   const char* name = "";
   Nanos start = 0;
   Nanos end = 0;
+  uint64_t op_id = 0;  // operation that caused this span (0 = none)
+  uint32_t tid = 0;    // origin thread (same small id the logger prints)
   Nanos duration() const { return end - start; }
 };
+
+/// Per-thread causal context: the operation id everything on this thread
+/// is currently working for, and the innermost open span (the default
+/// parent for new spans).
+struct OpContext {
+  uint64_t op_id = 0;
+  SpanId current_span = 0;
+};
+
+inline OpContext& tls_op_context() {
+  thread_local OpContext ctx;
+  return ctx;
+}
 
 /// Global on/off switch; inline so the disabled check inlines to a load.
 inline std::atomic<bool> g_tracing_enabled{false};
@@ -55,7 +86,15 @@ class Tracer {
 
   SpanId next_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Append a finished span (ring: oldest spans are overwritten).
+  /// Monotonic operation ids (OpScope mints through here so span ids and
+  /// op ids stay independent sequences).
+  uint64_t next_op_id() {
+    return next_op_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Append a finished span (ring: oldest spans are overwritten). Feeds
+  /// the slow-op watchdog when the finished span is an op root over the
+  /// configured threshold.
   void finish(const SpanRecord& rec);
 
   /// Finished spans, oldest first (in finish order).
@@ -63,6 +102,9 @@ class Tracer {
 
   /// Spans with `name`, oldest first.
   std::vector<SpanRecord> spans_named(const char* name) const;
+
+  /// Spans belonging to operation `op_id`, oldest first.
+  std::vector<SpanRecord> spans_of_op(uint64_t op_id) const;
 
   void clear();
   uint64_t total_finished() const;
@@ -75,11 +117,38 @@ class Tracer {
   size_t next_ = 0;        // ring write cursor once full
   uint64_t total_ = 0;
   std::atomic<SpanId> next_id_{1};
+  std::atomic<uint64_t> next_op_id_{1};
 };
 
 Tracer& tracer();  // process-global
 
 #ifndef RAEFS_OBS_NOTRACE
+
+/// RAII operation boundary: mints a fresh op id for the ambient context
+/// unless one is already established (a VFS entry point above the
+/// supervisor already minted -- the inner scope then inherits rather
+/// than splitting one application call into two operations).
+class OpScope {
+ public:
+  OpScope() {
+    if (!Tracer::enabled()) return;
+    OpContext& ctx = tls_op_context();
+    if (ctx.op_id != 0) return;
+    ctx.op_id = tracer().next_op_id();
+    minted_ = true;
+  }
+  ~OpScope() {
+    if (minted_) tls_op_context().op_id = 0;
+  }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  /// The ambient op id this scope runs under (0 when tracing is off).
+  uint64_t op_id() const { return tls_op_context().op_id; }
+
+ private:
+  bool minted_ = false;
+};
 
 /// RAII span. `clock` may be null (spans record with zero timestamps --
 /// wall-time contexts like the DataPath benchmarks run clockless).
@@ -89,10 +158,15 @@ class TraceSpan {
     if (!Tracer::enabled()) return;
     active_ = true;
     clock_ = clock;
+    OpContext& ctx = tls_op_context();
     rec_.name = name;
-    rec_.parent = parent;
+    rec_.parent = parent != 0 ? parent : ctx.current_span;
     rec_.id = tracer().next_id();
+    rec_.op_id = ctx.op_id;
+    rec_.tid = static_cast<uint32_t>(this_thread_log_id());
     rec_.start = clock != nullptr ? clock->now() : 0;
+    prev_ambient_ = ctx.current_span;
+    ctx.current_span = rec_.id;
   }
   ~TraceSpan() { end(); }
   TraceSpan(const TraceSpan&) = delete;
@@ -102,6 +176,7 @@ class TraceSpan {
   void end() {
     if (!active_) return;
     active_ = false;
+    tls_op_context().current_span = prev_ambient_;
     rec_.end = clock_ != nullptr ? clock_->now() : 0;
     tracer().finish(rec_);
   }
@@ -113,10 +188,17 @@ class TraceSpan {
  private:
   bool active_ = false;
   const SimClock* clock_ = nullptr;
+  SpanId prev_ambient_ = 0;
   SpanRecord rec_;
 };
 
 #else  // RAEFS_OBS_NOTRACE: compile spans out entirely.
+
+class OpScope {
+ public:
+  OpScope() {}
+  uint64_t op_id() const { return 0; }
+};
 
 class TraceSpan {
  public:

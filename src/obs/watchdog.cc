@@ -1,0 +1,131 @@
+#include "obs/watchdog.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace raefs {
+namespace obs {
+namespace {
+
+bool has_prefix(const char* name, const char* prefix) {
+  return std::strncmp(name, prefix, std::strlen(prefix)) == 0;
+}
+
+Nanos SlowOpRecord::* bucket_for(const char* name) {
+  if (std::strcmp(name, "basefs.lock_wait") == 0)
+    return &SlowOpRecord::lock_wait_ns;
+  if (has_prefix(name, "journal.")) return &SlowOpRecord::journal_ns;
+  if (has_prefix(name, "blockdev.")) return &SlowOpRecord::blockdev_ns;
+  if (has_prefix(name, "basefs.")) return &SlowOpRecord::cache_ns;
+  if (has_prefix(name, "rae.") || has_prefix(name, "shadow."))
+    return &SlowOpRecord::recovery_ns;
+  return &SlowOpRecord::unattributed_ns;
+}
+
+}  // namespace
+
+SlowOpRecord attribute_slow_op(const SpanRecord& root,
+                               const std::vector<SpanRecord>& spans) {
+  SlowOpRecord out;
+  out.op_id = root.op_id;
+  out.tid = root.tid;
+  out.name = root.name;
+  out.start = root.start;
+  out.end = root.end;
+  out.total_ns = root.duration();
+
+  // Spans of this op, root included. The ring may have dropped some
+  // children (or the root may have been minted after a wrap) -- the
+  // breakdown is then a lower bound per bucket, never an overcount.
+  std::vector<const SpanRecord*> op_spans;
+  for (const SpanRecord& s : spans) {
+    if (s.op_id == root.op_id) op_spans.push_back(&s);
+  }
+
+  for (const SpanRecord* s : op_spans) {
+    // Self time: the span's duration minus its direct children, so a
+    // journal.commit nested in basefs.commit charges each layer once.
+    // Nanos is unsigned -- clamp via saturation (children can nominally
+    // exceed the parent on clock-free spans).
+    Nanos children = 0;
+    for (const SpanRecord* c : op_spans) {
+      if (c->parent == s->id && c != s) children += c->duration();
+    }
+    const Nanos dur = s->duration();
+    Nanos self = dur > children ? dur - children : 0;
+    if (s->id == root.id) {
+      out.unattributed_ns += self;  // dispatch, fd lookup, path resolution
+    } else {
+      out.*bucket_for(s->name) += self;
+    }
+  }
+  return out;
+}
+
+void SlowOpWatchdog::observe(const SpanRecord& root,
+                             const std::vector<SpanRecord>& ring) {
+  SlowOpRecord rec = attribute_slow_op(root, ring);
+  metrics().counter(kMObsSlowOps).inc();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_] = std::move(rec);
+    next_ = (next_ + 1) % kCapacity;
+  }
+  ++total_;
+}
+
+std::vector<SlowOpRecord> SlowOpWatchdog::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SlowOpRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+uint64_t SlowOpWatchdog::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+void SlowOpWatchdog::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string SlowOpWatchdog::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const SlowOpRecord& r : snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"op_id\": " << r.op_id << ", \"tid\": " << r.tid
+       << ", \"name\": " << json_quote(r.name) << ", \"start_ns\": " << r.start
+       << ", \"end_ns\": " << r.end << ", \"total_ns\": " << r.total_ns
+       << ", \"lock_wait_ns\": " << r.lock_wait_ns
+       << ", \"cache_ns\": " << r.cache_ns
+       << ", \"journal_ns\": " << r.journal_ns
+       << ", \"blockdev_ns\": " << r.blockdev_ns
+       << ", \"recovery_ns\": " << r.recovery_ns
+       << ", \"unattributed_ns\": " << r.unattributed_ns << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+SlowOpWatchdog& watchdog() {
+  static SlowOpWatchdog* g = new SlowOpWatchdog();  // never destroyed
+  return *g;
+}
+
+}  // namespace obs
+}  // namespace raefs

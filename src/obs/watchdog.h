@@ -1,0 +1,87 @@
+// Slow-op watchdog: per-layer latency attribution for outlier operations.
+//
+// When a root op span (parent == 0, op_id != 0) finishes with an
+// end-to-end simulated latency at or above the configured threshold, the
+// watchdog assembles a structured SlowOpRecord from the operation's child
+// spans still present in the tracer ring: how much of the time went to
+// lock wait, the base-fs/cache layer, the journal, the block device, or
+// recovery, computed as per-span SELF time (duration minus direct
+// children) so nested spans never double-count.
+//
+// The watchdog is fed by Tracer::finish and therefore only sees anything
+// while tracing is enabled; with a threshold of 0 (default) it is off
+// entirely and costs one relaxed load per finished span.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace raefs {
+namespace obs {
+
+/// Per-layer breakdown of one slow operation, in simulated nanoseconds.
+/// The buckets partition the op's span tree by self time; `unattributed`
+/// is root-span time no child span covered (fd bookkeeping, symlink
+/// resolution, op dispatch).
+struct SlowOpRecord {
+  uint64_t op_id = 0;
+  uint32_t tid = 0;
+  std::string name;  // root span name (vfs.write, basefs.read, ...)
+  Nanos start = 0;
+  Nanos end = 0;
+  Nanos total_ns = 0;
+  Nanos lock_wait_ns = 0;  // basefs.lock_wait spans
+  Nanos cache_ns = 0;      // basefs.* self time (cache + extent mapping)
+  Nanos journal_ns = 0;    // journal.* self time
+  Nanos blockdev_ns = 0;   // blockdev.* self time
+  Nanos recovery_ns = 0;   // rae.* / shadow.* self time (a masked bug)
+  Nanos unattributed_ns = 0;
+};
+
+class SlowOpWatchdog {
+ public:
+  /// Ops at or above `t` simulated ns end-to-end are recorded (0 = off).
+  static void set_threshold(Nanos t) {
+    g_threshold.store(t, std::memory_order_relaxed);
+  }
+  static Nanos threshold() {
+    return g_threshold.load(std::memory_order_relaxed);
+  }
+
+  /// Called by Tracer::finish (under the tracer lock) with the finished
+  /// root span and the current ring contents.
+  void observe(const SpanRecord& root, const std::vector<SpanRecord>& ring);
+
+  /// Recorded slow ops, oldest first (bounded ring: oldest dropped).
+  std::vector<SlowOpRecord> snapshot() const;
+  uint64_t total_recorded() const;
+  void clear();
+
+  /// The records as a JSON array (machine-readable; names escaped).
+  std::string to_json() const;
+
+  static constexpr size_t kCapacity = 128;
+
+ private:
+  inline static std::atomic<Nanos> g_threshold{0};
+  mutable std::mutex mu_;
+  std::vector<SlowOpRecord> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// Process-global watchdog (fed by the global tracer).
+SlowOpWatchdog& watchdog();
+
+/// Compute the per-layer breakdown for `root` from `spans` (exposed for
+/// tests and for offline analysis of a snapshot).
+SlowOpRecord attribute_slow_op(const SpanRecord& root,
+                               const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace raefs

@@ -1,14 +1,56 @@
 #include "rae/supervisor.h"
 
+#include <fstream>
+
 #include "common/log.h"
 #include "journal/journal.h"
 #include "obs/flight_recorder.h"
+#include "obs/incident.h"
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "oplog/payload.h"
 #include "rae/state_compare.h"
 
 namespace raefs {
+namespace {
+
+/// Flight-recorder tail for an incident report: the last `limit` events,
+/// formatted like FlightRecorder::dump lines (one string each).
+std::vector<std::string> flight_tail_lines(size_t limit) {
+  std::vector<obs::FlightEvent> events = obs::flight().snapshot();
+  size_t begin = events.size() > limit ? events.size() - limit : 0;
+  std::vector<std::string> out;
+  out.reserve(events.size() - begin);
+  for (size_t i = begin; i < events.size(); ++i) {
+    const obs::FlightEvent& ev = events[i];
+    std::string line = "t=" + format_nanos(ev.t) + " [" +
+                       obs::to_string(ev.component) + "] " + ev.kind;
+    if (ev.detail[0] != '\0') {
+      line += " ";
+      line += ev.detail;
+    }
+    if (ev.a != 0 || ev.b != 0 || ev.c != 0) {
+      line += " a=" + std::to_string(ev.a) + " b=" + std::to_string(ev.b) +
+              " c=" + std::to_string(ev.c);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+/// Persist the full incident log next to the image (best effort: a write
+/// failure must never turn a successful recovery into an error).
+void write_incidents_file(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    RAEFS_LOG_WARN("rae") << "cannot write incident file " << path;
+    return;
+  }
+  f << obs::incidents().to_json();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // lifecycle
@@ -89,6 +131,7 @@ Result<ShadowOutcome> RaeSupervisor::scrub(bool deep) {
   // (for deep mode) the comparison against the live base must all see one
   // consistent moment. Shallow scrubs are short; deep scrubs block
   // operations for the duration -- a maintenance trade-off.
+  obs::OpScope op;
   std::lock_guard<std::mutex> lk(mu_);
   if (offline_ || shutdown_ || !base_) return Errno::kIo;
   auto* capable = dynamic_cast<SnapshotCapable*>(dev_);
@@ -140,7 +183,6 @@ Result<ShadowOutcome> RaeSupervisor::scrub(bool deep) {
 
 Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
                                              Seq inflight_seq) {
-  (void)inflight_seq;
   Nanos t0 = clock_ ? clock_->now() : 0;
   ++stats_.recoveries;
   RAEFS_LOG_INFO("rae") << "recovery triggered by " << site.function << ": "
@@ -148,6 +190,19 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   obs::flight().record(obs::Component::kRae, "recover.begin", site.function,
                        t0, stats_.recoveries);
   obs::TraceSpan rspan(obs::kSpanRecovery, clock_.get());
+
+  // One forensic artifact per recovery. The flight tail is captured NOW,
+  // before the pipeline's own events: the interesting history is what led
+  // up to the trip.
+  obs::Incident inc;
+  inc.t_begin = t0;
+  inc.bug_id = site.bug_id;
+  inc.trigger_function = site.function;
+  inc.trigger_detail = site.detail;
+  inc.failed_op_seq = inflight_seq;
+  inc.op_id = obs::tls_op_context().op_id;
+  inc.tid = static_cast<uint32_t>(this_thread_log_id());
+  inc.flight_tail = flight_tail_lines(16);
 
   auto now = [&]() -> Nanos { return clock_ ? clock_->now() : 0; };
   auto charge_phase = [&] {
@@ -158,11 +213,21 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   // Each phase is one scoped span (child of the recovery span), its
   // duration accumulated into the RaeStats per-phase fields -- which the
   // collector exports as the rae.recovery.*_ns counters (accumulating
-  // them here as owned counters too would double-count in snapshots).
+  // them here as owned counters too would double-count in snapshots) --
+  // and into this recovery's incident report.
   Nanos phase_begin = t0;
-  auto end_phase = [&](Nanos RaeStats::*field) {
-    stats_.*field += now() - phase_begin;
+  auto end_phase = [&](Nanos RaeStats::*field, Nanos obs::Incident::*ifield) {
+    Nanos d = now() - phase_begin;
+    stats_.*field += d;
+    inc.*ifield += d;
     phase_begin = now();
+  };
+
+  auto file_incident = [&] {
+    inc.t_end = now();
+    inc.forced_syncs = stats_.forced_syncs;
+    obs::incidents().append(inc);
+    write_incidents_file(opts_.incident_path);
   };
 
   auto fail = [&](std::string why) -> Errno {
@@ -172,12 +237,16 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     if (clock_) {
       Nanos dt = clock_->now() - t0;
       stats_.total_downtime += dt;
+      inc.downtime_ns = dt;
     }
     RAEFS_LOG_ERROR("rae") << "recovery FAILED, filesystem offline: "
                            << stats_.last_failure;
     obs::flight().record(obs::Component::kRae, "recover.fail",
                          stats_.last_failure, now());
     obs::flight().dump_now("recovery failed: " + stats_.last_failure);
+    inc.ok = false;
+    inc.failure = stats_.last_failure;
+    file_incident();
     return Errno::kCorrupt;
   };
 
@@ -187,7 +256,7 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     obs::TraceSpan ps(obs::kSpanRecoveryDetect, clock_.get(), rspan.id());
     charge_phase();
   }
-  end_phase(&RaeStats::detect_ns);
+  end_phase(&RaeStats::detect_ns, &obs::Incident::detect_ns);
 
   // Contain: discard every byte of the base's in-memory state -- all of
   // it is untrusted after the error.
@@ -197,7 +266,7 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     base_.reset();
     charge_phase();
   }
-  end_phase(&RaeStats::contain_ns);
+  end_phase(&RaeStats::contain_ns, &obs::Incident::contain_ns);
 
   // Reboot: pay the contained-reboot cost and reach the trusted on-disk
   // state S0 via journal replay.
@@ -205,18 +274,18 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     obs::TraceSpan ps(obs::kSpanRecoveryReboot, clock_.get(), rspan.id());
     if (clock_) clock_->advance(opts_.contained_reboot_cost);
     if (geo.total_blocks == 0) {
-      end_phase(&RaeStats::reboot_ns);
+      end_phase(&RaeStats::reboot_ns, &obs::Incident::reboot_ns);
       return fail("no geometry available");
     }
     obs::TraceSpan js(obs::kSpanJournalReplay, clock_.get(), ps.id());
     auto replay = Journal::replay(dev_, geo);
     js.end();
     if (!replay.ok()) {
-      end_phase(&RaeStats::reboot_ns);
+      end_phase(&RaeStats::reboot_ns, &obs::Incident::reboot_ns);
       return fail("journal replay failed");
     }
   }
-  end_phase(&RaeStats::reboot_ns);
+  end_phase(&RaeStats::reboot_ns, &obs::Incident::reboot_ns);
 
   // Replay: run the shadow over the recorded operation sequence. A
   // refusal is retried a configurable number of times: transient device
@@ -227,7 +296,10 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   {
     obs::TraceSpan ps(obs::kSpanRecoveryReplay, clock_.get(), rspan.id());
     for (uint32_t attempt = 0; attempt <= opts_.shadow_retries; ++attempt) {
-      if (attempt > 0) ++stats_.shadow_retries;
+      if (attempt > 0) {
+        ++stats_.shadow_retries;
+        ++inc.shadow_retries;
+      }
       outcome = executor_->execute(dev_, log, opts_.shadow, clock_);
       if (outcome.ok) break;
       RAEFS_LOG_WARN("rae") << "shadow attempt " << attempt + 1
@@ -237,10 +309,12 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   }
   stats_.ops_replayed_total += outcome.ops_replayed;
   stats_.discrepancies_total += outcome.discrepancies.size();
+  inc.ops_replayed = outcome.ops_replayed;
+  inc.discrepancies = outcome.discrepancies.size();
   for (const auto& d : outcome.discrepancies) {
     RAEFS_LOG_WARN("rae") << "shadow discrepancy: " << d.description;
   }
-  end_phase(&RaeStats::replay_ns);
+  end_phase(&RaeStats::replay_ns, &obs::Incident::replay_ns);
   if (!outcome.ok) return fail("shadow refused: " + outcome.failure);
 
   // Download: reboot the base and absorb the shadow's metadata (hand-off).
@@ -248,23 +322,23 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     obs::TraceSpan ps(obs::kSpanRecoveryDownload, clock_.get(), rspan.id());
     Status mounted = mount_base();
     if (!mounted.ok()) {
-      end_phase(&RaeStats::download_ns);
+      end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
       return fail("base remount failed");
     }
     try {
       Status installed = base_->install_blocks(outcome.dirty);
       if (!installed.ok()) {
-        end_phase(&RaeStats::download_ns);
+        end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
         return fail("metadata download failed");
       }
     } catch (const FsPanicError& e) {
-      end_phase(&RaeStats::download_ns);
+      end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
       return fail(std::string("base panicked absorbing shadow output: ") +
                   e.what());
     }
     charge_phase();
   }
-  end_phase(&RaeStats::download_ns);
+  end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
 
   // Resume: close the gap and re-admit operations.
   {
@@ -277,23 +351,26 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     if (!outcome.inflight_retry_syncs.empty()) {
       Status synced = retry_sync_after_recovery();
       if (!synced.ok()) {
-        end_phase(&RaeStats::resume_ns);
+        end_phase(&RaeStats::resume_ns, &obs::Incident::resume_ns);
         return fail("post-recovery sync retry failed");
       }
     }
     charge_phase();
   }
-  end_phase(&RaeStats::resume_ns);
+  end_phase(&RaeStats::resume_ns, &obs::Incident::resume_ns);
 
   if (clock_) {
     Nanos dt = clock_->now() - t0;
     stats_.total_downtime += dt;
     stats_.recovery_time.record(dt);
+    inc.downtime_ns = dt;
   }
   obs::flight().record(obs::Component::kRae, "recover.end", site.function,
                        now(), outcome.ops_replayed,
                        outcome.discrepancies.size());
   obs::flight().dump_now("recovery completed");
+  inc.ok = true;
+  file_incident();
   return outcome;
 }
 
@@ -363,6 +440,10 @@ OpOutcome pack_outcome(OpKind kind, Errno err, uint64_t value) {
 
 Result<uint64_t> RaeSupervisor::run_mutation_u64(
     OpRequest req, const std::function<Result<uint64_t>(BaseFs&)>& fn) {
+  // Operation boundary when the supervisor is driven directly (tests,
+  // workloads); under a Vfs the scope inherits the id minted above, so
+  // one application call stays one operation.
+  obs::OpScope op;
   std::lock_guard<std::mutex> lk(mu_);
   if (offline_ || shutdown_) return Errno::kIo;
   OpKind kind = req.kind;
@@ -574,6 +655,7 @@ template <typename T>
 Result<T> RaeSupervisor::run_read(
     OpRequest probe, const std::function<Result<T>(BaseFs&)>& fn,
     const std::function<Result<T>(const OpOutcome&)>& from_shadow) {
+  obs::OpScope op;
   std::lock_guard<std::mutex> lk(mu_);
   if (offline_ || shutdown_) return Errno::kIo;
   try {

@@ -73,6 +73,11 @@ struct RaeOptions {
   /// log truncates -- recording stays practical no matter how rarely the
   /// application syncs (0 = unbounded).
   size_t max_oplog_bytes = 64ull << 20;
+
+  /// When non-empty, every recovery rewrites this file with the full
+  /// incident log as JSON (obs/incident.h), so the forensic artifact
+  /// survives the process. `raefs` points it at `<image>.incidents.json`.
+  std::string incident_path;
 };
 
 struct RaeStats {

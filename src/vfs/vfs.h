@@ -7,6 +7,11 @@
 // RaeSupervisor underneath, descriptors remain valid across recoveries --
 // the paper's requirement that "file descriptor numbers must be identical
 // to the applications for completed operations".
+//
+// Every entry point is an operation boundary: an obs::OpScope mints the
+// request-scoped op id that all trace spans beneath (base, journal, block
+// device -- and the recovery pipeline, if this operation trips a bug)
+// carry for causal attribution. See obs/trace.h.
 #pragma once
 
 #include <string_view>
@@ -47,6 +52,7 @@ class Vfs {
   /// symlinks are resolved (lexically, up to kMaxSymlinkHops) unless
   /// kNoFollow is set; loops return kLoop.
   Result<Fd> open(std::string_view path, uint32_t flags, uint16_t mode = 0644) {
+    obs::OpScope op;
     obs::TraceSpan span(obs::kSpanVfsOpen, clock_.get());
     std::string current(path);
     Ino ino = kInvalidIno;
@@ -84,10 +90,14 @@ class Vfs {
     return fds_.insert(ino, st.value().generation, flags);
   }
 
-  Status close(Fd fd) { return fds_.close(fd); }
+  Status close(Fd fd) {
+    obs::OpScope op;
+    return fds_.close(fd);
+  }
 
   /// Sequential read at the descriptor's offset.
   Result<std::vector<uint8_t>> read(Fd fd, uint64_t len) {
+    obs::OpScope op;
     obs::TraceSpan span(obs::kSpanVfsRead, clock_.get());
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kRdOnly)) return Errno::kBadFd;
@@ -98,6 +108,7 @@ class Vfs {
 
   /// Sequential write at the descriptor's offset (or the end for kAppend).
   Result<uint64_t> write(Fd fd, std::span<const uint8_t> data) {
+    obs::OpScope op;
     obs::TraceSpan span(obs::kSpanVfsWrite, clock_.get());
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kWrOnly)) return Errno::kBadFd;
@@ -112,34 +123,40 @@ class Vfs {
   }
 
   Result<std::vector<uint8_t>> pread(Fd fd, FileOff off, uint64_t len) {
+    obs::OpScope op;
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kRdOnly)) return Errno::kBadFd;
     return fs_->read(of.ino, of.gen, off, len);
   }
 
   Result<uint64_t> pwrite(Fd fd, FileOff off, std::span<const uint8_t> data) {
+    obs::OpScope op;
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kWrOnly)) return Errno::kBadFd;
     return fs_->write(of.ino, of.gen, off, data);
   }
 
   Result<FileOff> seek(Fd fd, FileOff offset) {
+    obs::OpScope op;
     RAEFS_TRY_VOID(fds_.set_offset(fd, offset));
     return offset;
   }
 
   Status ftruncate(Fd fd, uint64_t size) {
+    obs::OpScope op;
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     if (!(of.flags & kWrOnly)) return Errno::kBadFd;
     return fs_->truncate(of.ino, of.gen, size);
   }
 
   Status fsync(Fd fd) {
+    obs::OpScope op;
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     return fs_->fsync(of.ino);
   }
 
   Result<StatResult> fstat(Fd fd) {
+    obs::OpScope op;
     RAEFS_TRY(OpenFile of, fds_.get(fd));
     auto st = fs_->stat_ino(of.ino);
     // A freed or reused inode means the descriptor is stale, not that the
@@ -153,19 +170,34 @@ class Vfs {
 
   // Namespace passthroughs.
   Status mkdir(std::string_view path, uint16_t mode = 0755) {
+    obs::OpScope op;
     RAEFS_TRY_VOID(fs_->mkdir(path, mode));
     return Status::Ok();
   }
-  Status unlink(std::string_view path) { return fs_->unlink(path); }
-  Status rmdir(std::string_view path) { return fs_->rmdir(path); }
+  Status unlink(std::string_view path) {
+    obs::OpScope op;
+    return fs_->unlink(path);
+  }
+  Status rmdir(std::string_view path) {
+    obs::OpScope op;
+    return fs_->rmdir(path);
+  }
   Status rename(std::string_view src, std::string_view dst) {
+    obs::OpScope op;
     return fs_->rename(src, dst);
   }
   Result<std::vector<DirEntry>> readdir(std::string_view path) {
+    obs::OpScope op;
     return fs_->readdir(path);
   }
-  Result<StatResult> stat(std::string_view path) { return fs_->stat(path); }
-  Status sync() { return fs_->sync(); }
+  Result<StatResult> stat(std::string_view path) {
+    obs::OpScope op;
+    return fs_->stat(path);
+  }
+  Status sync() {
+    obs::OpScope op;
+    return fs_->sync();
+  }
 
   FdTable& fd_table() { return fds_; }
   FsT& fs() { return *fs_; }

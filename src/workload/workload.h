@@ -7,6 +7,7 @@
 // the same operation stream everywhere.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,6 +48,10 @@ struct WorkloadOptions {
   /// (models the duty cycle availability is measured against).
   Nanos think_ns_per_op = 0;
   SimClockPtr clock;  // required when think_ns_per_op > 0
+  /// Invoked after every completed plan step (op index, running result).
+  /// Hook for time-series sampling (obs::MetricsSampler::maybe_sample)
+  /// and progress reporting; leave empty for zero overhead.
+  std::function<void(uint64_t, const struct WorkloadResult&)> on_op;
 };
 
 struct WorkloadResult {
@@ -134,6 +139,7 @@ WorkloadResult run_workload(FsT& fs, const WorkloadOptions& options) {
   }
 
   std::vector<uint8_t> buffer(options.max_io_bytes, 0x5A);
+  uint64_t step_index = 0;
   for (const auto& step : plan) {
     if (result.io_failures > options.max_io_failures) {
       // The stack stopped serving (offline / crash loop): cut the run.
@@ -236,6 +242,8 @@ WorkloadResult run_workload(FsT& fs, const WorkloadOptions& options) {
         break;
       }
     }
+    if (options.on_op) options.on_op(step_index, result);
+    ++step_index;
   }
   if (!result.aborted) (void)fs.sync();
   return result;

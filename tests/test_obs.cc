@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/panic.h"
 #include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
@@ -156,6 +157,178 @@ TEST_F(ObsTest, TracerRingOverwritesOldest) {
   EXPECT_EQ(tracer().total_finished(), Tracer::kCapacity + 10);
   // Oldest first: the first 10 spans were overwritten.
   EXPECT_EQ(spans.front().start, 10);
+}
+
+// --- request-scoped causal context ----------------------------------------
+
+TEST_F(ObsTest, OpScopeMintsOncePerOperationAndNestedScopesInherit) {
+  Tracer::set_enabled(true);
+  EXPECT_EQ(tls_op_context().op_id, 0u);
+  uint64_t first = 0;
+  {
+    OpScope outer;
+    first = outer.op_id();
+    EXPECT_NE(first, 0u);
+    {
+      // The supervisor under a VFS entry point: inherits the ambient id
+      // rather than splitting one application call into two operations.
+      OpScope inner;
+      EXPECT_EQ(inner.op_id(), first);
+    }
+    // The non-minting inner scope must not reset the context on exit.
+    EXPECT_EQ(tls_op_context().op_id, first);
+  }
+  EXPECT_EQ(tls_op_context().op_id, 0u);
+  OpScope next;
+  EXPECT_NE(next.op_id(), 0u);
+  EXPECT_NE(next.op_id(), first);
+}
+
+TEST_F(ObsTest, OpScopeIsInertWhenTracingDisabled) {
+  OpScope off;
+  EXPECT_EQ(off.op_id(), 0u);
+  EXPECT_EQ(tls_op_context().op_id, 0u);
+}
+
+TEST_F(ObsTest, AmbientContextParentsAndStampsSpans) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  OpScope op;
+  SpanId outer_id = 0;
+  SpanId mid_id = 0;
+  {
+    TraceSpan outer("test.outer", &clock);
+    outer_id = outer.id();
+    {
+      TraceSpan mid("test.mid", &clock);  // no explicit parent
+      mid_id = mid.id();
+      TraceSpan leaf("test.leaf", &clock);
+    }
+    TraceSpan sibling("test.sibling", &clock);  // opened after mid closed
+  }
+  auto spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), 4u);  // finish order: leaf, mid, sibling, outer
+  EXPECT_STREQ(spans[0].name, "test.leaf");
+  EXPECT_EQ(spans[0].parent, mid_id);
+  EXPECT_STREQ(spans[1].name, "test.mid");
+  EXPECT_EQ(spans[1].parent, outer_id);
+  EXPECT_STREQ(spans[2].name, "test.sibling");
+  EXPECT_EQ(spans[2].parent, outer_id);  // LIFO restore after mid's dtor
+  EXPECT_STREQ(spans[3].name, "test.outer");
+  EXPECT_EQ(spans[3].parent, 0u);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.op_id, op.op_id()) << s.name;
+    EXPECT_EQ(s.tid, static_cast<uint32_t>(this_thread_log_id())) << s.name;
+  }
+}
+
+TEST_F(ObsTest, ExplicitParentOverridesAmbient) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  TraceSpan outer("test.outer", &clock);
+  {
+    TraceSpan other("test.other", &clock, /*parent=*/777);
+  }
+  outer.end();
+  auto spans = tracer().spans_named("test.other");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent, 777u);
+}
+
+TEST_F(ObsTest, EarlyEndRestoresAmbientParent) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  // The base_io pattern: measure the gate wait as a span, end() it, then
+  // do the work -- later spans must parent on the op, not the closed wait.
+  TraceSpan op("test.op", &clock);
+  TraceSpan lock_wait(kSpanBaseLockWait, &clock);
+  lock_wait.end();
+  {
+    TraceSpan work("test.work", &clock);
+  }
+  op.end();
+  auto waits = tracer().spans_named(kSpanBaseLockWait);
+  auto works = tracer().spans_named("test.work");
+  ASSERT_EQ(waits.size(), 1u);
+  ASSERT_EQ(works.size(), 1u);
+  EXPECT_EQ(waits[0].parent, op.id());
+  EXPECT_EQ(works[0].parent, op.id());
+}
+
+TEST_F(ObsTest, SpansOfOpFiltersByOperation) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  uint64_t first_op = 0;
+  {
+    OpScope op;
+    first_op = op.op_id();
+    TraceSpan a("test.a", &clock);
+    TraceSpan b("test.b", &clock);
+  }
+  {
+    OpScope op;
+    TraceSpan c("test.c", &clock);
+  }
+  {
+    TraceSpan orphan("test.noop", &clock);  // outside any operation
+  }
+  EXPECT_EQ(tracer().spans_of_op(first_op).size(), 2u);
+  // op_id 0 means "no operation" -- never a filter that matches.
+  EXPECT_TRUE(tracer().spans_of_op(0).empty());
+}
+
+// --- exporter correctness --------------------------------------------------
+
+TEST_F(ObsTest, HistogramSumIsExactBeyondDoublePrecision) {
+  // Three samples of 2^53+1: the true sum is not representable as a
+  // double, so the old mean()*count() reconstruction drifts. sum() and
+  // both exporters must carry the exact integer.
+  const Nanos v = (Nanos{1} << 53) + 1;
+  Histogram& h = metrics().histogram("test.sum_exact");
+  h.record(v);
+  h.record(v);
+  h.record(v);
+  LatencyHistogram snap = h.snapshot();
+  const uint64_t exact = 3 * v;
+  EXPECT_EQ(snap.sum(), exact);
+  EXPECT_NE(static_cast<uint64_t>(snap.mean() *
+                                  static_cast<double>(snap.count())),
+            exact);
+
+  auto reg = metrics().snapshot();
+  std::string prom = to_prometheus(reg);
+  EXPECT_NE(prom.find("raefs_test_sum_exact_sum " + std::to_string(exact)),
+            std::string::npos)
+      << prom;
+  std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"sum_ns\": " + std::to_string(exact)),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(ObsTest, HistogramExportsP90) {
+  metrics().histogram("test.p90").record(100);
+  auto reg = metrics().snapshot();
+  EXPECT_NE(to_json(reg).find("\"p90_ns\":"), std::string::npos);
+  std::string prom = to_prometheus(reg);
+  EXPECT_NE(prom.find("raefs_test_p90{quantile=\"0.9\"}"), std::string::npos)
+      << prom;
+}
+
+TEST_F(ObsTest, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_quote("x"), "\"x\"");
+}
+
+TEST_F(ObsTest, MetricNamesAreEscapedInJsonExport) {
+  metrics().counter("bad\"name\\metric").inc(3);
+  std::string json = to_json(metrics().snapshot());
+  EXPECT_NE(json.find("\"bad\\\"name\\\\metric\": 3"), std::string::npos)
+      << json;
 }
 
 TEST_F(ObsTest, FlightRecorderWraparound) {

@@ -1,0 +1,287 @@
+// Observability exporters and forensics: Chrome trace-event export (incl.
+// ring-wrap orphan tolerance), the slow-op watchdog's per-layer
+// attribution, incident reports, and the time-series metrics sampler.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/chrome_trace.h"
+#include "obs/incident.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+
+namespace raefs {
+namespace obs {
+namespace {
+
+size_t count_occurrences(const std::string& doc, const std::string& needle) {
+  size_t n = 0;
+  for (size_t at = doc.find(needle); at != std::string::npos;
+       at = doc.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+class ObsExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics().reset_owned();
+    tracer().clear();
+    Tracer::set_enabled(false);
+    SlowOpWatchdog::set_threshold(0);
+    watchdog().clear();
+    incidents().clear();
+  }
+  void TearDown() override {
+    Tracer::set_enabled(false);
+    SlowOpWatchdog::set_threshold(0);
+  }
+};
+
+// --- Chrome trace-event export ---------------------------------------------
+
+TEST_F(ObsExportTest, ChromeTraceRendersSpansAsCompleteEvents) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  clock.advance(1500);
+  uint64_t op = 0;
+  {
+    OpScope scope;
+    op = scope.op_id();
+    TraceSpan outer(kSpanVfsWrite, &clock);
+    clock.advance(250);
+    {
+      TraceSpan inner(kSpanBaseWrite, &clock);
+      clock.advance(100);
+    }
+    clock.advance(50);
+  }
+  std::string doc = chrome_trace_snapshot();
+
+  EXPECT_NE(doc.find("\"displayTimeUnit\": \"ns\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  // One metadata event names the thread's track.
+  EXPECT_NE(doc.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  // Two complete events carrying names, op id and parentage.
+  EXPECT_EQ(count_occurrences(doc, "\"ph\": \"X\""), 2u);
+  EXPECT_NE(doc.find("\"vfs.write\""), std::string::npos);
+  EXPECT_NE(doc.find("\"basefs.write\""), std::string::npos);
+  EXPECT_NE(doc.find("\"op_id\": " + std::to_string(op)), std::string::npos);
+  // ts/dur are microseconds of simulated time: 1500ns start = 1.500us.
+  EXPECT_NE(doc.find("\"ts\": 1.500"), std::string::npos) << doc;
+  // Fixed-point formatting: scientific notation would break some parsers.
+  EXPECT_EQ(doc.find("e+"), std::string::npos);
+}
+
+TEST_F(ObsExportTest, ChromeTraceReRootsOrphansAfterRingWrap) {
+  Tracer::set_enabled(true);
+  SimClock clock;
+  SpanId parent_id = 0;
+  {
+    TraceSpan parent("test.parent", &clock);
+    parent_id = parent.id();
+  }
+  // Push the parent out of the bounded ring while its children survive.
+  for (size_t i = 0; i < Tracer::kCapacity; ++i) {
+    TraceSpan child("test.orphan", &clock, parent_id);
+    clock.advance(1);
+  }
+  auto spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), Tracer::kCapacity);
+  ASSERT_STREQ(spans.front().name, "test.orphan");  // parent overwritten
+
+  std::string doc = to_chrome_trace(spans);
+  // Every surviving span is emitted (never dropped)...
+  EXPECT_EQ(count_occurrences(doc, "\"ph\": \"X\""), Tracer::kCapacity);
+  // ...and none references the overwritten parent: orphans become roots.
+  EXPECT_EQ(doc.find("\"parent\": " + std::to_string(parent_id)),
+            std::string::npos);
+  EXPECT_GT(count_occurrences(doc, "\"parent\": 0"), 0u);
+}
+
+// --- slow-op watchdog -------------------------------------------------------
+
+SpanRecord make_span(SpanId id, SpanId parent, const char* name, Nanos start,
+                     Nanos end, uint64_t op_id) {
+  SpanRecord s;
+  s.id = id;
+  s.parent = parent;
+  s.name = name;
+  s.start = start;
+  s.end = end;
+  s.op_id = op_id;
+  s.tid = 1;
+  return s;
+}
+
+TEST_F(ObsExportTest, AttributionPartitionsSelfTimeByLayer) {
+  // vfs.write [0,100]
+  //   basefs.write [0,90]
+  //     basefs.lock_wait [0,5]
+  //     journal.commit [10,40]
+  //       blockdev.writeback [15,35]
+  const uint64_t op = 7;
+  // The ring as Tracer::finish hands it to the watchdog: the root span is
+  // present too (it was appended just before the observe call).
+  std::vector<SpanRecord> spans = {
+      make_span(1, 0, kSpanVfsWrite, 0, 100, op),
+      make_span(2, 1, kSpanBaseWrite, 0, 90, op),
+      make_span(3, 2, kSpanBaseLockWait, 0, 5, op),
+      make_span(4, 2, kSpanJournalCommit, 10, 40, op),
+      make_span(5, 4, kSpanBlockdevWriteback, 15, 35, op),
+      // A different operation's span must not contaminate the breakdown.
+      make_span(6, 0, kSpanJournalCommit, 0, 1000, op + 1),
+  };
+  SpanRecord root = make_span(1, 0, kSpanVfsWrite, 0, 100, op);
+  SlowOpRecord rec = attribute_slow_op(root, spans);
+
+  EXPECT_EQ(rec.op_id, op);
+  EXPECT_EQ(rec.name, kSpanVfsWrite);
+  EXPECT_EQ(rec.total_ns, 100u);
+  EXPECT_EQ(rec.lock_wait_ns, 5u);
+  EXPECT_EQ(rec.journal_ns, 10u);   // 30 total minus the 20ns blockdev child
+  EXPECT_EQ(rec.blockdev_ns, 20u);
+  EXPECT_EQ(rec.cache_ns, 55u);     // basefs.write self: 90 - (5 + 30)
+  EXPECT_EQ(rec.unattributed_ns, 10u);  // root self: 100 - 90
+  // The buckets partition total time: no loss, no double counting.
+  EXPECT_EQ(rec.lock_wait_ns + rec.cache_ns + rec.journal_ns +
+                rec.blockdev_ns + rec.recovery_ns + rec.unattributed_ns,
+            rec.total_ns);
+}
+
+TEST_F(ObsExportTest, WatchdogRecordsOnlySlowOpRoots) {
+  Tracer::set_enabled(true);
+  SlowOpWatchdog::set_threshold(50);
+  SimClock clock;
+  {
+    OpScope scope;
+    TraceSpan fast(kSpanVfsWrite, &clock);  // 10ns: under threshold
+    clock.advance(10);
+  }
+  {
+    TraceSpan no_op("test.slow_but_opless", &clock);  // no operation
+    clock.advance(500);
+  }
+  EXPECT_EQ(watchdog().total_recorded(), 0u);
+
+  uint64_t slow_op = 0;
+  {
+    OpScope scope;
+    slow_op = scope.op_id();
+    TraceSpan slow(kSpanVfsWrite, &clock);
+    {
+      TraceSpan wait(kSpanBaseLockWait, &clock);
+      clock.advance(30);
+    }
+    clock.advance(70);
+  }
+  auto records = watchdog().snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].op_id, slow_op);
+  EXPECT_EQ(records[0].total_ns, 100u);
+  EXPECT_EQ(records[0].lock_wait_ns, 30u);
+  EXPECT_EQ(records[0].unattributed_ns, 70u);
+  EXPECT_EQ(metrics().counter(kMObsSlowOps).value(), 1u);
+  EXPECT_NE(watchdog().to_json().find("\"vfs.write\""), std::string::npos);
+}
+
+// --- incident reports -------------------------------------------------------
+
+Incident sample_incident() {
+  Incident inc;
+  inc.ok = true;
+  inc.t_begin = 1000;
+  inc.t_end = 3500;
+  inc.bug_id = 101;
+  inc.trigger_function = "BaseFs::unlink";
+  inc.trigger_detail = "name length 54 hits the \"quoted\" off-by-one";
+  inc.failed_op_seq = 9;
+  inc.op_id = 4;
+  inc.tid = 1;
+  inc.detect_ns = 100;
+  inc.contain_ns = 200;
+  inc.reboot_ns = 900;
+  inc.replay_ns = 600;
+  inc.download_ns = 400;
+  inc.resume_ns = 300;
+  inc.downtime_ns = 2500;
+  inc.ops_replayed = 9;
+  inc.discrepancies = 0;
+  inc.flight_tail = {"t=1.0us [basefs] commit a=3"};
+  return inc;
+}
+
+TEST_F(ObsExportTest, IncidentJsonCarriesTriggerPhasesAndTail) {
+  std::string json = incident_to_json(sample_incident());
+  EXPECT_NE(json.find("\"bug_id\": 101"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"function\": \"BaseFs::unlink\""), std::string::npos);
+  // Free-text detail is escaped, never interpolated raw.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"reboot\": 900"), std::string::npos);
+  EXPECT_NE(json.find("\"downtime_ns\": 2500"), std::string::npos);
+  EXPECT_NE(json.find("\"ops_replayed\": 9"), std::string::npos);
+  EXPECT_NE(json.find("t=1.0us [basefs] commit a=3"), std::string::npos);
+}
+
+TEST_F(ObsExportTest, IncidentLogStampsIdsAndBoundsTheRing) {
+  EXPECT_EQ(incidents().append(sample_incident()), 1u);
+  EXPECT_EQ(incidents().append(sample_incident()), 2u);
+  for (size_t i = 0; i < IncidentLog::kCapacity; ++i) {
+    incidents().append(sample_incident());
+  }
+  auto snap = incidents().snapshot();
+  ASSERT_EQ(snap.size(), IncidentLog::kCapacity);
+  EXPECT_EQ(incidents().total_recorded(), IncidentLog::kCapacity + 2);
+  // Oldest dropped: the retained window ends at the newest id.
+  EXPECT_EQ(snap.front().id, 3u);
+  EXPECT_EQ(snap.back().id, IncidentLog::kCapacity + 2);
+  EXPECT_EQ(metrics().counter(kMObsIncidents).value(),
+            IncidentLog::kCapacity + 2);
+  // The log renders as one JSON array.
+  std::string json = incidents().to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');  // trailing newline after the array
+}
+
+// --- time-series sampler ----------------------------------------------------
+
+TEST_F(ObsExportTest, SamplerHonorsIntervalAndAlignsSeries) {
+  SimClock clock;
+  Counter& ops = metrics().counter(kMBaseOps);
+  MetricsSampler sampler(&clock, /*interval=*/100,
+                         {kMBaseOps, "absent.metric"});
+
+  ops.inc(5);
+  EXPECT_TRUE(sampler.maybe_sample());   // first call always samples
+  EXPECT_FALSE(sampler.maybe_sample());  // no time elapsed
+  clock.advance(99);
+  EXPECT_FALSE(sampler.maybe_sample());  // interval not yet reached
+  clock.advance(1);
+  ops.inc(4);
+  EXPECT_TRUE(sampler.maybe_sample());
+
+  ASSERT_EQ(sampler.times().size(), 2u);
+  EXPECT_EQ(sampler.times()[0], 0u);
+  EXPECT_EQ(sampler.times()[1], 100u);
+  ASSERT_EQ(sampler.series().size(), 2u);
+  EXPECT_EQ(sampler.series()[0].name, kMBaseOps);
+  EXPECT_EQ(sampler.series()[0].values, (std::vector<uint64_t>{5, 9}));
+  // Untracked names sample as zero instead of failing the run.
+  EXPECT_EQ(sampler.series()[1].values, (std::vector<uint64_t>{0, 0}));
+
+  std::string json = sampler.to_json();
+  EXPECT_NE(json.find("\"interval_ns\": 100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"t_ns\": [0, 100]"), std::string::npos);
+  EXPECT_NE(json.find("\"basefs.ops\": [5, 9]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace raefs

@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "fsck/crafted.h"
 #include "fsck/fsck.h"
 #include "faults/bug_library.h"
 #include "obs/flight_recorder.h"
+#include "obs/incident.h"
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "rae/crash_restart.h"
@@ -485,6 +489,87 @@ TEST_F(RaeTest, RecoveryTimelineSpansMatchDowntime) {
   // A completed recovery leaves a flight-recorder post-mortem.
   EXPECT_NE(obs::flight().last_dump().find("recovery completed"),
             std::string::npos);
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+// --- incident forensics ---------------------------------------------------
+
+TEST_F(RaeTest, RecoveryFilesOneIncidentMatchingDowntime) {
+  obs::incidents().clear();
+  obs::tracer().clear();
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  auto sup = start(&bugs);
+  // Enable after mount so the whole trace window is inside operations.
+  obs::Tracer::set_enabled(true);
+  std::string trigger = "/" + std::string(54, 'x');
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  ASSERT_EQ(sup->stats().recoveries, 1u);
+  obs::Tracer::set_enabled(false);
+
+  // Exactly one incident, successful, attributed to the injected bug.
+  ASSERT_EQ(obs::incidents().total_recorded(), 1u);
+  auto incs = obs::incidents().snapshot();
+  ASSERT_EQ(incs.size(), 1u);
+  const obs::Incident& inc = incs[0];
+  EXPECT_TRUE(inc.ok);
+  EXPECT_TRUE(inc.failure.empty());
+  EXPECT_EQ(inc.bug_id, bugs::kUnlinkLongNamePanic);
+  EXPECT_FALSE(inc.trigger_function.empty());
+  EXPECT_NE(inc.failed_op_seq, 0u);
+
+  // The phase durations sum to the incident's downtime, which is the
+  // delta this recovery added to the supervisor's availability account.
+  Nanos phase_sum = inc.detect_ns + inc.contain_ns + inc.reboot_ns +
+                    inc.replay_ns + inc.download_ns + inc.resume_ns;
+  EXPECT_EQ(phase_sum, inc.downtime_ns);
+  EXPECT_GT(inc.downtime_ns, 0u);
+  EXPECT_EQ(inc.downtime_ns, sup->stats().total_downtime);
+  EXPECT_EQ(inc.t_end - inc.t_begin, inc.downtime_ns);
+  EXPECT_EQ(inc.ops_replayed, sup->stats().ops_replayed_total);
+
+  // Causality: the trapped op's trace id is attached, and every span
+  // recorded in the window -- the recovery pipeline included -- belongs
+  // to an operation (the recovery inherits the unlink's op id).
+  EXPECT_NE(inc.op_id, 0u);
+  EXPECT_FALSE(obs::tracer().spans_of_op(inc.op_id).empty());
+  for (const auto& s : obs::tracer().snapshot()) {
+    EXPECT_NE(s.op_id, 0u) << s.name;
+  }
+  auto roots = obs::tracer().spans_named(obs::kSpanRecovery);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].op_id, inc.op_id);
+
+  // The forensic artifact carries history from before the trip.
+  EXPECT_FALSE(inc.flight_tail.empty());
+  ASSERT_TRUE(sup->shutdown().ok());
+}
+
+TEST_F(RaeTest, IncidentPathWritesForensicFileOnRecovery) {
+  obs::incidents().clear();
+  std::string path = ::testing::TempDir() + "raefs_incidents_test.json";
+  std::remove(path.c_str());
+  BugRegistry bugs;
+  bugs.install(bugs::make(bugs::kUnlinkLongNamePanic));
+  RaeOptions opts;
+  opts.incident_path = path;
+  auto sup = start(&bugs, opts);
+  std::string trigger = "/" + std::string(54, 'x');
+  ASSERT_TRUE(sup->create(trigger, 0644).ok());
+  ASSERT_TRUE(sup->unlink(trigger).ok());
+  ASSERT_EQ(sup->stats().recoveries, 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string doc((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_FALSE(doc.empty());
+  EXPECT_EQ(doc.front(), '[');
+  EXPECT_NE(doc.find("\"downtime_ns\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bug_id\": " + std::to_string(bugs::kUnlinkLongNamePanic)),
+            std::string::npos);
+  std::remove(path.c_str());
   ASSERT_TRUE(sup->shutdown().ok());
 }
 

@@ -1,0 +1,53 @@
+#!/bin/sh
+# json_lint -- validate every machine-readable artifact the raefs CLI
+# emits with a strict JSON parser.
+#
+#   tools/json_lint.sh <path-to-raefs-cli> [work-dir]
+#
+# Covers the metrics snapshot (`stats <img> json`), the Chrome trace-event
+# export (`trace <img> --fault --out f`, the document Perfetto loads), the
+# incident log dump (`stats <img> incidents`) and the on-disk incident
+# file written alongside the image. Registered as the `json_lint` ctest so
+# an exporter regression (an unescaped quote, a truncated float, a
+# misplaced comma) fails the suite instead of a downstream consumer.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: json_lint.sh <raefs-cli> [work-dir]" >&2
+  exit 2
+fi
+cli="$1"
+workdir="${2:-.}"
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "json_lint: python3 not found; skipping JSON validation" >&2
+  exit 0
+fi
+
+cd "$workdir"
+img=jsonlint.img
+rm -f "$img" "$img.incidents.json" jsonlint_stats.json \
+      jsonlint_trace.json jsonlint_incidents.json
+
+"$cli" mkfs "$img" 8192 1024 128 > /dev/null
+
+# Metrics snapshot as JSON (escaped names, exact histogram sums).
+"$cli" stats "$img" json 200 > jsonlint_stats.json
+python3 -m json.tool jsonlint_stats.json > /dev/null
+
+# Chrome trace-event document, with fault injection so recovery-pipeline
+# spans (and ring-wrapped orphans on long runs) are part of what parses.
+"$cli" trace "$img" 300 --fault --out jsonlint_trace.json > /dev/null
+python3 -m json.tool jsonlint_trace.json > /dev/null
+
+# Incident log: dumped on stdout, and written alongside the image when a
+# recovery ran (the injected rate makes that probable, not certain --
+# validate the file only if it exists).
+"$cli" stats "$img" incidents 400 > jsonlint_incidents.json
+python3 -m json.tool jsonlint_incidents.json > /dev/null
+if [ -f "$img.incidents.json" ]; then
+  python3 -m json.tool "$img.incidents.json" > /dev/null
+fi
+
+echo "json_lint: all CLI JSON artifacts parse"
+exit 0

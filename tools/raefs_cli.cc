@@ -12,7 +12,9 @@
 //   raefs rm    <image> <path>                        unlink a file
 //   raefs craft <image> <kind>                        apply an attack
 //   raefs workload <image> <kind> <nops> [seed]       populate via workload
-//   raefs stats <image> [json|prom|flight] [nops]     metrics registry dump
+//   raefs stats <image> [json|prom|flight|incidents] [nops]
+//                                                     metrics / forensics dump
+//   raefs trace <image> [nops] [--fault] [--out f]    Chrome trace export
 //   raefs bugstudy [table1|fig1]                      print the study
 #include <cstdio>
 #include <cstring>
@@ -25,7 +27,10 @@
 #include "bugstudy/bugstudy.h"
 #include "fsck/crafted.h"
 #include "fsck/fsck.h"
+#include "faults/bug_library.h"
+#include "obs/chrome_trace.h"
 #include "obs/flight_recorder.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rae/supervisor.h"
@@ -39,7 +44,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: raefs <mkfs|info|fsck|ls|tree|cat|put|get|mkdir|rm|"
-               "craft|workload|stats|bugstudy> ...\n"
+               "craft|workload|stats|trace|bugstudy> ...\n"
                "run with a command and no arguments for its usage\n");
   return 2;
 }
@@ -383,16 +388,25 @@ int cmd_workload(const std::string& image, const std::string& kind_name,
 /// the global metrics registry. Note the workload mutates the image.
 int cmd_stats(const std::string& image, const std::string& format,
               uint64_t nops) {
-  if (format != "json" && format != "prom" && format != "flight") {
-    std::fprintf(stderr,
-                 "usage: raefs stats <image> [json|prom|flight] [nops]\n");
+  if (format != "json" && format != "prom" && format != "flight" &&
+      format != "incidents") {
+    std::fprintf(stderr, "usage: raefs stats <image> "
+                         "[json|prom|flight|incidents] [nops]\n");
     return 2;
   }
   auto dev = open_image(image);
   if (!dev) return 1;
   auto clock = std::make_shared<SimClock>();
   obs::Tracer::set_enabled(true);
-  auto sup = RaeSupervisor::start(dev.get(), RaeOptions{}, clock, nullptr);
+  RaeOptions opts;
+  opts.incident_path = image + ".incidents.json";
+  // The incidents view is only interesting with something to recover
+  // from: inject a low-rate transient panic into the driving workload.
+  BugRegistry bugs(1234);
+  if (format == "incidents") {
+    bugs.install(bugs::make(bugs::kTransientPanic, 5e-3));
+  }
+  auto sup = RaeSupervisor::start(dev.get(), opts, clock, &bugs);
   if (!sup.ok()) {
     std::fprintf(stderr, "stats: mount under RAE failed: %s\n",
                  to_string(sup.error()));
@@ -412,9 +426,60 @@ int cmd_stats(const std::string& image, const std::string& format,
     std::printf("%s", obs::flight().dump("raefs stats").c_str());
     return 0;
   }
+  if (format == "incidents") {
+    std::printf("%s", obs::incidents().to_json().c_str());
+    return 0;
+  }
   auto snap = obs::metrics().snapshot();
   std::printf("%s", format == "prom" ? obs::to_prometheus(snap).c_str()
                                      : obs::to_json(snap).c_str());
+  return 0;
+}
+
+/// Mount under RAE, drive a traced workload (optionally with an injected
+/// transient-panic bug so the recovery pipeline appears in the timeline),
+/// and export the span ring in Chrome trace-event JSON -- loadable in
+/// Perfetto / chrome://tracing. Mutates the image, like `stats`.
+int cmd_trace(const std::string& image, uint64_t nops, bool fault,
+              const std::string& out_path) {
+  auto dev = open_image(image);
+  if (!dev) return 1;
+  auto clock = std::make_shared<SimClock>();
+  obs::Tracer::set_enabled(true);
+  RaeOptions opts;
+  opts.incident_path = image + ".incidents.json";
+  BugRegistry bugs(1234);
+  if (fault) bugs.install(bugs::make(bugs::kTransientPanic, 5e-3));
+  auto sup = RaeSupervisor::start(dev.get(), opts, clock, &bugs);
+  if (!sup.ok()) {
+    std::fprintf(stderr, "trace: mount under RAE failed: %s\n",
+                 to_string(sup.error()));
+    return 1;
+  }
+  WorkloadOptions wl;
+  wl.kind = WorkloadKind::kFileserver;
+  wl.nops = nops;
+  wl.clock = clock;
+  auto result = run_workload(*sup.value(), wl);
+  Status st = sup.value()->shutdown();
+  if (result.aborted || !st.ok()) {
+    std::fprintf(stderr, "trace: workload aborted / unclean shutdown\n");
+    return 1;
+  }
+  std::string doc = obs::chrome_trace_snapshot();
+  if (out_path.empty()) {
+    std::printf("%s", doc.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc;
+  std::printf("wrote %zu bytes of trace-event JSON to %s "
+              "(load in Perfetto / chrome://tracing)\n",
+              doc.size(), out_path.c_str());
   return 0;
 }
 
@@ -458,6 +523,22 @@ int main(int argc, char** argv) {
   if (cmd == "stats") {
     return cmd_stats(image, rest > 1 ? args[1] : "json",
                      rest > 2 ? std::stoull(args[2]) : 200);
+  }
+  if (cmd == "trace") {
+    uint64_t nops = 200;
+    bool fault = false;
+    std::string out_path;
+    for (int i = 1; i < rest; ++i) {
+      std::string a = args[i];
+      if (a == "--fault") {
+        fault = true;
+      } else if (a == "--out" && i + 1 < rest) {
+        out_path = args[++i];
+      } else {
+        nops = std::stoull(a);
+      }
+    }
+    return cmd_trace(image, nops, fault, out_path);
   }
   return usage();
 }
