@@ -1,5 +1,6 @@
 // Data path of the base filesystem: file-block mapping through direct /
 // indirect / double-indirect pointers, read/write/truncate, block freeing.
+#include <algorithm>
 #include <cstring>
 
 #include "basefs/base_fs.h"
@@ -32,7 +33,11 @@ Result<BlockNo> BaseFs::map_block(DiskInode* inode, uint64_t file_block,
 
   auto alloc_zeroed = [&](BlockClass cls) -> Result<BlockNo> {
     RAEFS_TRY(BlockNo b, alloc_block());
-    RAEFS_TRY_VOID(block_cache_.write(b, std::vector<uint8_t>(kBlockSize, 0)));
+    Status st = block_cache_.write(b, std::vector<uint8_t>(kBlockSize, 0));
+    if (!st.ok()) {
+      (void)free_block(b);
+      return st.error();
+    }
     note_meta_block(b, cls);
     return b;
   };
@@ -50,23 +55,48 @@ Result<BlockNo> BaseFs::map_block(DiskInode* inode, uint64_t file_block,
     return b;
   }
 
-  // Single indirect.
+  // Single indirect. A fresh pointer block allocated here is released
+  // again if any later step of the same call fails: a map_block that does
+  // not return a wired data block must not consume space.
   uint64_t rel = file_block - kNumDirect;
   if (rel < kPtrsPerBlock) {
+    bool fresh_ind = false;
     if (inode->indirect == 0) {
       if (!alloc) return BlockNo{0};
       RAEFS_TRY(BlockNo ib, alloc_zeroed(BlockClass::kIndirectMeta));
       inode->indirect = ib;
+      fresh_ind = true;
       note_mutation();
     }
-    RAEFS_TRY(auto iblock, block_cache_.read(inode->indirect));
+    auto unwind = [&] {
+      if (fresh_ind) {
+        (void)free_block(inode->indirect);
+        inode->indirect = 0;
+      }
+    };
+    auto iread = block_cache_.read(inode->indirect);
+    if (!iread.ok()) {
+      unwind();
+      return iread.error();
+    }
+    auto iblock = std::move(iread).value();
     BlockNo b = read_ptr(iblock, static_cast<uint32_t>(rel));
     if (b == 0 && alloc) {
-      RAEFS_TRY(b, alloc_zeroed(BlockClass::kFileData));
-      RAEFS_TRY_VOID(block_cache_.modify(
+      auto fresh = alloc_zeroed(BlockClass::kFileData);
+      if (!fresh.ok()) {
+        unwind();
+        return fresh.error();
+      }
+      b = fresh.value();
+      Status wired = block_cache_.modify(
           inode->indirect, [&](std::span<uint8_t> blk) {
             write_ptr(blk, static_cast<uint32_t>(rel), b);
-          }));
+          });
+      if (!wired.ok()) {
+        (void)free_block(b);
+        unwind();
+        return wired.error();
+      }
       note_meta_block(inode->indirect, BlockClass::kIndirectMeta);
       note_mutation();
     }
@@ -75,38 +105,87 @@ Result<BlockNo> BaseFs::map_block(DiskInode* inode, uint64_t file_block,
     return b;
   }
 
-  // Double indirect.
+  // Double indirect. Same contract: the chain of fresh intermediates
+  // (top block, L1 block) is torn back down on any partial failure.
   rel -= kPtrsPerBlock;
   uint64_t l1 = rel / kPtrsPerBlock;
   uint64_t l2 = rel % kPtrsPerBlock;
+  bool fresh_dind = false;
+  bool fresh_l1 = false;
+  BlockNo l1_block = 0;
+  auto unwind = [&] {
+    if (fresh_l1 && l1_block != 0) {
+      if (!fresh_dind) {
+        (void)block_cache_.modify(
+            inode->dindirect, [&](std::span<uint8_t> blk) {
+              write_ptr(blk, static_cast<uint32_t>(l1), 0);
+            });
+      }
+      (void)free_block(l1_block);
+    }
+    if (fresh_dind) {
+      (void)free_block(inode->dindirect);
+      inode->dindirect = 0;
+    }
+  };
   if (inode->dindirect == 0) {
     if (!alloc) return BlockNo{0};
     RAEFS_TRY(BlockNo db, alloc_zeroed(BlockClass::kIndirectMeta));
     inode->dindirect = db;
+    fresh_dind = true;
     note_mutation();
   }
-  RAEFS_TRY(auto dblock, block_cache_.read(inode->dindirect));
-  BlockNo l1_block = read_ptr(dblock, static_cast<uint32_t>(l1));
+  auto dread = block_cache_.read(inode->dindirect);
+  if (!dread.ok()) {
+    unwind();
+    return dread.error();
+  }
+  auto dblock = std::move(dread).value();
+  l1_block = read_ptr(dblock, static_cast<uint32_t>(l1));
   if (l1_block == 0) {
     if (!alloc) return BlockNo{0};
-    RAEFS_TRY(l1_block, alloc_zeroed(BlockClass::kIndirectMeta));
-    RAEFS_TRY_VOID(block_cache_.modify(
+    auto fresh = alloc_zeroed(BlockClass::kIndirectMeta);
+    if (!fresh.ok()) {
+      unwind();
+      return fresh.error();
+    }
+    l1_block = fresh.value();
+    fresh_l1 = true;
+    Status wired = block_cache_.modify(
         inode->dindirect, [&](std::span<uint8_t> blk) {
           write_ptr(blk, static_cast<uint32_t>(l1), l1_block);
-        }));
+        });
+    if (!wired.ok()) {
+      unwind();
+      return wired.error();
+    }
     note_meta_block(inode->dindirect, BlockClass::kIndirectMeta);
     note_mutation();
   }
   BASE_BUG_ON(!geo_.is_data_block(l1_block), "BaseFs::map_block",
               "double-indirect L1 pointer outside data region");
-  RAEFS_TRY(auto l1_data, block_cache_.read(l1_block));
+  auto l1read = block_cache_.read(l1_block);
+  if (!l1read.ok()) {
+    unwind();
+    return l1read.error();
+  }
+  auto l1_data = std::move(l1read).value();
   BlockNo b = read_ptr(l1_data, static_cast<uint32_t>(l2));
   if (b == 0 && alloc) {
-    RAEFS_TRY(b, alloc_zeroed(BlockClass::kFileData));
-    RAEFS_TRY_VOID(
-        block_cache_.modify(l1_block, [&](std::span<uint8_t> blk) {
-          write_ptr(blk, static_cast<uint32_t>(l2), b);
-        }));
+    auto fresh = alloc_zeroed(BlockClass::kFileData);
+    if (!fresh.ok()) {
+      unwind();
+      return fresh.error();
+    }
+    b = fresh.value();
+    Status wired = block_cache_.modify(l1_block, [&](std::span<uint8_t> blk) {
+      write_ptr(blk, static_cast<uint32_t>(l2), b);
+    });
+    if (!wired.ok()) {
+      (void)free_block(b);
+      unwind();
+      return wired.error();
+    }
     note_meta_block(l1_block, BlockClass::kIndirectMeta);
     note_mutation();
   }
@@ -430,6 +509,7 @@ Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
   if (!node.in_use()) return Errno::kBadFd;
   if (gen != 0 && gen != node.generation) return Errno::kBadFd;
   if (node.type != FileType::kRegular) return Errno::kIsDir;
+  const DiskInode entry_node = node;
 
   // Pre-walk the existing mappings once; only holes fall back to the
   // per-block allocating walk. Allocation never remaps an existing block,
@@ -490,7 +570,24 @@ Result<uint64_t> BaseFs::write(Ino ino, uint64_t gen, FileOff off,
     done += chunk;
   }
 
-  if (done == 0 && failure != Errno::kOk) return failure;
+  if (done == 0 && failure != Errno::kOk) {
+    // A mid-loop map_block may have wired fresh blocks into the mapping
+    // before the failure. Those live only in the local inode copy and the
+    // cached pointer blocks; dropping the copy here would leave them
+    // allocated in the bitmap but unreachable from any inode. Persist the
+    // mapping so the blocks stay owned (pre-allocated past the write
+    // point) instead of leaking.
+    bool mapping_changed =
+        node.indirect != entry_node.indirect ||
+        node.dindirect != entry_node.dindirect ||
+        !std::equal(std::begin(node.direct), std::end(node.direct),
+                    std::begin(entry_node.direct));
+    if (mapping_changed) {
+      put_inode(ino, node);
+      note_mutation();
+    }
+    return failure;
+  }
   if (done > 0) {
     node.size = std::max<uint64_t>(node.size, off + done);
     node.mtime = clock_ ? clock_->now() : 0;

@@ -110,8 +110,14 @@ Status BaseFs::dir_insert(Ino dir_ino, DiskInode* dir, const DirEntry& entry,
            nblocks + 1);
   RAEFS_TRY(BlockNo b, map_block(dir, nblocks, /*alloc=*/true));
   note_meta_block(b, BlockClass::kDirMeta);
-  RAEFS_TRY_VOID(block_cache_.modify(
-      b, [&](std::span<uint8_t> blk) { dirent_encode(blk, 0, entry); }));
+  Status wrote = block_cache_.modify(
+      b, [&](std::span<uint8_t> blk) { dirent_encode(blk, 0, entry); });
+  if (!wrote.ok()) {
+    // The grown block is wired into the mapping but holds no entry yet;
+    // release it so a failed insert does not consume directory space.
+    (void)free_file_blocks(dir, nblocks);
+    return wrote.error();
+  }
   dir->size = (nblocks + 1) * kBlockSize;
   note_mutation();
   return Status::Ok();
@@ -362,6 +368,7 @@ Status BaseFs::rename(std::string_view src, std::string_view dst) {
   RAEFS_TRY(auto dst_entry, dir_find(dst_ref.parent, dst_parent,
                                      dst_ref.leaf));
 
+  Ino victim_dir = kInvalidIno;
   if (dst_entry) {
     if (dst_entry->ino == src_entry->ino) return Status::Ok();
     bug_site("basefs.rename.overwrite", OpKind::kRename, dst_canon,
@@ -372,9 +379,16 @@ Status BaseFs::rename(std::string_view src, std::string_view dst) {
       RAEFS_TRY(bool empty, dir_empty(victim));
       if (!empty) return Errno::kNotEmpty;
       RAEFS_TRY_VOID(dir_remove(dst_ref.parent, &dst_parent, dst_ref.leaf));
+      BASE_BUG_ON(dst_parent.nlink <= 2, "BaseFs::rename",
+                  "dst parent nlink underflow");
       --dst_parent.nlink;
+      // Persist the decrement now: both follow-up paths re-read the parent
+      // from the inode table, so a change left only in this local copy
+      // would be silently lost.
+      put_inode(dst_ref.parent, dst_parent);
       RAEFS_TRY_VOID(free_file_blocks(&victim, 0));
       RAEFS_TRY_VOID(free_inode(dst_entry->ino));
+      victim_dir = dst_entry->ino;
     } else {
       if (src_entry->type == FileType::kDirectory) return Errno::kNotDir;
       RAEFS_TRY(DiskInode victim, get_inode(dst_entry->ino));
@@ -390,23 +404,36 @@ Status BaseFs::rename(std::string_view src, std::string_view dst) {
     }
   }
 
+  // Insert the destination entry before removing the source one: a
+  // failure growing the destination directory must leave the file
+  // reachable under its old name, not orphaned with a dangling nlink.
   // Same-parent rename must mutate one shared inode image, not two copies.
   if (src_ref.parent == dst_ref.parent) {
     RAEFS_TRY(DiskInode parent, get_inode(src_ref.parent));
-    RAEFS_TRY_VOID(dir_remove(src_ref.parent, &parent, src_ref.leaf));
     DirEntry moved = *src_entry;
     moved.name = dst_ref.leaf;
     RAEFS_TRY_VOID(dir_insert(src_ref.parent, &parent, moved, dst_canon));
+    Status removed = dir_remove(src_ref.parent, &parent, src_ref.leaf);
+    if (!removed.ok()) {
+      (void)dir_remove(src_ref.parent, &parent, dst_ref.leaf);
+      put_inode(src_ref.parent, parent);  // keep any directory growth owned
+      return removed;
+    }
     parent.mtime = clock_ ? clock_->now() : 0;
     put_inode(src_ref.parent, parent);
   } else {
     // Re-read parents: overwrite handling above may have modified them.
     RAEFS_TRY(DiskInode sp, get_inode(src_ref.parent));
     RAEFS_TRY(DiskInode dp, get_inode(dst_ref.parent));
-    RAEFS_TRY_VOID(dir_remove(src_ref.parent, &sp, src_ref.leaf));
     DirEntry moved = *src_entry;
     moved.name = dst_ref.leaf;
     RAEFS_TRY_VOID(dir_insert(dst_ref.parent, &dp, moved, dst_canon));
+    Status removed = dir_remove(src_ref.parent, &sp, src_ref.leaf);
+    if (!removed.ok()) {
+      (void)dir_remove(dst_ref.parent, &dp, dst_ref.leaf);
+      put_inode(dst_ref.parent, dp);  // keep any directory growth owned
+      return removed;
+    }
     if (src_entry->type == FileType::kDirectory) {
       BASE_BUG_ON(sp.nlink <= 2, "BaseFs::rename", "src parent nlink");
       --sp.nlink;
@@ -423,6 +450,12 @@ Status BaseFs::rename(std::string_view src, std::string_view dst) {
     dentry_cache_.invalidate(src_ref.parent, src_ref.leaf);
     dentry_cache_.insert_negative(src_ref.parent, src_ref.leaf);
     dentry_cache_.invalidate(dst_ref.parent, dst_ref.leaf);
+    if (victim_dir != kInvalidIno) {
+      // The victim directory's inode is gone and its number can be
+      // reused; stale child entries (positive or negative) keyed by it
+      // would poison later lookups under the reincarnated inode.
+      dentry_cache_.invalidate_dir(victim_dir);
+    }
     dentry_cache_.insert(dst_ref.parent, dst_ref.leaf, src_entry->ino,
                          src_entry->type);
   }

@@ -8,6 +8,16 @@ Status FaultBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
   bool corrupt = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    uint64_t index = reads_seen_++;
+    if (crashed_) {
+      ++read_errors_;
+      return Errno::kIo;
+    }
+    if (index == read_error_at_) {
+      read_error_at_ = kUnarmed;  // one-shot
+      ++read_errors_;
+      return Errno::kIo;
+    }
     if (config_.read_error_prob > 0 && rng_.chance(config_.read_error_prob)) {
       fail = true;
       ++read_errors_;
@@ -28,6 +38,17 @@ Status FaultBlockDevice::write_block(BlockNo block,
                                      std::span<const uint8_t> data) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    uint64_t index = writes_seen_++;
+    if (crashed_ || index >= crash_at_write_) {
+      crashed_ = true;
+      ++write_errors_;
+      return Errno::kIo;
+    }
+    if (index == write_error_at_) {
+      write_error_at_ = kUnarmed;  // one-shot
+      ++write_errors_;
+      return Errno::kIo;
+    }
     if (config_.write_error_prob > 0 &&
         rng_.chance(config_.write_error_prob)) {
       ++write_errors_;
@@ -37,11 +58,54 @@ Status FaultBlockDevice::write_block(BlockNo block,
   return inner_->write_block(block, data);
 }
 
+Status FaultBlockDevice::flush() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_) return Errno::kIo;
+  }
+  return inner_->flush();
+}
+
+void FaultBlockDevice::arm_crash_after_writes(uint64_t k) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crash_at_write_ = k;
+  crashed_ = false;
+}
+
+void FaultBlockDevice::arm_write_error_at(uint64_t i) {
+  std::lock_guard<std::mutex> lk(mu_);
+  write_error_at_ = i;
+}
+
+void FaultBlockDevice::arm_read_error_at(uint64_t i) {
+  std::lock_guard<std::mutex> lk(mu_);
+  read_error_at_ = i;
+}
+
+uint64_t FaultBlockDevice::writes_seen() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return writes_seen_;
+}
+
+uint64_t FaultBlockDevice::reads_seen() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reads_seen_;
+}
+
+bool FaultBlockDevice::crashed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_;
+}
+
 void FaultBlockDevice::disarm() {
   std::lock_guard<std::mutex> lk(mu_);
   config_.read_error_prob = 0;
   config_.write_error_prob = 0;
   config_.read_corrupt_prob = 0;
+  crash_at_write_ = kUnarmed;
+  write_error_at_ = kUnarmed;
+  read_error_at_ = kUnarmed;
+  crashed_ = false;
 }
 
 }  // namespace raefs

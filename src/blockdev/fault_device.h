@@ -4,6 +4,13 @@
 // transient read/write EIO and silent data corruption (bit flips the device
 // does not report). The shadow's extensive runtime checks are what catch
 // silent corruption; the base typically cannot afford to.
+//
+// Beyond the probabilistic faults, the wrapper supports *deterministic,
+// IO-indexed* arming for the crashx explorer (src/crashx): every read and
+// write is numbered from construction, and a fault can be pinned to the
+// k-th write (machine crash: that write and ALL subsequent IO fail) or to
+// a single IO index (one-shot EIO, normal service afterwards). The
+// counters are what make crash-point enumeration reproducible.
 #pragma once
 
 #include <mutex>
@@ -22,7 +29,7 @@ struct FaultDeviceConfig {
 
 class FaultBlockDevice final : public BlockDevice {
  public:
-  FaultBlockDevice(BlockDevice* inner, FaultDeviceConfig config)
+  FaultBlockDevice(BlockDevice* inner, FaultDeviceConfig config = {})
       : inner_(inner), config_(config), rng_(config.seed) {}
 
   uint32_t block_size() const override { return inner_->block_size(); }
@@ -30,7 +37,7 @@ class FaultBlockDevice final : public BlockDevice {
 
   Status read_block(BlockNo block, std::span<uint8_t> out) override;
   Status write_block(BlockNo block, std::span<const uint8_t> data) override;
-  Status flush() override { return inner_->flush(); }
+  Status flush() override;
 
   const DeviceStats& stats() const override { return inner_->stats(); }
 
@@ -38,18 +45,48 @@ class FaultBlockDevice final : public BlockDevice {
   uint64_t injected_write_errors() const { return write_errors_; }
   uint64_t injected_corruptions() const { return corruptions_; }
 
+  // --- deterministic, IO-indexed arming (crashx) -----------------------
+  /// Crash the "machine" at write index `k` (0-based, counted from
+  /// construction): write k fails with EIO and every subsequent read,
+  /// write, and flush fails too, modelling a powered-off device. Writes
+  /// 0..k-1 are served normally.
+  void arm_crash_after_writes(uint64_t k);
+
+  /// One-shot EIO on exactly write index `i`; service resumes afterwards.
+  void arm_write_error_at(uint64_t i);
+
+  /// One-shot EIO on exactly read index `i`; service resumes afterwards.
+  void arm_read_error_at(uint64_t i);
+
+  /// IO indices issued so far (failed-by-injection IOs count too: the
+  /// index identifies the attempt, not the success).
+  uint64_t writes_seen() const;
+  uint64_t reads_seen() const;
+
+  /// True once an armed crash point has triggered.
+  bool crashed() const;
+
   /// Disable all fault injection from now on (e.g. after the experiment's
-  /// fault window closes).
+  /// fault window closes). Clears deterministic arming and the crashed
+  /// state as well.
   void disarm();
 
  private:
   BlockDevice* inner_;
   FaultDeviceConfig config_;
-  std::mutex mu_;  // guards rng_
+  mutable std::mutex mu_;  // guards rng_ and the deterministic state
   Rng rng_;
   uint64_t read_errors_ = 0;
   uint64_t write_errors_ = 0;
   uint64_t corruptions_ = 0;
+
+  static constexpr uint64_t kUnarmed = ~uint64_t{0};
+  uint64_t writes_seen_ = 0;
+  uint64_t reads_seen_ = 0;
+  uint64_t crash_at_write_ = kUnarmed;   // sticky: all IO fails once hit
+  uint64_t write_error_at_ = kUnarmed;   // one-shot
+  uint64_t read_error_at_ = kUnarmed;    // one-shot
+  bool crashed_ = false;
 };
 
 }  // namespace raefs

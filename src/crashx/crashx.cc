@@ -1,0 +1,523 @@
+#include "crashx/crashx.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "blockdev/fault_device.h"
+#include "blockdev/mem_device.h"
+#include "common/panic.h"
+#include "fsck/fsck.h"
+#include "tests/support/fs_compare.h"
+#include "tests/support/model_fs.h"
+
+namespace raefs {
+namespace crashx {
+
+namespace {
+
+BaseFsOptions base_opts() {
+  BaseFsOptions o;
+  // One writeback worker: writeback_coalesced sorts the block list, so a
+  // single worker makes the device write order a pure function of the
+  // workload -- the property that lets a write index name a crash point.
+  o.async_workers = 1;
+  return o;
+}
+
+MkfsOptions mkfs_opts(const CrashxOptions& o) {
+  MkfsOptions mk;
+  mk.total_blocks = o.total_blocks;
+  mk.inode_count = o.inode_count;
+  mk.journal_blocks = o.journal_blocks;
+  return mk;
+}
+
+Result<std::unique_ptr<MemBlockDevice>> make_master(const CrashxOptions& o) {
+  auto mem = std::make_unique<MemBlockDevice>(o.total_blocks);
+  RAEFS_TRY_VOID(BaseFs::mkfs(mem.get(), mkfs_opts(o)));
+  RAEFS_TRY_VOID(mem->flush());
+  return mem;
+}
+
+/// Oracle snapshot at a moment when everything the model holds is durable.
+struct DurablePoint {
+  uint64_t writes = 0;   // device write count when the sync returned
+  size_t op_index = 0;   // ops [0, op_index) were applied by then
+  ModelFs model;
+};
+
+struct Baseline {
+  std::vector<DurablePoint> points;
+  uint64_t total_writes = 0;
+  uint64_t total_reads = 0;
+};
+
+Result<Baseline> run_baseline(const MemBlockDevice& master,
+                              const CrashxOptions& o,
+                              const std::vector<Op>& ops) {
+  auto mem = master.clone_full();
+  FaultBlockDevice fdev(mem.get());
+  Baseline bl;
+  ModelFs model(o.inode_count);
+
+  RAEFS_TRY(auto fs, BaseFs::mount(&fdev, base_opts()));
+  bl.points.push_back(DurablePoint{fdev.writes_seen(), 0, model});
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Errno e = apply_op(*fs, &model, ops[i], o.seed, i);
+    bool is_sync = ops[i].kind == OpKind::kSync || ops[i].kind == OpKind::kFsync;
+    if (is_sync && e == Errno::kOk) {
+      bl.points.push_back(DurablePoint{fdev.writes_seen(), i + 1, model});
+    }
+  }
+  RAEFS_TRY_VOID(fs->unmount());
+  bl.points.push_back(
+      DurablePoint{fdev.writes_seen(), ops.size(), model});
+  bl.total_writes = fdev.writes_seen();
+  bl.total_reads = fdev.reads_seen();
+  return bl;
+}
+
+/// Rewrite `p` to the name the same object had at op index `from`: walk the
+/// renames and links in ops[from, i) backwards, mapping the destination name
+/// (or any path under it) to the source name. A write through a post-crash
+/// alias still scribbles on the blocks the candidate model knows under the
+/// old name.
+std::string trace_back(const std::vector<Op>& ops, size_t from, size_t i,
+                       std::string p) {
+  for (size_t j = i; j-- > from;) {
+    const Op& op = ops[j];
+    if (op.kind != OpKind::kRename && op.kind != OpKind::kLink) continue;
+    const std::string& to = op.b;
+    if (p == to) {
+      p = op.a;
+    } else if (p.size() > to.size() && p.compare(0, to.size(), to) == 0 &&
+               p[to.size()] == '/') {
+      p = op.a + p.substr(to.size());
+    }
+  }
+  return p;
+}
+
+/// Insert into `out` every path in `m` that resolves to `ino`.
+void collect_aliases(ModelFs& m, const std::string& dir, Ino ino,
+                     std::set<std::string>* out) {
+  auto entries = m.readdir(dir.empty() ? "/" : dir);
+  if (!entries.ok()) return;
+  for (const auto& de : entries.value()) {
+    std::string p = dir + "/" + de.name;
+    if (de.type == FileType::kDirectory) {
+      collect_aliases(m, p, ino, out);
+    } else if (de.ino == ino) {
+      out->insert(p);
+    }
+  }
+}
+
+/// Content-comparison exemptions for a candidate durable point: every file
+/// with a write or truncate at or after the candidate's op index may carry
+/// in-place data newer than the journaled metadata (ordered mode). The
+/// file is exempted under *every* name the candidate model has for it --
+/// writes reach blocks, not paths, so a hard link or a post-candidate
+/// rename must not hide the file from the exemption.
+std::set<std::string> content_exempt(const std::vector<Op>& ops,
+                                     size_t from_index, ModelFs& model) {
+  std::set<std::string> out;
+  for (size_t i = from_index; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kWrite && ops[i].kind != OpKind::kTruncate) {
+      continue;
+    }
+    out.insert(ops[i].a);
+    std::string then = trace_back(ops, from_index, i, ops[i].a);
+    out.insert(then);
+    auto st = model.stat(then);
+    if (st.ok()) collect_aliases(model, "", st.value().ino, &out);
+  }
+  return out;
+}
+
+std::string fsck_problems(BlockDevice* dev) {
+  auto rep = fsck(dev, FsckLevel::kStrict);
+  if (!rep.ok()) return "fsck itself failed: " + std::string(to_string(rep.error()));
+  std::ostringstream os;
+  for (const auto& f : rep.value().findings) {
+    if (f.severity == FsckSeverity::kFatal) {
+      os << "fsck fatal: " << f.what << "\n";
+    } else if (f.severity == FsckSeverity::kLeak) {
+      os << "fsck leak: " << f.what << "\n";
+    }
+  }
+  return os.str();
+}
+
+/// One crash-point scenario. Empty return = no divergence.
+std::string run_crash_point(const MemBlockDevice& master,
+                            const CrashxOptions& o,
+                            const std::vector<Op>& ops, const Baseline& bl,
+                            uint64_t k) {
+  auto mem = master.clone_full();
+  FaultBlockDevice fdev(mem.get());
+  fdev.arm_crash_after_writes(k);
+
+  {
+    auto mounted = BaseFs::mount(&fdev, base_opts());
+    if (mounted.ok()) {
+      auto fs = std::move(mounted).value();
+      try {
+        for (size_t i = 0; i < ops.size(); ++i) {
+          (void)apply_op(*fs, nullptr, ops[i], o.seed, i);
+          // Once the device is dead nothing further can become durable;
+          // stop driving the corpse.
+          if (fdev.crashed()) break;
+        }
+        if (!fdev.crashed()) (void)fs->unmount();
+      } catch (const FsPanicError&) {
+        // The device died under the base; panicking while the machine
+        // loses power is legal. State is judged after the power cycle.
+      }
+    }
+    // A mount that died mid-replay is equally legal.
+  }
+
+  // Power cycle: in-memory fs state is gone, volatile device cache lost.
+  fdev.disarm();
+  mem->crash();
+
+  auto remounted = BaseFs::mount(mem.get(), base_opts());
+  if (!remounted.ok()) {
+    return "remount after crash failed: " + std::string(to_string(remounted.error()));
+  }
+  auto fs = std::move(remounted).value();
+
+  // Candidates: the last durable point at or before k, and the next one
+  // (the crash may have landed after that point's commit record was
+  // durable but before its checkpoint finished; replay completes it).
+  size_t last = 0;
+  for (size_t i = 0; i < bl.points.size(); ++i) {
+    if (bl.points[i].writes <= k) last = i;
+  }
+  std::string first_diff;
+  bool matched = false;
+  for (size_t c = last; c < std::min(last + 2, bl.points.size()); ++c) {
+    ModelFs model = bl.points[c].model;  // compare mutates nothing, but be safe
+    auto exempt = content_exempt(ops, bl.points[c].op_index, model);
+    testing_support::CompareOptions co;
+    co.compare_inos = true;
+    co.compare_nlink = true;
+    co.skip_content = &exempt;
+    std::string diff = testing_support::compare_trees(*fs, model, co);
+    if (diff.empty()) {
+      matched = true;
+      break;
+    }
+    if (first_diff.empty()) first_diff = std::move(diff);
+  }
+  if (!matched) {
+    return "surviving tree matches no durable candidate; first diff:\n" +
+           first_diff;
+  }
+
+  Status um = fs->unmount();
+  if (!um.ok()) return "post-crash unmount failed: " + std::string(to_string(um.error()));
+  std::string bad = fsck_problems(mem.get());
+  if (!bad.empty()) return "post-crash image not clean:\n" + bad;
+  return "";
+}
+
+/// One single-shot injection scenario. Empty return = no divergence.
+std::string run_injection(const MemBlockDevice& master, const CrashxOptions& o,
+                          const std::vector<Op>& ops, bool read_side,
+                          uint64_t site) {
+  auto mem = master.clone_full();
+  FaultBlockDevice fdev(mem.get());
+  if (read_side) {
+    fdev.arm_read_error_at(site);
+  } else {
+    fdev.arm_write_error_at(site);
+  }
+  ModelFs model(o.inode_count);
+
+  auto mounted = BaseFs::mount(&fdev, base_opts());
+  if (!mounted.ok()) {
+    // The injection hit the mount path; it is consumed, so a second
+    // attempt must succeed.
+    mounted = BaseFs::mount(&fdev, base_opts());
+    if (!mounted.ok()) {
+      return "mount failed twice under a single-shot injection: " +
+             std::string(to_string(mounted.error()));
+    }
+  }
+  auto fs = std::move(mounted).value();
+
+  try {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      (void)apply_op(*fs, &model, ops[i], o.seed, i);
+    }
+  } catch (const FsPanicError& e) {
+    return std::string("base panicked on a single-shot injected error: ") +
+           e.what();
+  }
+
+  // The injection is one-shot: a failed sync retried once must succeed.
+  Status synced = fs->sync();
+  if (!synced.ok()) synced = fs->sync();
+  if (!synced.ok()) {
+    return "sync still failing after the injection was consumed: " +
+           std::string(to_string(synced.error()));
+  }
+
+  {
+    testing_support::CompareOptions co;
+    co.compare_inos = false;  // failed ops legally skew allocation hints
+    std::string diff = testing_support::compare_trees(*fs, model, co);
+    if (!diff.empty()) return "state diverged from oracle:\n" + diff;
+  }
+
+  Status um = fs->unmount();
+  if (!um.ok()) {
+    // The one-shot error hit unmount's own write-back. The preceding sync
+    // already journalled everything, so the next mount's replay must
+    // restore full state with zero loss -- and its unmount, with the
+    // injection consumed, must succeed.
+    fs.reset();
+    auto rec = BaseFs::mount(&fdev, base_opts());
+    if (!rec.ok()) {
+      return "mount after failed unmount did not recover: " +
+             std::string(to_string(rec.error()));
+    }
+    testing_support::CompareOptions co;
+    co.compare_inos = false;
+    std::string diff = testing_support::compare_trees(*rec.value(), model, co);
+    if (!diff.empty()) {
+      return "state lost across failed unmount + recovery:\n" + diff;
+    }
+    um = rec.value()->unmount();
+    if (!um.ok()) {
+      return "unmount failed twice under a single-shot injection: " +
+             std::string(to_string(um.error()));
+    }
+  }
+  std::string bad = fsck_problems(mem.get());
+  if (!bad.empty()) return "image not clean after injected error:\n" + bad;
+
+  auto re = BaseFs::mount(mem.get(), base_opts());
+  if (!re.ok()) return "remount failed: " + std::string(to_string(re.error()));
+  testing_support::CompareOptions co;
+  co.compare_inos = false;
+  std::string diff = testing_support::compare_trees(*re.value(), model, co);
+  if (!diff.empty()) return "durable state diverged from oracle:\n" + diff;
+  return "";
+}
+
+/// Iteration step honouring a cap: 0 caps nothing.
+uint64_t stride_for(uint64_t total, uint64_t cap) {
+  if (cap == 0 || total <= cap) return 1;
+  return (total + cap - 1) / cap;
+}
+
+}  // namespace
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << "crashx: " << crash_points << " crash point(s), " << write_sites
+     << " write-injection site(s), " << read_sites
+     << " read-injection site(s) explored over " << baseline_writes
+     << " writes / " << baseline_reads << " reads; " << divergences.size()
+     << " divergence(s)";
+  return os.str();
+}
+
+Result<Report> explore(const CrashxOptions& opts) {
+  RAEFS_TRY(auto master, make_master(opts));
+  auto ops = generate_ops(opts.seed, opts.num_ops, opts.sync_every);
+  RAEFS_TRY(Baseline bl, run_baseline(*master, opts, ops));
+
+  Report report;
+  report.baseline_writes = bl.total_writes;
+  report.baseline_reads = bl.total_reads;
+
+  uint64_t step = stride_for(bl.total_writes, opts.max_crash_points);
+  for (uint64_t k = 0; k < bl.total_writes; k += step) {
+    std::string d = run_crash_point(*master, opts, ops, bl, k);
+    ++report.crash_points;
+    if (!d.empty()) {
+      report.divergences.push_back(
+          Divergence{Fault{FaultKind::kCrashAtWrite, k}, std::move(d)});
+    }
+  }
+
+  step = stride_for(bl.total_writes, opts.max_write_injections);
+  for (uint64_t i = 0; i < bl.total_writes; i += step) {
+    std::string d = run_injection(*master, opts, ops, /*read_side=*/false, i);
+    ++report.write_sites;
+    if (!d.empty()) {
+      report.divergences.push_back(
+          Divergence{Fault{FaultKind::kWriteErrorAt, i}, std::move(d)});
+    }
+  }
+
+  step = stride_for(bl.total_reads, opts.max_read_injections);
+  for (uint64_t i = 0; i < bl.total_reads; i += step) {
+    std::string d = run_injection(*master, opts, ops, /*read_side=*/true, i);
+    ++report.read_sites;
+    if (!d.empty()) {
+      report.divergences.push_back(
+          Divergence{Fault{FaultKind::kReadErrorAt, i}, std::move(d)});
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// repro files
+// ---------------------------------------------------------------------------
+
+std::string format_repro(const Repro& repro) {
+  std::ostringstream os;
+  os << "crashx-repro v1\n";
+  os << "geometry blocks=" << repro.opts.total_blocks
+     << " inodes=" << repro.opts.inode_count
+     << " journal=" << repro.opts.journal_blocks << "\n";
+  os << "seed " << repro.opts.seed << "\n";
+  switch (repro.fault.kind) {
+    case FaultKind::kNone:
+      os << "fault none\n";
+      break;
+    case FaultKind::kCrashAtWrite:
+      os << "fault crash-write " << repro.fault.index << "\n";
+      break;
+    case FaultKind::kWriteErrorAt:
+      os << "fault inject-write " << repro.fault.index << "\n";
+      break;
+    case FaultKind::kReadErrorAt:
+      os << "fault inject-read " << repro.fault.index << "\n";
+      break;
+  }
+  for (const Op& op : repro.ops) os << format_op(op) << "\n";
+  return os.str();
+}
+
+Result<Repro> parse_repro(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  // Leading comments are allowed so checked-in repros can explain the bug
+  // they pin; the first substantive line must be the version magic.
+  do {
+    if (!std::getline(is, line)) return Errno::kInval;
+  } while (line.empty() || line[0] == '#');
+  if (line != "crashx-repro v1") return Errno::kInval;
+  Repro repro;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "geometry") {
+      std::string field;
+      while (ls >> field) {
+        auto eq = field.find('=');
+        if (eq == std::string::npos) return Errno::kInval;
+        uint64_t v = std::stoull(field.substr(eq + 1));
+        std::string key = field.substr(0, eq);
+        if (key == "blocks") {
+          repro.opts.total_blocks = v;
+        } else if (key == "inodes") {
+          repro.opts.inode_count = v;
+        } else if (key == "journal") {
+          repro.opts.journal_blocks = v;
+        } else {
+          return Errno::kInval;
+        }
+      }
+    } else if (word == "seed") {
+      if (!(ls >> repro.opts.seed)) return Errno::kInval;
+    } else if (word == "fault") {
+      std::string kind;
+      if (!(ls >> kind)) return Errno::kInval;
+      if (kind == "none") {
+        repro.fault.kind = FaultKind::kNone;
+      } else {
+        if (!(ls >> repro.fault.index)) return Errno::kInval;
+        if (kind == "crash-write") {
+          repro.fault.kind = FaultKind::kCrashAtWrite;
+        } else if (kind == "inject-write") {
+          repro.fault.kind = FaultKind::kWriteErrorAt;
+        } else if (kind == "inject-read") {
+          repro.fault.kind = FaultKind::kReadErrorAt;
+        } else {
+          return Errno::kInval;
+        }
+      }
+    } else if (word == "op") {
+      RAEFS_TRY(Op op, parse_op(line));
+      repro.ops.push_back(std::move(op));
+    } else {
+      return Errno::kInval;
+    }
+  }
+  repro.opts.num_ops = repro.ops.size();
+  return repro;
+}
+
+Result<Repro> load_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Errno::kNoEnt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_repro(buf.str());
+}
+
+Status save_repro(const Repro& repro, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Errno::kIo;
+  out << format_repro(repro);
+  out.flush();
+  return out ? Status::Ok() : Errno::kIo;
+}
+
+// ---------------------------------------------------------------------------
+// replay + shrink
+// ---------------------------------------------------------------------------
+
+Result<std::string> replay(const Repro& repro) {
+  RAEFS_TRY(auto master, make_master(repro.opts));
+  RAEFS_TRY(Baseline bl, run_baseline(*master, repro.opts, repro.ops));
+  switch (repro.fault.kind) {
+    case FaultKind::kCrashAtWrite:
+      return run_crash_point(*master, repro.opts, repro.ops, bl,
+                             repro.fault.index);
+    case FaultKind::kWriteErrorAt:
+      return run_injection(*master, repro.opts, repro.ops,
+                           /*read_side=*/false, repro.fault.index);
+    case FaultKind::kReadErrorAt:
+      return run_injection(*master, repro.opts, repro.ops, /*read_side=*/true,
+                           repro.fault.index);
+    case FaultKind::kNone:
+      return std::string();  // the baseline ran; nothing to diverge
+  }
+  return Errno::kInval;
+}
+
+Result<Repro> shrink(const Repro& repro) {
+  RAEFS_TRY(std::string base, replay(repro));
+  Repro cur = repro;
+  if (base.empty()) return cur;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = cur.ops.size(); i-- > 0;) {
+      Repro cand = cur;
+      cand.ops.erase(cand.ops.begin() + static_cast<ptrdiff_t>(i));
+      auto d = replay(cand);
+      if (d.ok() && !d.value().empty()) {
+        cur = std::move(cand);
+        changed = true;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace crashx
+}  // namespace raefs

@@ -1,0 +1,119 @@
+// Crash-point exploration and single-shot error injection harness.
+//
+// crashx answers the question "does the filesystem survive dying at any
+// point, and does every error path unwind cleanly?" mechanically:
+//
+//   1. Baseline. A deterministic workload (crashx/ops.h) runs against a
+//      fresh image behind an unfaulted FaultBlockDevice. After every
+//      successful sync/fsync the harness snapshots the ModelFs oracle
+//      together with the device write counter -- a *durable point*. The
+//      total write count bounds the crash-point space.
+//
+//   2. Crash points. For every k in [0, total_writes) the run repeats on a
+//      copy-on-write clone of the master image with the device armed to
+//      die at the k-th write (the write fails and the device stays dead).
+//      The machine is then "power-cycled": the in-memory BaseFs is dropped
+//      without unmount and the device's volatile cache is discarded. A
+//      remount replays the journal; the surviving tree must match one of
+//      the two durable-point candidates bracketing k (the crash may land
+//      after the next commit record became durable but before its
+//      checkpoint), and a strict fsck must report a consistent, leak-free
+//      image. Content of files written after the candidate point is
+//      exempt (ordered-mode data reaches disk before the journal commit);
+//      structure, sizes, and link counts are never exempt.
+//
+//   3. Injections. For every device IO site the run repeats with a
+//      single-shot EIO armed at that write (or read) index. The fs must
+//      absorb the error without panicking or leaking: all ops run, a
+//      retried sync must succeed (the injection is one-shot), unmount
+//      must succeed, strict fsck must be consistent AND leak-free, and a
+//      remount must show exactly the oracle state.
+//
+// Any violation is a Divergence; the shrinker minimizes the op sequence
+// that reproduces one, and the text repro format persists it for a
+// regression test to replay (docs/CRASHX.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crashx/ops.h"
+
+namespace raefs {
+namespace crashx {
+
+struct CrashxOptions {
+  uint64_t seed = 42;
+  size_t num_ops = 64;
+  /// Force a full sync() every this many ops (keeps per-commit dirty sets
+  /// small so a commit never chunks across journal transactions, and
+  /// gives the oracle frequent durable points).
+  size_t sync_every = 8;
+
+  /// Image geometry for the master device.
+  uint64_t total_blocks = 4096;
+  uint64_t inode_count = 512;
+  uint64_t journal_blocks = 128;
+
+  /// Caps for bounded (smoke) runs; 0 = exhaustive.
+  uint64_t max_crash_points = 0;
+  uint64_t max_write_injections = 0;
+  uint64_t max_read_injections = 0;
+};
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kCrashAtWrite,   // device dies at write index N and stays dead
+  kWriteErrorAt,   // single-shot EIO at write index N
+  kReadErrorAt,    // single-shot EIO at read index N
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t index = 0;
+};
+
+struct Divergence {
+  Fault fault;
+  std::string detail;
+};
+
+struct Report {
+  uint64_t crash_points = 0;
+  uint64_t write_sites = 0;
+  uint64_t read_sites = 0;
+  uint64_t baseline_writes = 0;
+  uint64_t baseline_reads = 0;
+  std::vector<Divergence> divergences;
+  bool ok() const { return divergences.empty(); }
+  std::string summary() const;
+};
+
+/// Run the full exploration (baseline, every crash point, every injection
+/// site, subject to the caps). Fails only on harness-level setup errors;
+/// filesystem misbehaviour is reported as divergences.
+Result<Report> explore(const CrashxOptions& opts);
+
+/// One persisted scenario: geometry + workload + a single fault.
+struct Repro {
+  CrashxOptions opts;  // geometry/sync_every; caps ignored
+  Fault fault;
+  std::vector<Op> ops;
+};
+
+std::string format_repro(const Repro& repro);
+Result<Repro> parse_repro(const std::string& text);
+Result<Repro> load_repro(const std::string& path);
+Status save_repro(const Repro& repro, const std::string& path);
+
+/// Re-run one scenario. Empty string = no divergence; otherwise the
+/// divergence detail.
+Result<std::string> replay(const Repro& repro);
+
+/// Greedily minimize the op sequence while the scenario still diverges.
+/// A repro that does not diverge is returned unchanged.
+Result<Repro> shrink(const Repro& repro);
+
+}  // namespace crashx
+}  // namespace raefs

@@ -1,0 +1,292 @@
+#include "crashx/ops.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+#include "tests/support/model_fs.h"
+
+namespace raefs {
+namespace crashx {
+
+namespace {
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kMkdir:
+      return "mkdir";
+    case OpKind::kCreate:
+      return "create";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kTruncate:
+      return "truncate";
+    case OpKind::kUnlink:
+      return "unlink";
+    case OpKind::kRmdir:
+      return "rmdir";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kLink:
+      return "link";
+    case OpKind::kFsync:
+      return "fsync";
+    case OpKind::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string format_op(const Op& op) {
+  std::ostringstream os;
+  os << "op " << kind_name(op.kind);
+  switch (op.kind) {
+    case OpKind::kSync:
+      break;
+    case OpKind::kWrite:
+      os << " " << op.a << " " << op.off << " " << op.len;
+      break;
+    case OpKind::kTruncate:
+      os << " " << op.a << " " << op.len;
+      break;
+    case OpKind::kRename:
+    case OpKind::kLink:
+      os << " " << op.a << " " << op.b;
+      break;
+    default:
+      os << " " << op.a;
+  }
+  return os.str();
+}
+
+Result<Op> parse_op(const std::string& line) {
+  std::istringstream is(line);
+  std::string tag, kind;
+  if (!(is >> tag >> kind) || tag != "op") return Errno::kInval;
+  Op op;
+  if (kind == "sync") {
+    op.kind = OpKind::kSync;
+    return op;
+  }
+  if (!(is >> op.a) || op.a.empty() || op.a[0] != '/') return Errno::kInval;
+  if (kind == "mkdir") {
+    op.kind = OpKind::kMkdir;
+  } else if (kind == "create") {
+    op.kind = OpKind::kCreate;
+  } else if (kind == "write") {
+    op.kind = OpKind::kWrite;
+    if (!(is >> op.off >> op.len)) return Errno::kInval;
+  } else if (kind == "truncate") {
+    op.kind = OpKind::kTruncate;
+    if (!(is >> op.len)) return Errno::kInval;
+  } else if (kind == "unlink") {
+    op.kind = OpKind::kUnlink;
+  } else if (kind == "rmdir") {
+    op.kind = OpKind::kRmdir;
+  } else if (kind == "rename" || kind == "link") {
+    op.kind = kind == "rename" ? OpKind::kRename : OpKind::kLink;
+    if (!(is >> op.b) || op.b.empty() || op.b[0] != '/') return Errno::kInval;
+  } else if (kind == "fsync") {
+    op.kind = OpKind::kFsync;
+  } else {
+    return Errno::kInval;
+  }
+  return op;
+}
+
+std::vector<Op> generate_ops(uint64_t seed, size_t n, size_t sync_every) {
+  Rng rng(seed);
+  // Bookkeeping of the expected namespace so generated ops mostly hit.
+  // It assumes every op succeeds; ops invalidated by earlier surprises
+  // simply fail at apply time, which is harmless (they are not mirrored).
+  std::vector<std::string> dirs{"/"};
+  std::vector<std::string> files;
+  uint64_t name_counter = 0;
+
+  auto child_of = [&](const std::string& dir, const std::string& leaf) {
+    return dir == "/" ? "/" + leaf : dir + "/" + leaf;
+  };
+  auto fresh_name = [&](char prefix) {
+    return std::string(1, prefix) + std::to_string(name_counter++);
+  };
+  auto is_empty_dir = [&](const std::string& dir) {
+    auto inside = [&](const std::string& p) {
+      return p.size() > dir.size() && p.compare(0, dir.size(), dir) == 0 &&
+             p[dir == "/" ? 0 : dir.size()] == '/';
+    };
+    return std::none_of(dirs.begin(), dirs.end(), inside) &&
+           std::none_of(files.begin(), files.end(), inside);
+  };
+
+  std::vector<Op> ops;
+  ops.reserve(n);
+  while (ops.size() < n) {
+    if (sync_every && (ops.size() + 1) % sync_every == 0) {
+      ops.push_back(Op{OpKind::kSync, "", "", 0, 0});
+      continue;
+    }
+    uint64_t r = rng.below(100);
+    Op op;
+    if (r < 12) {  // mkdir
+      op.kind = OpKind::kMkdir;
+      op.a = child_of(dirs[rng.below(dirs.size())], fresh_name('d'));
+      dirs.push_back(op.a);
+    } else if (r < 32) {  // create
+      op.kind = OpKind::kCreate;
+      op.a = child_of(dirs[rng.below(dirs.size())], fresh_name('f'));
+      files.push_back(op.a);
+    } else if (r < 62) {  // write
+      if (files.empty()) continue;
+      op.kind = OpKind::kWrite;
+      op.a = files[rng.below(files.size())];
+      op.off = rng.below(3 * kBlockSize);
+      op.len = rng.range(1, 2 * kBlockSize);
+    } else if (r < 68) {  // truncate
+      if (files.empty()) continue;
+      op.kind = OpKind::kTruncate;
+      op.a = files[rng.below(files.size())];
+      op.len = rng.below(4 * kBlockSize);
+    } else if (r < 76) {  // unlink
+      if (files.empty()) continue;
+      op.kind = OpKind::kUnlink;
+      size_t idx = rng.below(files.size());
+      op.a = files[idx];
+      files.erase(files.begin() + idx);
+    } else if (r < 80) {  // rmdir (empty dirs only; root excluded)
+      std::vector<size_t> candidates;
+      for (size_t i = 1; i < dirs.size(); ++i) {
+        if (is_empty_dir(dirs[i])) candidates.push_back(i);
+      }
+      if (candidates.empty()) continue;
+      size_t idx = candidates[rng.below(candidates.size())];
+      op.kind = OpKind::kRmdir;
+      op.a = dirs[idx];
+      dirs.erase(dirs.begin() + idx);
+    } else if (r < 88) {  // rename a file (sometimes onto an existing one)
+      if (files.empty()) continue;
+      size_t src = rng.below(files.size());
+      op.kind = OpKind::kRename;
+      op.a = files[src];
+      if (files.size() > 1 && rng.chance(0.3)) {
+        size_t dst = rng.below(files.size());
+        if (dst == src) dst = (dst + 1) % files.size();
+        op.b = files[dst];
+        files.erase(files.begin() + std::max(src, dst));
+        files.erase(files.begin() + std::min(src, dst));
+        files.push_back(op.b);
+      } else {
+        op.b = child_of(dirs[rng.below(dirs.size())], fresh_name('f'));
+        files.erase(files.begin() + src);
+        files.push_back(op.b);
+      }
+    } else if (r < 94) {  // link
+      if (files.empty()) continue;
+      op.kind = OpKind::kLink;
+      op.a = files[rng.below(files.size())];
+      op.b = child_of(dirs[rng.below(dirs.size())], fresh_name('l'));
+      files.push_back(op.b);
+    } else {  // fsync
+      if (files.empty()) continue;
+      op.kind = OpKind::kFsync;
+      op.a = files[rng.below(files.size())];
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<uint8_t> op_data(uint64_t seed, size_t op_index, uint64_t len) {
+  std::vector<uint8_t> out(len);
+  uint64_t state = seed ^ (0xC7A5C85C97CB3127ull + op_index);
+  uint64_t word = 0;
+  for (uint64_t i = 0; i < len; ++i) {
+    if (i % 8 == 0) word = splitmix64(state);
+    out[i] = static_cast<uint8_t>(word >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+Errno apply_op(BaseFs& fs, ModelFs* model, const Op& op, uint64_t seed,
+               size_t op_index) {
+  switch (op.kind) {
+    case OpKind::kMkdir: {
+      auto r = fs.mkdir(op.a, 0755);
+      if (!r.ok()) return r.error();
+      if (model) (void)model->mkdir(op.a, 0755);
+      return Errno::kOk;
+    }
+    case OpKind::kCreate: {
+      auto r = fs.create(op.a, 0644);
+      if (!r.ok()) return r.error();
+      if (model) (void)model->create(op.a, 0644);
+      return Errno::kOk;
+    }
+    case OpKind::kWrite: {
+      auto st = fs.stat(op.a);
+      if (!st.ok()) return st.error();
+      auto data = op_data(seed, op_index, op.len);
+      auto w = fs.write(st.value().ino, 0, op.off, data);
+      if (!w.ok()) return w.error();
+      uint64_t written = w.value();
+      if (model && written > 0) {
+        auto ms = model->stat(op.a);
+        if (ms.ok()) {
+          (void)model->write(ms.value().ino, 0, op.off,
+                             std::span<const uint8_t>(data.data(), written));
+        }
+      }
+      return Errno::kOk;
+    }
+    case OpKind::kTruncate: {
+      auto st = fs.stat(op.a);
+      if (!st.ok()) return st.error();
+      Status t = fs.truncate(st.value().ino, 0, op.len);
+      if (!t.ok()) return t.error();
+      if (model) {
+        auto ms = model->stat(op.a);
+        if (ms.ok()) (void)model->truncate(ms.value().ino, 0, op.len);
+      }
+      return Errno::kOk;
+    }
+    case OpKind::kUnlink: {
+      Status s = fs.unlink(op.a);
+      if (!s.ok()) return s.error();
+      if (model) (void)model->unlink(op.a);
+      return Errno::kOk;
+    }
+    case OpKind::kRmdir: {
+      Status s = fs.rmdir(op.a);
+      if (!s.ok()) return s.error();
+      if (model) (void)model->rmdir(op.a);
+      return Errno::kOk;
+    }
+    case OpKind::kRename: {
+      Status s = fs.rename(op.a, op.b);
+      if (!s.ok()) return s.error();
+      if (model) (void)model->rename(op.a, op.b);
+      return Errno::kOk;
+    }
+    case OpKind::kLink: {
+      Status s = fs.link(op.a, op.b);
+      if (!s.ok()) return s.error();
+      if (model) (void)model->link(op.a, op.b);
+      return Errno::kOk;
+    }
+    case OpKind::kFsync: {
+      auto st = fs.stat(op.a);
+      if (!st.ok()) return st.error();
+      Status s = fs.fsync(st.value().ino);
+      return s.ok() ? Errno::kOk : s.error();
+    }
+    case OpKind::kSync: {
+      Status s = fs.sync();
+      return s.ok() ? Errno::kOk : s.error();
+    }
+  }
+  return Errno::kInval;
+}
+
+}  // namespace crashx
+}  // namespace raefs

@@ -1,0 +1,69 @@
+// Deterministic workload model for the crash-point explorer.
+//
+// A crashx workload is a flat list of namespace/data operations generated
+// from a seed. The same list drives the baseline run (which records the
+// durable-prefix oracle), every crash-point run, and every injection run,
+// so any state difference is attributable to the fault alone. Workloads
+// round-trip through the text repro format (docs/CRASHX.md) so a failing
+// scenario can be checked in and replayed by a test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basefs/base_fs.h"
+#include "common/result.h"
+
+namespace raefs {
+
+class ModelFs;
+
+namespace crashx {
+
+enum class OpKind : uint8_t {
+  kMkdir,
+  kCreate,
+  kWrite,
+  kTruncate,
+  kUnlink,
+  kRmdir,
+  kRename,
+  kLink,
+  kFsync,
+  kSync,
+};
+
+struct Op {
+  OpKind kind = OpKind::kSync;
+  std::string a;  // primary path
+  std::string b;  // rename/link destination
+  uint64_t off = 0;
+  uint64_t len = 0;  // write length / truncate size
+};
+
+/// Human-readable single-line form, "op <kind> ..." (repro file format).
+std::string format_op(const Op& op);
+
+/// Inverse of format_op. Returns kInval on malformed lines.
+Result<Op> parse_op(const std::string& line);
+
+/// Deterministic workload: `n` ops from `seed`, with a full sync() forced
+/// every `sync_every` ops (0 disables the forced cadence) so the durable
+/// oracle has frequent snapshots and commit_txn never chunks a huge dirty
+/// set across multiple journal transactions.
+std::vector<Op> generate_ops(uint64_t seed, size_t n, size_t sync_every);
+
+/// The bytes a kWrite op writes: a pure function of (seed, op index) so
+/// replays regenerate identical content without storing it.
+std::vector<uint8_t> op_data(uint64_t seed, size_t op_index, uint64_t len);
+
+/// Apply one op to the filesystem and, when `model` is non-null, mirror
+/// every *observed* effect into the oracle: full mirroring on success,
+/// prefix mirroring on a short write, nothing on failure. Returns the
+/// fs-side error (kOk on success). Never throws; FsPanicError propagates
+/// to the caller, which decides whether a panic is legal in its scenario.
+Errno apply_op(BaseFs& fs, ModelFs* model, const Op& op, uint64_t seed,
+               size_t op_index);
+
+}  // namespace crashx
+}  // namespace raefs

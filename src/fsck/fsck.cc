@@ -366,7 +366,8 @@ class Checker {
   void check_journal() {
     auto seqs = Journal::scan(dev_, geo_);
     if (!seqs.ok()) {
-      fatal("journal header failed validation");
+      fatal("journal failed validation (bad header or destroyed "
+            "committed transactions)");
       return;
     }
     report_.committed_journal_txns = seqs.value().size();

@@ -154,9 +154,37 @@ struct ScannedTxn {
   BlockNo next_block = 0;  // journal block after the commit record
 };
 
+/// After the forward scan stops at `from`, decide whether the unread tail
+/// is consistent with a torn final transaction (the normal crash shape:
+/// nothing but stale or garbage blocks remain) or proves that committed
+/// history was destroyed. Sequence numbers are strictly increasing across
+/// checkpoints and never reused, so stale records left over from before
+/// the last checkpoint all carry seq <= floor < expect_seq; a CRC-valid
+/// descriptor or commit record with seq >= expect_seq can only be the
+/// remains of a transaction that once committed beyond the stop point.
+Status audit_tail(BlockDevice* dev, const Geometry& geo, BlockNo from,
+                  uint64_t expect_seq) {
+  std::vector<uint8_t> buf(kBlockSize);
+  const BlockNo end = geo.journal_start + geo.journal_blocks;
+  for (BlockNo pos = from; pos < end; ++pos) {
+    RAEFS_TRY_VOID(dev->read_block(pos, buf));
+    auto d = decode_descriptor(buf);
+    if (d.ok() && d.value().seq >= expect_seq) return Errno::kCorrupt;
+    auto c = decode_commit(buf);
+    if (c.ok() && c.value().seq >= expect_seq) return Errno::kCorrupt;
+  }
+  return Status::Ok();
+}
+
 /// Scan the journal region for committed transactions after the header's
-/// floor. Returns them in order. Never fails on torn/garbage tails -- it
-/// just stops, exactly like crash recovery must.
+/// floor. Returns them in order. A torn tail -- the final transaction's
+/// descriptor, payload, or commit never fully reached the device -- is
+/// discarded silently, exactly like crash recovery must ("the txn never
+/// happened"). Corruption that destroys an *earlier, committed*
+/// transaction fails loudly with kCorrupt instead of silently truncating
+/// durable history: a valid commit record whose payload no longer matches,
+/// or any surviving record beyond the stop point whose sequence number
+/// proves later transactions had committed.
 Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
                                                const Geometry& geo) {
   std::vector<uint8_t> buf(kBlockSize);
@@ -169,34 +197,48 @@ Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
   uint64_t expect_seq = hdr.floor_seq + 1;
 
   while (pos < end) {
-    if (!dev->read_block(pos, buf).ok()) break;
+    RAEFS_TRY_VOID(dev->read_block(pos, buf));
     auto desc = decode_descriptor(buf);
-    if (!desc.ok() || desc.value().seq != expect_seq) break;
+    if (!desc.ok() || desc.value().seq != expect_seq) {
+      // Not the next transaction's descriptor: end of log (clean stop)
+      // unless the tail still holds evidence of committed transactions.
+      RAEFS_TRY_VOID(audit_tail(dev, geo, pos, expect_seq));
+      break;
+    }
     const auto& d = desc.value();
-    if (pos + 1 + d.targets.size() + 1 > end) break;
+    if (pos + 1 + d.targets.size() + 1 > end) {
+      // commit() never writes a transaction that overflows the region; a
+      // CRC-valid in-sequence descriptor claiming one is corruption.
+      return Errno::kCorrupt;
+    }
 
     ScannedTxn txn;
     txn.seq = d.seq;
-    bool valid = true;
     for (size_t i = 0; i < d.targets.size(); ++i) {
       std::vector<uint8_t> payload(kBlockSize);
-      if (!dev->read_block(pos + 1 + i, payload).ok()) {
-        valid = false;
-        break;
-      }
+      RAEFS_TRY_VOID(dev->read_block(pos + 1 + i, payload));
       txn.records.push_back(JournalRecord{d.targets[i], std::move(payload)});
     }
-    if (!valid) break;
 
-    if (!dev->read_block(pos + 1 + d.targets.size(), buf).ok()) break;
+    const BlockNo commit_pos = pos + 1 + d.targets.size();
+    RAEFS_TRY_VOID(dev->read_block(commit_pos, buf));
     auto commit = decode_commit(buf);
-    if (!commit.ok() || commit.value().seq != d.seq ||
-        commit.value().ntags != d.targets.size() ||
+    if (!commit.ok() || commit.value().seq != d.seq) {
+      // No commit record for this transaction: torn tail, provided nothing
+      // beyond it ever committed.
+      RAEFS_TRY_VOID(audit_tail(dev, geo, commit_pos, expect_seq));
+      break;
+    }
+    if (commit.value().ntags != d.targets.size() ||
         commit.value().payload_crc != payload_crc(txn.records)) {
-      break;  // torn or corrupted transaction: discard it and the tail
+      // The commit record is durable and provably this transaction's (its
+      // seq is beyond the floor, so it cannot be stale), which means the
+      // descriptor+payload were flushed before it -- yet they no longer
+      // match. A committed transaction has been corrupted.
+      return Errno::kCorrupt;
     }
 
-    txn.next_block = pos + 1 + d.targets.size() + 1;
+    txn.next_block = commit_pos + 1;
     pos = txn.next_block;
     ++expect_seq;
     txns.push_back(std::move(txn));
@@ -299,6 +341,7 @@ Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo) {
   // it would let an already-checkpointed stale transaction still sitting in
   // the region be replayed on a later crash.
   uint64_t last_seq = hdr.floor_seq;
+  BlockNo tail = geo.journal_start + 1;
   for (const auto& txn : txns) {
     for (const auto& rec : txn.records) {
       if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
@@ -306,9 +349,21 @@ Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo) {
       ++result.applied_blocks;
     }
     last_seq = txn.seq;
+    tail = txn.next_block;
     ++result.applied_txns;
   }
   RAEFS_TRY_VOID(dev->flush());
+  // The first block past the replayed history may hold a torn descriptor
+  // whose seq is exactly last_seq + 1 (the transaction the crash tore).
+  // It was a legal torn tail under the old floor, but once the floor is
+  // raised to last_seq the tail audit would read the same bytes as the
+  // remains of a *committed* transaction and refuse the journal. Destroy
+  // it before resetting the header; a crash in between just makes the
+  // next replay re-scan under the old floor and repeat this idempotently.
+  if (tail < geo.journal_start + geo.journal_blocks) {
+    RAEFS_TRY_VOID(
+        dev->write_block(tail, std::vector<uint8_t>(kBlockSize, 0)));
+  }
   // Reset so a crash during/after replay re-runs idempotently.
   RAEFS_TRY_VOID(format(dev, geo, last_seq));
   return result;

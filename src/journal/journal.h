@@ -14,8 +14,12 @@
 //
 // All header/descriptor/commit blocks carry a whole-block CRC32C. A
 // transaction is durable iff its commit block is valid and its payload CRC
-// matches; replay stops at the first invalid or out-of-sequence record
-// (torn transactions are discarded, exactly like jbd2).
+// matches. Replay distinguishes two failure shapes at the first invalid
+// record: a torn *tail* (the final transaction never finished -- discarded
+// silently, exactly like jbd2) versus destroyed *committed* history (a
+// durable commit whose payload mismatches, or surviving records beyond the
+// stop point with sequence numbers past the floor), which fails loudly
+// with kCorrupt rather than silently truncating durable transactions.
 #pragma once
 
 #include <mutex>

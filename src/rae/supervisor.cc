@@ -278,7 +278,16 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
       return fail("no geometry available");
     }
     obs::TraceSpan js(obs::kSpanJournalReplay, clock_.get(), ps.id());
+    // Replay is idempotent; a transient device error mid-replay vanishes
+    // on a re-run, so don't take the filesystem offline for one EIO.
     auto replay = Journal::replay(dev_, geo);
+    for (uint32_t attempt = 0;
+         !replay.ok() && attempt < opts_.recovery_io_retries; ++attempt) {
+      ++stats_.recovery_io_retries;
+      RAEFS_LOG_WARN("rae") << "journal replay attempt " << attempt + 1
+                            << " failed; retrying";
+      replay = Journal::replay(dev_, geo);
+    }
     js.end();
     if (!replay.ok()) {
       end_phase(&RaeStats::reboot_ns, &obs::Incident::reboot_ns);
@@ -320,21 +329,40 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   // Download: reboot the base and absorb the shadow's metadata (hand-off).
   {
     obs::TraceSpan ps(obs::kSpanRecoveryDownload, clock_.get(), rspan.id());
-    Status mounted = mount_base();
-    if (!mounted.ok()) {
-      end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
-      return fail("base remount failed");
-    }
-    try {
-      Status installed = base_->install_blocks(outcome.dirty);
-      if (!installed.ok()) {
-        end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
-        return fail("metadata download failed");
+    // The download is idempotent (it installs the same shadow blocks), so
+    // a transient IO error mid-install is survivable: replay the journal
+    // to clear any torn install transaction, remount, and install again.
+    // A base panic is NOT retried -- the shadow output deterministically
+    // trips an invariant and would panic identically every attempt.
+    Status downloaded = Errno::kIo;
+    for (uint32_t attempt = 0; attempt <= opts_.recovery_io_retries;
+         ++attempt) {
+      if (attempt > 0) {
+        ++stats_.recovery_io_retries;
+        RAEFS_LOG_WARN("rae")
+            << "metadata download attempt " << attempt
+            << " failed; replaying journal and retrying";
+        base_.reset();
+        auto rereplay = Journal::replay(dev_, geo);
+        if (!rereplay.ok()) continue;
       }
-    } catch (const FsPanicError& e) {
+      Status mounted = mount_base();
+      if (!mounted.ok()) {
+        downloaded = mounted;
+        continue;
+      }
+      try {
+        downloaded = base_->install_blocks(outcome.dirty);
+      } catch (const FsPanicError& e) {
+        end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
+        return fail(std::string("base panicked absorbing shadow output: ") +
+                    e.what());
+      }
+      if (downloaded.ok()) break;
+    }
+    if (!downloaded.ok()) {
       end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
-      return fail(std::string("base panicked absorbing shadow output: ") +
-                  e.what());
+      return fail("metadata download failed");
     }
     charge_phase();
   }

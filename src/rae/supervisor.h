@@ -68,6 +68,14 @@ struct RaeOptions {
   /// image refuses identically every time.
   uint32_t shadow_retries = 2;
 
+  /// Transient-fault tolerance for the recovery pipeline's own IO: how
+  /// many times to re-run journal replay (reboot phase) and the metadata
+  /// download when they fail with a device error, before declaring the
+  /// recovery failed. Both are idempotent -- replay reapplies the same
+  /// committed transactions and the download installs the same shadow
+  /// blocks -- so re-running the phase after a transient EIO is safe.
+  uint32_t recovery_io_retries = 2;
+
   /// Bound on op-log memory. When live records exceed this, the
   /// supervisor forces a sync so the durable watermark advances and the
   /// log truncates -- recording stays practical no matter how rarely the
@@ -84,6 +92,7 @@ struct RaeStats {
   uint64_t recoveries = 0;
   uint64_t failed_recoveries = 0;
   uint64_t shadow_retries = 0;  // transient shadow refusals retried
+  uint64_t recovery_io_retries = 0;  // replay/download phases re-run
   uint64_t panics_trapped = 0;
   uint64_t warn_recoveries = 0;
   uint64_t ops_replayed_total = 0;

@@ -353,5 +353,151 @@ TEST(BaseFsEdge, ManyFilesInManyDirs) {
   EXPECT_TRUE(report.value().consistent()) << report.value().summary();
 }
 
+// ---------------------------------------------------------------------------
+// Rename-overwrite bookkeeping regressions
+// ---------------------------------------------------------------------------
+
+TEST(BaseFsEdge, SameParentDirOverwriteRenameFixesParentNlink) {
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->mkdir("/p", 0755).ok());
+  ASSERT_TRUE(t.fs->mkdir("/p/a", 0755).ok());
+  ASSERT_TRUE(t.fs->mkdir("/p/b", 0755).ok());
+  Ino moved = t.fs->stat("/p/a").value().ino;
+  ASSERT_EQ(t.fs->stat("/p").value().nlink, 4u);  // self + "." x2 children
+
+  // Overwriting /p/b removes one subdirectory from the shared parent; the
+  // decrement must land in the inode table, not die in a local copy.
+  ASSERT_TRUE(t.fs->rename("/p/a", "/p/b").ok());
+  EXPECT_EQ(t.fs->stat("/p").value().nlink, 3u);
+  EXPECT_EQ(t.fs->stat("/p/b").value().ino, moved);
+  EXPECT_EQ(t.fs->stat("/p/a").error(), Errno::kNoEnt);
+
+  // And it must survive a remount, so the on-disk image agrees.
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+  auto again = BaseFs::mount(t.device.get(), {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->stat("/p").value().nlink, 3u);
+  ASSERT_TRUE(again.value()->unmount().ok());
+}
+
+TEST(BaseFsEdge, RepeatedDirOverwriteRenamesNeverTripNlinkGuards) {
+  // Drive the rename guards (parent nlink > 2, victim nlink > 0) through
+  // the leanest legal states: parents holding exactly one or two subdirs,
+  // overwrites in both same-parent and cross-parent shape.
+  auto t = make_test_fs();
+  ASSERT_TRUE(t.fs->mkdir("/x", 0755).ok());
+  ASSERT_TRUE(t.fs->mkdir("/y", 0755).ok());
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(t.fs->mkdir("/x/sub", 0755).ok());
+    ASSERT_TRUE(t.fs->mkdir("/y/sub", 0755).ok());
+    // Cross-parent overwrite: /y loses its only subdir to /x's.
+    EXPECT_NO_THROW({ ASSERT_TRUE(t.fs->rename("/x/sub", "/y/sub").ok()); });
+    EXPECT_EQ(t.fs->stat("/x").value().nlink, 2u);
+    EXPECT_EQ(t.fs->stat("/y").value().nlink, 3u);
+    ASSERT_TRUE(t.fs->rmdir("/y/sub").ok());
+    EXPECT_EQ(t.fs->stat("/y").value().nlink, 2u);
+  }
+  // File-victim overwrite down to nlink 0 frees the victim.
+  ASSERT_TRUE(t.fs->create("/x/f", 0644).ok());
+  ASSERT_TRUE(t.fs->create("/x/g", 0644).ok());
+  uint64_t inodes_before = t.fs->free_inodes();
+  EXPECT_NO_THROW({ ASSERT_TRUE(t.fs->rename("/x/f", "/x/g").ok()); });
+  EXPECT_EQ(t.fs->free_inodes(), inodes_before + 1);
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+TEST(BaseFsEdge, VictimDirInoReuseServesNoStaleDentries) {
+  TestFsOptions opts;
+  opts.inode_count = 64;  // small table: the allocator wraps quickly
+  auto t = make_test_fs(opts);
+  ASSERT_TRUE(t.fs->mkdir("/a", 0755).ok());
+  ASSERT_TRUE(t.fs->mkdir("/b", 0755).ok());
+  Ino victim = t.fs->stat("/b").value().ino;
+  // Seed a negative dentry keyed by the victim directory's inode.
+  ASSERT_EQ(t.fs->stat("/b/ghost").error(), Errno::kNoEnt);
+
+  // Overwrite /b; its inode number becomes reusable.
+  ASSERT_TRUE(t.fs->rename("/a", "/b").ok());
+
+  // Allocate directories until the victim's number reincarnates.
+  std::string reborn;
+  for (int i = 0; i < 256 && reborn.empty(); ++i) {
+    std::string dir = "/re" + std::to_string(i);
+    ASSERT_TRUE(t.fs->mkdir(dir, 0755).ok());
+    if (t.fs->stat(dir).value().ino == victim) reborn = dir;
+  }
+  ASSERT_FALSE(reborn.empty()) << "victim inode was never reallocated";
+  // The wrap to the victim's slot means the table is full; make room for
+  // the child without touching the reincarnated directory.
+  ASSERT_TRUE(t.fs->rmdir(reborn == "/re0" ? "/re1" : "/re0").ok());
+
+  // A stale negative entry under the old inode would shadow this child.
+  ASSERT_TRUE(t.fs->create(reborn + "/ghost", 0644).ok());
+  EXPECT_TRUE(t.fs->stat(reborn + "/ghost").ok());
+}
+
+// ---------------------------------------------------------------------------
+// ENOSPC unwinding: exhaustion must not leak partial allocations
+// ---------------------------------------------------------------------------
+
+TEST(BaseFsEdge, ExhaustionLeaksNoBlocks) {
+  TestFsOptions opts;
+  opts.total_blocks = 1024;  // small data region: quick to exhaust
+  opts.inode_count = 128;
+  opts.journal_blocks = 64;
+  auto t = make_test_fs(opts);
+
+  // Fill the disk with multi-block writes until allocation fails, probing
+  // offsets that force fresh indirect / double-indirect spine blocks so a
+  // failure can land between the spine and the data allocation.
+  const FileOff probes[] = {0, kDirectEnd, kDirectEnd + 7 * kBlockSize,
+                            kIndirectEnd, kIndirectEnd + 600ull * kBlockSize};
+  bool exhausted = false;
+  for (int i = 0; i < 512 && !exhausted; ++i) {
+    auto ino = t.fs->create("/f" + std::to_string(i), 0644);
+    if (!ino.ok()) break;
+    for (FileOff off : probes) {
+      auto wrote = t.fs->write(ino.value(), 0, off,
+                               pattern_bytes(3 * kBlockSize));
+      if (!wrote.ok()) {
+        EXPECT_EQ(wrote.error(), Errno::kNoSpace);
+        exhausted = true;
+      }
+    }
+  }
+  ASSERT_TRUE(exhausted) << "workload never hit ENOSPC";
+
+  // Every block the failed operations allocated must be either owned by
+  // an inode or back on the free list -- fsck must find zero leaks.
+  ASSERT_TRUE(t.fs->unmount().ok());
+  auto report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(report.ok());
+  for (const auto& f : report.value().findings) {
+    EXPECT_NE(f.severity, FsckSeverity::kLeak) << f.what;
+  }
+  EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+
+  // Deleting everything must return the fs to a fully free data region.
+  auto again = BaseFs::mount(t.device.get(), {});
+  ASSERT_TRUE(again.ok());
+  auto& fs = *again.value();
+  auto listing = fs.readdir("/");
+  ASSERT_TRUE(listing.ok());
+  for (const auto& e : listing.value()) {
+    ASSERT_TRUE(fs.unlink("/" + e.name).ok());
+  }
+  ASSERT_TRUE(fs.unmount().ok());
+  auto final_report = fsck(t.device.get(), FsckLevel::kStrict);
+  ASSERT_TRUE(final_report.ok());
+  EXPECT_TRUE(final_report.value().consistent())
+      << final_report.value().summary();
+}
+
 }  // namespace
 }  // namespace raefs

@@ -156,6 +156,70 @@ TEST(FaultDevice, WriteErrors) {
   EXPECT_EQ(dev.injected_write_errors(), 1u);
 }
 
+TEST(FaultDevice, CrashAfterKthWriteIsADeadDevice) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  dev.arm_crash_after_writes(2);
+  ASSERT_TRUE(dev.write_block(0, filled(1)).ok());
+  ASSERT_TRUE(dev.write_block(1, filled(2)).ok());
+  EXPECT_FALSE(dev.crashed());
+  // The k-th write and everything after it fail: the machine lost power.
+  EXPECT_EQ(dev.write_block(2, filled(3)).error(), Errno::kIo);
+  EXPECT_TRUE(dev.crashed());
+  EXPECT_EQ(dev.write_block(3, filled(4)).error(), Errno::kIo);
+  std::vector<uint8_t> out(kBlockSize);
+  EXPECT_EQ(dev.read_block(0, out).error(), Errno::kIo);
+  EXPECT_EQ(dev.flush().error(), Errno::kIo);
+  // Counters name IO *attempts*, so a crash index is reproducible even
+  // when some attempts failed.
+  EXPECT_EQ(dev.writes_seen(), 4u);
+  EXPECT_EQ(dev.reads_seen(), 1u);
+}
+
+TEST(FaultDevice, DisarmRevivesACrashedDevice) {
+  MemBlockDevice inner(4);
+  FaultBlockDevice dev(&inner);
+  dev.arm_crash_after_writes(0);
+  EXPECT_EQ(dev.write_block(0, filled(1)).error(), Errno::kIo);
+  EXPECT_TRUE(dev.crashed());
+  dev.disarm();
+  EXPECT_FALSE(dev.crashed());
+  ASSERT_TRUE(dev.write_block(0, filled(1)).ok());
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(0, out).ok());
+  EXPECT_EQ(out, filled(1));
+}
+
+TEST(FaultDevice, OneShotWriteErrorAtExactIndex) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  dev.arm_write_error_at(1);
+  ASSERT_TRUE(dev.write_block(0, filled(1)).ok());
+  EXPECT_EQ(dev.write_block(1, filled(2)).error(), Errno::kIo);
+  // One-shot: the very next attempt succeeds and nothing else fires.
+  ASSERT_TRUE(dev.write_block(1, filled(2)).ok());
+  ASSERT_TRUE(dev.write_block(2, filled(3)).ok());
+  EXPECT_EQ(dev.injected_write_errors(), 1u);
+  EXPECT_FALSE(dev.crashed());
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(1, out).ok());
+  EXPECT_EQ(out, filled(2));
+}
+
+TEST(FaultDevice, OneShotReadErrorAtExactIndex) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  ASSERT_TRUE(dev.write_block(0, filled(7)).ok());
+  dev.arm_read_error_at(1);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(0, out).ok());
+  EXPECT_EQ(dev.read_block(0, out).error(), Errno::kIo);
+  ASSERT_TRUE(dev.read_block(0, out).ok());
+  EXPECT_EQ(out, filled(7));
+  EXPECT_EQ(dev.injected_read_errors(), 1u);
+  EXPECT_EQ(dev.reads_seen(), 3u);
+}
+
 TEST(AsyncDevice, CompletesReadsAndWrites) {
   MemBlockDevice inner(8);
   AsyncBlockDevice async(&inner, 2);

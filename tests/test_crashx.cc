@@ -1,0 +1,125 @@
+// Crash-point explorer tests: deterministic workload generation, repro
+// round-trips, a bounded end-to-end exploration asserting zero oracle
+// divergences, and replay of the checked-in shrunk repros that pinned the
+// bugs this harness originally found.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "crashx/crashx.h"
+#include "crashx/ops.h"
+
+namespace raefs {
+namespace {
+
+TEST(CrashxOps, GeneratorIsDeterministicAndSyncPaced) {
+  auto a = crashx::generate_ops(1234, 48, 8);
+  auto b = crashx::generate_ops(1234, 48, 8);
+  ASSERT_EQ(a.size(), 48u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(crashx::format_op(a[i]), crashx::format_op(b[i])) << i;
+  }
+  // Every sync_every-th op is a durable point.
+  for (size_t i = 7; i < a.size(); i += 8) {
+    EXPECT_EQ(a[i].kind, crashx::OpKind::kSync) << i;
+  }
+  // A different seed gives a different workload.
+  auto c = crashx::generate_ops(99, 48, 8);
+  bool any_differ = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (crashx::format_op(a[i]) != crashx::format_op(c[i])) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(CrashxOps, OpFormatRoundTrips) {
+  auto ops = crashx::generate_ops(7, 64, 8);
+  for (const auto& op : ops) {
+    auto parsed = crashx::parse_op(crashx::format_op(op));
+    ASSERT_TRUE(parsed.ok()) << crashx::format_op(op);
+    EXPECT_EQ(crashx::format_op(parsed.value()), crashx::format_op(op));
+  }
+  EXPECT_FALSE(crashx::parse_op("frobnicate /x").ok());
+  EXPECT_FALSE(crashx::parse_op("").ok());
+}
+
+TEST(CrashxRepro, FormatParseRoundTrip) {
+  crashx::Repro r;
+  r.opts.seed = 77;
+  r.opts.total_blocks = 2048;
+  r.opts.inode_count = 256;
+  r.opts.journal_blocks = 64;
+  r.fault = {crashx::FaultKind::kCrashAtWrite, 123};
+  r.ops = crashx::generate_ops(77, 12, 4);
+
+  auto back = crashx::parse_repro(crashx::format_repro(r));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().opts.seed, 77u);
+  EXPECT_EQ(back.value().opts.total_blocks, 2048u);
+  EXPECT_EQ(back.value().fault.kind, crashx::FaultKind::kCrashAtWrite);
+  EXPECT_EQ(back.value().fault.index, 123u);
+  ASSERT_EQ(back.value().ops.size(), r.ops.size());
+  for (size_t i = 0; i < r.ops.size(); ++i) {
+    EXPECT_EQ(crashx::format_op(back.value().ops[i]),
+              crashx::format_op(r.ops[i]));
+  }
+
+  // All fault kinds survive the round trip.
+  for (auto kind : {crashx::FaultKind::kNone, crashx::FaultKind::kWriteErrorAt,
+                    crashx::FaultKind::kReadErrorAt}) {
+    r.fault.kind = kind;
+    auto again = crashx::parse_repro(crashx::format_repro(r));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().fault.kind, kind);
+  }
+  EXPECT_FALSE(crashx::parse_repro("not a repro\n").ok());
+}
+
+TEST(CrashxRepro, NoFaultReplayIsACleanBaseline) {
+  crashx::Repro r;
+  r.opts.seed = 5;
+  r.fault = {crashx::FaultKind::kNone, 0};
+  r.ops = crashx::generate_ops(5, 16, 8);
+  auto verdict = crashx::replay(r);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.value(), "");
+}
+
+TEST(CrashxExplore, BoundedWorkloadHasNoDivergences) {
+  crashx::CrashxOptions o;
+  o.seed = 42;
+  o.num_ops = 24;
+  o.max_crash_points = 40;
+  o.max_write_injections = 40;
+  o.max_read_injections = 8;
+  auto report = crashx::explore(o);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().summary();
+  EXPECT_GT(report.value().crash_points, 0u);
+  EXPECT_GT(report.value().write_sites, 0u);
+  EXPECT_GT(report.value().baseline_writes, 0u);
+}
+
+// The checked-in repros pin the divergence classes the explorer found
+// before their fixes: replay must report no divergence for each.
+class ReproRegression : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReproRegression, ReplaysClean) {
+  std::string path = std::string(CRASHX_REPRO_DIR) + "/" + GetParam();
+  auto repro = crashx::load_repro(path);
+  ASSERT_TRUE(repro.ok()) << path;
+  EXPECT_FALSE(repro.value().ops.empty());
+  auto verdict = crashx::replay(repro.value());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.value(), "") << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CheckedInRepros, ReproRegression,
+    ::testing::Values("journal_replay_stale_tail.repro",
+                      "hardlink_inplace_write_crash.repro",
+                      "unmount_writeback_injection.repro"));
+
+}  // namespace
+}  // namespace raefs

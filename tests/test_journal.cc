@@ -94,7 +94,11 @@ TEST_F(JournalFixture, TornCommitIsDiscarded) {
   EXPECT_EQ(read_block(geo.data_start + 1), block_of(0));  // torn: dropped
 }
 
-TEST_F(JournalFixture, PayloadCorruptionInvalidatesTxn) {
+TEST_F(JournalFixture, PayloadCorruptionOfCommittedTxnFailsLoudly) {
+  // The commit record is durable and the flush barrier guarantees the
+  // payload was too -- a payload that no longer matches is media
+  // corruption of a COMMITTED transaction, not a torn tail. Silently
+  // dropping it (the old behaviour) truncated durable history.
   Journal journal(dev.get(), geo);
   ASSERT_TRUE(journal.open().ok());
   ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
@@ -104,8 +108,77 @@ TEST_F(JournalFixture, PayloadCorruptionInvalidatesTxn) {
   ASSERT_TRUE(dev->write_block(geo.journal_start + 2, payload).ok());
 
   auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error(), Errno::kCorrupt);
+}
+
+TEST_F(JournalFixture, TornLastCommitIsACleanStop) {
+  // Crash shape: the final transaction's commit block never reached the
+  // device (stale zeros in its slot). The txn "never happened"; earlier
+  // committed txns replay normally.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start + 1, 0x22)}).ok());
+  BlockNo last_commit = geo.journal_start + 1 + 3 + 2;
+  ASSERT_TRUE(dev->write_block(last_commit, block_of(0)).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
   ASSERT_TRUE(replayed.ok());
-  EXPECT_EQ(replayed.value().applied_txns, 0u);
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x11));
+  EXPECT_EQ(read_block(geo.data_start + 1), block_of(0));
+}
+
+TEST_F(JournalFixture, CorruptEarlierCommittedTxnFailsLoudly) {
+  // Hand-corrupt the FIRST txn's commit block while the second txn's
+  // records survive intact beyond it. The survivors prove the stop point
+  // truncates committed history; replay must refuse, not silently drop
+  // both transactions.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start + 1, 0x22)}).ok());
+  BlockNo first_commit = geo.journal_start + 1 + 2;
+  ASSERT_TRUE(dev->write_block(first_commit, block_of(0xFF)).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error(), Errno::kCorrupt);
+  // Neither txn may have been applied.
+  EXPECT_EQ(read_block(geo.data_start), block_of(0));
+  EXPECT_EQ(read_block(geo.data_start + 1), block_of(0));
+}
+
+TEST_F(JournalFixture, CorruptEarlierDescriptorFailsLoudly) {
+  // Same classification when the first txn's DESCRIPTOR is destroyed: the
+  // second txn's valid records (seq 2 > floor 0) prove history loss.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start + 1, 0x22)}).ok());
+  ASSERT_TRUE(dev->write_block(geo.journal_start + 1, block_of(0xFF)).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error(), Errno::kCorrupt);
+}
+
+TEST_F(JournalFixture, TornDescriptorAfterCommittedTxnIsACleanStop) {
+  // Crash between txns: txn 1 fully committed, txn 2's descriptor write
+  // never happened (garbage that fails CRC, with no valid later records).
+  // Txn 1 must replay; the garbage tail is ignored.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x11)}).ok());
+  auto garbage = block_of(0x5A);
+  garbage[0] = 0x00;  // definitely not the journal magic
+  ASSERT_TRUE(dev->write_block(geo.journal_start + 4, garbage).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x11));
 }
 
 TEST_F(JournalFixture, CheckpointRaisesFloor) {

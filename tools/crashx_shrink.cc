@@ -1,0 +1,58 @@
+// Repro minimizer for crashx divergences.
+//
+//   crashx_shrink <repro-in> [repro-out]
+//
+// Replays the scenario; if it diverges, greedily drops ops while the
+// divergence persists and writes the minimal scenario to <repro-out>
+// (default: <repro-in>.min). Exit status: 0 = shrunk repro written,
+// 1 = input does not diverge (nothing to shrink), 2 = usage/IO error.
+#include <cstdio>
+#include <string>
+
+#include "crashx/crashx.h"
+
+using namespace raefs;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: crashx_shrink <repro-in> [repro-out]\n");
+    return 2;
+  }
+  std::string in_path = argv[1];
+  std::string out_path = argc > 2 ? argv[2] : in_path + ".min";
+
+  auto repro = crashx::load_repro(in_path);
+  if (!repro.ok()) {
+    std::fprintf(stderr, "crashx_shrink: cannot load %s: %s\n",
+                 in_path.c_str(), to_string(repro.error()));
+    return 2;
+  }
+
+  auto initial = crashx::replay(repro.value());
+  if (!initial.ok()) {
+    std::fprintf(stderr, "crashx_shrink: replay failed: %s\n",
+                 to_string(initial.error()));
+    return 2;
+  }
+  if (initial.value().empty()) {
+    std::printf("input does not diverge; nothing to shrink\n");
+    return 1;
+  }
+  std::printf("input diverges (%zu ops):\n%s\n", repro.value().ops.size(),
+              initial.value().c_str());
+
+  auto small = crashx::shrink(repro.value());
+  if (!small.ok()) {
+    std::fprintf(stderr, "crashx_shrink: shrink failed: %s\n",
+                 to_string(small.error()));
+    return 2;
+  }
+  Status saved = crashx::save_repro(small.value(), out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "crashx_shrink: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("shrunk to %zu op(s); written to %s\n",
+              small.value().ops.size(), out_path.c_str());
+  return 0;
+}

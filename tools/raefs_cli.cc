@@ -25,6 +25,7 @@
 #include "basefs/base_fs.h"
 #include "blockdev/file_device.h"
 #include "bugstudy/bugstudy.h"
+#include "crashx/crashx.h"
 #include "fsck/crafted.h"
 #include "fsck/fsck.h"
 #include "faults/bug_library.h"
@@ -44,7 +45,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: raefs <mkfs|info|fsck|ls|tree|cat|put|get|mkdir|rm|"
-               "craft|workload|stats|trace|bugstudy> ...\n"
+               "craft|workload|stats|trace|bugstudy|crashx> ...\n"
                "run with a command and no arguments for its usage\n");
   return 2;
 }
@@ -483,6 +484,82 @@ int cmd_trace(const std::string& image, uint64_t nops, bool fault,
   return 0;
 }
 
+/// Crash-point exploration. The image's superblock supplies the geometry;
+/// the exploration itself runs on in-memory clones (crash points need the
+/// copy-on-write snapshot semantics only MemBlockDevice provides).
+int cmd_crashx(const std::string& image, int argc, char** argv) {
+  if (argc >= 1 && std::string(argv[0]) == "replay") {
+    if (argc < 2) {
+      std::fprintf(stderr, "usage: raefs crashx <image> replay <repro>\n");
+      return 2;
+    }
+    auto repro = crashx::load_repro(argv[1]);
+    if (!repro.ok()) {
+      std::fprintf(stderr, "crashx: cannot load %s: %s\n", argv[1],
+                   to_string(repro.error()));
+      return 1;
+    }
+    auto outcome = crashx::replay(repro.value());
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "crashx: replay failed: %s\n",
+                   to_string(outcome.error()));
+      return 1;
+    }
+    if (!outcome.value().empty()) {
+      std::printf("DIVERGES:\n%s\n", outcome.value().c_str());
+      return 1;
+    }
+    std::printf("repro passes (no divergence)\n");
+    return 0;
+  }
+
+  crashx::CrashxOptions opts;
+  auto dev = open_image(image);
+  if (dev) {
+    auto sb = read_superblock(dev.get());
+    if (sb.ok()) {
+      opts.total_blocks = sb.value().total_blocks;
+      opts.inode_count = sb.value().inode_count;
+      opts.journal_blocks = sb.value().journal_blocks;
+    }
+  }
+  if (argc >= 1) opts.seed = std::stoull(argv[0]);
+  if (argc >= 2) opts.num_ops = std::stoull(argv[1]);
+  if (argc >= 3) {
+    uint64_t cap = std::stoull(argv[2]);
+    opts.max_crash_points = cap;
+    opts.max_write_injections = cap;
+    opts.max_read_injections = cap;
+  }
+
+  auto report = crashx::explore(opts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "crashx: exploration failed: %s\n",
+                 to_string(report.error()));
+    return 1;
+  }
+  std::printf("%s\n", report.value().summary().c_str());
+  if (report.value().ok()) return 0;
+
+  auto ops = crashx::generate_ops(opts.seed, opts.num_ops, opts.sync_every);
+  int n = 0;
+  for (const auto& d : report.value().divergences) {
+    std::printf("--- divergence %d (fault kind %d index %llu) ---\n%s\n", n,
+                static_cast<int>(d.fault.kind),
+                static_cast<unsigned long long>(d.fault.index),
+                d.detail.c_str());
+    crashx::Repro repro{opts, d.fault, ops};
+    auto small = crashx::shrink(repro);
+    std::string path = "crashx-" + std::to_string(n) + ".repro";
+    if (small.ok() && crashx::save_repro(small.value(), path).ok()) {
+      std::printf("shrunk repro (%zu ops) written to %s\n",
+                  small.value().ops.size(), path.c_str());
+    }
+    ++n;
+  }
+  return 1;
+}
+
 int cmd_bugstudy(const std::string& which) {
   using namespace bugstudy;
   if (which == "fig1") {
@@ -524,6 +601,7 @@ int main(int argc, char** argv) {
     return cmd_stats(image, rest > 1 ? args[1] : "json",
                      rest > 2 ? std::stoull(args[2]) : 200);
   }
+  if (cmd == "crashx") return cmd_crashx(image, rest - 1, args + 1);
   if (cmd == "trace") {
     uint64_t nops = 200;
     bool fault = false;
