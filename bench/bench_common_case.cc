@@ -268,6 +268,56 @@ void BM_BaseParallelWrites(benchmark::State& state) {
   }
 }
 
+// Wall-time fsync scaling: every thread overwrites its own file and
+// fsyncs every iteration. Under stop-the-world commit the threads
+// serialize on the committer (fsync cost grows ~linearly with thread
+// count); under epoch-based group commit concurrent fsyncs join the same
+// epoch and one journal transaction retires the whole group, so per-op
+// cost should stay near-flat as threads grow.
+void BM_FsyncGroup(benchmark::State& state) {
+  static std::unique_ptr<MemBlockDevice> device;
+  static std::unique_ptr<BaseFs> fs;
+  static std::vector<Ino> inos;
+  if (state.thread_index() == 0) {
+    device = std::make_unique<MemBlockDevice>(65536);
+    MkfsOptions mkfs;
+    mkfs.total_blocks = 65536;
+    mkfs.inode_count = 4096;
+    mkfs.journal_blocks = 512;
+    (void)BaseFs::mkfs(device.get(), mkfs);
+    auto mounted = BaseFs::mount(device.get(), BaseFsOptions{});
+    fs = std::move(mounted).value();
+    inos.clear();
+    for (int i = 0; i < state.threads(); ++i) {
+      inos.push_back(fs->create("/g" + std::to_string(i), 0644).value());
+    }
+  }
+  std::vector<uint8_t> data(4096, 0xC3);
+  Ino mine = kInvalidIno;
+  FileOff off = 0;
+  for (auto _ : state) {
+    if (mine == kInvalidIno) {
+      // Resolved after the state loop's start barrier: thread 0's setup
+      // (including the inos vector) is complete by now.
+      mine = inos[static_cast<size_t>(state.thread_index())];
+    }
+    if (!fs->write(mine, 0, off % (1u << 18), data).ok()) {
+      state.SkipWithError("write failed");
+    }
+    if (!fs->fsync(mine).ok()) state.SkipWithError("fsync failed");
+    off += 4096;
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations() * state.threads());
+    // fsyncs per journal transaction: >1 means group commit is collapsing
+    // concurrent callers into shared epochs.
+    state.counters["fsyncs_per_txn"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+        static_cast<double>(state.threads()) /
+        static_cast<double>(fs->stats().commits + 1));
+  }
+}
+
 BENCHMARK(BM_BaseFull)
     ->DenseRange(0, 3)  // metadata, write, read, fileserver
     ->UseManualTime()
@@ -289,6 +339,7 @@ BENCHMARK(BM_DataPathSeqWrite);
 BENCHMARK(BM_DataPathRandWrite);
 BENCHMARK(BM_DataPathOverwriteSync);
 BENCHMARK(BM_BaseParallelWrites)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_FsyncGroup)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace
 }  // namespace raefs

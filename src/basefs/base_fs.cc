@@ -301,11 +301,19 @@ Result<DiskInode> BaseFs::get_inode(Ino ino) {
 }
 
 void BaseFs::put_inode(Ino ino, const DiskInode& inode) {
-  note_mutation();
   if (opts_.use_inode_cache) {
+    // Unchanged-inode elision: a steady-state overwrite (size, mapping and
+    // timestamps all identical) must not dirty metadata. Dirtying it would
+    // turn a data-only epoch (one barrier flush) into a full journal
+    // transaction (payload + commit record + two flushes) on every fsync.
+    if (auto cached = inode_cache_.get(ino); cached && *cached == inode) {
+      return;
+    }
+    note_mutation();
     inode_cache_.put(ino, inode, /*dirty=*/true);
     return;
   }
+  note_mutation();
   // Write through to the inode-table block immediately.
   Status st = block_cache_.modify(geo_.inode_block(ino),
                                   [&](std::span<uint8_t> block) {

@@ -10,14 +10,26 @@
 // before it persists (paper §3.1).
 //
 // Concurrency model:
-//   - op_gate_ (shared_mutex): every op holds it shared; transaction
-//     commit holds it exclusive (a stop-the-world commit, like a jbd2
-//     commit freezing handles).
+//   - op_gate_ (shared_mutex): every op holds it shared; the commit
+//     engine takes it exclusive only for the brief *epoch rotation*
+//     barrier (flush the inode cache, snapshot the epoch's dirty delta,
+//     advance the open epoch) -- no IO happens under the gate. All
+//     journal and device work runs outside it, concurrently with new
+//     operations dirtying the next epoch.
+//   - commit_mu_/commit_cv_: the group-commit engine. fsync/sync joins
+//     the open epoch and waits for *that epoch's* durability; concurrent
+//     fsyncs collapse into one pipelined journal transaction (one thread
+//     becomes the committer, the rest wait on the cv). Transactions for
+//     epoch E+1 may stage while epoch E's commit record is in flight
+//     (journal pipelining); checkpointing runs off the commit critical
+//     path, after waiters are already released.
 //   - namespace_mu_ (shared_mutex): path resolution shared, namespace
 //     mutations (create/unlink/mkdir/rmdir/rename/link/symlink) exclusive.
 //   - per-inode shared_mutex (LockTable): file data ops.
 //   - alloc_mu_: inode/block allocators.
 // Lock order: op_gate_ -> namespace_mu_ -> inode lock -> alloc_mu_.
+// commit_mu_ is never held while acquiring op_gate_ or a shard lock is
+// held; journal/async callbacks acquire commit_mu_ alone.
 //
 // POSIX divergences (shared by base, shadow, and the test oracle):
 //   - symlinks are never followed during path walks (lookup == lstat);
@@ -27,6 +39,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -264,14 +277,47 @@ class BaseFs {
                             FileType type, std::string_view symlink_target);
 
   // -- transactions (base_txn.cc) -----------------------------------------
-  /// Stop-the-world commit: flush inode cache, validate-on-sync, write
-  /// data in place, journal metadata, maybe checkpoint, advance watermark.
+  /// Everything a staged epoch needs to become durable: its bounds, the
+  /// op-log watermark it covers, and the partitioned dirty delta (shared
+  /// block handles -- no copies). Defined in base_txn.cc.
+  struct CommitCtx;
+
+  /// Group commit: waits until every epoch <= the currently open epoch is
+  /// durable (equivalent to commit_upto(epoch_open_, force_checkpoint)).
   Status commit_txn(bool force_checkpoint);
-  Status checkpoint_locked();
+  /// Waits until epochs <= target_epoch are durable, becoming the
+  /// committer (staging a pipelined journal transaction for the delta) if
+  /// no staged transaction covers the target yet.
+  Status commit_upto(uint64_t target_epoch, bool force_checkpoint);
+  /// One committer cycle: recover a broken pipeline if needed, rotate the
+  /// open epoch under op_gate_, stage the delta into the journal pipeline.
+  /// Entered and exited with `lk` (commit_mu_) held and committer_busy_
+  /// set by the caller; unlocks internally around IO. Retries internally
+  /// when the journal refuses with kBusy (a concurrent staged-transaction
+  /// failure): that is transient engine state, never a caller-visible
+  /// error.
+  Status commit_cycle_locked(std::unique_lock<std::mutex>& lk);
+  Status commit_cycle_once_(std::unique_lock<std::mutex>& lk);
+  /// Serial fallback for oversized / journal-exhausted deltas: drains the
+  /// pipeline, then chunked synchronous commits with checkpoints between.
+  Status commit_bulk_(std::unique_lock<std::mutex>& lk,
+                      const std::shared_ptr<CommitCtx>& ctx);
+  /// Completion callback bound into the journal pipeline for `ctx`.
+  Journal::CommitDoneCb make_commit_done_(std::shared_ptr<CommitCtx> ctx);
+  /// Checkpoint entry point used after a commit (off the critical path):
+  /// acquires committer exclusivity, waits for the pipeline to idle.
+  Status checkpoint_now_locked(std::unique_lock<std::mutex>& lk, bool force);
+  /// Writes the shadow copies of journaled blocks in place and truncates
+  /// the journal. Pipeline must be idle and the async queue drained;
+  /// commit_mu_ must NOT be held.
+  Status checkpoint_core_();
   Status validate_dirty_locked(
       const std::vector<std::pair<BlockNo, BlockBufPtr>>& dirty);
-  /// Submit `dirty[first..last)` (sorted by block number) to the async
-  /// layer as coalesced contiguous-run writes and wait for completion.
+  /// Submit `blocks` to the async layer as coalesced contiguous-run
+  /// writes; `on_each` fires once per run completion.
+  void submit_writeback_runs(std::vector<std::pair<BlockNo, BlockBufPtr>> blocks,
+                             const std::function<void(Status)>& on_each);
+  /// submit_writeback_runs + drain (synchronous write-back).
   Status writeback_coalesced(
       const std::vector<std::pair<BlockNo, BlockBufPtr>>& blocks);
   Status write_superblock(FsState state);
@@ -330,6 +376,33 @@ class BaseFs {
   std::atomic<Seq> current_op_seq_{0};
   std::atomic<Seq> max_dirty_seq_{0};
   std::function<void(Seq)> durable_cb_;
+
+  // -- group-commit engine (base_txn.cc) ---------------------------------
+  // commit_mu_ guards the epoch watermarks, the pipeline flags, and
+  // checkpoint_shadow_. epoch_open_ is additionally published through the
+  // block cache so ops tag dirty blocks lock-free. Invariants:
+  //   epoch_durable_ <= epoch_staged_ + in-flight staged transactions,
+  //   and every dirty block with epoch <= epoch_staged_ is covered by a
+  //   staged-or-durable transaction (unless pipeline_broken_, in which
+  //   case recovery re-snapshots from epoch_durable_).
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  bool committer_busy_ = false;      // one committer stages at a time
+  std::atomic<uint64_t> epoch_open_{1};
+  uint64_t epoch_staged_ = 0;        // highest epoch staged into the pipeline
+  uint64_t epoch_durable_ = 0;       // highest epoch proven durable
+  uint64_t epoch_failed_ = 0;        // highest epoch whose commit failed
+  bool pipeline_broken_ = false;     // journal pipeline needs rewind
+  Status commit_error_ = Status::Ok();
+  std::atomic<uint64_t> commit_waiters_{0};
+  // Latest durable classification (true = file data written in place) of
+  // every block touched by a committed transaction since the last
+  // checkpoint, in commit order. The checkpointer re-reads write-back
+  // content from the journal region itself (no retained cache handles, so
+  // re-dirtying a journaled block costs no CoW clone) and uses this map to
+  // skip journaled copies of blocks that were since freed and reallocated
+  // as file data -- their in-place write supersedes the journal.
+  std::unordered_map<BlockNo, bool> durable_class_;
 
   std::atomic<uint64_t> op_counter_{0};
   std::atomic<uint64_t> commits_{0};

@@ -644,13 +644,18 @@ Status BaseFs::truncate(Ino ino, uint64_t gen, uint64_t new_size) {
 Status BaseFs::fsync(Ino ino) {
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kFsync, "", ino, 0, 0);
-  return commit_txn(/*force_checkpoint=*/false);
+  // Join the epoch open right now and wait only for *its* durability:
+  // concurrent fsyncs collapse into one group-commit transaction, and an
+  // epoch opened after this call owes us nothing.
+  return commit_upto(epoch_open_.load(std::memory_order_acquire),
+                     /*force_checkpoint=*/false);
 }
 
 Status BaseFs::sync() {
   charge_op();
   bug_site("basefs.op.dispatch", OpKind::kSync, "", 0, 0, 0);
-  return commit_txn(/*force_checkpoint=*/false);
+  return commit_upto(epoch_open_.load(std::memory_order_acquire),
+                     /*force_checkpoint=*/false);
 }
 
 }  // namespace raefs

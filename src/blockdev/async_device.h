@@ -4,6 +4,16 @@
 // threads; completions run on the worker. The base filesystem's write-back
 // path uses this layer (Figure 2, left side: "Block Layer (asynchronous
 // IO)"); the shadow never touches it and reads the device synchronously.
+//
+// Ordering guarantees the pipelined commit engine is built on:
+//   * a flush barrier is serviced only after every request submitted
+//     before it has completed on the device — so "data + journal payload,
+//     flush, commit record, flush" staged as five submissions is a
+//     correct write-ahead sequence with no caller-side waiting;
+//   * a request's completion callback runs before the request stops
+//     counting as in flight, so a barrier can never overtake the
+//     completion work (commit bookkeeping, waiter wakeups) of the
+//     requests it fences.
 #pragma once
 
 #include <condition_variable>

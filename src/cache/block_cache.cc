@@ -1,6 +1,7 @@
 #include "cache/block_cache.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace raefs {
 
@@ -52,10 +53,17 @@ void BlockCache::evict_locked(Shard& s) {
   }
 }
 
-void BlockCache::mark_dirty_locked(Shard& s, Entry& e) {
+void BlockCache::mark_dirty_locked(Shard& s, BlockNo block, Entry& e) {
+  // Every dirtying touch retags with the current open epoch, even when the
+  // entry is already dirty: the commit engine relies on the tag naming the
+  // *latest* epoch that modified the block (mark_clean_upto must not clean
+  // a block re-dirtied after its snapshot was taken).
+  e.epoch = open_epoch_.load(std::memory_order_acquire);
   if (e.dirty) return;
   e.dirty = true;
   s.clean_lru.erase(e.clean_pos);
+  s.dirty_list.push_front(block);
+  e.dirty_pos = s.dirty_list.begin();
   ++s.dirty_count;
 }
 
@@ -85,7 +93,7 @@ Status BlockCache::write(BlockNo block, std::vector<uint8_t> data) {
   if (it != s.map.end()) {
     // Whole-block replace: swap in the new buffer, never copy.
     it->second.data = std::make_shared<BlockBuf>(std::move(data));
-    mark_dirty_locked(s, it->second);
+    mark_dirty_locked(s, block, it->second);
     touch_locked(s, block, it->second);
     return Status::Ok();
   }
@@ -94,7 +102,10 @@ Status BlockCache::write(BlockNo block, std::vector<uint8_t> data) {
   Entry e;
   e.data = std::make_shared<BlockBuf>(std::move(data));
   e.dirty = true;
+  e.epoch = open_epoch_.load(std::memory_order_acquire);
   e.lru_pos = s.lru.begin();
+  s.dirty_list.push_front(block);
+  e.dirty_pos = s.dirty_list.begin();
   s.map.emplace(block, std::move(e));
   ++s.dirty_count;
   return Status::Ok();
@@ -107,18 +118,27 @@ Status BlockCache::modify(BlockNo block,
   RAEFS_TRY(Entry * e, load_locked(s, block));
   ensure_unique_locked(*e);
   fn(std::span<uint8_t>(*e->data));
-  mark_dirty_locked(s, *e);
+  mark_dirty_locked(s, block, *e);
   return Status::Ok();
 }
 
 std::vector<std::pair<BlockNo, BlockBufPtr>>
 BlockCache::dirty_snapshot() const {
+  return dirty_snapshot_range(0, UINT64_MAX);
+}
+
+std::vector<std::pair<BlockNo, BlockBufPtr>>
+BlockCache::dirty_snapshot_range(uint64_t after, uint64_t upto) const {
   std::vector<std::pair<BlockNo, BlockBufPtr>> out;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s.mu);
     out.reserve(out.size() + s.dirty_count);
-    for (const auto& [block, e] : s.map) {
-      if (e.dirty) out.emplace_back(block, BlockBufPtr(e.data));
+    // The dirty list holds exactly the dirty entries: O(dirty) per shard.
+    for (BlockNo block : s.dirty_list) {
+      const Entry& e = s.map.at(block);
+      if (e.epoch > after && e.epoch <= upto) {
+        out.emplace_back(block, BlockBufPtr(e.data));
+      }
     }
   }
   std::sort(out.begin(), out.end(),
@@ -127,13 +147,19 @@ BlockCache::dirty_snapshot() const {
 }
 
 void BlockCache::mark_clean(std::span<const BlockNo> blocks) {
+  mark_clean_upto(blocks, UINT64_MAX);
+}
+
+void BlockCache::mark_clean_upto(std::span<const BlockNo> blocks,
+                                 uint64_t upto) {
   for (BlockNo block : blocks) {
     Shard& s = shard_of(block);
     std::lock_guard<std::mutex> lk(s.mu);
     auto it = s.map.find(block);
-    if (it != s.map.end() && it->second.dirty) {
+    if (it != s.map.end() && it->second.dirty && it->second.epoch <= upto) {
       it->second.dirty = false;
       --s.dirty_count;
+      s.dirty_list.erase(it->second.dirty_pos);
       s.clean_lru.push_front(block);
       it->second.clean_pos = s.clean_lru.begin();
     }
@@ -146,6 +172,7 @@ void BlockCache::drop_all() {
     s.map.clear();
     s.lru.clear();
     s.clean_lru.clear();
+    s.dirty_list.clear();
     s.dirty_count = 0;
   }
 }
@@ -158,6 +185,7 @@ void BlockCache::drop(BlockNo block) {
     s.lru.erase(it->second.lru_pos);
     if (it->second.dirty) {
       --s.dirty_count;
+      s.dirty_list.erase(it->second.dirty_pos);
     } else {
       s.clean_lru.erase(it->second.clean_pos);
     }

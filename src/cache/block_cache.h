@@ -19,6 +19,14 @@
 // dedicated clean-LRU list so eviction is O(1) regardless of how many
 // dirty blocks are piled up. The owner (BaseFs) is responsible for
 // write-back via dirty_snapshot()/mark_clean().
+//
+// Commit epochs: every dirtying touch tags the entry with the cache's
+// current open epoch (set_open_epoch()). The owner's group-commit engine
+// snapshots one epoch range at a time (dirty_snapshot_range) and cleans
+// with mark_clean_upto(), which skips entries re-dirtied under a newer
+// epoch -- a block modified after its snapshot was taken stays dirty and
+// is picked up by the next commit. Dirty entries additionally live on a
+// per-shard dirty list so snapshots walk O(dirty), not O(cached).
 #pragma once
 
 #include <atomic>
@@ -82,8 +90,29 @@ class BlockCache {
   /// (deterministic journaling order). No payload copies.
   std::vector<std::pair<BlockNo, BlockBufPtr>> dirty_snapshot() const;
 
+  /// Handles to dirty blocks whose epoch tag is in (after, upto], ordered
+  /// by block number. The group-commit delta: blocks already journaled by
+  /// a staged transaction (tag <= after) and blocks dirtied under a newer
+  /// open epoch (tag > upto) are both excluded. No payload copies.
+  std::vector<std::pair<BlockNo, BlockBufPtr>> dirty_snapshot_range(
+      uint64_t after, uint64_t upto) const;
+
   /// Mark blocks clean after the owner persisted them.
   void mark_clean(std::span<const BlockNo> blocks);
+
+  /// Epoch-aware mark_clean: only entries still tagged <= `upto` become
+  /// clean. A block re-dirtied after its snapshot was taken carries a
+  /// newer tag and must stay dirty (its latest content is unpersisted).
+  void mark_clean_upto(std::span<const BlockNo> blocks, uint64_t upto);
+
+  /// Advance the open epoch; subsequent dirtying touches tag with `epoch`.
+  /// Called by the commit engine at epoch rotation (no concurrent ops).
+  void set_open_epoch(uint64_t epoch) {
+    open_epoch_.store(epoch, std::memory_order_release);
+  }
+  uint64_t open_epoch() const {
+    return open_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Drop every cached block, dirty or not. Used only by the contained
   /// reboot: all in-memory state is untrusted after an error.
@@ -111,8 +140,10 @@ class BlockCache {
   struct Entry {
     std::shared_ptr<BlockBuf> data;
     bool dirty = false;
+    uint64_t epoch = 0;  // open epoch at the last dirtying touch
     std::list<BlockNo>::iterator lru_pos;
     std::list<BlockNo>::iterator clean_pos;  // valid iff !dirty
+    std::list<BlockNo>::iterator dirty_pos;  // valid iff dirty
   };
 
   struct Shard {
@@ -120,6 +151,7 @@ class BlockCache {
     std::unordered_map<BlockNo, Entry> map;
     std::list<BlockNo> lru;        // all entries; front = most recent
     std::list<BlockNo> clean_lru;  // clean entries only; front = most recent
+    std::list<BlockNo> dirty_list; // dirty entries only (snapshot walks)
     size_t dirty_count = 0;
   };
 
@@ -134,14 +166,16 @@ class BlockCache {
   Result<Entry*> load_locked(Shard& s, BlockNo block);
   void touch_locked(Shard& s, BlockNo block, Entry& e);
   void evict_locked(Shard& s);
-  // Must hold s.mu. Transition a clean entry to dirty (bookkeeping only).
-  void mark_dirty_locked(Shard& s, Entry& e);
+  // Must hold s.mu. Retag with the open epoch; transition clean entries
+  // to dirty (bookkeeping only).
+  void mark_dirty_locked(Shard& s, BlockNo block, Entry& e);
   // Must hold s.mu. Clone e's buffer if a handle escaped (CoW).
   void ensure_unique_locked(Entry& e);
 
   BlockDevice* dev_;
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
+  std::atomic<uint64_t> open_epoch_{1};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> cow_clones_{0};

@@ -53,6 +53,7 @@ std::string LatencyHistogram::summary() const {
   std::ostringstream os;
   os << "n=" << count_ << " mean=" << format_nanos(static_cast<Nanos>(mean()))
      << " p50=" << format_nanos(quantile(0.5))
+     << " p90=" << format_nanos(quantile(0.9))
      << " p99=" << format_nanos(quantile(0.99))
      << " max=" << format_nanos(max());
   return os.str();

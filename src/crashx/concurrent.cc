@@ -1,0 +1,453 @@
+// Concurrent crash-point exploration.
+//
+// The serial explorer (crashx.cc) relies on a deterministic device write
+// order: one async worker plus a single-threaded workload make the k-th
+// write a reproducible crash point, and the ModelFs durable-point oracle
+// names exactly what must survive. A multi-threaded workload destroys that
+// property -- the group-commit engine interleaves epochs however the
+// scheduler runs the threads -- so the concurrent explorer swaps the oracle
+// for invariants that hold under EVERY schedule:
+//
+//   * Each of N threads appends to its own file, and every byte written is
+//     a pure function of (seed, file, absolute offset). Content checks
+//     therefore never need to know which appends happened.
+//   * After an fsync returns Ok, the acked length is recorded. Appends are
+//     monotone, so "file size >= acked length" is schedule-independent.
+//   * The workload never frees blocks (append-only, no truncate/unlink),
+//     so replaying an old journaled bitmap image cannot clobber a block
+//     that was since reallocated to live file data.
+//
+// Crash sweep: arm the device to die at write k (k swept across a
+// baseline run's write count), run setup + the threaded workload, power
+// cycle, and require: remount succeeds, every file's size covers its acked
+// length, every byte up to the size matches the pattern (ordered-mode data
+// reaches disk before the commit record that grows the size, and any
+// re-written tail block carries the same pattern bytes), and a strict fsck
+// is clean. Injection sweep: a single-shot write EIO at site i must be
+// absorbed -- each thread may retry a failed op once (one group commit can
+// fail several waiters at once; each retry joins a fresh epoch), no panic,
+// clean unmount, clean fsck, and a remount showing every acked byte.
+#include <thread>
+
+#include "blockdev/fault_device.h"
+#include "blockdev/mem_device.h"
+#include "common/panic.h"
+#include "crashx/crashx.h"
+#include "fsck/fsck.h"
+
+namespace raefs {
+namespace crashx {
+
+namespace {
+
+MkfsOptions mkfs_opts(const ConcurrentOptions& o) {
+  MkfsOptions mk;
+  mk.total_blocks = o.total_blocks;
+  mk.inode_count = o.inode_count;
+  mk.journal_blocks = o.journal_blocks;
+  return mk;
+}
+
+Result<std::unique_ptr<MemBlockDevice>> make_master(
+    const ConcurrentOptions& o) {
+  auto mem = std::make_unique<MemBlockDevice>(o.total_blocks);
+  RAEFS_TRY_VOID(BaseFs::mkfs(mem.get(), mkfs_opts(o)));
+  RAEFS_TRY_VOID(mem->flush());
+  return mem;
+}
+
+std::string file_name(int t) { return "/t" + std::to_string(t); }
+
+/// The byte at absolute offset `off` of thread `t`'s file: pure in
+/// (seed, t, off), so content verification needs no record of which
+/// appends ran, and a tail block re-written by a later append carries the
+/// exact bytes the earlier epoch put there.
+uint8_t pattern_byte(uint64_t seed, int t, uint64_t off) {
+  return static_cast<uint8_t>(off * 131 + static_cast<uint64_t>(t) * 17 +
+                              seed * 7 + 0x3Bu);
+}
+
+std::vector<uint8_t> pattern_chunk(uint64_t seed, int t, uint64_t off,
+                                   size_t len) {
+  std::vector<uint8_t> out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = pattern_byte(seed, t, off + i);
+  }
+  return out;
+}
+
+struct WorkerState {
+  uint64_t acked = 0;  // bytes known durable: an fsync covering them acked
+  std::string error;   // EIO variant only: unexpected failure/panic
+};
+
+/// Crash-variant worker: append + fsync until done or the device dies.
+/// Failures simply stop the thread -- the machine is losing power and the
+/// post-cycle check judges the image, not the errno.
+void worker_crash(BaseFs* fs, FaultBlockDevice* fdev, Ino ino, int t,
+                  const ConcurrentOptions& o, WorkerState* ws) {
+  try {
+    uint64_t off = 0;
+    for (size_t a = 0; a < o.appends_per_thread; ++a) {
+      if (fdev->crashed()) return;
+      auto chunk = pattern_chunk(o.seed, t, off, o.chunk_bytes);
+      uint64_t done = 0;
+      while (done < chunk.size()) {
+        auto w = fs->write(
+            ino, 0, off + done,
+            std::span<const uint8_t>(chunk.data() + done,
+                                     chunk.size() - done));
+        if (!w.ok() || w.value() == 0) return;
+        done += w.value();
+      }
+      off += chunk.size();
+      if (!fs->fsync(ino).ok()) return;
+      ws->acked = off;
+    }
+  } catch (const FsPanicError&) {
+    // Panicking while the device dies under the base is legal; state is
+    // judged after the power cycle.
+  }
+}
+
+/// Injection-variant worker: every op gets one retry (the injection is
+/// one-shot, but a single failed group commit legally errors several
+/// waiting threads at once -- each retry joins a fresh epoch, which must
+/// succeed). A second failure, or any panic, is a divergence.
+void worker_eio(BaseFs* fs, Ino ino, int t, const ConcurrentOptions& o,
+                WorkerState* ws) {
+  try {
+    uint64_t off = 0;
+    for (size_t a = 0; a < o.appends_per_thread; ++a) {
+      auto chunk = pattern_chunk(o.seed, t, off, o.chunk_bytes);
+      uint64_t done = 0;
+      while (done < chunk.size()) {
+        std::span<const uint8_t> rest(chunk.data() + done,
+                                      chunk.size() - done);
+        auto w = fs->write(ino, 0, off + done, rest);
+        if (!w.ok()) w = fs->write(ino, 0, off + done, rest);
+        if (!w.ok() || w.value() == 0) {
+          ws->error = "append still failing after one retry: " +
+                      std::string(to_string(w.ok() ? Errno::kIo : w.error()));
+          return;
+        }
+        done += w.value();
+      }
+      off += chunk.size();
+      Status s = fs->fsync(ino);
+      if (!s.ok()) s = fs->fsync(ino);
+      if (!s.ok()) {
+        ws->error = "fsync still failing after one retry: " +
+                    std::string(to_string(s.error()));
+        return;
+      }
+      ws->acked = off;
+    }
+  } catch (const FsPanicError& e) {
+    ws->error = std::string("base panicked on a single-shot injection: ") +
+                e.what();
+  }
+}
+
+/// Mounted-image check against the schedule-independent oracle: every
+/// file's size must cover its acked length, and every byte up to the size
+/// must match the pattern. A file may be missing only if nothing was ever
+/// acked for it (the crash hit setup).
+std::string verify_files(BaseFs& fs, const ConcurrentOptions& o,
+                         const std::vector<uint64_t>& acked) {
+  for (int t = 0; t < o.threads; ++t) {
+    auto st = fs.stat(file_name(t));
+    if (!st.ok()) {
+      if (acked[static_cast<size_t>(t)] > 0) {
+        return file_name(t) + " missing despite " +
+               std::to_string(acked[static_cast<size_t>(t)]) +
+               " acked byte(s)";
+      }
+      continue;
+    }
+    uint64_t size = st.value().size;
+    if (size < acked[static_cast<size_t>(t)]) {
+      return file_name(t) + " size " + std::to_string(size) +
+             " below acked length " +
+             std::to_string(acked[static_cast<size_t>(t)]);
+    }
+    auto data = fs.read(st.value().ino, 0, 0, size);
+    if (!data.ok()) {
+      return "reading " + file_name(t) +
+             " failed: " + std::string(to_string(data.error()));
+    }
+    if (data.value().size() != size) {
+      return file_name(t) + " short read: " +
+             std::to_string(data.value().size()) + " of " +
+             std::to_string(size);
+    }
+    for (uint64_t i = 0; i < size; ++i) {
+      if (data.value()[i] != pattern_byte(o.seed, t, i)) {
+        return file_name(t) + " byte " + std::to_string(i) +
+               " does not match the append pattern";
+      }
+    }
+  }
+  return "";
+}
+
+std::string fsck_problems(BlockDevice* dev) {
+  auto rep = fsck(dev, FsckLevel::kStrict);
+  if (!rep.ok()) {
+    return "fsck itself failed: " + std::string(to_string(rep.error()));
+  }
+  std::string out;
+  for (const auto& f : rep.value().findings) {
+    if (f.severity == FsckSeverity::kFatal) {
+      out += "fsck fatal: " + f.what + "\n";
+    } else if (f.severity == FsckSeverity::kLeak) {
+      out += "fsck leak: " + f.what + "\n";
+    }
+  }
+  return out;
+}
+
+/// Create the per-thread files and make them durable. `retry` enables the
+/// injection variant's retry-once policy. Returns false (without touching
+/// `error`) when the device died mid-setup -- legal in a crash scenario.
+bool run_setup(BaseFs& fs, const ConcurrentOptions& o, bool retry,
+               std::vector<Ino>* inos, std::string* error) {
+  try {
+    for (int t = 0; t < o.threads; ++t) {
+      auto c = fs.create(file_name(t), 0644);
+      if (!c.ok() && retry) c = fs.create(file_name(t), 0644);
+      if (!c.ok()) {
+        if (retry) *error = "create failed twice: " +
+                            std::string(to_string(c.error()));
+        return false;
+      }
+      inos->push_back(c.value());
+    }
+    Status s = fs.sync();
+    if (!s.ok() && retry) s = fs.sync();
+    if (!s.ok()) {
+      if (retry) *error = "setup sync failed twice: " +
+                          std::string(to_string(s.error()));
+      return false;
+    }
+  } catch (const FsPanicError& e) {
+    if (retry) *error = std::string("base panicked during setup: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+/// One crash-point scenario. Empty return = no divergence.
+std::string run_concurrent_crash(const MemBlockDevice& master,
+                                 const ConcurrentOptions& o, uint64_t k) {
+  auto mem = master.clone_full();
+  FaultBlockDevice fdev(mem.get());
+  fdev.arm_crash_after_writes(k);
+  std::vector<uint64_t> acked(static_cast<size_t>(o.threads), 0);
+
+  {
+    auto mounted = BaseFs::mount(&fdev, BaseFsOptions{});
+    if (mounted.ok()) {
+      auto fs = std::move(mounted).value();
+      std::vector<Ino> inos;
+      std::string ignored;
+      if (run_setup(*fs, o, /*retry=*/false, &inos, &ignored)) {
+        std::vector<WorkerState> ws(static_cast<size_t>(o.threads));
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(o.threads));
+        for (int t = 0; t < o.threads; ++t) {
+          threads.emplace_back(worker_crash, fs.get(), &fdev,
+                               inos[static_cast<size_t>(t)], t, std::cref(o),
+                               &ws[static_cast<size_t>(t)]);
+        }
+        for (auto& th : threads) th.join();
+        for (int t = 0; t < o.threads; ++t) {
+          acked[static_cast<size_t>(t)] = ws[static_cast<size_t>(t)].acked;
+        }
+        if (!fdev.crashed()) {
+          // k exceeded this run's write count; finish as a no-fault run.
+          try {
+            (void)fs->unmount();
+          } catch (const FsPanicError&) {
+          }
+        }
+      }
+    }
+    // A mount or setup that died mid-way is equally legal.
+  }
+
+  // Power cycle: in-memory fs state gone, volatile device cache lost.
+  fdev.disarm();
+  mem->crash();
+
+  auto remounted = BaseFs::mount(mem.get(), BaseFsOptions{});
+  if (!remounted.ok()) {
+    return "remount after crash failed: " +
+           std::string(to_string(remounted.error()));
+  }
+  std::string bad = verify_files(*remounted.value(), o, acked);
+  if (!bad.empty()) return "post-crash state violates the oracle: " + bad;
+
+  Status um = remounted.value()->unmount();
+  if (!um.ok()) {
+    return "post-crash unmount failed: " + std::string(to_string(um.error()));
+  }
+  bad = fsck_problems(mem.get());
+  if (!bad.empty()) return "post-crash image not clean:\n" + bad;
+  return "";
+}
+
+/// One single-shot write-EIO scenario. Empty return = no divergence.
+std::string run_concurrent_injection(const MemBlockDevice& master,
+                                     const ConcurrentOptions& o,
+                                     uint64_t site) {
+  auto mem = master.clone_full();
+  FaultBlockDevice fdev(mem.get());
+  fdev.arm_write_error_at(site);
+
+  auto mounted = BaseFs::mount(&fdev, BaseFsOptions{});
+  if (!mounted.ok()) {
+    mounted = BaseFs::mount(&fdev, BaseFsOptions{});
+    if (!mounted.ok()) {
+      return "mount failed twice under a single-shot injection: " +
+             std::string(to_string(mounted.error()));
+    }
+  }
+  auto fs = std::move(mounted).value();
+
+  std::vector<Ino> inos;
+  std::string setup_error;
+  if (!run_setup(*fs, o, /*retry=*/true, &inos, &setup_error)) {
+    return setup_error;
+  }
+
+  std::vector<WorkerState> ws(static_cast<size_t>(o.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(o.threads));
+  for (int t = 0; t < o.threads; ++t) {
+    threads.emplace_back(worker_eio, fs.get(), inos[static_cast<size_t>(t)],
+                         t, std::cref(o), &ws[static_cast<size_t>(t)]);
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<uint64_t> acked(static_cast<size_t>(o.threads), 0);
+  const uint64_t full =
+      static_cast<uint64_t>(o.appends_per_thread) * o.chunk_bytes;
+  for (int t = 0; t < o.threads; ++t) {
+    const WorkerState& w = ws[static_cast<size_t>(t)];
+    if (!w.error.empty()) return file_name(t) + ": " + w.error;
+    if (w.acked != full) {
+      return file_name(t) + " acked " + std::to_string(w.acked) + " of " +
+             std::to_string(full) + " bytes with no error reported";
+    }
+    acked[static_cast<size_t>(t)] = w.acked;
+  }
+
+  Status synced = fs->sync();
+  if (!synced.ok()) synced = fs->sync();
+  if (!synced.ok()) {
+    return "sync still failing after the injection was consumed: " +
+           std::string(to_string(synced.error()));
+  }
+  std::string bad = verify_files(*fs, o, acked);
+  if (!bad.empty()) return "mounted state violates the oracle: " + bad;
+
+  Status um = fs->unmount();
+  if (!um.ok()) {
+    // The one-shot error hit unmount's write-back; the preceding sync
+    // journalled everything, so recovery must restore it all.
+    fs.reset();
+    auto rec = BaseFs::mount(&fdev, BaseFsOptions{});
+    if (!rec.ok()) {
+      return "mount after failed unmount did not recover: " +
+             std::string(to_string(rec.error()));
+    }
+    bad = verify_files(*rec.value(), o, acked);
+    if (!bad.empty()) {
+      return "state lost across failed unmount + recovery: " + bad;
+    }
+    um = rec.value()->unmount();
+    if (!um.ok()) {
+      return "unmount failed twice under a single-shot injection: " +
+             std::string(to_string(um.error()));
+    }
+  }
+  bad = fsck_problems(mem.get());
+  if (!bad.empty()) return "image not clean after injected error:\n" + bad;
+
+  auto re = BaseFs::mount(mem.get(), BaseFsOptions{});
+  if (!re.ok()) {
+    return "remount failed: " + std::string(to_string(re.error()));
+  }
+  bad = verify_files(*re.value(), o, acked);
+  if (!bad.empty()) return "durable state violates the oracle: " + bad;
+  return "";
+}
+
+uint64_t stride_for(uint64_t total, uint64_t cap) {
+  if (cap == 0 || total <= cap) return 1;
+  return (total + cap - 1) / cap;
+}
+
+}  // namespace
+
+Result<Report> explore_concurrent(const ConcurrentOptions& opts) {
+  RAEFS_TRY(auto master, make_master(opts));
+
+  // Baseline (unfaulted) run: bounds the crash-point space and proves the
+  // workload itself completes. The write count varies run to run -- thread
+  // scheduling moves epoch boundaries -- so the sweep is a coverage
+  // heuristic, not an exact enumeration; any k past a given run's count
+  // simply degenerates into a no-fault run, which the oracle still judges.
+  uint64_t total_writes = 0;
+  {
+    auto mem = master->clone_full();
+    FaultBlockDevice fdev(mem.get());
+    RAEFS_TRY(auto fs, BaseFs::mount(&fdev, BaseFsOptions{}));
+    std::vector<Ino> inos;
+    std::string error;
+    if (!run_setup(*fs, opts, /*retry=*/true, &inos, &error)) {
+      return Errno::kIo;
+    }
+    std::vector<WorkerState> ws(static_cast<size_t>(opts.threads));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < opts.threads; ++t) {
+      threads.emplace_back(worker_eio, fs.get(),
+                           inos[static_cast<size_t>(t)], t, std::cref(opts),
+                           &ws[static_cast<size_t>(t)]);
+    }
+    for (auto& th : threads) th.join();
+    for (const auto& w : ws) {
+      if (!w.error.empty()) return Errno::kIo;  // unfaulted run must pass
+    }
+    RAEFS_TRY_VOID(fs->unmount());
+    total_writes = fdev.writes_seen();
+  }
+
+  Report report;
+  report.baseline_writes = total_writes;
+
+  uint64_t step = stride_for(total_writes, opts.max_crash_points);
+  for (uint64_t k = 0; k < total_writes; k += step) {
+    std::string d = run_concurrent_crash(*master, opts, k);
+    ++report.crash_points;
+    if (!d.empty()) {
+      report.divergences.push_back(
+          Divergence{Fault{FaultKind::kCrashAtWrite, k}, std::move(d)});
+    }
+  }
+
+  step = stride_for(total_writes, opts.max_write_injections);
+  for (uint64_t i = 0; i < total_writes; i += step) {
+    std::string d = run_concurrent_injection(*master, opts, i);
+    ++report.write_sites;
+    if (!d.empty()) {
+      report.divergences.push_back(
+          Divergence{Fault{FaultKind::kWriteErrorAt, i}, std::move(d)});
+    }
+  }
+  return report;
+}
+
+}  // namespace crashx
+}  // namespace raefs

@@ -95,6 +95,40 @@ struct Report {
 /// filesystem misbehaviour is reported as divergences.
 Result<Report> explore(const CrashxOptions& opts);
 
+/// Options for the concurrent explorer (crashx/concurrent.cc): N threads
+/// append pattern bytes to per-thread files with an fsync after every
+/// append. Thread scheduling makes device write order nondeterministic, so
+/// the oracle is schedule-independent by construction: content is a pure
+/// function of (seed, file, offset), the workload is append-only, and the
+/// invariant checked after every crash is "file size covers every
+/// fsync-acked length, and every byte up to the size matches the pattern".
+struct ConcurrentOptions {
+  uint64_t seed = 42;
+  int threads = 4;
+  size_t appends_per_thread = 12;
+  /// Deliberately not block-aligned: appends re-write the tail block, so
+  /// the sweep exercises epochs whose data writes overlap earlier epochs'.
+  size_t chunk_bytes = 6144;
+
+  uint64_t total_blocks = 4096;
+  uint64_t inode_count = 512;
+  uint64_t journal_blocks = 128;
+
+  /// Caps for bounded (smoke) runs; 0 = exhaustive over a baseline run's
+  /// write count.
+  uint64_t max_crash_points = 0;
+  uint64_t max_write_injections = 0;
+};
+
+/// Crash + single-shot write-EIO sweep over the concurrent append
+/// workload. This is what holds the group-commit engine to the serial
+/// explorer's standard: N threads in flight, pipelined epochs, and a crash
+/// at every write index must never lose an acked byte or corrupt the
+/// image. Read injection is not swept: the workload is write-dominated and
+/// read order is schedule-dependent, so a read index does not name a
+/// meaningful site.
+Result<Report> explore_concurrent(const ConcurrentOptions& opts);
+
 /// One persisted scenario: geometry + workload + a single fault.
 struct Repro {
   CrashxOptions opts;  // geometry/sync_every; caps ignored

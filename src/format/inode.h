@@ -28,6 +28,8 @@ struct DiskInode {
 
   bool in_use() const { return type != FileType::kNone; }
 
+  bool operator==(const DiskInode&) const = default;
+
   /// Serialize into exactly kInodeSize bytes (CRC32C in the final 4).
   std::vector<uint8_t> encode() const;
 

@@ -1,6 +1,7 @@
 #include "journal/journal.h"
 
 #include <cstring>
+#include <unordered_map>
 
 #include "common/checksum.h"
 #include "common/serial.h"
@@ -155,21 +156,24 @@ struct ScannedTxn {
 };
 
 /// After the forward scan stops at `from`, decide whether the unread tail
-/// is consistent with a torn final transaction (the normal crash shape:
-/// nothing but stale or garbage blocks remain) or proves that committed
-/// history was destroyed. Sequence numbers are strictly increasing across
-/// checkpoints and never reused, so stale records left over from before
-/// the last checkpoint all carry seq <= floor < expect_seq; a CRC-valid
-/// descriptor or commit record with seq >= expect_seq can only be the
-/// remains of a transaction that once committed beyond the stop point.
+/// is consistent with torn uncommitted transactions (the normal crash
+/// shape) or proves that committed history was destroyed. The pipeline
+/// sequences commit records strictly: transaction N+1's commit record is
+/// submitted only after N's commit record is durable, and a failed
+/// transaction rewinds the cursor so retries reuse its sequence numbers
+/// and journal blocks. A CRC-valid *commit* record with seq >= expect_seq
+/// therefore proves a transaction beyond the stop point once committed --
+/// its predecessors' records were destroyed -- and the journal is refused.
+/// Descriptors with seq >= expect_seq, by contrast, are the legal remains
+/// of pipelined transactions whose payload raced ahead of an earlier
+/// commit record the crash cut off; they are ignored, exactly like a torn
+/// final transaction under the serial commit path.
 Status audit_tail(BlockDevice* dev, const Geometry& geo, BlockNo from,
                   uint64_t expect_seq) {
   std::vector<uint8_t> buf(kBlockSize);
   const BlockNo end = geo.journal_start + geo.journal_blocks;
   for (BlockNo pos = from; pos < end; ++pos) {
     RAEFS_TRY_VOID(dev->read_block(pos, buf));
-    auto d = decode_descriptor(buf);
-    if (d.ok() && d.value().seq >= expect_seq) return Errno::kCorrupt;
     auto c = decode_commit(buf);
     if (c.ok() && c.value().seq >= expect_seq) return Errno::kCorrupt;
   }
@@ -265,6 +269,10 @@ Status Journal::open() {
   std::lock_guard<std::mutex> lk(mu_);
   next_seq_ = hdr.floor_seq + 1;
   cursor_ = geo_.journal_start + 1;
+  durable_seq_ = hdr.floor_seq;
+  durable_cursor_ = cursor_;
+  pipeline_failed_ = false;
+  staged_.clear();
   return Status::Ok();
 }
 
@@ -280,6 +288,7 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
     if (!r.data || r.data->size() != kBlockSize) return Errno::kInval;
   }
   std::lock_guard<std::mutex> lk(mu_);
+  if (!staged_.empty() || pipeline_failed_) return Errno::kBusy;
   if (cursor_ + blocks_needed(records.size()) >
       geo_.journal_start + geo_.journal_blocks) {
     return Errno::kNoSpace;
@@ -306,22 +315,244 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
 
   cursor_ += blocks_needed(records.size());
   next_seq_ = seq + 1;
+  durable_seq_ = seq;
+  durable_cursor_ = cursor_;
   commit_counter().inc();
   blocks_written_counter().inc(blocks_needed(records.size()));
   return seq;
 }
 
+Result<uint64_t> Journal::commit_async(
+    const std::vector<JournalRecord>& records, AsyncBlockDevice* async,
+    CommitDoneCb done,
+    std::shared_ptr<const std::atomic<bool>> external_abort) {
+  if (records.empty()) return Errno::kInval;
+  for (const auto& r : records) {
+    if (!r.data || r.data->size() != kBlockSize) return Errno::kInval;
+  }
+  auto txn = std::make_shared<Staged>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pipeline_failed_) return Errno::kBusy;
+    if (cursor_ + blocks_needed(records.size()) >
+        geo_.journal_start + geo_.journal_blocks) {
+      return Errno::kNoSpace;
+    }
+    txn->seq = next_seq_++;
+    txn->start = cursor_;
+    txn->nblocks = blocks_needed(records.size());
+    txn->ntags = static_cast<uint32_t>(records.size());
+    txn->crc = payload_crc(records);
+    txn->external_abort = std::move(external_abort);
+    txn->done = std::move(done);
+    cursor_ += txn->nblocks;
+    staged_.push_back(txn);
+    async_ = async;
+  }
+  // Descriptor + payload go out as one coalesced extent write; callers
+  // serialize commit_async calls (single committer), so staging order is
+  // submission order. The flush barrier behind them proves the payload
+  // durable before the commit record may exist (write-ahead rule).
+  Descriptor d;
+  d.seq = txn->seq;
+  for (const auto& r : records) d.targets.push_back(r.target);
+  std::vector<BlockBufPtr> bufs;
+  bufs.reserve(records.size() + 1);
+  bufs.push_back(std::make_shared<const BlockBuf>(encode_descriptor(d)));
+  for (const auto& r : records) bufs.push_back(r.data);
+  StagedPtr t = txn;
+  async->submit_writev(txn->start, std::move(bufs), [this, t](Status st) {
+    if (!st.ok()) note_write_error_(t, st);
+  });
+  async->submit_flush([this, t](Status st) { on_payload_barrier_(t, st); });
+  return txn->seq;
+}
+
+Status Journal::flush_async(AsyncBlockDevice* async, CommitDoneCb done) {
+  auto txn = std::make_shared<Staged>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pipeline_failed_) return Errno::kBusy;
+    txn->done = std::move(done);  // nblocks == 0: barrier-only
+    staged_.push_back(txn);
+    async_ = async;
+  }
+  StagedPtr t = txn;
+  async->submit_flush([this, t](Status st) { on_payload_barrier_(t, st); });
+  return Status::Ok();
+}
+
+void Journal::note_write_error_(const StagedPtr& txn, Status st) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!txn->failed) {
+    txn->failed = true;
+    txn->error = st;
+  }
+}
+
+void Journal::on_payload_barrier_(const StagedPtr& txn, Status st) {
+  std::vector<std::pair<StagedPtr, Status>> finished;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!st.ok() && !txn->failed) {
+      txn->failed = true;
+      txn->error = st;
+    }
+    txn->payload_done = true;
+    advance_head_locked_(&finished);
+  }
+  for (auto& [t, s] : finished) finish_(t, s);
+}
+
+void Journal::on_commit_flushed_(const StagedPtr& txn, Status st) {
+  std::vector<std::pair<StagedPtr, Status>> finished;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!st.ok() && !txn->failed) {
+      txn->failed = true;
+      txn->error = st;
+    }
+    if (!txn->failed) {
+      // Commit record durable: retire the head (strict sequencing means
+      // txn *is* the head) and let the next commit record go out.
+      durable_seq_ = txn->seq;
+      durable_cursor_ = txn->start + txn->nblocks;
+      staged_.pop_front();
+      finished.emplace_back(txn, Status::Ok());
+    }
+    // On failure the head stays staged; advance_head_locked_ sees it
+    // failed and aborts the whole suffix.
+    advance_head_locked_(&finished);
+  }
+  for (auto& [t, s] : finished) finish_(t, s);
+}
+
+void Journal::advance_head_locked_(
+    std::vector<std::pair<StagedPtr, Status>>* finished) {
+  while (!staged_.empty()) {
+    StagedPtr head = staged_.front();
+    bool abort = pipeline_failed_ || head->failed;
+    if (!abort && head->payload_done && head->external_abort &&
+        head->external_abort->load(std::memory_order_acquire)) {
+      // Ordered-mode dependency: the caller's data writes for this
+      // transaction failed. Withhold the commit record -- metadata must
+      // never commit over lost data.
+      head->error = Errno::kIo;
+      abort = true;
+    }
+    if (abort) {
+      // No commit record may be submitted past a failed transaction
+      // (that is what makes a surviving commit record with seq >=
+      // expect_seq *proof* of destroyed history). Fail every staged
+      // transaction; the owner drains the async queue and rewinds.
+      pipeline_failed_ = true;
+      Status err = head->error.ok() ? Status(Errno::kIo) : head->error;
+      for (auto& t : staged_) {
+        t->failed = true;
+        if (t->error.ok()) t->error = err;
+        finished->emplace_back(t, t->error);
+      }
+      staged_.clear();
+      return;
+    }
+    if (!head->payload_done) return;  // payload barrier still in flight
+    if (head->nblocks == 0) {
+      // flush_async barrier: durable once it reaches the head with its
+      // flush complete (all earlier transactions are durable by then).
+      staged_.pop_front();
+      finished->emplace_back(head, Status::Ok());
+      continue;
+    }
+    if (head->commit_sent) return;  // waiting for on_commit_flushed_
+    head->commit_sent = true;
+    Commit c;
+    c.seq = head->seq;
+    c.ntags = head->ntags;
+    c.payload_crc = head->crc;
+    StagedPtr t = head;
+    // Safe under mu_: enqueue only takes the async device's own mutex,
+    // and completion callbacks acquire mu_ without holding it.
+    async_->submit_write(head->start + head->nblocks - 1,
+                         std::make_shared<const BlockBuf>(encode_commit(c)),
+                         [this, t](Status st) {
+                           if (!st.ok()) note_write_error_(t, st);
+                         });
+    async_->submit_flush(
+        [this, t](Status st) { on_commit_flushed_(t, st); });
+    return;
+  }
+}
+
+void Journal::finish_(const StagedPtr& txn, Status st) {
+  if (st.ok() && txn->nblocks > 0) {
+    commit_counter().inc();
+    blocks_written_counter().inc(txn->nblocks);
+  }
+  if (txn->done) txn->done(st, txn->seq);
+}
+
+bool Journal::pipeline_failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pipeline_failed_;
+}
+
+void Journal::rewind_pipeline() {
+  // Precondition: the async queue is drained and every staged
+  // transaction's done callback has run (they all fail together when the
+  // pipeline fails). Rewinding reuses the failed transactions' sequence
+  // numbers and journal blocks, so their torn remains stay below the tail
+  // audit's expect_seq.
+  std::lock_guard<std::mutex> lk(mu_);
+  staged_.clear();
+  pipeline_failed_ = false;
+  cursor_ = durable_cursor_;
+  next_seq_ = durable_seq_ + 1;
+}
+
+size_t Journal::staged_txns() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return staged_.size();
+}
+
+Result<std::vector<JournalRecord>> Journal::committed_records() const {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!staged_.empty() || pipeline_failed_) return Errno::kInval;
+  }
+  RAEFS_TRY(auto txns, scan_committed(dev_, geo_));
+  // Latest copy per target wins, so the caller's coalesced write-back
+  // never writes the same block twice in unspecified order.
+  std::unordered_map<BlockNo, size_t> index;
+  std::vector<JournalRecord> out;
+  for (auto& txn : txns) {
+    for (auto& rec : txn.records) {
+      auto [it, inserted] = index.try_emplace(rec.target, out.size());
+      if (inserted) {
+        out.push_back(std::move(rec));
+      } else {
+        out[it->second] = std::move(rec);
+      }
+    }
+  }
+  return out;
+}
+
 Status Journal::checkpoint() {
   std::lock_guard<std::mutex> lk(mu_);
+  // Checkpointing with transactions still in flight would raise the floor
+  // past commit records that are not yet durable.
+  if (!staged_.empty() || pipeline_failed_) return Errno::kInval;
   RAEFS_TRY_VOID(format(dev_, geo_, next_seq_ - 1));
   cursor_ = geo_.journal_start + 1;
+  durable_seq_ = next_seq_ - 1;
+  durable_cursor_ = cursor_;
   checkpoint_counter().inc();
   return Status::Ok();
 }
 
 uint64_t Journal::committed_seq() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return next_seq_ - 1;
+  return durable_seq_;
 }
 
 double Journal::fill_ratio() const {

@@ -15,16 +15,25 @@
 // All header/descriptor/commit blocks carry a whole-block CRC32C. A
 // transaction is durable iff its commit block is valid and its payload CRC
 // matches. Replay distinguishes two failure shapes at the first invalid
-// record: a torn *tail* (the final transaction never finished -- discarded
-// silently, exactly like jbd2) versus destroyed *committed* history (a
-// durable commit whose payload mismatches, or surviving records beyond the
-// stop point with sequence numbers past the floor), which fails loudly
-// with kCorrupt rather than silently truncating durable transactions.
+// record: a torn *tail* (uncommitted transactions never finished --
+// discarded silently, exactly like jbd2) versus destroyed *committed*
+// history (a durable commit whose payload mismatches, or a surviving
+// *commit record* beyond the stop point with a sequence number past the
+// floor), which fails loudly with kCorrupt rather than silently
+// truncating durable transactions. Because commit records are strictly
+// sequenced by the pipelined commit path (below), descriptors/payloads
+// beyond the stop point are legal torn remains, but a commit record there
+// proves a later transaction once committed.
 #pragma once
 
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "blockdev/async_device.h"
 #include "blockdev/block_device.h"
 #include "common/result.h"
 #include "format/layout.h"
@@ -75,8 +84,67 @@ class Journal {
   bool has_space(size_t nrecords) const;
 
   /// Durably commit one transaction: descriptor + payload, flush, commit
-  /// record, flush. Returns the assigned sequence number.
+  /// record, flush. Returns the assigned sequence number. Must not run
+  /// while pipelined transactions are staged (used by the oversized-
+  /// transaction fallback and by tests).
   Result<uint64_t> commit(const std::vector<JournalRecord>& records);
+
+  /// Completion of a pipelined transaction. Runs on an async worker once
+  /// the transaction is durable (commit record flushed) or has failed.
+  using CommitDoneCb = std::function<void(Status, uint64_t seq)>;
+
+  /// Pipelined group commit. Reserves (seq, journal blocks) and submits
+  /// descriptor+payload as one coalesced writev through `async`, followed
+  /// by a flush barrier. The commit record is submitted only once (a) the
+  /// barrier completed, proving the payload durable first, (b) every
+  /// earlier staged transaction is durable (commit records are strictly
+  /// sequenced, so a surviving commit record with seq N proves all seqs
+  /// < N committed -- the torn-tail classification's prefix property),
+  /// and (c) neither this transaction's writes nor `external_abort` (the
+  /// caller's ordered-mode data writes) reported an error. A second flush
+  /// behind the commit record completes the transaction; `done` then runs
+  /// with Ok. On any failure the commit record is withheld, the pipeline
+  /// enters a failed state (all later staged transactions abort too), and
+  /// `done` runs with the error.
+  ///
+  /// Descriptor+payload blocks of transaction N+1 may reach the device
+  /// while transaction N's commit record + flush are still in flight:
+  /// that is the pipelining. Returns the reserved sequence number, or
+  /// kNoSpace / kBusy (pipeline failed; rewind first) synchronously.
+  Result<uint64_t> commit_async(const std::vector<JournalRecord>& records,
+                                AsyncBlockDevice* async, CommitDoneCb done,
+                                std::shared_ptr<const std::atomic<bool>>
+                                    external_abort = nullptr);
+
+  /// Stage a durability-only barrier: no journal blocks are written, but
+  /// `done` runs (after a flush) only once every earlier staged
+  /// transaction is durable. Used for epochs that dirtied file data but
+  /// no metadata.
+  Status flush_async(AsyncBlockDevice* async, CommitDoneCb done);
+
+  /// True once any staged transaction failed. While failed, commit_async
+  /// refuses new transactions; the owner must drain `async` and call
+  /// rewind_pipeline() before retrying.
+  bool pipeline_failed() const;
+
+  /// Discard failed/aborted staged transactions after the async queue has
+  /// been drained: the cursor and sequence counter rewind to just past the
+  /// last durable transaction, so a retry reuses the same sequence numbers
+  /// and journal blocks (stale torn descriptors beyond the rewind point
+  /// never received commit records and are tolerated by the tail audit).
+  void rewind_pipeline();
+
+  /// Staged transactions not yet durable.
+  size_t staged_txns() const;
+
+  /// Re-read every committed transaction's payload from the journal
+  /// region, deduplicated to the latest copy per target block (in commit
+  /// order). This is how the checkpointer obtains write-back content
+  /// without retaining cache handles across epochs (which would force
+  /// copy-on-write clones on every re-dirty). Requires an idle pipeline
+  /// and a drained async queue (the region must be quiescent on device);
+  /// returns kInval otherwise.
+  Result<std::vector<JournalRecord>> committed_records() const;
 
   /// Declare all committed transactions checkpointed (their blocks have
   /// been written in place and flushed by the caller): raise the floor and
@@ -99,12 +167,46 @@ class Journal {
                                             const Geometry& geo);
 
  private:
+  /// One staged pipelined transaction (or a flush_async barrier when
+  /// nblocks == 0). Shared with the async completion callbacks.
+  struct Staged {
+    uint64_t seq = 0;
+    BlockNo start = 0;      // descriptor position
+    uint64_t nblocks = 0;   // blocks_needed(ntags); 0 = barrier-only
+    uint32_t ntags = 0;
+    uint32_t crc = 0;
+    bool payload_done = false;  // payload barrier completed OK
+    bool commit_sent = false;   // commit record + final flush submitted
+    bool failed = false;
+    Status error = Status::Ok();
+    std::shared_ptr<const std::atomic<bool>> external_abort;
+    CommitDoneCb done;
+  };
+  using StagedPtr = std::shared_ptr<Staged>;
+
+  void note_write_error_(const StagedPtr& txn, Status st);
+  void on_payload_barrier_(const StagedPtr& txn, Status st);
+  void on_commit_flushed_(const StagedPtr& txn, Status st);
+  // Must hold mu_. Submit the commit record + final flush for the staged
+  // head if it is ready; abort the whole staged suffix (and mark the
+  // pipeline failed) if the head or its ordered-data dependency failed.
+  // Retired transactions are appended to `finished`; the caller invokes
+  // finish_ on them after dropping mu_.
+  void advance_head_locked_(
+      std::vector<std::pair<StagedPtr, Status>>* finished);
+  void finish_(const StagedPtr& txn, Status st);
+
   BlockDevice* dev_;
   Geometry geo_;
 
   mutable std::mutex mu_;
   uint64_t next_seq_ = 1;
-  BlockNo cursor_ = 0;  // next free journal block
+  BlockNo cursor_ = 0;          // next free journal block (incl. staged)
+  uint64_t durable_seq_ = 0;    // last seq whose commit record is durable
+  BlockNo durable_cursor_ = 0;  // journal block after the last durable txn
+  bool pipeline_failed_ = false;
+  std::deque<StagedPtr> staged_;      // staging order == seq order
+  AsyncBlockDevice* async_ = nullptr; // bound at first commit_async
 };
 
 }  // namespace raefs

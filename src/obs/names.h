@@ -32,11 +32,17 @@ inline constexpr const char* kMBaseExtentWalks = "basefs.extent.walks";
 inline constexpr const char* kMBaseExtentHintHits = "basefs.extent.hint_hits";
 inline constexpr const char* kMBaseFreeBlocks = "basefs.free_blocks";    // gauge
 inline constexpr const char* kMBaseFreeInodes = "basefs.free_inodes";    // gauge
+inline constexpr const char* kMBaseCommitGroupOps =
+    "basefs.commit.group_ops";                                      // histogram
+inline constexpr const char* kMBaseCommitWaitNs =
+    "basefs.commit_wait_ns";                                        // histogram
 
 // --- metrics: journal -------------------------------------------------------
 inline constexpr const char* kMJournalCommits = "journal.commits";
 inline constexpr const char* kMJournalBlocksWritten = "journal.blocks_written";
 inline constexpr const char* kMJournalCheckpoints = "journal.checkpoints";
+inline constexpr const char* kMJournalCommitLatencyNs =
+    "journal.commit_latency_ns";                                    // histogram
 
 // --- metrics: block layer ---------------------------------------------------
 inline constexpr const char* kMBlockdevReads = "blockdev.reads";
@@ -82,9 +88,11 @@ inline constexpr const char* kSpanVfsWrite = "vfs.write";
 inline constexpr const char* kSpanBaseRead = "basefs.read";
 inline constexpr const char* kSpanBaseWrite = "basefs.write";
 inline constexpr const char* kSpanBaseLockWait = "basefs.lock_wait";
+inline constexpr const char* kSpanBaseCommitWait = "basefs.commit_wait";
 inline constexpr const char* kSpanBaseCommit = "basefs.commit";
 inline constexpr const char* kSpanBaseCheckpoint = "basefs.checkpoint";
 inline constexpr const char* kSpanJournalCommit = "journal.commit";
+inline constexpr const char* kSpanJournalGroupCommit = "journal.group_commit";
 inline constexpr const char* kSpanJournalReplay = "journal.replay";
 inline constexpr const char* kSpanBlockdevWriteback = "blockdev.writeback";
 inline constexpr const char* kSpanShadowReplay = "shadow.replay";

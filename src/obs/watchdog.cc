@@ -18,6 +18,10 @@ bool has_prefix(const char* name, const char* prefix) {
 Nanos SlowOpRecord::* bucket_for(const char* name) {
   if (std::strcmp(name, "basefs.lock_wait") == 0)
     return &SlowOpRecord::lock_wait_ns;
+  // Exact matches must precede the basefs. prefix catch-all: commit wait
+  // (group-commit queueing) is not lock contention and not cache work.
+  if (std::strcmp(name, "basefs.commit_wait") == 0)
+    return &SlowOpRecord::commit_wait_ns;
   if (has_prefix(name, "journal.")) return &SlowOpRecord::journal_ns;
   if (has_prefix(name, "blockdev.")) return &SlowOpRecord::blockdev_ns;
   if (has_prefix(name, "basefs.")) return &SlowOpRecord::cache_ns;
@@ -112,6 +116,7 @@ std::string SlowOpWatchdog::to_json() const {
        << ", \"name\": " << json_quote(r.name) << ", \"start_ns\": " << r.start
        << ", \"end_ns\": " << r.end << ", \"total_ns\": " << r.total_ns
        << ", \"lock_wait_ns\": " << r.lock_wait_ns
+       << ", \"commit_wait_ns\": " << r.commit_wait_ns
        << ", \"cache_ns\": " << r.cache_ns
        << ", \"journal_ns\": " << r.journal_ns
        << ", \"blockdev_ns\": " << r.blockdev_ns

@@ -35,8 +35,9 @@ struct SlowOpRecord {
   Nanos start = 0;
   Nanos end = 0;
   Nanos total_ns = 0;
-  Nanos lock_wait_ns = 0;  // basefs.lock_wait spans
-  Nanos cache_ns = 0;      // basefs.* self time (cache + extent mapping)
+  Nanos lock_wait_ns = 0;    // basefs.lock_wait spans
+  Nanos commit_wait_ns = 0;  // basefs.commit_wait spans (group-commit queue)
+  Nanos cache_ns = 0;        // basefs.* self time (cache + extent mapping)
   Nanos journal_ns = 0;    // journal.* self time
   Nanos blockdev_ns = 0;   // blockdev.* self time
   Nanos recovery_ns = 0;   // rae.* / shadow.* self time (a masked bug)

@@ -149,6 +149,9 @@ class Vfs {
     return fs_->truncate(of.ino, of.gen, size);
   }
 
+  // Joins the epoch open at call time and waits for that epoch's
+  // durability only (group commit): concurrent fsyncs collapse into one
+  // journal transaction, and ops issued after this call owe it nothing.
   Status fsync(Fd fd) {
     obs::OpScope op;
     RAEFS_TRY(OpenFile of, fds_.get(fd));

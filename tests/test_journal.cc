@@ -1,8 +1,15 @@
 // Journal tests: commit/replay round trips, torn-transaction discard,
 // checkpoint floor behaviour, idempotent replay, the stale-transaction
-// floor-preservation regression.
+// floor-preservation regression, and the pipelined commit path's strict
+// commit-record sequencing / failure-rewind behaviour.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "blockdev/async_device.h"
+#include "blockdev/fault_device.h"
 #include "blockdev/mem_device.h"
 #include "format/layout.h"
 #include "journal/journal.h"
@@ -278,6 +285,242 @@ TEST_F(JournalFixture, RejectsBadRecords) {
   EXPECT_EQ(
       journal.commit({JournalRecord{1, std::vector<uint8_t>(10)}}).error(),
       Errno::kInval);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined commit path
+// ---------------------------------------------------------------------------
+
+/// Logs the order of writes (block number) and flushes (-1) reaching the
+/// device, so ordering invariants can be asserted after the fact.
+class OrderLogDevice final : public BlockDevice {
+ public:
+  explicit OrderLogDevice(BlockDevice* inner) : inner_(inner) {}
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+  Status read_block(BlockNo b, std::span<uint8_t> out) override {
+    return inner_->read_block(b, out);
+  }
+  Status write_block(BlockNo b, std::span<const uint8_t> d) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      log_.push_back(static_cast<int64_t>(b));
+    }
+    return inner_->write_block(b, d);
+  }
+  Status flush() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      log_.push_back(-1);
+    }
+    return inner_->flush();
+  }
+  const DeviceStats& stats() const override { return inner_->stats(); }
+  std::vector<int64_t> log() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return log_;
+  }
+
+ private:
+  BlockDevice* inner_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> log_;
+};
+
+/// Holds every write at the device boundary until opened, so a test can
+/// stage multiple async transactions before the first byte (and the first
+/// injected fault) can land. Reads and flushes pass through.
+class GateDevice final : public BlockDevice {
+ public:
+  explicit GateDevice(BlockDevice* inner) : inner_(inner) {}
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+  Status read_block(BlockNo b, std::span<uint8_t> out) override {
+    return inner_->read_block(b, out);
+  }
+  Status write_block(BlockNo b, std::span<const uint8_t> d) override {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return open_; });
+    }
+    return inner_->write_block(b, d);
+  }
+  Status flush() override { return inner_->flush(); }
+  const DeviceStats& stats() const override { return inner_->stats(); }
+  void open_gate() {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  BlockDevice* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST_F(JournalFixture, PipelinedCommitRecordsAreStrictlySequenced) {
+  // Two transactions staged back to back. Whatever the async workers do,
+  // txn 2's commit record must reach the device only after txn 1's commit
+  // record AND a flush behind it (txn 1 durable first) -- the prefix
+  // property the torn-tail audit depends on.
+  OrderLogDevice logged(dev.get());
+  Journal journal(&logged, geo);
+  ASSERT_TRUE(journal.open().ok());
+  AsyncBlockDevice async(&logged, 2);
+
+  std::atomic<int> done_order{0};
+  std::atomic<int> first_done{0}, second_done{0};
+  auto seq1 = journal.commit_async(
+      {record(geo.data_start, 0x11)}, &async, [&](Status st, uint64_t) {
+        EXPECT_TRUE(st.ok());
+        first_done = done_order.fetch_add(1) + 1;
+      });
+  auto seq2 = journal.commit_async(
+      {record(geo.data_start + 1, 0x22)}, &async, [&](Status st, uint64_t) {
+        EXPECT_TRUE(st.ok());
+        second_done = done_order.fetch_add(1) + 1;
+      });
+  ASSERT_TRUE(seq1.ok());
+  ASSERT_TRUE(seq2.ok());
+  EXPECT_EQ(seq1.value(), 1u);
+  EXPECT_EQ(seq2.value(), 2u);
+  async.drain();
+  EXPECT_EQ(journal.staged_txns(), 0u);
+  EXPECT_EQ(first_done.load(), 1);
+  EXPECT_EQ(second_done.load(), 2);
+
+  // Layout: header js, txn1 = [js+1 desc, js+2 payload, js+3 commit],
+  // txn2 = [js+4, js+5, js+6].
+  const auto js = static_cast<int64_t>(geo.journal_start);
+  auto log = logged.log();
+  auto index_of = [&](int64_t v, size_t from) {
+    for (size_t i = from; i < log.size(); ++i) {
+      if (log[i] == v) return i;
+    }
+    ADD_FAILURE() << "event " << v << " not found from " << from;
+    return log.size();
+  };
+  size_t commit1 = index_of(js + 3, 0);
+  size_t flush_after_commit1 = index_of(-1, commit1 + 1);
+  size_t commit2 = index_of(js + 6, 0);
+  EXPECT_GT(commit2, flush_after_commit1)
+      << "txn 2's commit record landed before txn 1 was durable";
+
+  ASSERT_TRUE(Journal::replay(dev.get(), geo).ok());
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x11));
+  EXPECT_EQ(read_block(geo.data_start + 1), block_of(0x22));
+}
+
+TEST_F(JournalFixture, PipelineFailureAbortsSuffixAndRewindReusesSeqs) {
+  // The first transaction's descriptor write fails: both staged
+  // transactions must abort (commit records are strictly sequenced, so the
+  // suffix shares the fate), the pipeline reports failed, and after a
+  // drain + rewind the retry reuses the same sequence numbers and journal
+  // blocks -- the stale remains stay below the tail audit's floor.
+  FaultBlockDevice fdev(dev.get());
+  GateDevice gate(&fdev);
+  Journal journal(&gate, geo);
+  ASSERT_TRUE(journal.open().ok());
+  AsyncBlockDevice async(&gate, 1);
+  // The gate holds all writes until both transactions are staged, so the
+  // injected fault cannot fire (and poison the pipeline) between the two
+  // commit_async calls.
+  fdev.arm_write_error_at(0);
+
+  std::atomic<int> failures{0};
+  auto fail_cb = [&](Status st, uint64_t) {
+    if (!st.ok()) failures.fetch_add(1);
+  };
+  auto seq1 =
+      journal.commit_async({record(geo.data_start, 0x11)}, &async, fail_cb);
+  auto seq2 = journal.commit_async({record(geo.data_start + 1, 0x22)}, &async,
+                                   fail_cb);
+  ASSERT_TRUE(seq1.ok());
+  ASSERT_TRUE(seq2.ok());
+  gate.open_gate();
+  async.drain();
+  EXPECT_EQ(failures.load(), 2);
+  EXPECT_TRUE(journal.pipeline_failed());
+  EXPECT_EQ(journal.commit_async({record(geo.data_start, 0x33)}, &async,
+                                 fail_cb)
+                .error(),
+            Errno::kBusy);
+
+  journal.rewind_pipeline();
+  EXPECT_FALSE(journal.pipeline_failed());
+  std::atomic<int> oks{0};
+  auto ok_cb = [&](Status st, uint64_t) {
+    if (st.ok()) oks.fetch_add(1);
+  };
+  auto retry1 =
+      journal.commit_async({record(geo.data_start, 0x44)}, &async, ok_cb);
+  auto retry2 = journal.commit_async({record(geo.data_start + 1, 0x55)},
+                                     &async, ok_cb);
+  ASSERT_TRUE(retry1.ok());
+  ASSERT_TRUE(retry2.ok());
+  EXPECT_EQ(retry1.value(), seq1.value());  // seq + blocks reused
+  EXPECT_EQ(retry2.value(), seq2.value());
+  async.drain();
+  EXPECT_EQ(oks.load(), 2);
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 2u);
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x44));
+  EXPECT_EQ(read_block(geo.data_start + 1), block_of(0x55));
+}
+
+TEST_F(JournalFixture, FlushAsyncBarrierOrdersBehindStagedTxns) {
+  // A barrier-only epoch completes strictly after the transaction staged
+  // before it -- the property a data-only fsync's ack rests on.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  AsyncBlockDevice async(dev.get(), 2);
+
+  std::atomic<int> order{0};
+  std::atomic<int> txn_done{0}, barrier_done{0};
+  ASSERT_TRUE(journal
+                  .commit_async({record(geo.data_start, 0x11)}, &async,
+                                [&](Status st, uint64_t) {
+                                  EXPECT_TRUE(st.ok());
+                                  txn_done = order.fetch_add(1) + 1;
+                                })
+                  .ok());
+  ASSERT_TRUE(journal
+                  .flush_async(&async,
+                               [&](Status st, uint64_t) {
+                                 EXPECT_TRUE(st.ok());
+                                 barrier_done = order.fetch_add(1) + 1;
+                               })
+                  .ok());
+  async.drain();
+  EXPECT_EQ(txn_done.load(), 1);
+  EXPECT_EQ(barrier_done.load(), 2);
+}
+
+TEST_F(JournalFixture, CommittedRecordsDedupsLatestWins) {
+  // The checkpointer's journal re-read: one record per target, the
+  // latest committed copy winning.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x01)}).ok());
+  ASSERT_TRUE(journal
+                  .commit({record(geo.data_start, 0x02),
+                           record(geo.data_start + 1, 0x03)})
+                  .ok());
+  auto records = journal.committed_records();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  for (const auto& r : records.value()) {
+    if (r.target == geo.data_start) {
+      EXPECT_EQ(*r.data, block_of(0x02));
+    } else {
+      EXPECT_EQ(r.target, geo.data_start + 1);
+      EXPECT_EQ(*r.data, block_of(0x03));
+    }
+  }
 }
 
 }  // namespace

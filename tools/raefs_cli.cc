@@ -15,6 +15,10 @@
 //   raefs stats <image> [json|prom|flight|incidents] [nops]
 //                                                     metrics / forensics dump
 //   raefs trace <image> [nops] [--fault] [--out f]    Chrome trace export
+//   raefs crashx <image> [seed nops cap]              crash-point sweep
+//   raefs crashx <image> replay <repro>               replay a .repro file
+//   raefs crashx <image> concurrent [seed appends cap]
+//                                        multi-threaded fsync crash sweep
 //   raefs bugstudy [table1|fig1]                      print the study
 #include <cstdio>
 #include <cstring>
@@ -511,6 +515,45 @@ int cmd_crashx(const std::string& image, int argc, char** argv) {
     }
     std::printf("repro passes (no divergence)\n");
     return 0;
+  }
+
+  if (argc >= 1 && std::string(argv[0]) == "concurrent") {
+    // raefs crashx <image> concurrent [seed] [appends] [cap]
+    crashx::ConcurrentOptions copts;
+    auto cdev = open_image(image);
+    if (cdev) {
+      auto sb = read_superblock(cdev.get());
+      if (sb.ok()) {
+        copts.total_blocks = sb.value().total_blocks;
+        copts.inode_count = sb.value().inode_count;
+        copts.journal_blocks = sb.value().journal_blocks;
+      }
+    }
+    if (argc >= 2) copts.seed = std::stoull(argv[1]);
+    if (argc >= 3) copts.appends_per_thread = std::stoull(argv[2]);
+    if (argc >= 4) {
+      uint64_t cap = std::stoull(argv[3]);
+      copts.max_crash_points = cap;
+      copts.max_write_injections = cap;
+    }
+    auto rep = crashx::explore_concurrent(copts);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "crashx: concurrent exploration failed: %s\n",
+                   to_string(rep.error()));
+      return 1;
+    }
+    std::printf("%s\n", rep.value().summary().c_str());
+    if (rep.value().ok()) return 0;
+    int n = 0;
+    for (const auto& d : rep.value().divergences) {
+      // Thread scheduling makes these non-replayable by index; print the
+      // full detail instead of writing a .repro.
+      std::printf("--- divergence %d (fault kind %d index %llu) ---\n%s\n",
+                  n++, static_cast<int>(d.fault.kind),
+                  static_cast<unsigned long long>(d.fault.index),
+                  d.detail.c_str());
+    }
+    return 1;
   }
 
   crashx::CrashxOptions opts;
