@@ -17,7 +17,7 @@ Status MemBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
   if (block >= blocks_ || out.size() != kBlockSize) return Errno::kInval;
   charge(latency_.read_ns);
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = overlay_.find(block);
   if (it != overlay_.end()) {
     std::memcpy(out.data(), it->second.data(), kBlockSize);
@@ -32,7 +32,7 @@ Status MemBlockDevice::write_block(BlockNo block,
   if (block >= blocks_ || data.size() != kBlockSize) return Errno::kInval;
   charge(latency_.write_ns);
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::shared_mutex> lk(mu_);
   overlay_[block].assign(data.begin(), data.end());
   return Status::Ok();
 }
@@ -40,7 +40,7 @@ Status MemBlockDevice::write_block(BlockNo block,
 Status MemBlockDevice::flush() {
   charge(latency_.flush_ns);
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::shared_mutex> lk(mu_);
   for (const auto& [block, data] : overlay_) {
     std::memcpy(persisted_.data() + block * kBlockSize, data.data(),
                 kBlockSize);
@@ -50,7 +50,7 @@ Status MemBlockDevice::flush() {
 }
 
 void MemBlockDevice::crash(Rng* rng, double survive_prob) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::shared_mutex> lk(mu_);
   for (const auto& [block, data] : overlay_) {
     if (rng != nullptr && rng->chance(survive_prob)) {
       std::memcpy(persisted_.data() + block * kBlockSize, data.data(),
@@ -61,19 +61,19 @@ void MemBlockDevice::crash(Rng* rng, double survive_prob) {
 }
 
 size_t MemBlockDevice::volatile_blocks() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   return overlay_.size();
 }
 
 std::vector<uint8_t> MemBlockDevice::persisted_image() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   return persisted_;
 }
 
 std::unique_ptr<MemBlockDevice> MemBlockDevice::clone_full() const {
   auto copy = std::make_unique<MemBlockDevice>(blocks_, nullptr,
                                                LatencyModel::none());
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::shared_mutex> lk(mu_);
   copy->persisted_ = persisted_;
   for (const auto& [block, data] : overlay_) {
     std::memcpy(copy->persisted_.data() + block * kBlockSize, data.data(),

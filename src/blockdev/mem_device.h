@@ -6,7 +6,7 @@
 // crash-recovery and availability experiment.
 #pragma once
 
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -63,7 +63,8 @@ class MemBlockDevice final : public BlockDevice, public SnapshotCapable {
   LatencyModel latency_;
   DeviceStats stats_;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;  // reader-writer: parallel recovery
+                                  // workers read concurrently
   std::vector<uint8_t> persisted_;                            // blocks_ * kBlockSize
   std::unordered_map<BlockNo, std::vector<uint8_t>> overlay_; // volatile cache
 };

@@ -1,0 +1,72 @@
+#include "common/worker_pool.h"
+
+namespace raefs {
+
+WorkerPool::WorkerPool(uint32_t workers) : workers_(workers) {
+  if (workers_ <= 1) return;
+  threads_.reserve(workers_);
+  for (uint32_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(uint64_t n_tasks,
+                     const std::function<void(uint64_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (threads_.empty()) {
+    // Inline mode: the deterministic serial reference.
+    for (uint64_t i = 0; i < n_tasks; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  fn_ = &fn;
+  next_task_ = 0;
+  n_tasks_ = n_tasks;
+  first_error_ = nullptr;
+  ++generation_;
+  cv_task_.notify_all();
+  cv_done_.wait(lk, [this] { return next_task_ >= n_tasks_ && active_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void WorkerPool::worker_loop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_task_.wait(lk, [&] {
+      return stop_ || (generation_ != seen_generation && next_task_ < n_tasks_);
+    });
+    if (stop_) return;
+    while (next_task_ < n_tasks_) {
+      uint64_t task = next_task_++;
+      ++active_;
+      lk.unlock();
+      try {
+        (*fn_)(task);
+      } catch (...) {
+        lk.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+        --active_;
+        continue;
+      }
+      lk.lock();
+      --active_;
+    }
+    seen_generation = generation_;
+    if (active_ == 0) cv_done_.notify_all();
+  }
+}
+
+}  // namespace raefs

@@ -51,8 +51,25 @@ struct FsckReport {
   std::string summary() const;
 };
 
+struct FsckOptions {
+  FsckLevel level = FsckLevel::kStrict;
+
+  /// Worker threads for the scan phases of a kStrict check (pFSCK-style):
+  /// phase A decodes and validates every inode-table slot in parallel
+  /// (partitioned by table-block range), phase B prefetches indirect /
+  /// double-indirect spine blocks and directory dirent blocks. The
+  /// reconciliation walk (reachability, link counts, block ownership,
+  /// bitmap agreement) stays serial and consumes the caches, so the
+  /// findings are byte-identical at any worker count; <= 1 keeps the
+  /// fully serial path. Prefetching may issue device reads a serial run
+  /// would have skipped (e.g. the spine of an inode the walk never
+  /// reaches past a fatal finding).
+  uint32_t workers = 1;
+};
+
 /// Run the checker. Device errors surface as kIo; a report is returned
 /// even for corrupt images (the corruption is in the findings).
 Result<FsckReport> fsck(BlockDevice* dev, FsckLevel level);
+Result<FsckReport> fsck(BlockDevice* dev, const FsckOptions& opts);
 
 }  // namespace raefs

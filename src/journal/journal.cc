@@ -1,12 +1,16 @@
 #include "journal/journal.h"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 #include "common/checksum.h"
 #include "common/serial.h"
+#include "common/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace.h"
 
 namespace raefs {
 namespace {
@@ -561,27 +565,148 @@ double Journal::fill_ratio() const {
   return static_cast<double>(used) / static_cast<double>(geo_.journal_blocks);
 }
 
-Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo) {
+namespace {
+
+/// Serves reads inside the journal region from a buffer the replay
+/// workers prefetched in parallel; everything else passes through. The
+/// scan itself is inherently sequential (each descriptor tells it where
+/// the next one starts), so on a device with real access latency the
+/// scan's one-block-at-a-time reads would dominate replay; prefetching
+/// the whole region with the worker pool overlaps those waits, and the
+/// scan then runs against memory.
+class JournalRegionCache final : public BlockDevice {
+ public:
+  JournalRegionCache(BlockDevice* inner, const Geometry& geo,
+                     std::vector<uint8_t> region)
+      : inner_(inner), geo_(geo), region_(std::move(region)) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override {
+    if (block >= geo_.journal_start &&
+        block < geo_.journal_start + geo_.journal_blocks) {
+      if (out.size() != kBlockSize) return Errno::kInval;
+      std::memcpy(out.data(),
+                  region_.data() + (block - geo_.journal_start) * kBlockSize,
+                  kBlockSize);
+      return Status::Ok();
+    }
+    return inner_->read_block(block, out);
+  }
+  Status write_block(BlockNo block, std::span<const uint8_t> data) override {
+    return inner_->write_block(block, data);
+  }
+  Status flush() override { return inner_->flush(); }
+  const DeviceStats& stats() const override { return inner_->stats(); }
+
+ private:
+  BlockDevice* inner_;
+  Geometry geo_;
+  std::vector<uint8_t> region_;
+};
+
+Result<std::vector<uint8_t>> prefetch_journal_region(BlockDevice* dev,
+                                                     const Geometry& geo,
+                                                     uint32_t workers) {
+  std::vector<uint8_t> region(geo.journal_blocks * kBlockSize);
+  uint64_t nchunks = std::min<uint64_t>(workers, geo.journal_blocks);
+  std::vector<Status> errors(nchunks, Status::Ok());
+  WorkerPool pool(workers);
+  pool.run(nchunks, [&](uint64_t c) {
+    uint64_t begin = geo.journal_blocks * c / nchunks;
+    uint64_t end = geo.journal_blocks * (c + 1) / nchunks;
+    for (uint64_t i = begin; i < end; ++i) {
+      std::span<uint8_t> out(region.data() + i * kBlockSize, kBlockSize);
+      Status st = dev->read_block(geo.journal_start + i, out);
+      if (!st.ok()) {
+        errors[c] = st;
+        return;
+      }
+    }
+  });
+  for (const Status& st : errors) {
+    if (!st.ok()) return st.error();
+  }
+  return region;
+}
+
+}  // namespace
+
+Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo,
+                                     uint32_t workers) {
+  std::optional<JournalRegionCache> scan_cache;
+  BlockDevice* scan_dev = dev;
+  if (workers > 1) {
+    RAEFS_TRY(auto region, prefetch_journal_region(dev, geo, workers));
+    scan_cache.emplace(dev, geo, std::move(region));
+    scan_dev = &*scan_cache;
+  }
   std::vector<uint8_t> buf(kBlockSize);
-  RAEFS_TRY_VOID(dev->read_block(geo.journal_start, buf));
+  RAEFS_TRY_VOID(scan_dev->read_block(geo.journal_start, buf));
   RAEFS_TRY(Header hdr, decode_header(buf));
 
-  RAEFS_TRY(auto txns, scan_committed(dev, geo));
+  RAEFS_TRY(auto txns, scan_committed(scan_dev, geo));
   ReplayResult result;
   // If no committed txns are found the floor must be *preserved*: lowering
   // it would let an already-checkpointed stale transaction still sitting in
   // the region be replayed on a later crash.
   uint64_t last_seq = hdr.floor_seq;
   BlockNo tail = geo.journal_start + 1;
-  for (const auto& txn : txns) {
-    for (const auto& rec : txn.records) {
-      if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
-      RAEFS_TRY_VOID(dev->write_block(rec.target, *rec.data));
-      ++result.applied_blocks;
+  if (workers <= 1) {
+    for (const auto& txn : txns) {
+      for (const auto& rec : txn.records) {
+        if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
+        RAEFS_TRY_VOID(dev->write_block(rec.target, *rec.data));
+        ++result.applied_blocks;
+      }
+      last_seq = txn.seq;
+      tail = txn.next_block;
+      ++result.applied_txns;
     }
-    last_seq = txn.seq;
-    tail = txn.next_block;
-    ++result.applied_txns;
+  } else {
+    // Latest copy per target wins (the checkpointer's rule); the winners
+    // are then order-independent and can be applied concurrently.
+    std::unordered_map<BlockNo, const JournalRecord*> latest;
+    for (const auto& txn : txns) {
+      for (const auto& rec : txn.records) {
+        if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
+        latest[rec.target] = &rec;
+        ++result.applied_blocks;
+      }
+      last_seq = txn.seq;
+      tail = txn.next_block;
+      ++result.applied_txns;
+    }
+    std::vector<const JournalRecord*> winners;
+    winners.reserve(latest.size());
+    for (const auto& [target, rec] : latest) winners.push_back(rec);
+    std::sort(winners.begin(), winners.end(),
+              [](const JournalRecord* a, const JournalRecord* b) {
+                return a->target < b->target;
+              });
+    // Contiguous chunks of the target-sorted winners, one per worker, so
+    // each worker's writes land in an ascending block range.
+    uint64_t nchunks = std::min<uint64_t>(workers, winners.size());
+    if (nchunks > 0) {
+      std::vector<Status> errors(nchunks, Status::Ok());
+      WorkerPool pool(workers);
+      obs::TraceSpan span(obs::kSpanJournalReplayApply, nullptr);
+      pool.run(nchunks, [&](uint64_t chunk) {
+        size_t begin = winners.size() * chunk / nchunks;
+        size_t end = winners.size() * (chunk + 1) / nchunks;
+        for (size_t i = begin; i < end; ++i) {
+          Status st = dev->write_block(winners[i]->target, *winners[i]->data);
+          if (!st.ok()) {
+            errors[chunk] = st;
+            return;
+          }
+        }
+      });
+      for (const Status& st : errors) {
+        if (!st.ok()) return st.error();
+      }
+    }
   }
   RAEFS_TRY_VOID(dev->flush());
   // The first block past the replayed history may hold a torn descriptor

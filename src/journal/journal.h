@@ -157,9 +157,23 @@ class Journal {
   double fill_ratio() const;
 
   /// Crash recovery: scan the region, apply every committed transaction
-  /// beyond the header's floor to the device in order, flush, and reset
-  /// the journal to a clean state.
-  static Result<ReplayResult> replay(BlockDevice* dev, const Geometry& geo);
+  /// beyond the header's floor to the device, flush, and reset the journal
+  /// to a clean state.
+  ///
+  /// With `workers > 1` the apply step runs in parallel: committed records
+  /// are deduplicated to the latest copy per target block (the same
+  /// latest-wins rule the checkpointer uses -- later transactions fully
+  /// shadow earlier writes to the same block), sorted by target, and
+  /// partitioned into contiguous block ranges applied by a WorkerPool.
+  /// Each target block is written exactly once by exactly one worker, so
+  /// the final device image is byte-identical to the serial in-order
+  /// replay, and the whole operation stays idempotent: the header is
+  /// reset only after every write and the flush completed, so a crash
+  /// mid-replay re-scans the untouched journal under the old floor.
+  /// ReplayResult counts are identical to serial replay (applied_blocks
+  /// counts every committed record, not the deduplicated physical writes).
+  static Result<ReplayResult> replay(BlockDevice* dev, const Geometry& geo,
+                                     uint32_t workers = 1);
 
   /// Scan without applying (fsck and tests): returns committed
   /// transactions' sequence numbers.

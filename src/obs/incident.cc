@@ -27,6 +27,7 @@ std::string incident_to_json(const Incident& inc) {
      << ", \"reboot\": " << inc.reboot_ns
      << ", \"replay\": " << inc.replay_ns
      << ", \"download\": " << inc.download_ns
+     << ", \"verify\": " << inc.verify_ns
      << ", \"resume\": " << inc.resume_ns << "},\n"
      << "  \"downtime_ns\": " << inc.downtime_ns << ",\n"
      << "  \"shadow\": {\"ops_replayed\": " << inc.ops_replayed

@@ -4,8 +4,9 @@
 // succeeds (the bug is masked) or fails (the filesystem goes offline) --
 // it assembles an Incident: what tripped (bug id, faulting function,
 // detail, the in-flight op's sequence and causal op id), how long each
-// phase of detect -> contain -> reboot -> replay -> download -> resume
-// took, what the shadow did (ops replayed, discrepancies, retries), and
+// phase of detect -> contain -> reboot -> replay -> download -> [verify
+// ->] resume took, what the shadow did (ops replayed, discrepancies,
+// retries), and
 // the flight-recorder tail leading up to the trip. The phase durations of
 // a successful incident sum exactly to its downtime_ns, which in turn is
 // the delta this recovery added to RaeStats::total_downtime.
@@ -47,6 +48,7 @@ struct Incident {
   Nanos reboot_ns = 0;
   Nanos replay_ns = 0;
   Nanos download_ns = 0;
+  Nanos verify_ns = 0;  // 0 unless RaeOptions::verify_after_recovery
   Nanos resume_ns = 0;
   Nanos downtime_ns = 0;
 

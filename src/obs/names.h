@@ -74,8 +74,13 @@ inline constexpr const char* kMRaeRecoveryReplayNs = "rae.recovery.replay_ns";
 inline constexpr const char* kMRaeRecoveryDownloadNs =
     "rae.recovery.download_ns";
 inline constexpr const char* kMRaeRecoveryResumeNs = "rae.recovery.resume_ns";
+inline constexpr const char* kMRaeRecoveryVerifyNs = "rae.recovery.verify_ns";
 inline constexpr const char* kMRaeRecoveryTimeNs =
     "rae.recovery.time_ns";                                         // histogram
+// Times the parallel shadow replay planner proved commutativity could not
+// be exploited safely and fell back to the serial reference executor.
+inline constexpr const char* kMShadowParallelFallbacks =
+    "shadow.replay.parallel_fallbacks";
 
 // --- metrics: observability internals ---------------------------------------
 inline constexpr const char* kMObsSlowOps = "obs.slow_ops";
@@ -94,14 +99,21 @@ inline constexpr const char* kSpanBaseCheckpoint = "basefs.checkpoint";
 inline constexpr const char* kSpanJournalCommit = "journal.commit";
 inline constexpr const char* kSpanJournalGroupCommit = "journal.group_commit";
 inline constexpr const char* kSpanJournalReplay = "journal.replay";
+inline constexpr const char* kSpanJournalReplayApply = "journal.replay.apply";
 inline constexpr const char* kSpanBlockdevWriteback = "blockdev.writeback";
 inline constexpr const char* kSpanShadowReplay = "shadow.replay";
+inline constexpr const char* kSpanShadowReplayPlan = "shadow.replay.plan";
+inline constexpr const char* kSpanShadowReplayShard = "shadow.replay.shard";
+inline constexpr const char* kSpanShadowReplayMerge = "shadow.replay.merge";
+inline constexpr const char* kSpanFsckScan = "fsck.scan";
+inline constexpr const char* kSpanFsckReconcile = "fsck.reconcile";
 inline constexpr const char* kSpanRecovery = "rae.recovery";
 inline constexpr const char* kSpanRecoveryDetect = "rae.recovery.detect";
 inline constexpr const char* kSpanRecoveryContain = "rae.recovery.contain";
 inline constexpr const char* kSpanRecoveryReboot = "rae.recovery.reboot";
 inline constexpr const char* kSpanRecoveryReplay = "rae.recovery.replay";
 inline constexpr const char* kSpanRecoveryDownload = "rae.recovery.download";
+inline constexpr const char* kSpanRecoveryVerify = "rae.recovery.verify";
 inline constexpr const char* kSpanRecoveryResume = "rae.recovery.resume";
 inline constexpr const char* kSpanScrub = "rae.scrub";
 inline constexpr const char* kSpanCrashRestart = "crashrestart.restart";

@@ -1,0 +1,197 @@
+#include "oplog/dep_graph.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/path.h"
+
+namespace raefs {
+namespace {
+
+/// Union-find over op nodes + resource nodes (path compression only; the
+/// sets are tiny and built once).
+class UnionFind {
+ public:
+  size_t make() {
+    parent_.push_back(parent_.size());
+    return parent_.size() - 1;
+  }
+  size_t find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+std::optional<std::string> normalize(const std::string& path) {
+  auto parts = split_path(path);
+  if (!parts.ok()) return std::nullopt;
+  return join_path(parts.value());
+}
+
+std::string parent_of(const std::string& canonical) {
+  size_t pos = canonical.find_last_of('/');
+  if (pos == 0) return "/";
+  return canonical.substr(0, pos);
+}
+
+OpDependencyGraph one_component(const std::vector<const OpRecord*>& ops) {
+  OpDependencyGraph g;
+  if (ops.empty()) return g;
+  OpDependencyGraph::Component c;
+  c.min_seq = ops.front()->seq;
+  c.ops.resize(ops.size());
+  g.component_of.assign(ops.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) c.ops[i] = i;
+  g.components.push_back(std::move(c));
+  return g;
+}
+
+}  // namespace
+
+OpDependencyGraph build_op_dependency_graph(
+    const std::vector<const OpRecord*>& ops) {
+  UnionFind uf;
+  std::vector<size_t> op_node(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) op_node[i] = uf.make();
+
+  std::unordered_map<std::string, size_t> resource_node;
+  auto touch = [&](size_t op, const std::string& resource) {
+    auto [it, inserted] = resource_node.try_emplace(resource, 0);
+    if (inserted) it->second = uf.make();
+    uf.unite(op_node[op], it->second);
+  };
+  auto touch_ino = [&](size_t op, Ino ino) {
+    touch(op, "i:" + std::to_string(ino));
+  };
+  auto touch_path = [&](size_t op, const std::string& canonical) {
+    touch(op, "p:" + canonical);
+    touch(op, "p:" + parent_of(canonical));
+  };
+
+  // Binding sweep: which canonical path currently names which ino, as far
+  // as this log can tell. Ordered map so rename can walk a moved prefix.
+  std::map<std::string, Ino> bound;
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpRecord& rec = *ops[i];
+    const OpRequest& req = rec.req;
+    switch (req.kind) {
+      case OpKind::kCreate:
+      case OpKind::kMkdir:
+      case OpKind::kSymlink: {
+        auto p = normalize(req.path);
+        if (!p) return one_component(ops);
+        touch_path(i, *p);
+        if (rec.completed && rec.out.err == Errno::kOk &&
+            rec.out.assigned_ino != kInvalidIno) {
+          bound[*p] = rec.out.assigned_ino;
+          touch_ino(i, rec.out.assigned_ino);
+        }
+        break;
+      }
+      case OpKind::kUnlink:
+      case OpKind::kRmdir: {
+        auto p = normalize(req.path);
+        if (!p) return one_component(ops);
+        touch_path(i, *p);
+        auto it = bound.find(*p);
+        if (it != bound.end()) {
+          touch_ino(i, it->second);
+          bound.erase(it);
+        }
+        break;
+      }
+      case OpKind::kRename: {
+        auto src = normalize(req.path);
+        auto dst = normalize(req.path2);
+        if (!src || !dst) return one_component(ops);
+        touch_path(i, *src);
+        touch_path(i, *dst);
+        // Rename onto an existing name unlinks the target.
+        if (auto it = bound.find(*dst); it != bound.end()) {
+          touch_ino(i, it->second);
+          bound.erase(it);
+        }
+        // Rebind the moved name and everything beneath it.
+        std::vector<std::pair<std::string, Ino>> moved;
+        for (auto it = bound.lower_bound(*src); it != bound.end();) {
+          if (it->first == *src || path_is_ancestor(*src, it->first)) {
+            moved.emplace_back(*dst + it->first.substr(src->size()),
+                               it->second);
+            if (it->first == *src) touch_ino(i, it->second);
+            it = bound.erase(it);
+          } else if (it->first.compare(0, src->size(), *src) > 0) {
+            break;  // past the prefix range
+          } else {
+            ++it;
+          }
+        }
+        for (auto& [path, ino] : moved) bound[path] = ino;
+        break;
+      }
+      case OpKind::kLink: {
+        auto existing = normalize(req.path);
+        auto newpath = normalize(req.path2);
+        if (!existing || !newpath) return one_component(ops);
+        // link dirties the existing name's inode (nlink) and the new
+        // name's parent; the existing name's parent is untouched.
+        touch(i, "p:" + *existing);
+        touch_path(i, *newpath);
+        if (auto it = bound.find(*existing); it != bound.end()) {
+          touch_ino(i, it->second);
+          bound[*newpath] = it->second;
+        }
+        break;
+      }
+      case OpKind::kWrite:
+      case OpKind::kTruncate:
+        touch_ino(i, req.ino);
+        break;
+      default:
+        // Sync/read-class ops do not belong in a replayable mutating
+        // subset; refuse to reason about them.
+        return one_component(ops);
+    }
+  }
+
+  OpDependencyGraph g;
+  g.component_of.resize(ops.size());
+  std::unordered_map<size_t, size_t> root_to_component;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    size_t root = uf.find(op_node[i]);
+    auto [it, inserted] =
+        root_to_component.try_emplace(root, g.components.size());
+    if (inserted) {
+      OpDependencyGraph::Component c;
+      c.min_seq = ops[i]->seq;
+      g.components.push_back(std::move(c));
+    }
+    g.components[it->second].ops.push_back(i);
+    g.component_of[i] = it->second;
+  }
+  // Components were created at their first (lowest-seq) member while
+  // scanning in sequence order, so they are already sorted by min_seq.
+  return g;
+}
+
+OpDependencyGraph build_op_dependency_graph(const std::vector<OpRecord>& log) {
+  std::vector<const OpRecord*> ptrs;
+  ptrs.reserve(log.size());
+  for (const auto& rec : log) ptrs.push_back(&rec);
+  return build_op_dependency_graph(ptrs);
+}
+
+}  // namespace raefs

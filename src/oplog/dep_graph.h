@@ -1,0 +1,63 @@
+// Commutativity analysis over a recorded operation sequence.
+//
+// Two logged operations commute iff they touch disjoint filesystem
+// resources; the parallel shadow replay uses this to schedule independent
+// chains of the op log onto different workers while keeping every
+// dependent pair in its original order.
+//
+// An operation's resources are:
+//   - the canonical path of every name it manipulates AND that name's
+//     parent directory (a create dirties the parent's dirent block, inode
+//     size and mtime; rename and link take both names and both parents);
+//   - the inode number of every file it addresses, when known: data ops
+//     (write/truncate) carry an explicit ino, and a binding sweep in
+//     sequence order tracks which path each create/mkdir/symlink bound to
+//     which assigned ino (unlink unbinds, rename rebinds the moved prefix,
+//     link aliases the target's ino onto the new name). The ino resource
+//     ties fd-style data ops to the name-space ops on the same file, and
+//     hard-link aliases to each other.
+//
+// Operations sharing any resource land in the same component (union-find
+// over resources). Components are disjoint by construction; aliasing the
+// sweep cannot see (e.g. hard links that predate the log) is NOT resolved
+// here -- the parallel replay's merge step detects any physical overlap
+// between components and falls back to serial execution, so this analysis
+// only has to be precise for the common case, not exhaustively sound.
+//
+// Note the semantic serialization this implies: mkdir /d and any later op
+// under /d share the resource "/d", so a log that creates its directories
+// and then populates them is one big chain. Parallelism comes from logs
+// whose dirty working set spans directories that already exist on disk --
+// the shape a long-running filesystem's op log actually has.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oplog/op.h"
+
+namespace raefs {
+
+struct OpDependencyGraph {
+  struct Component {
+    Seq min_seq = 0;  // earliest op in the component (ordering key)
+    std::vector<size_t> ops;  // indices into the input, ascending
+  };
+
+  /// Independent components, sorted by min_seq.
+  std::vector<Component> components;
+  /// For input index i, the index into `components` it belongs to.
+  std::vector<size_t> component_of;
+};
+
+/// Build the dependency graph for `ops` (typically the completed,
+/// mutating subset of an op log, in sequence order -- the order matters
+/// for the binding sweep). Never fails: an op whose paths cannot be
+/// normalized conservatively collapses the graph to one component.
+OpDependencyGraph build_op_dependency_graph(
+    const std::vector<const OpRecord*>& ops);
+
+/// Convenience for tests: analyze every record of a log.
+OpDependencyGraph build_op_dependency_graph(const std::vector<OpRecord>& log);
+
+}  // namespace raefs

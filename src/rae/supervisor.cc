@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/log.h"
+#include "fsck/fsck.h"
 #include "journal/journal.h"
 #include "obs/flight_recorder.h"
 #include "obs/incident.h"
@@ -90,6 +91,7 @@ Result<std::unique_ptr<RaeSupervisor>> RaeSupervisor::start(
         sink.counter(obs::kMRaeRecoveryRebootNs, s.reboot_ns);
         sink.counter(obs::kMRaeRecoveryReplayNs, s.replay_ns);
         sink.counter(obs::kMRaeRecoveryDownloadNs, s.download_ns);
+        sink.counter(obs::kMRaeRecoveryVerifyNs, s.verify_ns);
         sink.counter(obs::kMRaeRecoveryResumeNs, s.resume_ns);
         sink.histogram(obs::kMRaeRecoveryTimeNs, s.recovery_time);
         OpLogStats ol = raw->oplog_stats();
@@ -280,13 +282,13 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     obs::TraceSpan js(obs::kSpanJournalReplay, clock_.get(), ps.id());
     // Replay is idempotent; a transient device error mid-replay vanishes
     // on a re-run, so don't take the filesystem offline for one EIO.
-    auto replay = Journal::replay(dev_, geo);
+    auto replay = Journal::replay(dev_, geo, opts_.journal_replay_workers);
     for (uint32_t attempt = 0;
          !replay.ok() && attempt < opts_.recovery_io_retries; ++attempt) {
       ++stats_.recovery_io_retries;
       RAEFS_LOG_WARN("rae") << "journal replay attempt " << attempt + 1
                             << " failed; retrying";
-      replay = Journal::replay(dev_, geo);
+      replay = Journal::replay(dev_, geo, opts_.journal_replay_workers);
     }
     js.end();
     if (!replay.ok()) {
@@ -343,7 +345,8 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
             << "metadata download attempt " << attempt
             << " failed; replaying journal and retrying";
         base_.reset();
-        auto rereplay = Journal::replay(dev_, geo);
+        auto rereplay =
+            Journal::replay(dev_, geo, opts_.journal_replay_workers);
         if (!rereplay.ok()) continue;
       }
       Status mounted = mount_base();
@@ -367,6 +370,49 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     charge_phase();
   }
   end_phase(&RaeStats::download_ns, &obs::Incident::download_ns);
+
+  // Verify (optional): prove the recovered on-disk state is consistent
+  // before re-admitting operations. The check runs on a journal-replayed
+  // snapshot -- the state a crash right now would recover to -- so the
+  // live base and journal stay untouched. A fatal fsck finding means the
+  // recovery produced a state the checker rejects: going offline beats
+  // resuming on it.
+  if (opts_.verify_after_recovery) {
+    obs::TraceSpan ps(obs::kSpanRecoveryVerify, clock_.get(), rspan.id());
+    auto* capable = dynamic_cast<SnapshotCapable*>(dev_);
+    if (capable == nullptr) {
+      obs::flight().record(obs::Component::kRae, "verify.skipped",
+                           "device not snapshot-capable", now());
+    } else {
+      std::unique_ptr<BlockDevice> snap = capable->snapshot();
+      auto replayed =
+          Journal::replay(snap.get(), geo, opts_.journal_replay_workers);
+      if (!replayed.ok()) {
+        end_phase(&RaeStats::verify_ns, &obs::Incident::verify_ns);
+        return fail("post-recovery verify: journal replay on snapshot "
+                    "failed");
+      }
+      FsckOptions fo;
+      fo.level = FsckLevel::kStrict;
+      fo.workers = opts_.fsck_workers;
+      auto report = fsck(snap.get(), fo);
+      if (!report.ok()) {
+        end_phase(&RaeStats::verify_ns, &obs::Incident::verify_ns);
+        return fail("post-recovery verify: fsck errored");
+      }
+      if (!report.value().consistent()) {
+        end_phase(&RaeStats::verify_ns, &obs::Incident::verify_ns);
+        return fail("post-recovery verify: fsck found fatal "
+                    "inconsistencies: " +
+                    report.value().summary());
+      }
+      obs::flight().record(obs::Component::kRae, "verify.ok", "", now(),
+                           report.value().inodes_in_use,
+                           report.value().blocks_claimed);
+    }
+    charge_phase();
+  }
+  end_phase(&RaeStats::verify_ns, &obs::Incident::verify_ns);
 
   // Resume: close the gap and re-admit operations.
   {

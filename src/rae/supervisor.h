@@ -76,6 +76,28 @@ struct RaeOptions {
   /// blocks -- so re-running the phase after a transient EIO is safe.
   uint32_t recovery_io_retries = 2;
 
+  // --- recovery parallelism & verification (docs/RECOVERY.md) ----------
+
+  /// Worker threads for journal replay during the reboot phase. Replay is
+  /// batched latest-wins per target block and the writes partitioned by
+  /// block range, so any worker count produces a byte-identical image;
+  /// <= 1 keeps the serial reference path.
+  uint32_t journal_replay_workers = 1;
+
+  /// Worker threads for post-recovery fsck (the verify phase below and
+  /// any supervisor-driven checks). Parallelism only prefetches; findings
+  /// are byte-identical to a serial run. <= 1 keeps the serial path.
+  /// The shadow replay's worker count is `shadow.replay_workers`.
+  uint32_t fsck_workers = 1;
+
+  /// After the download phase, snapshot the device, replay the journal on
+  /// the snapshot and run a strict fsck over it before re-admitting
+  /// operations; any fatal finding fails the recovery (offline) rather
+  /// than resuming on a state the checker rejects. Requires a
+  /// SnapshotCapable device (skipped, with a flight-recorder note,
+  /// otherwise). Adds a verify phase to the downtime breakdown.
+  bool verify_after_recovery = false;
+
   /// Bound on op-log memory. When live records exceed this, the
   /// supervisor forces a sync so the durable watermark advances and the
   /// log truncates -- recording stays practical no matter how rarely the
@@ -106,13 +128,14 @@ struct RaeStats {
 
   // Cumulative simulated time per recovery phase (paper Figure 3's
   // breakdown: detect -> contain -> reboot -> replay -> download ->
-  // resume). Sums to total_downtime for successfully completed
-  // recoveries.
+  // [verify ->] resume). Sums to total_downtime for successfully
+  // completed recoveries.
   Nanos detect_ns = 0;
   Nanos contain_ns = 0;
   Nanos reboot_ns = 0;
   Nanos replay_ns = 0;
   Nanos download_ns = 0;
+  Nanos verify_ns = 0;  // 0 unless verify_after_recovery
   Nanos resume_ns = 0;
 };
 

@@ -1,0 +1,580 @@
+#include "shadowfs/shadow_parallel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/panic.h"
+#include "common/worker_pool.h"
+#include "format/bitmap.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "oplog/dep_graph.h"
+
+namespace raefs {
+namespace {
+
+/// Internal control flow: any condition that disproves the parallel
+/// plan's safety throws this, and the driver falls back to the serial
+/// reference executor. Never escapes shadow_execute_parallel.
+struct ParallelAbort {
+  const char* why;
+};
+
+[[noreturn]] void abort_parallel(const char* why) { throw ParallelAbort{why}; }
+
+std::vector<uint8_t> read_device(BlockDevice* dev, BlockNo b) {
+  std::vector<uint8_t> data(kBlockSize);
+  if (!dev->read_block(b, data).ok()) abort_parallel("device read failed");
+  return data;
+}
+
+bool in_range(BlockNo b, BlockNo start, uint64_t count) {
+  return b >= start && b < start + count;
+}
+
+// ---------------------------------------------------------------------------
+// classification (mirrors shadow_execute's skip rules exactly)
+// ---------------------------------------------------------------------------
+
+struct Plan {
+  std::vector<const OpRecord*> constrained;  // completed, ok, mutating
+  std::vector<const OpRecord*> inflight;     // incomplete, non-sync
+  std::vector<Seq> retry_syncs;
+  uint64_t skipped_sync = 0;
+  uint64_t skipped_errored = 0;
+};
+
+/// nullopt when an in-flight op precedes a completed mutating op: the
+/// serial executor interleaves them in log order, which the two-stage
+/// parallel pipeline (all shards, then in-flight) cannot reproduce. The
+/// single-lock supervisor records at most one trailing in-flight op, so
+/// this is a formality.
+std::optional<Plan> classify(const std::vector<OpRecord>& log) {
+  Plan p;
+  bool saw_inflight = false;
+  for (const auto& rec : log) {
+    if (op_is_sync(rec.req.kind)) {
+      if (!rec.completed) p.retry_syncs.push_back(rec.seq);
+      ++p.skipped_sync;
+      continue;
+    }
+    if (rec.completed && !op_mutates(rec.req.kind)) continue;
+    if (rec.completed) {
+      if (rec.out.err != Errno::kOk) {
+        ++p.skipped_errored;
+        continue;
+      }
+      if (saw_inflight) return std::nullopt;
+      p.constrained.push_back(&rec);
+    } else {
+      saw_inflight = true;
+      p.inflight.push_back(&rec);
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// allocation linearization
+// ---------------------------------------------------------------------------
+
+/// Replays the merged shard allocation-event stream in global sequence
+/// order against the real block bitmap, using the serial shadow's
+/// first-fit-from-data_start policy. Because the stream contains exactly
+/// the allocation requests and frees the serial execution would issue, in
+/// the same order, against the same starting bitmap, every virtual id is
+/// assigned the block number the serial shadow would have picked.
+class Linearizer {
+ public:
+  Linearizer(BlockDevice* dev, const Geometry& geo) : geo_(geo) {
+    bits_.reserve(geo_.block_bitmap_blocks * kBlockSize);
+    for (uint64_t i = 0; i < geo_.block_bitmap_blocks; ++i) {
+      auto data = read_device(dev, geo_.block_bitmap_start + i);
+      bits_.insert(bits_.end(), data.begin(), data.end());
+    }
+    // Invariant: every bit below hint_ is set. The serial shadow rescans
+    // from data_start on every allocation; scanning from hint_ (lowered on
+    // every free) finds the same globally-smallest clear bit.
+    hint_ = geo_.data_start;
+  }
+
+  void apply(const ShadowFs::AllocEvent& ev) {
+    BitmapView view(bits_, geo_.total_blocks);
+    if (ev.is_alloc) {
+      auto clear = view.find_clear(hint_);
+      if (!clear || *clear >= geo_.total_blocks) {
+        // The serial execution would have returned kNoSpace mid-stream,
+        // changing every downstream outcome; no way to reproduce that
+        // from here.
+        abort_parallel("allocation exhaustion during linearization");
+      }
+      view.set(*clear);
+      vmap_.emplace(ev.block, *clear);
+      touched_.insert(bitmap_block_of(*clear));
+      hint_ = *clear + 1;
+    } else {
+      BlockNo real = ev.block;
+      if (ShadowFs::is_virtual_block(real)) {
+        auto it = vmap_.find(real);
+        if (it == vmap_.end()) abort_parallel("free of unmapped virtual id");
+        real = it->second;
+      }
+      if (!geo_.is_data_block(real) || !view.test(real)) {
+        abort_parallel("cross-shard double free");
+      }
+      view.clear(real);
+      touched_.insert(bitmap_block_of(real));
+      hint_ = std::min<uint64_t>(hint_, real);
+    }
+  }
+
+  const std::unordered_map<BlockNo, BlockNo>& vmap() const { return vmap_; }
+
+  /// Overlay entries for every bitmap block any event touched -- emitted
+  /// even when the final content equals the base (the serial shadow keeps
+  /// such entries too: bitmap_put always leaves one behind).
+  std::map<BlockNo, ShadowFs::OverlayBlock> bitmap_entries() const {
+    std::map<BlockNo, ShadowFs::OverlayBlock> out;
+    for (BlockNo b : touched_) {
+      size_t off = (b - geo_.block_bitmap_start) * kBlockSize;
+      ShadowFs::OverlayBlock ob;
+      ob.data.assign(bits_.begin() + off, bits_.begin() + off + kBlockSize);
+      ob.cls = BlockClass::kFileData;  // matches serial bitmap_put
+      out.emplace(b, std::move(ob));
+    }
+    return out;
+  }
+
+ private:
+  BlockNo bitmap_block_of(uint64_t bit) const {
+    return geo_.block_bitmap_start + bit / kBitsPerBlock;
+  }
+
+  Geometry geo_;
+  std::vector<uint8_t> bits_;
+  uint64_t hint_ = 0;
+  std::unordered_map<BlockNo, BlockNo> vmap_;  // virtual id -> real block
+  std::set<BlockNo> touched_;                  // bitmap blocks (ordered)
+};
+
+// ---------------------------------------------------------------------------
+// overlay merge
+// ---------------------------------------------------------------------------
+
+struct ShardOut {
+  std::map<BlockNo, ShadowFs::OverlayBlock> overlay;
+  std::vector<ShadowFs::AllocEvent> events;
+  std::vector<Discrepancy> discrepancies;
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t checks = 0;
+};
+
+/// Shard-local read-through block cache. The shadow re-decodes and
+/// re-validates every access by design (it holds no decoded state), and
+/// that property is preserved -- all checking lives in ShadowFs, above
+/// this cache. What the cache removes is the workers' hot-path traffic to
+/// the shared device, whose per-read synchronization and stats atomics
+/// otherwise serialize the shards (the same reason the parallel fsck
+/// prefetches into per-worker maps). The image is quiescent during
+/// recovery, so cached bytes cannot go stale. Writes are refused:
+/// shards only ever accumulate ShadowFs overlays.
+class ShardReadCache final : public BlockDevice {
+ public:
+  explicit ShardReadCache(BlockDevice* inner) : inner_(inner) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+
+  Status read_block(BlockNo block, std::span<uint8_t> out) override {
+    if (out.size() != kBlockSize) return Errno::kInval;
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    auto it = cache_.find(block);
+    if (it == cache_.end()) {
+      std::vector<uint8_t> buf(kBlockSize);
+      RAEFS_TRY_VOID(inner_->read_block(block, buf));
+      it = cache_.emplace(block, std::move(buf)).first;
+    }
+    std::memcpy(out.data(), it->second.data(), kBlockSize);
+    return Status::Ok();
+  }
+
+  Status write_block(BlockNo, std::span<const uint8_t>) override {
+    return Errno::kNotSup;
+  }
+  Status flush() override { return Errno::kNotSup; }
+  const DeviceStats& stats() const override { return stats_; }
+
+ private:
+  BlockDevice* inner_;
+  DeviceStats stats_;
+  std::unordered_map<BlockNo, std::vector<uint8_t>> cache_;
+};
+
+class OverlayMerger {
+ public:
+  OverlayMerger(BlockDevice* dev, const Geometry& geo)
+      : dev_(dev), geo_(geo) {}
+
+  void add_shard(std::map<BlockNo, ShadowFs::OverlayBlock> overlay) {
+    uint32_t shard = nshards_++;
+    for (auto& [b, ob] : overlay) {
+      if (ShadowFs::is_virtual_block(b)) {
+        merged_.emplace(b, std::move(ob));  // vid ranges are disjoint
+      } else if (in_range(b, geo_.inode_table_start,
+                          geo_.inode_table_blocks)) {
+        merge_table_block(shard, b, ob);
+      } else if (in_range(b, geo_.inode_bitmap_start,
+                          geo_.inode_bitmap_blocks)) {
+        merge_inode_bitmap_block(shard, b, ob);
+      } else if (in_range(b, geo_.block_bitmap_start,
+                          geo_.block_bitmap_blocks)) {
+        // Deferred-allocation shards never write the block bitmap.
+        abort_parallel("shard wrote a block-bitmap block");
+      } else {
+        // Data region / superblock: whole-block granularity.
+        auto [it, inserted] = merged_.emplace(b, std::move(ob));
+        if (!inserted) abort_parallel("cross-shard block write conflict");
+      }
+    }
+  }
+
+  /// Rewrite virtual overlay keys and virtual block pointers (inode-table
+  /// slots, indirect blocks) to their linearized real blocks, then append
+  /// the linearizer's bitmap entries.
+  std::map<BlockNo, ShadowFs::OverlayBlock> finish(const Linearizer& lin) {
+    const auto& vmap = lin.vmap();
+    auto remap = [&](uint64_t v) -> uint64_t {
+      auto it = vmap.find(v);
+      if (it == vmap.end()) abort_parallel("unmapped virtual pointer");
+      return it->second;
+    };
+
+    std::map<BlockNo, ShadowFs::OverlayBlock> out;
+    for (auto& [b, ob] : merged_) {
+      BlockNo key = b;
+      if (ShadowFs::is_virtual_block(b)) key = remap(b);
+      if (in_range(key, geo_.inode_table_start, geo_.inode_table_blocks)) {
+        remap_table_block(ob.data, remap);
+      } else if (ob.cls == BlockClass::kIndirectMeta) {
+        for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+          uint64_t ptr = 0;
+          std::memcpy(&ptr, ob.data.data() + i * 8, sizeof(ptr));
+          if (ShadowFs::is_virtual_block(ptr)) {
+            ptr = remap(ptr);
+            std::memcpy(ob.data.data() + i * 8, &ptr, sizeof(ptr));
+          }
+        }
+      }
+      auto [it, inserted] = out.emplace(key, std::move(ob));
+      if (!inserted) abort_parallel("overlay key collision after remap");
+    }
+    for (auto& [b, ob] : lin.bitmap_entries()) {
+      auto [it, inserted] = out.emplace(b, std::move(ob));
+      if (!inserted) abort_parallel("bitmap block collided with overlay");
+    }
+    return out;
+  }
+
+ private:
+  const std::vector<uint8_t>& base_block(BlockNo b) {
+    auto it = base_cache_.find(b);
+    if (it == base_cache_.end()) {
+      it = base_cache_.emplace(b, read_device(dev_, b)).first;
+    }
+    return it->second;
+  }
+
+  /// Slot-granular merge: a shard claims an inode-table slot iff its
+  /// bytes differ from the base image's. Claimed slots keep the shard's
+  /// exact bytes; unclaimed slots keep the base's exact bytes (no
+  /// re-encode, so untouched inodes cannot diverge by normalization).
+  void merge_table_block(uint32_t shard, BlockNo b,
+                         const ShadowFs::OverlayBlock& ob) {
+    const auto& base = base_block(b);
+    auto it = merged_.find(b);
+    if (it == merged_.end()) {
+      ShadowFs::OverlayBlock fresh;
+      fresh.data = base;
+      fresh.cls = ob.cls;
+      it = merged_.emplace(b, std::move(fresh)).first;
+    }
+    for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+      size_t off = slot * kInodeSize;
+      if (std::memcmp(ob.data.data() + off, base.data() + off, kInodeSize) ==
+          0) {
+        continue;
+      }
+      uint64_t key = (b << 8) | slot;
+      auto [so, inserted] = slot_owner_.try_emplace(key, shard);
+      if (!inserted && so->second != shard) {
+        abort_parallel("two shards modified the same inode slot");
+      }
+      std::memcpy(it->second.data.data() + off, ob.data.data() + off,
+                  kInodeSize);
+    }
+  }
+
+  /// Bit-granular merge of inode-bitmap blocks.
+  void merge_inode_bitmap_block(uint32_t shard, BlockNo b,
+                                const ShadowFs::OverlayBlock& ob) {
+    const auto& base = base_block(b);
+    auto it = merged_.find(b);
+    if (it == merged_.end()) {
+      ShadowFs::OverlayBlock fresh;
+      fresh.data = base;
+      fresh.cls = ob.cls;
+      it = merged_.emplace(b, std::move(fresh)).first;
+    }
+    for (uint64_t bit = 0; bit < kBitsPerBlock; ++bit) {
+      bool base_v = (base[bit / 8] >> (bit % 8)) & 1;
+      bool shard_v = (ob.data[bit / 8] >> (bit % 8)) & 1;
+      if (base_v == shard_v) continue;
+      uint64_t key = b * kBitsPerBlock + bit;
+      auto [bo, inserted] = bit_owner_.try_emplace(key, shard);
+      if (!inserted && bo->second != shard) {
+        abort_parallel("two shards flipped the same inode-bitmap bit");
+      }
+      uint8_t mask = static_cast<uint8_t>(1u << (bit % 8));
+      if (shard_v) {
+        it->second.data[bit / 8] |= mask;
+      } else {
+        it->second.data[bit / 8] &= static_cast<uint8_t>(~mask);
+      }
+    }
+  }
+
+  void remap_table_block(std::vector<uint8_t>& data,
+                         const std::function<uint64_t(uint64_t)>& remap) {
+    for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+      auto slot_bytes = std::span<const uint8_t>(data).subspan(
+          slot * kInodeSize, kInodeSize);
+      auto inode = DiskInode::decode_raw(slot_bytes);
+      if (!inode.ok()) continue;  // not a slot this replay wrote
+      DiskInode& ino = inode.value();
+      bool has_virtual = ShadowFs::is_virtual_block(ino.indirect) ||
+                         ShadowFs::is_virtual_block(ino.dindirect);
+      for (BlockNo d : ino.direct) {
+        has_virtual = has_virtual || ShadowFs::is_virtual_block(d);
+      }
+      // Only slots that actually hold virtual pointers are re-encoded;
+      // everything else keeps its exact bytes.
+      if (!has_virtual) continue;
+      for (BlockNo& d : ino.direct) {
+        if (ShadowFs::is_virtual_block(d)) d = remap(d);
+      }
+      if (ShadowFs::is_virtual_block(ino.indirect)) {
+        ino.indirect = remap(ino.indirect);
+      }
+      if (ShadowFs::is_virtual_block(ino.dindirect)) {
+        ino.dindirect = remap(ino.dindirect);
+      }
+      inode_into_table_block(std::span<uint8_t>(data), slot, ino);
+    }
+  }
+
+  BlockDevice* dev_;
+  Geometry geo_;
+  uint32_t nshards_ = 0;
+  std::map<BlockNo, ShadowFs::OverlayBlock> merged_;
+  std::unordered_map<BlockNo, std::vector<uint8_t>> base_cache_;
+  std::unordered_map<uint64_t, uint32_t> slot_owner_;
+  std::unordered_map<uint64_t, uint32_t> bit_owner_;
+};
+
+// ---------------------------------------------------------------------------
+// driver
+// ---------------------------------------------------------------------------
+
+ShadowOutcome serial_fallback(BlockDevice* dev,
+                              const std::vector<OpRecord>& log,
+                              const ShadowConfig& config, SimClockPtr clock,
+                              const char* why) {
+  obs::metrics().counter(obs::kMShadowParallelFallbacks).inc();
+  obs::flight().record(obs::Component::kShadow, "replay.parallel_fallback",
+                       why, clock ? clock->now() : 0, log.size());
+  return shadow_execute(dev, log, config, std::move(clock));
+}
+
+ShadowOutcome run_parallel(BlockDevice* dev, const Plan& plan,
+                           const OpDependencyGraph& graph,
+                           const ShadowConfig& config, const SimClockPtr& clock,
+                           obs::SpanId parent_span) {
+  auto sb_block = read_device(dev, 0);
+  auto sb = Superblock::decode(sb_block);
+  if (!sb.ok()) abort_parallel("superblock failed validation");
+  auto geo_r = sb.value().geometry();
+  if (!geo_r.ok()) abort_parallel("superblock geometry inconsistent");
+  const Geometry geo = geo_r.value();
+
+  const uint32_t W = static_cast<uint32_t>(std::min<uint64_t>(
+      config.replay_workers, graph.components.size()));
+
+  // Round-robin components onto shards; each shard runs its ops in
+  // global sequence order.
+  std::vector<std::vector<const OpRecord*>> shard_ops(W);
+  for (size_t c = 0; c < graph.components.size(); ++c) {
+    for (size_t op_idx : graph.components[c].ops) {
+      shard_ops[c % W].push_back(plan.constrained[op_idx]);
+    }
+  }
+  for (auto& ops : shard_ops) {
+    std::sort(ops.begin(), ops.end(),
+              [](const OpRecord* a, const OpRecord* b) {
+                return a->seq < b->seq;
+              });
+  }
+
+  // The open-time image validation (the serial shadow's refusal gate for
+  // crafted images) runs once, concurrently with the shards, instead of
+  // once per shard.
+  const bool validate = config.checks == ShadowCheckLevel::kExtensive;
+  ShadowFs validator(dev, config.checks, clock);
+
+  std::vector<ShardOut> shards(W);
+  WorkerPool pool(W + (validate ? 1 : 0));
+  pool.run(W + (validate ? 1 : 0), [&](uint64_t t) {
+    if (t == W) {
+      validator.open();
+      return;
+    }
+    obs::TraceSpan sspan(obs::kSpanShadowReplayShard, clock.get(),
+                         parent_span);
+    ShardReadCache shard_dev(dev);
+    ShadowFs fs(&shard_dev, config.checks, clock);
+    fs.enable_deferred_alloc(ShadowFs::kVirtualBlockBase +
+                             (static_cast<BlockNo>(t) << 30));
+    fs.open_unvalidated();
+    ShardOut& out = shards[t];
+    for (const OpRecord* rec : shard_ops[t]) {
+      fs.set_current_seq(rec->seq);
+      OpOutcome replayed = shadow_apply_op(fs, rec->req, rec->out.assigned_ino);
+      ++out.ops;
+      if (!shadow_outcomes_agree(*rec, replayed)) {
+        out.discrepancies.push_back(
+            Discrepancy{rec->seq, shadow_describe_mismatch(*rec, replayed)});
+      }
+    }
+    out.events = fs.alloc_events();
+    out.overlay = fs.take_overlay();
+    out.reads = fs.device_reads();
+    out.checks = fs.checks_performed();
+  });
+
+  ShadowOutcome outcome;
+  outcome.ops_skipped_sync = plan.skipped_sync;
+  outcome.ops_skipped_errored = plan.skipped_errored;
+  outcome.inflight_retry_syncs = plan.retry_syncs;
+  for (const ShardOut& s : shards) {
+    outcome.ops_replayed += s.ops;
+    outcome.device_reads += s.reads;
+    outcome.checks += s.checks;
+    outcome.discrepancies.insert(outcome.discrepancies.end(),
+                                 s.discrepancies.begin(),
+                                 s.discrepancies.end());
+  }
+  std::sort(outcome.discrepancies.begin(), outcome.discrepancies.end(),
+            [](const Discrepancy& a, const Discrepancy& b) {
+              return a.seq < b.seq;
+            });
+  if (!outcome.discrepancies.empty() && !config.continue_on_discrepancy) {
+    // The serial executor stops at the first discrepancy, leaving a
+    // partial state the parallel pipeline cannot reproduce.
+    abort_parallel("fatal discrepancy under continue_on_discrepancy=false");
+  }
+
+  obs::TraceSpan mspan(obs::kSpanShadowReplayMerge, clock.get(), parent_span);
+
+  // Linearize the merged allocation-event stream in sequence order.
+  std::vector<const ShadowFs::AllocEvent*> events;
+  for (const ShardOut& s : shards) {
+    for (const auto& ev : s.events) events.push_back(&ev);
+  }
+  // Events of one op are contiguous per shard and each seq lives in
+  // exactly one shard, so a stable sort by seq reproduces the serial
+  // allocation request order exactly.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ShadowFs::AllocEvent* a,
+                      const ShadowFs::AllocEvent* b) { return a->seq < b->seq; });
+  Linearizer lin(dev, geo);
+  for (const auto* ev : events) lin.apply(*ev);
+
+  // Merge shard overlays and rewrite virtual ids to real blocks.
+  OverlayMerger merger(dev, geo);
+  for (ShardOut& s : shards) merger.add_shard(std::move(s.overlay));
+  auto final_overlay = merger.finish(lin);
+
+  // Final pass: open over the merged overlay (standard open-time
+  // validation of the merged image, and the free counters the in-flight
+  // ops will allocate against), run in-flight ops autonomously, seal.
+  ShadowFs final_fs(dev, config.checks, clock);
+  final_fs.preload_overlay(std::move(final_overlay));
+  final_fs.open();
+  for (const OpRecord* rec : plan.inflight) {
+    OpOutcome replayed = shadow_apply_op(final_fs, rec->req, kInvalidIno);
+    ++outcome.ops_replayed;
+    outcome.inflight_results.emplace_back(rec->seq, replayed);
+  }
+  outcome.dirty = final_fs.seal();
+  outcome.device_reads += final_fs.device_reads() + validator.device_reads();
+  outcome.checks += final_fs.checks_performed() + validator.checks_performed();
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace
+
+ShadowOutcome shadow_execute_parallel(BlockDevice* dev,
+                                      const std::vector<OpRecord>& log,
+                                      const ShadowConfig& config,
+                                      SimClockPtr clock) {
+  if (config.replay_workers <= 1) {
+    return shadow_execute(dev, log, config, std::move(clock));
+  }
+
+  std::optional<Plan> plan;
+  OpDependencyGraph graph;
+  {
+    obs::TraceSpan pspan(obs::kSpanShadowReplayPlan, clock.get());
+    plan = classify(log);
+    if (plan) graph = build_op_dependency_graph(plan->constrained);
+  }
+  if (!plan) {
+    return serial_fallback(dev, log, config, std::move(clock),
+                           "in-flight op precedes completed mutating ops");
+  }
+  if (graph.components.size() <= 1) {
+    // Nothing provably independent to schedule; the serial reference is
+    // byte-identical by contract and strictly cheaper. Not a fallback:
+    // this is the planner's normal answer for dependency-chained logs.
+    return shadow_execute(dev, log, config, std::move(clock));
+  }
+
+  Nanos start = clock ? clock->now() : 0;
+  obs::TraceSpan span(obs::kSpanShadowReplay, clock.get());
+  obs::flight().record(obs::Component::kShadow, "replay.begin", "parallel",
+                       start, log.size(), config.replay_workers,
+                       graph.components.size());
+  try {
+    ShadowOutcome outcome =
+        run_parallel(dev, *plan, graph, config, clock, span.id());
+    outcome.sim_time_used = clock ? clock->now() - start : 0;
+    obs::flight().record(obs::Component::kShadow, "replay.end", "parallel",
+                         clock ? clock->now() : 0, outcome.ops_replayed,
+                         outcome.discrepancies.size(), outcome.dirty.size());
+    return outcome;
+  } catch (const ShadowCheckError& e) {
+    return serial_fallback(dev, log, config, std::move(clock), e.what());
+  } catch (const ParallelAbort& a) {
+    return serial_fallback(dev, log, config, std::move(clock), a.why);
+  }
+}
+
+}  // namespace raefs

@@ -1,0 +1,49 @@
+// Parallel shadow op-sequence replay.
+//
+// Strategy ("optimistic parallel execution with serial allocation
+// linearization"): the completed, mutating prefix of the op log is split
+// into commutativity components by the oplog dependency graph
+// (oplog/dep_graph.h); components are round-robined onto worker shards,
+// each shard executing its ops in sequence order on a private ShadowFs in
+// deferred-allocation mode (virtual block ids, no bitmap writes). A
+// serial linearization pass then replays the merged allocation-event
+// stream of all shards in global sequence order against the real block
+// bitmap with the serial shadow's exact first-fit policy, which assigns
+// every virtual id the very block number the serial execution would have
+// chosen. Shard overlays are merged (inode-table blocks slot-granular,
+// inode-bitmap blocks bit-granular, everything else block-granular),
+// virtual pointers are rewritten to their assigned real blocks, and a
+// final ShadowFs opens over the merged overlay -- running the standard
+// open-time validation on the merged image -- to execute in-flight ops
+// autonomously and seal the dirty set.
+//
+// Byte-equivalence contract: for ANY worker count, the returned dirty set
+// is byte-identical to shadow_execute's. The planner proves independence
+// only for resources it can see; every interaction it cannot see (hard
+// links predating the log, inode reuse across components, allocation
+// exhaustion) surfaces as a shard check failure or a merge conflict, and
+// the driver falls back to the serial reference executor -- whose output
+// is authoritative by definition. Fallbacks are counted under
+// shadow.replay.parallel_fallbacks and are themselves deterministic
+// functions of (image, log), so a given input replays identically at
+// every worker count.
+//
+// Simulated time: shards charge the shared SimClock concurrently, so
+// sim_time_used models the single-device-queue cost (the sum of all
+// shards' work), not wall time. Wall-clock scaling is what
+// bench_recovery_scaling measures.
+#pragma once
+
+#include "shadowfs/shadow_replay.h"
+
+namespace raefs {
+
+/// Drop-in replacement for shadow_execute: dispatches on
+/// config.replay_workers (<= 1, or fewer than two independent components,
+/// runs the serial reference directly).
+ShadowOutcome shadow_execute_parallel(BlockDevice* dev,
+                                      const std::vector<OpRecord>& log,
+                                      const ShadowConfig& config,
+                                      SimClockPtr clock = nullptr);
+
+}  // namespace raefs

@@ -104,9 +104,8 @@ OpOutcome shadow_apply_op(ShadowFs& fs, const OpRequest& req,
   return out;
 }
 
-namespace {
-
-std::string describe_mismatch(const OpRecord& rec, const OpOutcome& replayed) {
+std::string shadow_describe_mismatch(const OpRecord& rec,
+                                     const OpOutcome& replayed) {
   std::ostringstream os;
   os << "op " << rec.seq << " (" << rec.req.describe() << "): base {err="
      << to_string(rec.out.err) << " ino=" << rec.out.assigned_ino
@@ -116,7 +115,7 @@ std::string describe_mismatch(const OpRecord& rec, const OpOutcome& replayed) {
   return os.str();
 }
 
-bool outcomes_agree(const OpRecord& rec, const OpOutcome& replayed) {
+bool shadow_outcomes_agree(const OpRecord& rec, const OpOutcome& replayed) {
   if (rec.out.err != replayed.err) return false;
   if (rec.out.err != Errno::kOk) return true;  // both failed identically
   if (rec.out.assigned_ino != replayed.assigned_ino) return false;
@@ -126,8 +125,6 @@ bool outcomes_agree(const OpRecord& rec, const OpOutcome& replayed) {
   }
   return true;
 }
-
-}  // namespace
 
 ShadowOutcome shadow_execute(BlockDevice* dev,
                              const std::vector<OpRecord>& log,
@@ -162,9 +159,9 @@ ShadowOutcome shadow_execute(BlockDevice* dev,
         OpOutcome replayed =
             shadow_apply_op(fs, rec.req, rec.out.assigned_ino);
         ++outcome.ops_replayed;
-        if (!outcomes_agree(rec, replayed)) {
+        if (!shadow_outcomes_agree(rec, replayed)) {
           outcome.discrepancies.push_back(
-              Discrepancy{rec.seq, describe_mismatch(rec, replayed)});
+              Discrepancy{rec.seq, shadow_describe_mismatch(rec, replayed)});
           if (!config.continue_on_discrepancy) {
             outcome.failure = "fatal discrepancy: " +
                               outcome.discrepancies.back().description;

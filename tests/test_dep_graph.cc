@@ -1,0 +1,215 @@
+// Dependency-graph construction tests: the commutativity analysis that
+// drives parallel shadow replay. Aliased names (hard links, rename
+// chains) must serialize into one component; ops on disjoint inodes and
+// disjoint directories must land in separate components; anything the
+// analyzer cannot parse must conservatively collapse the whole log.
+#include <gtest/gtest.h>
+
+#include "oplog/dep_graph.h"
+
+namespace raefs {
+namespace {
+
+struct LogBuilder {
+  std::vector<OpRecord> records;
+  Seq next = 1;
+
+  OpRecord& push(OpRequest req, OpOutcome out = {}, bool completed = true) {
+    OpRecord rec;
+    rec.seq = next++;
+    rec.req = std::move(req);
+    rec.out = out;
+    rec.completed = completed;
+    records.push_back(std::move(rec));
+    return records.back();
+  }
+};
+
+OpRequest req_create(std::string path) {
+  OpRequest r;
+  r.kind = OpKind::kCreate;
+  r.path = std::move(path);
+  r.mode = 0644;
+  return r;
+}
+
+OpRequest req_mkdir(std::string path) {
+  OpRequest r;
+  r.kind = OpKind::kMkdir;
+  r.path = std::move(path);
+  r.mode = 0755;
+  return r;
+}
+
+OpRequest req_write(Ino ino) {
+  OpRequest r;
+  r.kind = OpKind::kWrite;
+  r.ino = ino;
+  r.data = {1, 2, 3};
+  return r;
+}
+
+OpRequest req_two(OpKind kind, std::string path, std::string path2) {
+  OpRequest r;
+  r.kind = kind;
+  r.path = std::move(path);
+  r.path2 = std::move(path2);
+  return r;
+}
+
+OpOutcome ok_ino(Ino ino) {
+  OpOutcome out;
+  out.err = Errno::kOk;
+  out.assigned_ino = ino;
+  return out;
+}
+
+TEST(DepGraph, DisjointDirectoriesParallelize) {
+  // Files created under directories that are NOT created in the log
+  // (i.e. preexisting on disk) share nothing: one component per chain.
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_write(10));
+  log.push(req_create("/b/g"), ok_ino(11));
+  log.push(req_write(11));
+  log.push(req_create("/c/h"), ok_ino(12));
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 3u);
+  ASSERT_EQ(g.component_of.size(), 5u);
+  EXPECT_EQ(g.component_of[0], g.component_of[1]);  // /a/f + its write
+  EXPECT_EQ(g.component_of[2], g.component_of[3]);  // /b/g + its write
+  EXPECT_NE(g.component_of[0], g.component_of[2]);
+  EXPECT_NE(g.component_of[0], g.component_of[4]);
+  EXPECT_NE(g.component_of[2], g.component_of[4]);
+}
+
+TEST(DepGraph, ComponentsOrderedByMinSeqWithAscendingOps) {
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_create("/b/g"), ok_ino(11));
+  log.push(req_write(10));
+  log.push(req_write(11));
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 2u);
+  EXPECT_LT(g.components[0].min_seq, g.components[1].min_seq);
+  for (const auto& c : g.components) {
+    ASSERT_FALSE(c.ops.empty());
+    EXPECT_EQ(log.records[c.ops.front()].seq, c.min_seq);
+    for (size_t i = 1; i < c.ops.size(); ++i) {
+      EXPECT_LT(c.ops[i - 1], c.ops[i]);
+    }
+  }
+  // Every op appears exactly once across components.
+  size_t total = 0;
+  for (const auto& c : g.components) total += c.ops.size();
+  EXPECT_EQ(total, log.records.size());
+}
+
+TEST(DepGraph, MkdirThenPopulateSerializes) {
+  // A directory created inside the log is a resource every op under it
+  // shares: the whole subtree is one chain.
+  LogBuilder log;
+  log.push(req_mkdir("/d"), ok_ino(10));
+  log.push(req_create("/d/f"), ok_ino(11));
+  log.push(req_write(11));
+  log.push(req_create("/other/g"), ok_ino(12));
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 2u);
+  EXPECT_EQ(g.component_of[0], g.component_of[1]);
+  EXPECT_EQ(g.component_of[1], g.component_of[2]);
+  EXPECT_NE(g.component_of[0], g.component_of[3]);
+}
+
+TEST(DepGraph, HardLinkAliasesSerialize) {
+  // link(/a/f, /b/g) aliases the same inode under two names in two
+  // directories; a later write through the ino and a later create in
+  // either directory must all join the link's component.
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_two(OpKind::kLink, "/a/f", "/b/g"));
+  log.push(req_write(10));
+  log.push(req_create("/b/h"), ok_ino(11));  // same parent as the new name
+  log.push(req_create("/c/x"), ok_ino(12));  // unrelated
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 2u);
+  EXPECT_EQ(g.component_of[0], g.component_of[1]);
+  EXPECT_EQ(g.component_of[1], g.component_of[2]);
+  EXPECT_EQ(g.component_of[2], g.component_of[3]);
+  EXPECT_NE(g.component_of[0], g.component_of[4]);
+}
+
+TEST(DepGraph, RenameChainSerializes) {
+  // create /a/f, rename it away, then write through its ino: the rename
+  // rebinds the path->ino map, so the write still reaches the chain, and
+  // the destination directory is dragged in too.
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_two(OpKind::kRename, "/a/f", "/b/g"));
+  log.push(req_write(10));
+  log.push(req_two(OpKind::kRename, "/b/g", "/c/h"));
+  log.push(req_write(10));
+  log.push(req_create("/d/unrelated"), ok_ino(11));
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 2u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(g.component_of[i], g.component_of[0]) << "op " << i;
+  }
+  EXPECT_NE(g.component_of[5], g.component_of[0]);
+}
+
+TEST(DepGraph, RenamedDirectoryRebindsChildren) {
+  // Renaming a directory must rebind every bound path under it: a later
+  // op addressing a child by its NEW path joins the same component.
+  LogBuilder log;
+  log.push(req_mkdir("/a/d"), ok_ino(10));
+  log.push(req_create("/a/d/f"), ok_ino(11));
+  log.push(req_two(OpKind::kRename, "/a/d", "/b/e"));
+  OpRequest unlink;
+  unlink.kind = OpKind::kUnlink;
+  unlink.path = "/b/e/f";
+  log.push(std::move(unlink));
+  log.push(req_create("/c/x"), ok_ino(12));
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 2u);
+  EXPECT_EQ(g.component_of[0], g.component_of[3]);
+  EXPECT_NE(g.component_of[0], g.component_of[4]);
+}
+
+TEST(DepGraph, SameDirectoryCreatesShareTheParent) {
+  // Two creates in one preexisting directory dirty the same parent
+  // dirent block: same component even though the files are distinct.
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_create("/a/g"), ok_ino(11));
+
+  auto g = build_op_dependency_graph(log.records);
+  EXPECT_EQ(g.components.size(), 1u);
+}
+
+TEST(DepGraph, UnparseablePathCollapsesToOneComponent) {
+  // Relative (non-'/'-rooted) paths cannot be normalized; the analyzer
+  // must refuse to guess and serialize everything.
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_create("/b/g"), ok_ino(11));
+  log.push(req_create("not-absolute"), ok_ino(12));
+
+  auto g = build_op_dependency_graph(log.records);
+  ASSERT_EQ(g.components.size(), 1u);
+  EXPECT_EQ(g.components[0].ops.size(), 3u);
+}
+
+TEST(DepGraph, EmptyLogHasNoComponents) {
+  auto g = build_op_dependency_graph(std::vector<OpRecord>{});
+  EXPECT_TRUE(g.components.empty());
+  EXPECT_TRUE(g.component_of.empty());
+}
+
+}  // namespace
+}  // namespace raefs

@@ -467,7 +467,8 @@ TEST_F(RaeTest, RecoveryTimelineSpansMatchDowntime) {
   // number applications experience.
   const RaeStats& st = sup->stats();
   Nanos stat_sum = st.detect_ns + st.contain_ns + st.reboot_ns +
-                   st.replay_ns + st.download_ns + st.resume_ns;
+                   st.replay_ns + st.download_ns + st.verify_ns +
+                   st.resume_ns;
   EXPECT_EQ(stat_sum, st.total_downtime);
   EXPECT_EQ(span_sum, st.total_downtime);
 
@@ -523,7 +524,8 @@ TEST_F(RaeTest, RecoveryFilesOneIncidentMatchingDowntime) {
   // The phase durations sum to the incident's downtime, which is the
   // delta this recovery added to the supervisor's availability account.
   Nanos phase_sum = inc.detect_ns + inc.contain_ns + inc.reboot_ns +
-                    inc.replay_ns + inc.download_ns + inc.resume_ns;
+                    inc.replay_ns + inc.download_ns + inc.verify_ns +
+                    inc.resume_ns;
   EXPECT_EQ(phase_sum, inc.downtime_ns);
   EXPECT_GT(inc.downtime_ns, 0u);
   EXPECT_EQ(inc.downtime_ns, sup->stats().total_downtime);

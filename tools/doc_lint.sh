@@ -1,29 +1,38 @@
 #!/bin/sh
-# doc_lint -- fail if any canonical observability name is undocumented.
+# doc_lint -- fail if the reference docs rot behind the code.
 #
-# src/obs/names.h is the single source of truth for metric and span names;
-# every quoted dotted name in it must appear verbatim in
-# docs/OBSERVABILITY.md. Run from anywhere:
+# Two contracts, both enforced as the `doc_lint` ctest:
+#
+#  1. src/obs/names.h is the single source of truth for metric and span
+#     names; every quoted dotted name in it must appear verbatim in
+#     docs/OBSERVABILITY.md (the instrument reference) or
+#     docs/RECOVERY.md (the recovery-pipeline walkthrough).
+#  2. every field of RaeOptions (src/rae/supervisor.h) -- the recovery
+#     pipeline's knobs -- must appear verbatim in docs/RECOVERY.md, so a
+#     knob cannot be added or renamed without the document that tells
+#     operators how to tune it.
+#
+# Run from anywhere:
 #
 #   tools/doc_lint.sh [repo-root]
-#
-# Registered as the `doc_lint` ctest, so the reference doc cannot rot
-# silently when a name is added or renamed.
 set -u
 
 root="${1:-$(dirname "$0")/..}"
 names_h="$root/src/obs/names.h"
-doc="$root/docs/OBSERVABILITY.md"
+obs_doc="$root/docs/OBSERVABILITY.md"
+recovery_doc="$root/docs/RECOVERY.md"
+sup_h="$root/src/rae/supervisor.h"
 
-if [ ! -f "$names_h" ]; then
-  echo "doc_lint: missing $names_h" >&2
-  exit 1
-fi
-if [ ! -f "$doc" ]; then
-  echo "doc_lint: missing $doc" >&2
-  exit 1
-fi
+for f in "$names_h" "$obs_doc" "$recovery_doc" "$sup_h"; do
+  if [ ! -f "$f" ]; then
+    echo "doc_lint: missing $f" >&2
+    exit 1
+  fi
+done
 
+missing=0
+
+# --- contract 1: observability names --------------------------------------
 # Extract every "a.b" / "a.b.c" string literal from names.h.
 names=$(grep -o '"[a-z_]*\.[a-z_.]*"' "$names_h" | tr -d '"' | sort -u)
 if [ -z "$names" ]; then
@@ -31,19 +40,42 @@ if [ -z "$names" ]; then
   exit 1
 fi
 
-missing=0
 for name in $names; do
-  if ! grep -qF "$name" "$doc"; then
-    echo "doc_lint: '$name' (src/obs/names.h) is not documented in" \
-         "docs/OBSERVABILITY.md" >&2
+  if ! grep -qF "$name" "$obs_doc" && ! grep -qF "$name" "$recovery_doc"; then
+    echo "doc_lint: '$name' (src/obs/names.h) is documented in neither" \
+         "docs/OBSERVABILITY.md nor docs/RECOVERY.md" >&2
     missing=$((missing + 1))
   fi
 done
-
 total=$(echo "$names" | wc -l)
-if [ "$missing" -ne 0 ]; then
-  echo "doc_lint: $missing of $total names undocumented" >&2
+
+# --- contract 2: RaeOptions recovery knobs --------------------------------
+# Field names of struct RaeOptions: strip comments, normalize
+# initializers away, keep `Type name;` member declarations (enumerator
+# lines have no type token before the name, so they drop out).
+knobs=$(sed -n '/^struct RaeOptions {/,/^};/p' "$sup_h" \
+  | sed 's,//.*,,' \
+  | sed 's/=.*/;/' \
+  | grep -E '^[ \t]*[A-Za-z_][A-Za-z0-9_:<>, ]*[ \t][a-z_][a-z0-9_]*[ \t]*;' \
+  | sed -E 's/^.*[ \t]([a-z_][a-z0-9_]*)[ \t]*;.*$/\1/' \
+  | sort -u)
+if [ -z "$knobs" ]; then
+  echo "doc_lint: extracted no RaeOptions fields from $sup_h (regex rotted?)" >&2
   exit 1
 fi
-echo "doc_lint: all $total observability names documented"
+
+for knob in $knobs; do
+  if ! grep -qF "$knob" "$recovery_doc"; then
+    echo "doc_lint: RaeOptions::$knob (src/rae/supervisor.h) is not" \
+         "documented in docs/RECOVERY.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+ktotal=$(echo "$knobs" | wc -l)
+
+if [ "$missing" -ne 0 ]; then
+  echo "doc_lint: $missing undocumented (of $total obs names + $ktotal knobs)" >&2
+  exit 1
+fi
+echo "doc_lint: all $total observability names and $ktotal recovery knobs documented"
 exit 0
