@@ -472,7 +472,12 @@ Status BaseFs::free_block(BlockNo block) {
   block_cache_.drop(block);
   {
     std::lock_guard<std::mutex> mlk(meta_blocks_mu_);
-    meta_blocks_.erase(block);
+    if (meta_blocks_.erase(block) > 0) {
+      // The journal may hold committed copies of this block; revoke them
+      // so a crash replay cannot resurrect stale metadata over the block
+      // once it is reallocated as file data.
+      pending_revokes_.insert(block);
+    }
   }
   return Status::Ok();
 }
@@ -487,6 +492,26 @@ void BaseFs::note_meta_block(BlockNo b, BlockClass cls) {
   if (cls == BlockClass::kFileData) return;
   std::lock_guard<std::mutex> lk(meta_blocks_mu_);
   meta_blocks_[b] = cls;
+  // Reallocated as metadata before the revoke ever committed: the fresh
+  // copy will be journaled, which must not be suppressed.
+  pending_revokes_.erase(b);
+}
+
+std::vector<BlockNo> BaseFs::take_pending_revokes_() {
+  std::lock_guard<std::mutex> lk(meta_blocks_mu_);
+  std::vector<BlockNo> out(pending_revokes_.begin(), pending_revokes_.end());
+  pending_revokes_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BaseFs::return_pending_revokes_(const std::vector<BlockNo>& revokes) {
+  if (revokes.empty()) return;
+  std::lock_guard<std::mutex> lk(meta_blocks_mu_);
+  for (BlockNo b : revokes) {
+    if (meta_blocks_.count(b) > 0) continue;
+    pending_revokes_.insert(b);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,7 @@
 #include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/async_device.h"
@@ -324,6 +325,13 @@ class BaseFs {
 
   bool is_meta_block(BlockNo b) const;
   void note_meta_block(BlockNo b, BlockClass cls);
+  /// Take (and clear) the pending revoke set, sorted for deterministic
+  /// on-disk descriptors. Called inside the epoch rotation gate.
+  std::vector<BlockNo> take_pending_revokes_();
+  /// Put revokes back after a failed or revoke-less commit attempt so the
+  /// next staged transaction carries them. Blocks reallocated as metadata
+  /// in the meantime are dropped (their fresh copy must replay).
+  void return_pending_revokes_(const std::vector<BlockNo>& revokes);
   void note_mutation();
   Status reload_counters();
 
@@ -352,6 +360,14 @@ class BaseFs {
   // content rather than file data.
   mutable std::mutex meta_blocks_mu_;
   std::unordered_map<BlockNo, BlockClass> meta_blocks_;
+  // Journaled-metadata blocks freed since the last epoch rotation. The
+  // next journal transaction carries them as revoke records so crash
+  // replay cannot resurrect their stale journaled copies over blocks
+  // reallocated as file data (see journal.h). note_meta_block cancels a
+  // pending revoke (the block is metadata again and its fresh copy will
+  // be journaled); the commit path drops revokes for blocks re-journaled
+  // by the same transaction.
+  std::unordered_set<BlockNo> pending_revokes_;
 
   // Per-inode extent hint: the last mapped run map_range() saw, tagged
   // with the mutation epoch it was recorded under. note_mutation() bumps

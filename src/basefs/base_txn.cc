@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <unordered_set>
 
 #include "basefs/base_fs.h"
 #include "obs/flight_recorder.h"
@@ -61,6 +62,10 @@ struct BaseFs::CommitCtx {
   Nanos start = 0;
   std::vector<JournalRecord> meta;
   std::vector<BlockNo> data_blocks;
+  // Journaled-metadata blocks freed by this epoch: carried as revoke
+  // records so replay cannot resurrect their stale journaled copies
+  // (journal.h). On a failed commit they return to the pending set.
+  std::vector<BlockNo> revokes;
   // Set by a failed in-place (ordered-mode) data write; vetoes the commit.
   std::shared_ptr<std::atomic<bool>> data_abort;
 };
@@ -192,6 +197,9 @@ Status BaseFs::commit_cycle_once_(std::unique_lock<std::mutex>& lk) {
     block_cache_.set_open_epoch(ctx->upto + 1);
     if (stage_st.ok()) {
       dirty = block_cache_.dirty_snapshot_range(base, ctx->upto);
+      // Frees performed by epochs <= upto are all visible here (ops hold
+      // the gate shared), so the revoke set is exactly this delta's.
+      ctx->revokes = take_pending_revokes_();
       if (opts_.validate_on_sync && !dirty.empty()) {
         Status valid = validate_dirty_locked(dirty);
         // Detection before persistence: a corrupt delta must never reach
@@ -212,6 +220,11 @@ Status BaseFs::commit_cycle_once_(std::unique_lock<std::mutex>& lk) {
   }
 
   if (dirty.empty()) {
+    // No journal transaction will be staged; the revokes wait for the
+    // next one. (A free always dirties the block bitmap, so this arises
+    // only on retry after a failure that committed the bitmap first.)
+    return_pending_revokes_(ctx->revokes);
+    ctx->revokes.clear();
     lk.lock();
     epoch_staged_ = std::max(epoch_staged_, ctx->upto);
     if (journal_.staged_txns() == 0) {
@@ -246,6 +259,16 @@ Status BaseFs::commit_cycle_once_(std::unique_lock<std::mutex>& lk) {
       data.emplace_back(block, std::move(bytes));
     }
   }
+  // A revoke must not suppress a copy re-journaled by this very
+  // transaction (same seq): the fresh copy is the block's newest durable
+  // content. jbd2 calls this revoke cancellation.
+  if (!ctx->revokes.empty() && !ctx->meta.empty()) {
+    std::unordered_set<BlockNo> journaled;
+    journaled.reserve(ctx->meta.size());
+    for (const auto& r : ctx->meta) journaled.insert(r.target);
+    std::erase_if(ctx->revokes,
+                  [&](BlockNo b) { return journaled.count(b) > 0; });
+  }
   // How many fsyncs this transaction collapses (the committer included).
   group_ops_hist().record(
       static_cast<Nanos>(commit_waiters_.load(std::memory_order_relaxed)));
@@ -264,6 +287,11 @@ Status BaseFs::commit_cycle_once_(std::unique_lock<std::mutex>& lk) {
 
   if (ctx->meta.empty()) {
     // Data-only epoch: a durability barrier is all the journal owes us.
+    // Revokes wait for the next metadata transaction (any reallocation of
+    // a revoked block dirties the bitmap, so that transaction commits no
+    // later than the first epoch that could make the hazard durable).
+    return_pending_revokes_(ctx->revokes);
+    ctx->revokes.clear();
     Status fst = journal_.flush_async(&async_, make_commit_done_(ctx));
     lk.lock();
     if (!fst.ok()) {
@@ -276,25 +304,27 @@ Status BaseFs::commit_cycle_once_(std::unique_lock<std::mutex>& lk) {
     return Status::Ok();
   }
 
-  // One descriptor block addresses (kBlockSize - 32) / 8 targets; the
-  // journal free area must also fit the transaction right now (staged
+  // One descriptor block addresses max_descriptor_entries() tags+revokes;
+  // the journal free area must also fit the transaction right now (staged
   // transactions included). Otherwise fall back to the serial bulk path.
   const size_t pipeline_max = std::min<size_t>(
-      (kBlockSize - 32) / 8,
+      Journal::max_descriptor_entries(),
       geo_.journal_blocks > 4 ? static_cast<size_t>(geo_.journal_blocks - 3)
                               : 1);
-  if (ctx->meta.size() > pipeline_max || !journal_.has_space(ctx->meta.size())) {
+  if (ctx->meta.size() + ctx->revokes.size() > pipeline_max ||
+      !journal_.has_space(ctx->meta.size())) {
     return commit_bulk_(lk, ctx);
   }
 
   auto seq = journal_.commit_async(ctx->meta, &async_, make_commit_done_(ctx),
-                                   ctx->data_abort);
+                                   ctx->data_abort, ctx->revokes);
   if (!seq.ok() && seq.error() == Errno::kNoSpace) return commit_bulk_(lk, ctx);
   lk.lock();
   if (!seq.ok()) {
     // kBusy propagates to commit_cycle_locked's retry loop; the rotation
     // already closed epoch `upto`, and the recovery resnap (base 0) on the
     // next attempt re-covers its blocks. Anything else fails the epoch.
+    return_pending_revokes_(ctx->revokes);
     if (seq.error() == Errno::kBusy) return seq.error();
     epoch_failed_ = std::max(epoch_failed_, ctx->upto);
     commit_error_ = seq.error();
@@ -334,6 +364,9 @@ Journal::CommitDoneCb BaseFs::make_commit_done_(std::shared_ptr<CommitCtx> ctx) 
         pipeline_broken_ = true;
         epoch_failed_ = std::max(epoch_failed_, ctx->upto);
         commit_error_ = st;
+        // The staged transaction never committed, so neither did its
+        // revokes; the retry's transaction must carry them again.
+        return_pending_revokes_(ctx->revokes);
       }
     }
     commit_cv_.notify_all();
@@ -359,6 +392,7 @@ Status BaseFs::commit_bulk_(std::unique_lock<std::mutex>& lk,
   if (pipeline_broken_) {
     epoch_failed_ = std::max(epoch_failed_, ctx->upto);
     if (commit_error_.ok()) commit_error_ = Errno::kIo;
+    return_pending_revokes_(ctx->revokes);
     return commit_error_;
   }
   lk.unlock();
@@ -369,30 +403,43 @@ Status BaseFs::commit_bulk_(std::unique_lock<std::mutex>& lk,
     st = Errno::kIo;  // this epoch's in-place data writes failed
   }
   const size_t max_records = std::min<size_t>(
-      (kBlockSize - 32) / 8,
+      Journal::max_descriptor_entries(),
       geo_.journal_blocks > 4 ? static_cast<size_t>(geo_.journal_blocks - 3)
                               : 1);
+  // Revokes ride the chunks' descriptors, front-loaded but never crowding
+  // a chunk's records out entirely; leftovers (failure, or a pathological
+  // revoke count) return to the pending set.
+  std::vector<BlockNo> revokes_left = ctx->revokes;
   size_t at = 0;
   while (st.ok() && at < ctx->meta.size()) {
-    const size_t take = std::min(ctx->meta.size() - at, max_records);
+    const size_t rev_take =
+        std::min(revokes_left.size(), max_records > 1 ? max_records - 1 : 0);
+    const size_t take = std::min(ctx->meta.size() - at, max_records - rev_take);
     std::vector<JournalRecord> chunk(
         ctx->meta.begin() + static_cast<ptrdiff_t>(at),
         ctx->meta.begin() + static_cast<ptrdiff_t>(at + take));
+    std::vector<BlockNo> rev(
+        revokes_left.begin(),
+        revokes_left.begin() + static_cast<ptrdiff_t>(rev_take));
     if (!journal_.has_space(chunk.size())) {
       st = checkpoint_core_();
       if (!st.ok()) break;
     }
-    auto seq = journal_.commit(chunk);
+    auto seq = journal_.commit(chunk, rev);
     if (!seq.ok()) {
       st = seq.error();
       break;
     }
+    revokes_left.erase(
+        revokes_left.begin(),
+        revokes_left.begin() + static_cast<ptrdiff_t>(rev_take));
     {
       std::lock_guard<std::mutex> g(commit_mu_);
       for (const auto& r : chunk) durable_class_[r.target] = false;
     }
     at += take;
   }
+  return_pending_revokes_(revokes_left);
 
   lk.lock();
   if (!st.ok()) {

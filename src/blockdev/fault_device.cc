@@ -1,5 +1,7 @@
 #include "blockdev/fault_device.h"
 
+#include <algorithm>
+
 namespace raefs {
 
 Status FaultBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
@@ -27,8 +29,21 @@ Status FaultBlockDevice::read_block(BlockNo block, std::span<uint8_t> out) {
       flip_bit = rng_.below(static_cast<uint64_t>(block_size()) * 8);
       ++corruptions_;
     }
+    if (fail) return Errno::kIo;
+    // Read-your-writes through the volatile cache: the newest pending copy
+    // of the block, if any, is what the host must observe.
+    if (reorder_ && !pending_.empty()) {
+      for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+        if (it->block == block) {
+          std::copy(it->data->begin(), it->data->end(), out.begin());
+          if (corrupt) {
+            out[flip_bit / 8] ^= static_cast<uint8_t>(1u << (flip_bit % 8));
+          }
+          return Status::Ok();
+        }
+      }
+    }
   }
-  if (fail) return Errno::kIo;
   RAEFS_TRY_VOID(inner_->read_block(block, out));
   if (corrupt) out[flip_bit / 8] ^= static_cast<uint8_t>(1u << (flip_bit % 8));
   return Status::Ok();
@@ -40,6 +55,7 @@ Status FaultBlockDevice::write_block(BlockNo block,
     std::lock_guard<std::mutex> lk(mu_);
     uint64_t index = writes_seen_++;
     if (crashed_ || index >= crash_at_write_) {
+      if (!crashed_) writes_at_crash_ = index;
       crashed_ = true;
       ++write_errors_;
       return Errno::kIo;
@@ -54,6 +70,13 @@ Status FaultBlockDevice::write_block(BlockNo block,
       ++write_errors_;
       return Errno::kIo;
     }
+    if (reorder_) {
+      pending_.push_back(PendingWrite{
+          index, block,
+          std::make_shared<const std::vector<uint8_t>>(data.begin(),
+                                                       data.end())});
+      return Status::Ok();
+    }
   }
   return inner_->write_block(block, data);
 }
@@ -61,14 +84,40 @@ Status FaultBlockDevice::write_block(BlockNo block,
 Status FaultBlockDevice::flush() {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    uint64_t index = flushes_seen_++;
     if (crashed_) return Errno::kIo;
+    if (index >= crash_at_flush_) {
+      // The barrier is where the power died: the epoch stays frozen in the
+      // volatile cache for the harness to materialize subsets of.
+      writes_at_crash_ = writes_seen_;
+      crashed_ = true;
+      return Errno::kIo;
+    }
+    if (reorder_) {
+      RAEFS_TRY_VOID(drain_pending_locked_());
+    }
   }
   return inner_->flush();
+}
+
+Status FaultBlockDevice::drain_pending_locked_() {
+  for (const PendingWrite& pw : pending_) {
+    RAEFS_TRY_VOID(inner_->write_block(
+        pw.block, std::span<const uint8_t>(pw.data->data(), pw.data->size())));
+  }
+  pending_.clear();
+  return Status::Ok();
 }
 
 void FaultBlockDevice::arm_crash_after_writes(uint64_t k) {
   std::lock_guard<std::mutex> lk(mu_);
   crash_at_write_ = k;
+  crashed_ = false;
+}
+
+void FaultBlockDevice::arm_crash_at_flush(uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crash_at_flush_ = n;
   crashed_ = false;
 }
 
@@ -92,9 +141,19 @@ uint64_t FaultBlockDevice::reads_seen() const {
   return reads_seen_;
 }
 
+uint64_t FaultBlockDevice::flushes_seen() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flushes_seen_;
+}
+
 bool FaultBlockDevice::crashed() const {
   std::lock_guard<std::mutex> lk(mu_);
   return crashed_;
+}
+
+uint64_t FaultBlockDevice::writes_at_crash() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return writes_at_crash_;
 }
 
 void FaultBlockDevice::disarm() {
@@ -103,9 +162,56 @@ void FaultBlockDevice::disarm() {
   config_.write_error_prob = 0;
   config_.read_corrupt_prob = 0;
   crash_at_write_ = kUnarmed;
+  crash_at_flush_ = kUnarmed;
   write_error_at_ = kUnarmed;
   read_error_at_ = kUnarmed;
   crashed_ = false;
+  writes_at_crash_ = 0;
+  // Power-cycle semantics: the volatile write cache does not survive.
+  pending_.clear();
+}
+
+Status FaultBlockDevice::set_reorder_buffering(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!on && reorder_ && !pending_.empty()) {
+    RAEFS_TRY_VOID(drain_pending_locked_());
+  }
+  reorder_ = on;
+  return Status::Ok();
+}
+
+bool FaultBlockDevice::reorder_buffering() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reorder_;
+}
+
+std::vector<FaultBlockDevice::PendingWrite> FaultBlockDevice::pending_epoch()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_;
+}
+
+size_t FaultBlockDevice::pending_writes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+Status FaultBlockDevice::materialize_pending(const std::vector<size_t>& keep) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!reorder_) return Errno::kInval;
+  for (size_t pos : keep) {
+    if (pos >= pending_.size()) return Errno::kInval;
+  }
+  std::vector<size_t> order(keep);
+  std::sort(order.begin(), order.end());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+  for (size_t pos : order) {
+    const PendingWrite& pw = pending_[pos];
+    RAEFS_TRY_VOID(inner_->write_block(
+        pw.block, std::span<const uint8_t>(pw.data->data(), pw.data->size())));
+  }
+  pending_.clear();
+  return inner_->flush();
 }
 
 }  // namespace raefs

@@ -11,9 +11,25 @@
 // k-th write (machine crash: that write and ALL subsequent IO fail) or to
 // a single IO index (one-shot EIO, normal service afterwards). The
 // counters are what make crash-point enumeration reproducible.
+//
+// Reorder mode (crashx v2) models a drive-internal volatile write cache:
+// with buffering enabled, writes are held in a *pending epoch* instead of
+// reaching the inner device; a flush barrier drains the epoch in
+// submission order and then flushes the inner device, so everything up to
+// the last barrier is persisted and everything after it is at the drive's
+// mercy. At an armed crash point the harness reads the frozen pending
+// epoch and materializes any barrier-respecting subset of it (latest
+// write per block wins; barriers are never crossed because the epoch by
+// construction only holds writes issued since the last barrier). All
+// deterministic IO indices -- `writes_seen`, `arm_write_error_at`,
+// `arm_crash_after_writes` -- count SUBMISSION order, never
+// materialization order, so repros recorded without buffering replay
+// byte-identically with it.
 #pragma once
 
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "blockdev/block_device.h"
 #include "common/rng.h"
@@ -52,7 +68,16 @@ class FaultBlockDevice final : public BlockDevice {
   /// 0..k-1 are served normally.
   void arm_crash_after_writes(uint64_t k);
 
+  /// Crash the "machine" at flush index `n` (0-based, counted from
+  /// construction): that flush fails with EIO and the device stays dead.
+  /// In reorder mode the pending epoch is frozen, not drained -- exactly
+  /// the set of writes a real drive would still have had in its volatile
+  /// cache when the barrier was cut off.
+  void arm_crash_at_flush(uint64_t n);
+
   /// One-shot EIO on exactly write index `i`; service resumes afterwards.
+  /// The index names the submission attempt: in reorder mode the failed
+  /// write never enters the pending epoch.
   void arm_write_error_at(uint64_t i);
 
   /// One-shot EIO on exactly read index `i`; service resumes afterwards.
@@ -62,16 +87,61 @@ class FaultBlockDevice final : public BlockDevice {
   /// index identifies the attempt, not the success).
   uint64_t writes_seen() const;
   uint64_t reads_seen() const;
+  uint64_t flushes_seen() const;
 
   /// True once an armed crash point has triggered.
   bool crashed() const;
 
+  /// Submission-order write count at the instant the armed crash fired
+  /// (writes attempted after the crash keep incrementing writes_seen but
+  /// not this). Meaningful only while crashed(); 0 before any crash.
+  uint64_t writes_at_crash() const;
+
   /// Disable all fault injection from now on (e.g. after the experiment's
   /// fault window closes). Clears deterministic arming and the crashed
-  /// state as well.
+  /// state. Any pending reorder epoch is DROPPED, deterministically and
+  /// in full -- disarm models the power cycle after a crash experiment,
+  /// and a volatile write cache does not survive one. Buffered writes
+  /// never leak into later ops; the buffering *mode* itself stays as
+  /// configured. Use materialize_pending() before disarm to persist a
+  /// chosen subset.
   void disarm();
 
+  // --- reorder mode (crashx v2) ----------------------------------------
+  /// One write held in the pending epoch, in submission order. `index` is
+  /// the device-wide submission index (same counter writes_seen reports).
+  struct PendingWrite {
+    uint64_t index = 0;
+    BlockNo block = 0;
+    std::shared_ptr<const std::vector<uint8_t>> data;
+  };
+
+  /// Enable/disable buffering of writes between flush barriers. Disabling
+  /// with a non-empty pending epoch drains it to the inner device first
+  /// (submission order), so no buffered write is ever silently lost by a
+  /// mode switch.
+  Status set_reorder_buffering(bool on);
+  bool reorder_buffering() const;
+
+  /// Snapshot of the pending epoch in submission order. Cheap: payloads
+  /// are shared, not copied.
+  std::vector<PendingWrite> pending_epoch() const;
+  size_t pending_writes() const;
+
+  /// Materialize a barrier-respecting crash state: apply the pending
+  /// writes selected by `keep` (positions into pending_epoch(), any
+  /// order; applied in ascending submission order so the latest selected
+  /// write per block wins) onto the inner device and flush it, then drop
+  /// the whole epoch. Selecting every position equals a normal barrier
+  /// drain. Positions out of range return kInval with nothing applied.
+  /// Usable while crashed() -- that is the harness's whole point.
+  Status materialize_pending(const std::vector<size_t>& keep);
+
  private:
+  // Must hold mu_. Forward the whole pending epoch to inner in submission
+  // order and clear it.
+  Status drain_pending_locked_();
+
   BlockDevice* inner_;
   FaultDeviceConfig config_;
   mutable std::mutex mu_;  // guards rng_ and the deterministic state
@@ -83,10 +153,16 @@ class FaultBlockDevice final : public BlockDevice {
   static constexpr uint64_t kUnarmed = ~uint64_t{0};
   uint64_t writes_seen_ = 0;
   uint64_t reads_seen_ = 0;
+  uint64_t flushes_seen_ = 0;
   uint64_t crash_at_write_ = kUnarmed;   // sticky: all IO fails once hit
+  uint64_t crash_at_flush_ = kUnarmed;   // sticky: all IO fails once hit
   uint64_t write_error_at_ = kUnarmed;   // one-shot
   uint64_t read_error_at_ = kUnarmed;    // one-shot
   bool crashed_ = false;
+  uint64_t writes_at_crash_ = 0;  // submission count when crashed_ flipped
+
+  bool reorder_ = false;
+  std::vector<PendingWrite> pending_;  // submission order
 };
 
 }  // namespace raefs

@@ -433,7 +433,7 @@ Result<Report> explore_concurrent(const ConcurrentOptions& opts) {
     ++report.crash_points;
     if (!d.empty()) {
       report.divergences.push_back(
-          Divergence{Fault{FaultKind::kCrashAtWrite, k}, std::move(d)});
+          Divergence{Fault{FaultKind::kCrashAtWrite, k}, std::move(d), {}});
     }
   }
 
@@ -443,7 +443,7 @@ Result<Report> explore_concurrent(const ConcurrentOptions& opts) {
     ++report.write_sites;
     if (!d.empty()) {
       report.divergences.push_back(
-          Divergence{Fault{FaultKind::kWriteErrorAt, i}, std::move(d)});
+          Divergence{Fault{FaultKind::kWriteErrorAt, i}, std::move(d), {}});
     }
   }
   return report;

@@ -1,8 +1,10 @@
 #include "crashx/ops.h"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
+#include "bugstudy/bugstudy.h"
 #include "common/rng.h"
 #include "tests/support/model_fs.h"
 
@@ -194,6 +196,205 @@ std::vector<Op> generate_ops(uint64_t seed, size_t n, size_t sync_every) {
     }
     ops.push_back(std::move(op));
   }
+  return ops;
+}
+
+namespace {
+
+// Pattern families for the B3-style fuzzer workload. Each family is a
+// short multi-op sequence that stresses one crash-consistency mechanism
+// the ext4 bug study keeps blaming.
+enum Pattern : size_t {
+  kPatAtomicReplace = 0,  // create tmp, write, fsync, rename over target
+  kPatLinkDance,          // link, fsync the new name, drop the old one
+  kPatOverwrite,          // same-offset rewrite of existing data + fsync
+  kPatTruncRewrite,       // grow, sync, truncate to zero, rewrite smaller
+  kPatAppendChain,        // successive appends, fsync after each
+  kPatDirRecycle,         // dir churn then a large alloc over freed blocks
+  kNumPatterns,
+};
+
+// Weight each family by how often the bug-study corpus implicates the
+// mechanism it stresses: subsystem tags and symptom keywords in the
+// records map to families. Every family keeps a floor weight of 1 so the
+// whole space stays reachable regardless of corpus content.
+std::array<uint64_t, kNumPatterns> pattern_weights() {
+  std::array<uint64_t, kNumPatterns> w;
+  w.fill(1);
+  for (const auto& bug : bugstudy::ext4_corpus()) {
+    const std::string text = bug.title + " " + bug.symptoms;
+    auto has = [&](const char* kw) {
+      return text.find(kw) != std::string::npos;
+    };
+    if (has("jbd2") || has("fast-commit")) {
+      ++w[kPatDirRecycle];
+      ++w[kPatAppendChain];
+    }
+    if (has("dir index") || has("rename") || has("link")) {
+      ++w[kPatAtomicReplace];
+      ++w[kPatLinkDance];
+    }
+    if (has("extents") || has("mballoc")) {
+      ++w[kPatOverwrite];
+      ++w[kPatTruncRewrite];
+    }
+    if (has("truncate") || has("punch") || has("fallocate") ||
+        has("collapse")) {
+      ++w[kPatTruncRewrite];
+    }
+    if (has("i_size") || has("stale tail")) ++w[kPatAppendChain];
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<Op> generate_pattern_ops(uint64_t seed, size_t n,
+                                     size_t sync_every,
+                                     uint64_t fill_blocks) {
+  static const std::array<uint64_t, kNumPatterns> kWeights =
+      pattern_weights();
+  const uint64_t total_weight =
+      std::accumulate(kWeights.begin(), kWeights.end(), uint64_t{0});
+
+  Rng rng(seed);
+  // Same optimistic namespace bookkeeping as generate_ops: assume every
+  // op succeeds; ops invalidated by earlier surprises fail harmlessly at
+  // apply time.
+  std::vector<std::string> dirs{"/"};
+  std::vector<std::string> files;
+  uint64_t name_counter = 0;
+
+  auto child_of = [&](const std::string& dir, const std::string& leaf) {
+    return dir == "/" ? "/" + leaf : dir + "/" + leaf;
+  };
+  auto fresh_name = [&](char prefix) {
+    return std::string(1, prefix) + std::to_string(name_counter++);
+  };
+
+  std::vector<Op> ops;
+  ops.reserve(n + 16);
+  size_t since_sync = 0;
+  auto push = [&](Op op) {
+    // Forced-sync cadence, as in generate_ops: bound the dirty set so no
+    // single transaction swallows the whole workload.
+    if (op.kind == OpKind::kSync) {
+      since_sync = 0;
+    } else if (sync_every && ++since_sync >= sync_every) {
+      ops.push_back(Op{OpKind::kSync, "", "", 0, 0});
+      since_sync = 0;
+    }
+    ops.push_back(std::move(op));
+  };
+  // An existing file to mutate, creating one first when none exist.
+  auto pick_file = [&]() -> std::string {
+    if (files.empty()) {
+      std::string f = child_of(dirs[rng.below(dirs.size())], fresh_name('f'));
+      files.push_back(f);
+      push(Op{OpKind::kCreate, f, "", 0, 0});
+      push(Op{OpKind::kWrite, f, "", 0, rng.range(1, 2 * kBlockSize)});
+    }
+    return files[rng.below(files.size())];
+  };
+  // Large-allocation size: big enough that a handful of recycles walks
+  // the first-fit hint across the whole data region, small enough that
+  // one write op stays cheap.
+  const uint64_t fillb =
+      std::max<uint64_t>(4, std::min<uint64_t>(fill_blocks / 2, 64));
+
+  while (ops.size() < n) {
+    uint64_t pick = rng.below(total_weight);
+    size_t pat = 0;
+    while (pick >= kWeights[pat]) pick -= kWeights[pat++];
+    switch (static_cast<Pattern>(pat)) {
+      case kPatAtomicReplace: {
+        std::string tmp = child_of("/", fresh_name('t'));
+        push(Op{OpKind::kCreate, tmp, "", 0, 0});
+        push(Op{OpKind::kWrite, tmp, "", 0, rng.range(1, 2 * kBlockSize)});
+        push(Op{OpKind::kFsync, tmp, "", 0, 0});
+        std::string dst;
+        if (!files.empty() && rng.chance(0.5)) {
+          size_t idx = rng.below(files.size());
+          dst = files[idx];
+          files.erase(files.begin() + idx);
+        } else {
+          dst = child_of(dirs[rng.below(dirs.size())], fresh_name('f'));
+        }
+        push(Op{OpKind::kRename, tmp, dst, 0, 0});
+        files.push_back(dst);
+        break;
+      }
+      case kPatLinkDance: {
+        std::string f = pick_file();
+        std::string l = child_of(dirs[rng.below(dirs.size())],
+                                 fresh_name('l'));
+        push(Op{OpKind::kLink, f, l, 0, 0});
+        files.push_back(l);
+        push(Op{OpKind::kFsync, l, "", 0, 0});
+        if (rng.chance(0.5)) {
+          files.erase(std::find(files.begin(), files.end(), f));
+          push(Op{OpKind::kUnlink, f, "", 0, 0});
+        }
+        break;
+      }
+      case kPatOverwrite: {
+        std::string f = pick_file();
+        uint64_t len = rng.range(1, 3 * kBlockSize);
+        push(Op{OpKind::kWrite, f, "", 0, len});
+        push(Op{OpKind::kFsync, f, "", 0, 0});
+        push(Op{OpKind::kWrite, f, "", 0, len});
+        push(Op{OpKind::kFsync, f, "", 0, 0});
+        break;
+      }
+      case kPatTruncRewrite: {
+        std::string f = pick_file();
+        push(Op{OpKind::kWrite, f, "", 0, rng.range(2, 4) * kBlockSize});
+        push(Op{OpKind::kSync, "", "", 0, 0});
+        push(Op{OpKind::kTruncate, f, "", 0, 0});
+        push(Op{OpKind::kWrite, f, "", 0, rng.range(1, kBlockSize)});
+        push(Op{OpKind::kFsync, f, "", 0, 0});
+        break;
+      }
+      case kPatAppendChain: {
+        std::string f = pick_file();
+        uint64_t chunk = rng.range(1, kBlockSize);
+        for (int i = 0; i < 3; ++i) {
+          push(Op{OpKind::kWrite, f, "",
+                  static_cast<uint64_t>(i) * chunk, chunk});
+          push(Op{OpKind::kFsync, f, "", 0, 0});
+        }
+        break;
+      }
+      case kPatDirRecycle: {
+        // The revoke hunter: journal a directory's metadata, free it all,
+        // then allocate a large file over the freed blocks so stale
+        // journal replay would scribble on live data.
+        std::string d = child_of("/", fresh_name('d'));
+        std::string a = child_of(d, fresh_name('f'));
+        std::string b = child_of(d, fresh_name('f'));
+        push(Op{OpKind::kMkdir, d, "", 0, 0});
+        push(Op{OpKind::kCreate, a, "", 0, 0});
+        push(Op{OpKind::kCreate, b, "", 0, 0});
+        push(Op{OpKind::kSync, "", "", 0, 0});
+        push(Op{OpKind::kUnlink, a, "", 0, 0});
+        push(Op{OpKind::kUnlink, b, "", 0, 0});
+        push(Op{OpKind::kRmdir, d, "", 0, 0});
+        std::string filler = child_of("/", fresh_name('f'));
+        push(Op{OpKind::kCreate, filler, "", 0, 0});
+        push(Op{OpKind::kWrite, filler, "", 0, fillb * kBlockSize});
+        if (rng.chance(0.5)) {
+          push(Op{OpKind::kUnlink, filler, "", 0, 0});
+        } else {
+          files.push_back(filler);
+        }
+        push(Op{OpKind::kSync, "", "", 0, 0});
+        break;
+      }
+      case kNumPatterns:
+        break;
+    }
+  }
+  ops.resize(n);
   return ops;
 }
 

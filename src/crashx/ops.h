@@ -53,6 +53,22 @@ Result<Op> parse_op(const std::string& line);
 /// set across multiple journal transactions.
 std::vector<Op> generate_ops(uint64_t seed, size_t n, size_t sync_every);
 
+/// B3-style pattern workload for the reorder fuzzer: instead of uniform
+/// random ops, stitch together the multi-op sequences the bug studies
+/// identify as crash-consistency hotspots -- atomic replace via rename,
+/// link/unlink dances, same-offset overwrites, truncate-then-rewrite
+/// (fallocate-style reuse), append chains with per-append fsync, and
+/// directory create/delete churn followed by large allocations that force
+/// the allocator to recycle the freed metadata blocks. Pattern weights
+/// are seeded from the ext4 bug-study corpus (src/bugstudy): subsystem
+/// tags in the record titles (jbd2, dir index, extents, ...) map to the
+/// pattern family that stresses the same mechanism. `fill_blocks` sizes
+/// the large allocations (pass roughly the image's data-region span so
+/// churn wraps the first-fit allocator within one workload). Determinism
+/// contract matches generate_ops: same arguments, same op list.
+std::vector<Op> generate_pattern_ops(uint64_t seed, size_t n,
+                                     size_t sync_every, uint64_t fill_blocks);
+
 /// The bytes a kWrite op writes: a pure function of (seed, op index) so
 /// replays regenerate identical content without storing it.
 std::vector<uint8_t> op_data(uint64_t seed, size_t op_index, uint64_t len);

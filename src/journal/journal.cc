@@ -77,6 +77,7 @@ Result<Header> decode_header(std::span<const uint8_t> block) {
 struct Descriptor {
   uint64_t seq = 0;
   std::vector<BlockNo> targets;
+  std::vector<BlockNo> revoked;  // blocks whose older journaled copies die
 };
 
 std::vector<uint8_t> encode_descriptor(const Descriptor& d) {
@@ -87,6 +88,11 @@ std::vector<uint8_t> encode_descriptor(const Descriptor& d) {
   enc.put_u64(d.seq);
   enc.put_u32(static_cast<uint32_t>(d.targets.size()));
   for (BlockNo t : d.targets) enc.put_u64(t);
+  // Revoke list rides in the descriptor's slack. Old images decode the
+  // zero padding here as nrevoked == 0, so the extension is backward
+  // compatible in both directions.
+  enc.put_u32(static_cast<uint32_t>(d.revoked.size()));
+  for (BlockNo b : d.revoked) enc.put_u64(b);
   seal_block(&block);
   return block;
 }
@@ -101,10 +107,18 @@ Result<Descriptor> decode_descriptor(std::span<const uint8_t> block) {
   Descriptor d;
   d.seq = dec.get_u64();
   uint32_t ntags = dec.get_u32();
-  // A descriptor's tags must fit in one block alongside the fixed fields.
-  if (ntags == 0 || ntags > (kBlockSize - 32) / 8) return Errno::kCorrupt;
+  // Tags + revokes must fit in one block alongside the fixed fields.
+  if (ntags == 0 || ntags > Journal::max_descriptor_entries()) {
+    return Errno::kCorrupt;
+  }
   d.targets.reserve(ntags);
   for (uint32_t i = 0; i < ntags; ++i) d.targets.push_back(dec.get_u64());
+  uint32_t nrevoked = dec.get_u32();
+  if (ntags + nrevoked > Journal::max_descriptor_entries()) {
+    return Errno::kCorrupt;
+  }
+  d.revoked.reserve(nrevoked);
+  for (uint32_t i = 0; i < nrevoked; ++i) d.revoked.push_back(dec.get_u64());
   if (!dec.ok()) return Errno::kCorrupt;
   return d;
 }
@@ -142,13 +156,17 @@ Result<Commit> decode_commit(std::span<const uint8_t> block) {
   return c;
 }
 
-/// Payload CRC chains the target list and all payload bytes.
-uint32_t payload_crc(const std::vector<JournalRecord>& records) {
+/// Payload CRC chains the target list, all payload bytes, and the revoke
+/// list last -- an empty revoke list leaves the CRC identical to the
+/// pre-revoke format, so old images still verify.
+uint32_t payload_crc(const std::vector<JournalRecord>& records,
+                     const std::vector<BlockNo>& revoked) {
   uint32_t crc = 0;
   for (const auto& r : records) {
     crc = crc32c(&r.target, sizeof(r.target), crc);
     crc = crc32c(r.data->data(), r.data->size(), crc);
   }
+  for (const BlockNo& b : revoked) crc = crc32c(&b, sizeof(b), crc);
   return crc;
 }
 
@@ -156,8 +174,34 @@ uint32_t payload_crc(const std::vector<JournalRecord>& records) {
 struct ScannedTxn {
   uint64_t seq = 0;
   std::vector<JournalRecord> records;
+  std::vector<BlockNo> revoked;
   BlockNo next_block = 0;  // journal block after the commit record
 };
+
+/// The revoke floor: for each revoked block, the highest sequence number
+/// among the transactions revoking it. A journaled copy of block B in
+/// transaction T is dead iff floor[B] >= T.seq -- the free happened in T
+/// itself or later, so replaying the copy would scribble stale metadata
+/// over whatever the block holds now (typically reallocated file data).
+/// A transaction that re-journals B *after* the revoke has a higher seq
+/// and survives the comparison naturally.
+std::unordered_map<BlockNo, uint64_t> revoke_floor(
+    const std::vector<ScannedTxn>& txns) {
+  std::unordered_map<BlockNo, uint64_t> floor;
+  for (const auto& txn : txns) {
+    for (BlockNo b : txn.revoked) {
+      auto [it, inserted] = floor.try_emplace(b, txn.seq);
+      if (!inserted && txn.seq > it->second) it->second = txn.seq;
+    }
+  }
+  return floor;
+}
+
+bool is_revoked(const std::unordered_map<BlockNo, uint64_t>& floor,
+                BlockNo target, uint64_t seq) {
+  auto it = floor.find(target);
+  return it != floor.end() && it->second >= seq;
+}
 
 /// After the forward scan stops at `from`, decide whether the unread tail
 /// is consistent with torn uncommitted transactions (the normal crash
@@ -222,6 +266,7 @@ Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
 
     ScannedTxn txn;
     txn.seq = d.seq;
+    txn.revoked = d.revoked;
     for (size_t i = 0; i < d.targets.size(); ++i) {
       std::vector<uint8_t> payload(kBlockSize);
       RAEFS_TRY_VOID(dev->read_block(pos + 1 + i, payload));
@@ -238,7 +283,7 @@ Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
       break;
     }
     if (commit.value().ntags != d.targets.size() ||
-        commit.value().payload_crc != payload_crc(txn.records)) {
+        commit.value().payload_crc != payload_crc(txn.records, txn.revoked)) {
       // The commit record is durable and provably this transaction's (its
       // seq is beyond the floor, so it cannot be stale), which means the
       // descriptor+payload were flushed before it -- yet they no longer
@@ -286,8 +331,12 @@ bool Journal::has_space(size_t nrecords) const {
          geo_.journal_start + geo_.journal_blocks;
 }
 
-Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
+Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records,
+                                 const std::vector<BlockNo>& revoked) {
   if (records.empty()) return Errno::kInval;
+  if (records.size() + revoked.size() > max_descriptor_entries()) {
+    return Errno::kInval;
+  }
   for (const auto& r : records) {
     if (!r.data || r.data->size() != kBlockSize) return Errno::kInval;
   }
@@ -302,6 +351,7 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
   Descriptor d;
   d.seq = seq;
   for (const auto& r : records) d.targets.push_back(r.target);
+  d.revoked = revoked;
   RAEFS_TRY_VOID(dev_->write_block(cursor_, encode_descriptor(d)));
   for (size_t i = 0; i < records.size(); ++i) {
     RAEFS_TRY_VOID(dev_->write_block(cursor_ + 1 + i, *records[i].data));
@@ -312,7 +362,7 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
   Commit c;
   c.seq = seq;
   c.ntags = static_cast<uint32_t>(records.size());
-  c.payload_crc = payload_crc(records);
+  c.payload_crc = payload_crc(records, revoked);
   RAEFS_TRY_VOID(
       dev_->write_block(cursor_ + 1 + records.size(), encode_commit(c)));
   RAEFS_TRY_VOID(dev_->flush());
@@ -329,8 +379,12 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records) {
 Result<uint64_t> Journal::commit_async(
     const std::vector<JournalRecord>& records, AsyncBlockDevice* async,
     CommitDoneCb done,
-    std::shared_ptr<const std::atomic<bool>> external_abort) {
+    std::shared_ptr<const std::atomic<bool>> external_abort,
+    const std::vector<BlockNo>& revoked) {
   if (records.empty()) return Errno::kInval;
+  if (records.size() + revoked.size() > max_descriptor_entries()) {
+    return Errno::kInval;
+  }
   for (const auto& r : records) {
     if (!r.data || r.data->size() != kBlockSize) return Errno::kInval;
   }
@@ -346,7 +400,7 @@ Result<uint64_t> Journal::commit_async(
     txn->start = cursor_;
     txn->nblocks = blocks_needed(records.size());
     txn->ntags = static_cast<uint32_t>(records.size());
-    txn->crc = payload_crc(records);
+    txn->crc = payload_crc(records, revoked);
     txn->external_abort = std::move(external_abort);
     txn->done = std::move(done);
     cursor_ += txn->nblocks;
@@ -360,6 +414,7 @@ Result<uint64_t> Journal::commit_async(
   Descriptor d;
   d.seq = txn->seq;
   for (const auto& r : records) d.targets.push_back(r.target);
+  d.revoked = revoked;
   std::vector<BlockBufPtr> bufs;
   bufs.reserve(records.size() + 1);
   bufs.push_back(std::make_shared<const BlockBuf>(encode_descriptor(d)));
@@ -524,12 +579,14 @@ Result<std::vector<JournalRecord>> Journal::committed_records() const {
     if (!staged_.empty() || pipeline_failed_) return Errno::kInval;
   }
   RAEFS_TRY(auto txns, scan_committed(dev_, geo_));
+  const auto floor = revoke_floor(txns);
   // Latest copy per target wins, so the caller's coalesced write-back
   // never writes the same block twice in unspecified order.
   std::unordered_map<BlockNo, size_t> index;
   std::vector<JournalRecord> out;
   for (auto& txn : txns) {
     for (auto& rec : txn.records) {
+      if (is_revoked(floor, rec.target, txn.seq)) continue;
       auto [it, inserted] = index.try_emplace(rec.target, out.size());
       if (inserted) {
         out.push_back(std::move(rec));
@@ -647,6 +704,7 @@ Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo,
   RAEFS_TRY(Header hdr, decode_header(buf));
 
   RAEFS_TRY(auto txns, scan_committed(scan_dev, geo));
+  const auto floor = revoke_floor(txns);
   ReplayResult result;
   // If no committed txns are found the floor must be *preserved*: lowering
   // it would let an already-checkpointed stale transaction still sitting in
@@ -657,6 +715,10 @@ Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo,
     for (const auto& txn : txns) {
       for (const auto& rec : txn.records) {
         if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
+        // Revoked: the block was freed (and possibly reallocated as file
+        // data) by a transaction at or above this copy's seq; replaying
+        // it would resurrect stale metadata over live content.
+        if (is_revoked(floor, rec.target, txn.seq)) continue;
         RAEFS_TRY_VOID(dev->write_block(rec.target, *rec.data));
         ++result.applied_blocks;
       }
@@ -671,6 +733,7 @@ Result<ReplayResult> Journal::replay(BlockDevice* dev, const Geometry& geo,
     for (const auto& txn : txns) {
       for (const auto& rec : txn.records) {
         if (rec.target >= geo.total_blocks) return Errno::kCorrupt;
+        if (is_revoked(floor, rec.target, txn.seq)) continue;
         latest[rec.target] = &rec;
         ++result.applied_blocks;
       }

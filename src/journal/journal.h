@@ -8,9 +8,22 @@
 // On-disk layout inside the journal region:
 //   journal_start + 0 : header block   {magic, kind=0, floor_seq}
 //   journal_start + 1.. transactions, each:
-//       descriptor block {magic, kind=1, seq, ntags, targets[]}
+//       descriptor block {magic, kind=1, seq, ntags, targets[],
+//                         nrevoked, revoked[]}
 //       ntags payload blocks (raw images of the target blocks)
 //       commit block     {magic, kind=2, seq, ntags, payload_crc}
+//
+// Revoke records (jbd2-style) solve the freed-and-reallocated-block
+// hazard: when a journaled metadata block is freed and later reallocated
+// as *file data*, replay of an old transaction would resurrect the stale
+// metadata image over the live file contents. A transaction that frees a
+// previously-journaled block therefore carries the block number in its
+// revoked list; replay (and the checkpointer's committed_records) then
+// skips every copy of that block journaled by transactions with seq <=
+// the revoking transaction's seq. Re-journaling the block in a *later*
+// transaction naturally overrides the revoke (its seq is higher); the
+// commit path cancels a pending revoke when the same transaction
+// re-journals the block.
 //
 // All header/descriptor/commit blocks carry a whole-block CRC32C. A
 // transaction is durable iff its commit block is valid and its payload CRC
@@ -80,14 +93,24 @@ class Journal {
   /// Blocks needed to journal `nrecords` records.
   static uint64_t blocks_needed(size_t nrecords) { return nrecords + 2; }
 
+  /// Tags + revokes that fit in one descriptor block alongside the fixed
+  /// fields (magic, kind, seq, ntags, nrevoked, CRC).
+  static constexpr size_t max_descriptor_entries() {
+    return (kBlockSize - 32) / 8;
+  }
+
   /// True if a transaction of `nrecords` records fits in the free area.
   bool has_space(size_t nrecords) const;
 
   /// Durably commit one transaction: descriptor + payload, flush, commit
   /// record, flush. Returns the assigned sequence number. Must not run
   /// while pipelined transactions are staged (used by the oversized-
-  /// transaction fallback and by tests).
-  Result<uint64_t> commit(const std::vector<JournalRecord>& records);
+  /// transaction fallback and by tests). `revoked` lists blocks whose
+  /// older journaled copies (seq <= this transaction's) must not be
+  /// replayed; records.size() + revoked.size() must fit one descriptor
+  /// (max_descriptor_entries()).
+  Result<uint64_t> commit(const std::vector<JournalRecord>& records,
+                          const std::vector<BlockNo>& revoked = {});
 
   /// Completion of a pipelined transaction. Runs on an async worker once
   /// the transaction is durable (commit record flushed) or has failed.
@@ -114,7 +137,8 @@ class Journal {
   Result<uint64_t> commit_async(const std::vector<JournalRecord>& records,
                                 AsyncBlockDevice* async, CommitDoneCb done,
                                 std::shared_ptr<const std::atomic<bool>>
-                                    external_abort = nullptr);
+                                    external_abort = nullptr,
+                                const std::vector<BlockNo>& revoked = {});
 
   /// Stage a durability-only barrier: no journal blocks are written, but
   /// `done` runs (after a flush) only once every earlier staged
@@ -171,7 +195,9 @@ class Journal {
   /// reset only after every write and the flush completed, so a crash
   /// mid-replay re-scans the untouched journal under the old floor.
   /// ReplayResult counts are identical to serial replay (applied_blocks
-  /// counts every committed record, not the deduplicated physical writes).
+  /// counts every committed non-revoked record, not the deduplicated
+  /// physical writes). Records suppressed by revoke records (see the
+  /// layout note above) are skipped identically by both paths.
   static Result<ReplayResult> replay(BlockDevice* dev, const Geometry& geo,
                                      uint32_t workers = 1);
 

@@ -220,6 +220,206 @@ TEST(FaultDevice, OneShotReadErrorAtExactIndex) {
   EXPECT_EQ(dev.reads_seen(), 3u);
 }
 
+// --- reorder mode (crashx v2) ------------------------------------------
+
+TEST(FaultDeviceReorder, BuffersWritesUntilBarrierAndReadsYourWrites) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  ASSERT_TRUE(dev.set_reorder_buffering(true).ok());
+  EXPECT_TRUE(dev.reorder_buffering());
+  ASSERT_TRUE(dev.write_block(1, filled(0xAA)).ok());
+  ASSERT_TRUE(dev.write_block(2, filled(0xBB)).ok());
+  ASSERT_TRUE(dev.write_block(1, filled(0xCC)).ok());
+  EXPECT_EQ(dev.pending_writes(), 3u);
+  // The inner device has seen nothing yet...
+  EXPECT_EQ(inner.stats().writes.load(), 0u);
+  // ...but the host observes its own newest write through the cache.
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(dev.read_block(1, out).ok());
+  EXPECT_EQ(out, filled(0xCC));
+  // The epoch snapshot is in submission order with submission indices.
+  auto pend = dev.pending_epoch();
+  ASSERT_EQ(pend.size(), 3u);
+  EXPECT_EQ(pend[0].index, 0u);
+  EXPECT_EQ(pend[0].block, 1u);
+  EXPECT_EQ(pend[1].index, 1u);
+  EXPECT_EQ(pend[1].block, 2u);
+  EXPECT_EQ(pend[2].index, 2u);
+  EXPECT_EQ(pend[2].block, 1u);
+  // A barrier drains in submission order: latest write per block wins.
+  ASSERT_TRUE(dev.flush().ok());
+  EXPECT_EQ(dev.pending_writes(), 0u);
+  ASSERT_TRUE(inner.read_block(1, out).ok());
+  EXPECT_EQ(out, filled(0xCC));
+  ASSERT_TRUE(inner.read_block(2, out).ok());
+  EXPECT_EQ(out, filled(0xBB));
+}
+
+TEST(FaultDeviceReorder, ArmedFlushCrashFreezesTheEpoch) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  ASSERT_TRUE(dev.set_reorder_buffering(true).ok());
+  ASSERT_TRUE(dev.write_block(0, filled(1)).ok());
+  ASSERT_TRUE(dev.flush().ok());
+  dev.arm_crash_at_flush(1);
+  ASSERT_TRUE(dev.write_block(1, filled(2)).ok());
+  ASSERT_TRUE(dev.write_block(2, filled(3)).ok());
+  EXPECT_EQ(dev.flush().error(), Errno::kIo);
+  EXPECT_TRUE(dev.crashed());
+  EXPECT_EQ(dev.writes_at_crash(), 3u);
+  // The epoch is frozen, not drained: exactly the writes issued since the
+  // last successful barrier, still in the volatile cache.
+  auto pend = dev.pending_epoch();
+  ASSERT_EQ(pend.size(), 2u);
+  EXPECT_EQ(pend[0].index, 1u);
+  EXPECT_EQ(pend[1].index, 2u);
+  // Post-crash write attempts fail, never enter the epoch, and do not
+  // disturb the frozen submission count.
+  EXPECT_EQ(dev.write_block(3, filled(4)).error(), Errno::kIo);
+  EXPECT_EQ(dev.pending_writes(), 2u);
+  EXPECT_EQ(dev.writes_at_crash(), 3u);
+  EXPECT_EQ(dev.writes_seen(), 4u);
+}
+
+TEST(FaultDeviceReorder, MaterializeAppliesSubsetLatestWins) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  ASSERT_TRUE(dev.set_reorder_buffering(true).ok());
+  dev.arm_crash_at_flush(0);
+  ASSERT_TRUE(dev.write_block(5, filled(0x11)).ok());  // pos 0
+  ASSERT_TRUE(dev.write_block(6, filled(0x22)).ok());  // pos 1
+  ASSERT_TRUE(dev.write_block(5, filled(0x33)).ok());  // pos 2
+  EXPECT_EQ(dev.flush().error(), Errno::kIo);
+  // Out-of-range selections are rejected with nothing applied.
+  EXPECT_EQ(dev.materialize_pending({0, 3}).error(), Errno::kInval);
+  EXPECT_EQ(inner.stats().writes.load(), 0u);
+  EXPECT_EQ(dev.pending_writes(), 3u);
+  // Keep both writes to block 5, positions in any order with duplicates:
+  // ascending submission order applies, so the later copy wins; the
+  // unselected write to block 6 is dropped with the epoch.
+  ASSERT_TRUE(dev.materialize_pending({2, 0, 2}).ok());
+  EXPECT_EQ(dev.pending_writes(), 0u);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(inner.read_block(5, out).ok());
+  EXPECT_EQ(out, filled(0x33));
+  ASSERT_TRUE(inner.read_block(6, out).ok());
+  EXPECT_EQ(out, filled(0x00));
+}
+
+TEST(FaultDeviceReorder, MaterializeRequiresReorderMode) {
+  MemBlockDevice inner(4);
+  FaultBlockDevice dev(&inner);
+  EXPECT_EQ(dev.materialize_pending({}).error(), Errno::kInval);
+}
+
+TEST(FaultDeviceReorder, DisarmDropsThePendingEpochDeterministically) {
+  // Disarm with a non-empty pending epoch drops it in full -- power-cycle
+  // semantics -- never leaking buffered writes into later ops, and leaves
+  // the buffering mode itself as configured. The identical sequence must
+  // yield the identical image on every run.
+  auto run = [] {
+    MemBlockDevice inner(8);
+    FaultBlockDevice dev(&inner);
+    EXPECT_TRUE(dev.set_reorder_buffering(true).ok());
+    EXPECT_TRUE(dev.write_block(1, filled(0x5A)).ok());
+    EXPECT_TRUE(dev.flush().ok());
+    dev.arm_crash_at_flush(1);
+    EXPECT_TRUE(dev.write_block(2, filled(0x6B)).ok());
+    EXPECT_TRUE(dev.write_block(3, filled(0x7C)).ok());
+    EXPECT_EQ(dev.flush().error(), Errno::kIo);
+    dev.disarm();
+    EXPECT_FALSE(dev.crashed());
+    EXPECT_EQ(dev.writes_at_crash(), 0u);
+    EXPECT_EQ(dev.pending_writes(), 0u);   // dropped, not drained
+    EXPECT_TRUE(dev.reorder_buffering());  // mode survives disarm
+    // Later ops start a fresh epoch; nothing from before leaks through.
+    EXPECT_TRUE(dev.write_block(4, filled(0x8D)).ok());
+    EXPECT_TRUE(dev.flush().ok());
+    std::vector<uint8_t> image;
+    std::vector<uint8_t> out(kBlockSize);
+    for (BlockNo b = 0; b < 8; ++b) {
+      EXPECT_TRUE(inner.read_block(b, out).ok());
+      image.insert(image.end(), out.begin(), out.end());
+    }
+    return image;
+  };
+  auto first = run();
+  EXPECT_EQ(first, run());
+  // Only barrier-covered writes survive: block 1 and block 4.
+  auto block_of = [&](const std::vector<uint8_t>& img, BlockNo b) {
+    return std::vector<uint8_t>(img.begin() + b * kBlockSize,
+                                img.begin() + (b + 1) * kBlockSize);
+  };
+  EXPECT_EQ(block_of(first, 1), filled(0x5A));
+  EXPECT_EQ(block_of(first, 2), filled(0x00));  // dropped with the epoch
+  EXPECT_EQ(block_of(first, 3), filled(0x00));  // dropped with the epoch
+  EXPECT_EQ(block_of(first, 4), filled(0x8D));
+}
+
+TEST(FaultDeviceReorder, DisablingBufferingDrainsInsteadOfDropping) {
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  ASSERT_TRUE(dev.set_reorder_buffering(true).ok());
+  ASSERT_TRUE(dev.write_block(2, filled(0xE1)).ok());
+  ASSERT_TRUE(dev.set_reorder_buffering(false).ok());
+  EXPECT_FALSE(dev.reorder_buffering());
+  EXPECT_EQ(dev.pending_writes(), 0u);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(inner.read_block(2, out).ok());
+  EXPECT_EQ(out, filled(0xE1));  // drained, not lost
+}
+
+TEST(FaultDeviceReorder, OneShotWriteErrorCountsSubmissionOrder) {
+  // arm_write_error_at names the submission attempt even under buffering;
+  // the failed write never enters the pending epoch.
+  MemBlockDevice inner(8);
+  FaultBlockDevice dev(&inner);
+  ASSERT_TRUE(dev.set_reorder_buffering(true).ok());
+  dev.arm_write_error_at(1);
+  ASSERT_TRUE(dev.write_block(0, filled(1)).ok());
+  EXPECT_EQ(dev.write_block(1, filled(2)).error(), Errno::kIo);
+  ASSERT_TRUE(dev.write_block(2, filled(3)).ok());
+  auto pend = dev.pending_epoch();
+  ASSERT_EQ(pend.size(), 2u);
+  EXPECT_EQ(pend[0].index, 0u);
+  EXPECT_EQ(pend[1].index, 2u);  // index 1 was the EIO'd attempt
+  ASSERT_TRUE(dev.flush().ok());
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(inner.read_block(1, out).ok());
+  EXPECT_EQ(out, filled(0));  // the EIO'd write never reached the cache
+  EXPECT_EQ(dev.injected_write_errors(), 1u);
+}
+
+TEST(FaultDeviceReorder, CrashImagesMatchUnbufferedExecution) {
+  // Repro byte-identity: a crash-at-write-k repro recorded without
+  // buffering produces the same durable image with buffering on, because
+  // IO indices count submission order in both modes and the MemBlockDevice
+  // volatile cache already drops unflushed writes at crash().
+  auto drive = [](bool reorder) {
+    MemBlockDevice mem(8);
+    FaultBlockDevice dev(&mem);
+    EXPECT_TRUE(dev.set_reorder_buffering(reorder).ok());
+    dev.arm_crash_after_writes(4);
+    for (BlockNo b = 0; b < 3; ++b) {
+      EXPECT_TRUE(dev.write_block(b, filled(static_cast<uint8_t>(b + 1))).ok());
+    }
+    EXPECT_TRUE(dev.flush().ok());
+    EXPECT_TRUE(dev.write_block(3, filled(0x44)).ok());  // index 3: volatile
+    EXPECT_EQ(dev.write_block(4, filled(0x55)).error(), Errno::kIo);
+    EXPECT_TRUE(dev.crashed());
+    EXPECT_EQ(dev.writes_at_crash(), 4u);
+    mem.crash();  // power loss: volatile contents gone in both modes
+    std::vector<uint8_t> image;
+    std::vector<uint8_t> out(kBlockSize);
+    for (BlockNo b = 0; b < 8; ++b) {
+      EXPECT_TRUE(mem.read_block(b, out).ok());
+      image.insert(image.end(), out.begin(), out.end());
+    }
+    return image;
+  };
+  EXPECT_EQ(drive(false), drive(true));
+}
+
 TEST(AsyncDevice, CompletesReadsAndWrites) {
   MemBlockDevice inner(8);
   AsyncBlockDevice async(&inner, 2);

@@ -4,7 +4,9 @@
 // bugs this harness originally found.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "crashx/crashx.h"
@@ -101,9 +103,143 @@ TEST(CrashxExplore, BoundedWorkloadHasNoDivergences) {
   EXPECT_GT(report.value().baseline_writes, 0u);
 }
 
+// --- reorder engine (crashx v2) ----------------------------------------
+
+TEST(CrashxReorder, ScheduleEnumerationIsExhaustiveBelowTheLimit) {
+  auto s = crashx::enumerate_schedules(3, 42, /*exhaustive_limit=*/6,
+                                       /*max_states=*/64);
+  ASSERT_EQ(s.size(), 8u);  // 2^3
+  std::set<std::vector<uint32_t>> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (const auto& keep : s) {
+    EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end()));
+    // Positions never reach outside the epoch: schedules cannot cross a
+    // barrier because only since-last-barrier writes are enumerable.
+    for (uint32_t pos : keep) EXPECT_LT(pos, 3u);
+  }
+}
+
+TEST(CrashxReorder, ScheduleEnumerationIsDeterministic) {
+  auto a = crashx::enumerate_schedules(12, 7, 6, 48);
+  auto b = crashx::enumerate_schedules(12, 7, 6, 48);
+  EXPECT_EQ(a, b);  // same (n, seed, limits) -> same schedule set
+  EXPECT_EQ(a.size(), 48u);
+  std::set<std::vector<uint32_t>> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), a.size());  // no schedule judged twice
+  for (const auto& keep : a) {
+    for (uint32_t pos : keep) EXPECT_LT(pos, 12u);
+  }
+  // A different seed samples a different tail (the deterministic core is
+  // shared; the random top-up is not).
+  auto c = crashx::enumerate_schedules(12, 8, 6, 48);
+  EXPECT_NE(a, c);
+}
+
+TEST(CrashxReorder, SampledCoreCoversExhaustiveOnSmallSets) {
+  // For n = 3 the deterministic core (empty, full, singletons,
+  // leave-one-outs) is already all 2^3 subsets, so forcing the sampled
+  // path yields exactly the exhaustive set.
+  auto exhaustive = crashx::enumerate_schedules(3, 5, /*exhaustive_limit=*/6,
+                                                /*max_states=*/64);
+  auto sampled = crashx::enumerate_schedules(3, 5, /*exhaustive_limit=*/0,
+                                             /*max_states=*/64);
+  std::set<std::vector<uint32_t>> a(exhaustive.begin(), exhaustive.end());
+  std::set<std::vector<uint32_t>> b(sampled.begin(), sampled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(CrashxReorder, ExploreReorderIsDeterministicAndClean) {
+  crashx::CrashxOptions o;
+  o.seed = 42;
+  o.num_ops = 16;
+  o.max_reorder_flushes = 6;
+  o.reorder_exhaustive_limit = 4;
+  o.reorder_states_per_epoch = 12;
+  auto a = crashx::explore_reorder(o);
+  auto b = crashx::explore_reorder(o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value().ok()) << a.value().summary();
+  EXPECT_GT(a.value().reorder_epochs, 0u);
+  EXPECT_GT(a.value().reorder_states, 0u);
+  EXPECT_EQ(a.value().summary(), b.value().summary());
+  EXPECT_EQ(a.value().reorder_states, b.value().reorder_states);
+  EXPECT_EQ(a.value().reorder_epochs, b.value().reorder_epochs);
+}
+
+TEST(CrashxReorder, ReorderReplayIsCleanOnHealthyFs) {
+  // Keep nothing from the frozen epoch: the crash state is the exact
+  // durable prefix, which must always match the oracle.
+  crashx::Repro r;
+  r.opts.seed = 11;
+  r.opts.total_blocks = 256;
+  r.opts.inode_count = 64;
+  r.opts.journal_blocks = 32;
+  r.fault = {crashx::FaultKind::kReorderAtFlush, 4};
+  r.ops = crashx::generate_ops(11, 16, 4);
+  auto verdict = crashx::replay(r);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.value(), "");
+  // Keeping the full epoch equals a normal barrier drain: also clean.
+  r.schedule = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto full = crashx::replay(r);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value(), "");
+}
+
+TEST(CrashxRepro, ReorderFormatRoundTripsWithSchedule) {
+  crashx::Repro r;
+  r.opts.seed = 9;
+  r.opts.total_blocks = 256;
+  r.opts.inode_count = 64;
+  r.opts.journal_blocks = 32;
+  r.fault = {crashx::FaultKind::kReorderAtFlush, 17};
+  r.schedule = {0, 2, 5};
+  r.ops = crashx::generate_ops(9, 8, 4);
+  std::string text = crashx::format_repro(r);
+  EXPECT_EQ(text.rfind("crashx-repro v2", 0), 0u);
+  auto back = crashx::parse_repro(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().fault.kind, crashx::FaultKind::kReorderAtFlush);
+  EXPECT_EQ(back.value().fault.index, 17u);
+  EXPECT_EQ(back.value().schedule, (std::vector<uint32_t>{0, 2, 5}));
+  // Byte-stable: formatting the parse reproduces the text exactly.
+  EXPECT_EQ(crashx::format_repro(back.value()), text);
+
+  // The empty schedule (keep nothing) round-trips through the "-" token.
+  r.schedule.clear();
+  auto empty = crashx::parse_repro(crashx::format_repro(r));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().fault.kind, crashx::FaultKind::kReorderAtFlush);
+  EXPECT_TRUE(empty.value().schedule.empty());
+
+  // Non-reorder faults keep emitting v1 so checked-in repros never churn.
+  r.fault = {crashx::FaultKind::kCrashAtWrite, 3};
+  std::string v1 = crashx::format_repro(r);
+  EXPECT_EQ(v1.rfind("crashx-repro v1", 0), 0u);
+  EXPECT_EQ(v1.find("reorder"), std::string::npos);
+}
+
 // The checked-in repros pin the divergence classes the explorer found
 // before their fixes: replay must report no divergence for each.
 class ReproRegression : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReproRegression, FormatIsByteStable) {
+  // Re-serializing a checked-in repro reproduces its body byte-for-byte
+  // (comment lines excepted): the v2 format extensions never churn v1
+  // files, so repro diffs in review always mean a real change.
+  std::string path = std::string(CRASHX_REPRO_DIR) + "/" + GetParam();
+  auto repro = crashx::load_repro(path);
+  ASSERT_TRUE(repro.ok()) << path;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line, body;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    body += line + "\n";
+  }
+  EXPECT_EQ(crashx::format_repro(repro.value()), body) << path;
+}
 
 TEST_P(ReproRegression, ReplaysClean) {
   std::string path = std::string(CRASHX_REPRO_DIR) + "/" + GetParam();
@@ -119,7 +255,8 @@ INSTANTIATE_TEST_SUITE_P(
     CheckedInRepros, ReproRegression,
     ::testing::Values("journal_replay_stale_tail.repro",
                       "hardlink_inplace_write_crash.repro",
-                      "unmount_writeback_injection.repro"));
+                      "unmount_writeback_injection.repro",
+                      "journal_replay_stale_revoke.repro"));
 
 }  // namespace
 }  // namespace raefs

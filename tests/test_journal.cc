@@ -523,5 +523,79 @@ TEST_F(JournalFixture, CommittedRecordsDedupsLatestWins) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Revoke records: a transaction that frees a previously-journaled metadata
+// block carries a revoke, and replay suppresses every journaled copy at or
+// below the revoking sequence (the missing-revoke stale-replay fix).
+// ---------------------------------------------------------------------------
+
+TEST_F(JournalFixture, ReplaySkipsRevokedBlocks) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  BlockNo victim = geo.data_start + 5;
+  BlockNo other = geo.data_start + 6;
+  ASSERT_TRUE(journal.commit({record(victim, 0xAA)}).ok());
+  ASSERT_TRUE(journal.commit({record(other, 0xBB)}, {victim}).ok());
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 2u);
+  EXPECT_EQ(replayed.value().applied_blocks, 1u);
+  EXPECT_EQ(read_block(victim), block_of(0));  // stale copy suppressed
+  EXPECT_EQ(read_block(other), block_of(0xBB));
+}
+
+TEST_F(JournalFixture, ReJournalAfterRevokeIsReplayed) {
+  // A later transaction re-journals the revoked block (reallocated as
+  // metadata again): only copies at or below the revoking sequence are
+  // suppressed, newer copies replay normally.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  BlockNo victim = geo.data_start + 2;
+  ASSERT_TRUE(journal.commit({record(victim, 0x01)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x02)}, {victim}).ok());
+  ASSERT_TRUE(journal.commit({record(victim, 0x03)}).ok());
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(read_block(victim), block_of(0x03));
+  // Parallel replay makes the same call.
+  SetUp();
+  Journal journal2(dev.get(), geo);
+  ASSERT_TRUE(journal2.open().ok());
+  ASSERT_TRUE(journal2.commit({record(victim, 0x01)}).ok());
+  ASSERT_TRUE(journal2.commit({record(geo.data_start, 0x02)}, {victim}).ok());
+  ASSERT_TRUE(journal2.commit({record(victim, 0x03)}).ok());
+  ASSERT_TRUE(Journal::replay(dev.get(), geo, 4).ok());
+  EXPECT_EQ(read_block(victim), block_of(0x03));
+}
+
+TEST_F(JournalFixture, CommittedRecordsHonorRevokes) {
+  // The checkpointer's journal re-read must not resurrect revoked blocks
+  // either, or the checkpoint itself would rewrite the stale copy.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  BlockNo victim = geo.data_start + 9;
+  ASSERT_TRUE(journal.commit({record(victim, 0x10)}).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start, 0x20)}, {victim}).ok());
+  auto records = journal.committed_records();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].target, geo.data_start);
+}
+
+TEST_F(JournalFixture, RevokeListCountsAgainstDescriptorCapacity) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  std::vector<JournalRecord> recs{record(geo.data_start, 0x01)};
+  std::vector<BlockNo> revoked(Journal::max_descriptor_entries(),
+                               geo.data_start + 1);
+  EXPECT_EQ(journal.commit(recs, revoked).error(), Errno::kInval);
+  // Exactly at capacity the commit goes through and round-trips.
+  revoked.resize(Journal::max_descriptor_entries() - recs.size());
+  ASSERT_TRUE(journal.commit(recs, revoked).ok());
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(read_block(geo.data_start), block_of(0x01));
+}
+
 }  // namespace
 }  // namespace raefs

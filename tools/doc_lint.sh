@@ -1,7 +1,7 @@
 #!/bin/sh
 # doc_lint -- fail if the reference docs rot behind the code.
 #
-# Two contracts, both enforced as the `doc_lint` ctest:
+# Three contracts, all enforced as the `doc_lint` ctest:
 #
 #  1. src/obs/names.h is the single source of truth for metric and span
 #     names; every quoted dotted name in it must appear verbatim in
@@ -11,6 +11,9 @@
 #     pipeline's knobs -- must appear verbatim in docs/RECOVERY.md, so a
 #     knob cannot be added or renamed without the document that tells
 #     operators how to tune it.
+#  3. every field of CrashxOptions and FuzzOptions (src/crashx/crashx.h)
+#     -- the crash explorer's knobs -- must appear verbatim in
+#     docs/CRASHX.md, same deal.
 #
 # Run from anywhere:
 #
@@ -22,8 +25,10 @@ names_h="$root/src/obs/names.h"
 obs_doc="$root/docs/OBSERVABILITY.md"
 recovery_doc="$root/docs/RECOVERY.md"
 sup_h="$root/src/rae/supervisor.h"
+crashx_doc="$root/docs/CRASHX.md"
+crashx_h="$root/src/crashx/crashx.h"
 
-for f in "$names_h" "$obs_doc" "$recovery_doc" "$sup_h"; do
+for f in "$names_h" "$obs_doc" "$recovery_doc" "$sup_h" "$crashx_doc" "$crashx_h"; do
   if [ ! -f "$f" ]; then
     echo "doc_lint: missing $f" >&2
     exit 1
@@ -73,9 +78,32 @@ for knob in $knobs; do
 done
 ktotal=$(echo "$knobs" | wc -l)
 
-if [ "$missing" -ne 0 ]; then
-  echo "doc_lint: $missing undocumented (of $total obs names + $ktotal knobs)" >&2
+# --- contract 3: crashx explorer/fuzzer knobs -----------------------------
+# Same extraction as contract 2, over both option structs.
+cxknobs=$( (sed -n '/^struct CrashxOptions {/,/^};/p' "$crashx_h"; \
+            sed -n '/^struct FuzzOptions {/,/^};/p' "$crashx_h") \
+  | sed 's,//.*,,; s,///.*,,' \
+  | sed 's/=.*/;/' \
+  | grep -E '^[ \t]*[A-Za-z_][A-Za-z0-9_:<>, ]*[ \t][a-z_][a-z0-9_]*[ \t]*;' \
+  | sed -E 's/^.*[ \t]([a-z_][a-z0-9_]*)[ \t]*;.*$/\1/' \
+  | sort -u)
+if [ -z "$cxknobs" ]; then
+  echo "doc_lint: extracted no CrashxOptions/FuzzOptions fields from $crashx_h (regex rotted?)" >&2
   exit 1
 fi
-echo "doc_lint: all $total observability names and $ktotal recovery knobs documented"
+
+for knob in $cxknobs; do
+  if ! grep -qF "$knob" "$crashx_doc"; then
+    echo "doc_lint: crashx knob '$knob' (src/crashx/crashx.h) is not" \
+         "documented in docs/CRASHX.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+cxtotal=$(echo "$cxknobs" | wc -l)
+
+if [ "$missing" -ne 0 ]; then
+  echo "doc_lint: $missing undocumented (of $total obs names + $ktotal knobs + $cxtotal crashx knobs)" >&2
+  exit 1
+fi
+echo "doc_lint: all $total observability names, $ktotal recovery knobs, and $cxtotal crashx knobs documented"
 exit 0

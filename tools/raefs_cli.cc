@@ -19,6 +19,8 @@
 //   raefs crashx <image> replay <repro>               replay a .repro file
 //   raefs crashx <image> concurrent [seed appends cap]
 //                                        multi-threaded fsync crash sweep
+//   raefs crashx <image> fuzz [seed budget corpus_dir]
+//                                        write-reorder crash-state fuzzing
 //   raefs bugstudy [table1|fig1]                      print the study
 #include <cstdio>
 #include <cstring>
@@ -556,6 +558,46 @@ int cmd_crashx(const std::string& image, int argc, char** argv) {
     return 1;
   }
 
+  if (argc >= 1 && std::string(argv[0]) == "fuzz") {
+    // raefs crashx <image> fuzz [seed] [budget] [corpus_dir]
+    // Barrier-respecting write-reorder fuzzing: freshly generated
+    // workloads until `budget` crash states have been judged. Failing
+    // schedules are persisted to corpus_dir as .repro files (shrink them
+    // with tools/crashx_shrink).
+    crashx::FuzzOptions fopts;
+    auto fdev = open_image(image);
+    if (fdev) {
+      auto sb = read_superblock(fdev.get());
+      if (sb.ok()) {
+        fopts.total_blocks = sb.value().total_blocks;
+        fopts.inode_count = sb.value().inode_count;
+        fopts.journal_blocks = sb.value().journal_blocks;
+      }
+    }
+    if (argc >= 2) fopts.seed = std::stoull(argv[1]);
+    if (argc >= 3) fopts.state_budget = std::stoull(argv[2]);
+    if (argc >= 4) fopts.corpus_dir = argv[3];
+    auto rep = crashx::fuzz(fopts);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "crashx: fuzzing failed: %s\n",
+                   to_string(rep.error()));
+      return 1;
+    }
+    std::printf("%s\n", rep.value().summary().c_str());
+    if (rep.value().ok()) return 0;
+    int n = 0;
+    for (const auto& d : rep.value().divergences) {
+      std::printf("--- divergence %d (flush %llu, %zu kept write(s)) ---\n%s\n",
+                  n++, static_cast<unsigned long long>(d.fault.index),
+                  d.schedule.size(), d.detail.c_str());
+    }
+    if (!fopts.corpus_dir.empty()) {
+      std::printf("failing schedules persisted under %s\n",
+                  fopts.corpus_dir.c_str());
+    }
+    return 1;
+  }
+
   crashx::CrashxOptions opts;
   auto dev = open_image(image);
   if (dev) {
@@ -591,7 +633,7 @@ int cmd_crashx(const std::string& image, int argc, char** argv) {
                 static_cast<int>(d.fault.kind),
                 static_cast<unsigned long long>(d.fault.index),
                 d.detail.c_str());
-    crashx::Repro repro{opts, d.fault, ops};
+    crashx::Repro repro{opts, d.fault, d.schedule, ops};
     auto small = crashx::shrink(repro);
     std::string path = "crashx-" + std::to_string(n) + ".repro";
     if (small.ok() && crashx::save_repro(small.value(), path).ok()) {
