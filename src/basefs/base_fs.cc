@@ -168,6 +168,11 @@ Result<std::unique_ptr<BaseFs>> BaseFs::mount(BlockDevice* dev,
 }
 
 Status BaseFs::reload_counters() {
+  RAEFS_TRY_VOID(reload_free_blocks_());
+  return reload_free_inodes_();
+}
+
+Status BaseFs::reload_free_blocks_() {
   uint64_t free_b = 0;
   for (uint64_t i = 0; i < geo_.block_bitmap_blocks; ++i) {
     RAEFS_TRY(auto data, block_cache_.read(geo_.block_bitmap_start + i));
@@ -177,7 +182,10 @@ Status BaseFs::reload_counters() {
     free_b += bits_here - view.count_set();
   }
   free_blocks_.store(free_b);
+  return Status::Ok();
+}
 
+Status BaseFs::reload_free_inodes_() {
   uint64_t free_i = 0;
   for (uint64_t i = 0; i < geo_.inode_bitmap_blocks; ++i) {
     RAEFS_TRY(auto data, block_cache_.read(geo_.inode_bitmap_start + i));

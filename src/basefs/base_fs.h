@@ -91,6 +91,10 @@ struct BaseFsOptions {
   double checkpoint_fill_threshold = 0.5;
   /// Simulated CPU cost charged per operation.
   Nanos op_cpu_cost = 300;
+  /// Worker threads for the bulk install's parallel in-place apply
+  /// (install_blocks, the recovery download). 0 = auto: derive from the
+  /// device's probed effective queue depth (blockdev/qdepth_probe.h).
+  uint32_t install_workers = 1;
 };
 
 struct StatResult {
@@ -199,9 +203,14 @@ class BaseFs {
     durable_cb_ = std::move(cb);
   }
 
-  /// Metadata download (paper §3.2 hand-off): absorb the shadow's output
-  /// blocks into the caches as dirty state, then commit so the recovered
-  /// state is durable before new operations are admitted.
+  /// Metadata download (paper §3.2 hand-off): durably install the
+  /// shadow's output blocks. The bulk path journals the whole set as ONE
+  /// multi-chunk install transaction (atomic under power cuts: replay
+  /// yields either the pre-install or the fully-installed image), then
+  /// fans the in-place writes across a worker pool sized by
+  /// BaseFsOptions::install_workers and checkpoints. Falls back to the
+  /// legacy cache-dirty + commit path when the set does not fit the
+  /// journal region.
   Status install_blocks(const std::vector<InstallBlock>& blocks);
 
   // --- Introspection ----------------------------------------------------
@@ -334,6 +343,27 @@ class BaseFs {
   void return_pending_revokes_(const std::vector<BlockNo>& revokes);
   void note_mutation();
   Status reload_counters();
+  /// The two halves of reload_counters, so the bulk install can rescan
+  /// only the bitmap class it actually touched.
+  Status reload_free_blocks_();
+  Status reload_free_inodes_();
+
+  // -- metadata download (base_txn.cc) ------------------------------------
+  /// Structural validation of one shadow-produced block (bulk path's
+  /// analogue of validate_dirty_locked; no bitmap-counter cross-check).
+  Status validate_install_block_(const InstallBlock& ib) const;
+  /// Legacy install path: dirty the blocks through the cache and group-
+  /// commit. Used when the install set does not fit the journal region.
+  Status install_blocks_legacy_(const std::vector<InstallBlock>& blocks);
+  /// Record every data-region metadata block in `blocks` under ONE
+  /// meta_blocks_mu_ acquisition (the bulk install's batched
+  /// note_meta_block).
+  void note_meta_blocks_batch_(const std::vector<InstallBlock>& blocks);
+  /// Invalidate only the derived state the installed set can affect:
+  /// free-block counter iff block-bitmap blocks were installed, free-inode
+  /// counter iff inode-bitmap blocks, inode cache iff inode-table blocks,
+  /// dentry cache iff inode-table or directory-metadata blocks.
+  Status invalidate_for_install_(const std::vector<InstallBlock>& blocks);
 
   // -- members -------------------------------------------------------------
   BlockDevice* dev_;

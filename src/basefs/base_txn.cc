@@ -12,9 +12,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "basefs/base_fs.h"
+#include "blockdev/qdepth_probe.h"
+#include "common/worker_pool.h"
 #include "obs/flight_recorder.h"
 #include "obs/names.h"
 #include "obs/trace.h"
@@ -641,8 +644,11 @@ Status BaseFs::validate_dirty_locked(
 
 Status BaseFs::install_blocks(const std::vector<InstallBlock>& blocks) {
   // Called by the supervisor on a freshly mounted (rebooted) base with no
-  // concurrent operations. Reuses the ordinary cache + commit machinery,
-  // as the paper prescribes for the hand-off interface (§3.2).
+  // concurrent operations (paper §3.2 hand-off). The bulk path journals
+  // the whole set as ONE multi-chunk install transaction, applies it in
+  // place through a worker pool, and checkpoints -- a power cut anywhere
+  // in between replays to either the pre-install or the fully-installed
+  // image, never a mix.
   for (const auto& ib : blocks) {
     if (ib.block >= geo_.total_blocks || ib.data.size() != kBlockSize) {
       return Errno::kInval;
@@ -651,6 +657,143 @@ Status BaseFs::install_blocks(const std::vector<InstallBlock>& blocks) {
         ib.block < geo_.journal_start + geo_.journal_blocks) {
       return Errno::kInval;  // the shadow never produces journal blocks
     }
+  }
+  if (blocks.empty()) return install_blocks_legacy_(blocks);
+
+  // Quiesce: drain the pipeline and checkpoint whatever the journal
+  // already holds, so the checkpoint below cannot raise the floor over
+  // some other transaction's committed-but-not-yet-in-place state.
+  RAEFS_TRY_VOID(commit_txn(/*force_checkpoint=*/true));
+
+  // Latest copy per target (the shadow's output is normally duplicate-
+  // free; the dedup keeps the parallel apply race-free regardless),
+  // sorted by block so apply slices are contiguous and never overlap.
+  std::unordered_map<BlockNo, const InstallBlock*> latest;
+  for (const auto& ib : blocks) latest[ib.block] = &ib;
+  std::vector<const InstallBlock*> uniq;
+  uniq.reserve(latest.size());
+  for (const auto& [b, p] : latest) uniq.push_back(p);
+  std::sort(uniq.begin(), uniq.end(),
+            [](const InstallBlock* a, const InstallBlock* b) {
+              return a->block < b->block;
+            });
+
+  if (opts_.validate_on_sync) {
+    // Detection before persistence, same contract as the commit path's
+    // validate_dirty_locked: a structurally corrupt shadow output must
+    // never reach the journal or the device. The bitmap-vs-counter
+    // cross-check is deliberately omitted -- installed bitmaps replace
+    // the counters (reloaded below), so they legitimately disagree with
+    // the pre-install values.
+    Status valid = Status::Ok();
+    for (const InstallBlock* ib : uniq) {
+      valid = validate_install_block_(*ib);
+      if (!valid.ok()) break;
+    }
+    BASE_BUG_ON(!valid.ok(), "basefs.validate_on_sync",
+                "install set failed validation before persist");
+  }
+
+  std::vector<JournalRecord> records;
+  records.reserve(uniq.size());
+  for (const InstallBlock* ib : uniq) {
+    records.emplace_back(ib->block, std::make_shared<const BlockBuf>(ib->data));
+  }
+
+  std::vector<BlockNo> revokes = take_pending_revokes_();
+  std::vector<BlockNo> carried = revokes;
+  // A revoke sharing the install transaction's sequence number would
+  // suppress this very transaction's record for the block at replay:
+  // re-journaled blocks are never revoked (same rule as group commit).
+  std::erase_if(carried, [&](BlockNo b) { return latest.count(b) > 0; });
+
+  const uint32_t workers = resolve_workers(opts_.install_workers, dev_);
+  Result<uint64_t> seq = journal_.commit_multi(records, carried, workers);
+  if (!seq.ok()) {
+    // The set does not fit the journal region (or the engine refused):
+    // fall back to the legacy cache-dirty path, which chunks through the
+    // ordinary commit machinery.
+    return_pending_revokes_(revokes);
+    return install_blocks_legacy_(blocks);
+  }
+
+  // In-place apply, fanned across the device's usable queue depth.
+  {
+    obs::TraceSpan span(obs::kSpanBaseInstallApply, clock_.get());
+    const size_t n = uniq.size();
+    const size_t slices = std::min<size_t>(workers, n);
+    std::atomic<bool> failed{false};
+    WorkerPool pool(static_cast<uint32_t>(slices));
+    pool.run(slices, [&](uint64_t s) {
+      const size_t begin = s * n / slices;
+      const size_t end = (s + 1) * n / slices;
+      for (size_t i = begin; i < end; ++i) {
+        if (!dev_->write_block(uniq[i]->block, uniq[i]->data).ok()) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+    // The journal still holds the committed install transaction, so a
+    // failed apply is recoverable: the supervisor's retry replays it.
+    if (failed.load()) return Errno::kIo;
+  }
+  RAEFS_TRY_VOID(dev_->flush());
+  // Every record is in place and durable: retire the install transaction.
+  RAEFS_TRY_VOID(journal_.checkpoint());
+
+  // Warm the cache with the installed bytes (clean -- the device already
+  // holds them), then invalidate only the derived state the set touches.
+  std::vector<std::pair<BlockNo, BlockBufPtr>> cache_blocks;
+  cache_blocks.reserve(records.size());
+  for (const JournalRecord& r : records) {
+    cache_blocks.emplace_back(r.target, r.data);
+  }
+  block_cache_.install_clean(cache_blocks);
+  note_meta_blocks_batch_(blocks);
+  RAEFS_TRY_VOID(invalidate_for_install_(blocks));
+
+  commits_.fetch_add(1);
+  checkpoints_.fetch_add(1);
+  obs::flight().record(obs::Component::kBaseFs, "install_blocks", "bulk",
+                       clock_ ? clock_->now() : 0, blocks.size(), workers);
+  return Status::Ok();
+}
+
+Status BaseFs::validate_install_block_(const InstallBlock& ib) const {
+  // Structural checks mirroring validate_dirty_locked, except the block
+  // class comes from the shadow's annotation (ib.cls) instead of the
+  // meta_blocks_ map -- the set is not noted until after the apply.
+  const BlockNo block = ib.block;
+  const BlockBuf& bytes = ib.data;
+  if (block == 0) {
+    if (!Superblock::decode(bytes).ok()) return Errno::kCorrupt;
+  } else if (block >= geo_.inode_table_start &&
+             block < geo_.inode_table_start + geo_.inode_table_blocks) {
+    for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+      auto inode = DiskInode::decode(
+          std::span<const uint8_t>(bytes).subspan(slot * kInodeSize,
+                                                  kInodeSize),
+          geo_);
+      if (!inode.ok()) return Errno::kCorrupt;
+    }
+  } else if (geo_.is_data_block(block)) {
+    if (ib.cls == BlockClass::kDirMeta) {
+      if (!dirent_scan_block(bytes).ok()) return Errno::kCorrupt;
+    } else if (ib.cls == BlockClass::kIndirectMeta) {
+      for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint64_t ptr = 0;
+        std::memcpy(&ptr, bytes.data() + i * 8, sizeof(ptr));
+        if (ptr != 0 && !geo_.is_data_block(ptr)) return Errno::kCorrupt;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status BaseFs::install_blocks_legacy_(const std::vector<InstallBlock>& blocks) {
+  // Pre-bulk install path: dirty the blocks through the ordinary cache +
+  // commit machinery. The caller has already validated the set.
+  for (const auto& ib : blocks) {
     RAEFS_TRY_VOID(block_cache_.write(ib.block, ib.data));
     if (geo_.is_data_block(ib.block)) note_meta_block(ib.block, ib.cls);
   }
@@ -658,10 +801,50 @@ Status BaseFs::install_blocks(const std::vector<InstallBlock>& blocks) {
   inode_cache_.drop_all();
   dentry_cache_.drop_all();
   RAEFS_TRY_VOID(reload_counters());
-  obs::flight().record(obs::Component::kBaseFs, "install_blocks", "",
+  obs::flight().record(obs::Component::kBaseFs, "install_blocks", "legacy",
                        clock_ ? clock_->now() : 0, blocks.size());
   // Make the recovered state durable before any new operation is admitted.
   return commit_txn(/*force_checkpoint=*/true);
+}
+
+void BaseFs::note_meta_blocks_batch_(const std::vector<InstallBlock>& blocks) {
+  std::lock_guard<std::mutex> lk(meta_blocks_mu_);
+  for (const auto& ib : blocks) {
+    if (ib.cls == BlockClass::kFileData || !geo_.is_data_block(ib.block)) {
+      continue;
+    }
+    meta_blocks_[ib.block] = ib.cls;
+    // Same rule as note_meta_block: the fresh journaled copy must not be
+    // suppressed by a stale pending revoke.
+    pending_revokes_.erase(ib.block);
+  }
+}
+
+Status BaseFs::invalidate_for_install_(const std::vector<InstallBlock>& blocks) {
+  bool block_bitmap = false;
+  bool inode_bitmap = false;
+  bool inode_table = false;
+  bool dir_meta = false;
+  for (const auto& ib : blocks) {
+    const BlockNo b = ib.block;
+    if (b >= geo_.block_bitmap_start &&
+        b < geo_.block_bitmap_start + geo_.block_bitmap_blocks) {
+      block_bitmap = true;
+    } else if (b >= geo_.inode_bitmap_start &&
+               b < geo_.inode_bitmap_start + geo_.inode_bitmap_blocks) {
+      inode_bitmap = true;
+    } else if (b >= geo_.inode_table_start &&
+               b < geo_.inode_table_start + geo_.inode_table_blocks) {
+      inode_table = true;
+    } else if (geo_.is_data_block(b) && ib.cls == BlockClass::kDirMeta) {
+      dir_meta = true;
+    }
+  }
+  if (inode_table) inode_cache_.drop_all();
+  if (inode_table || dir_meta) dentry_cache_.drop_all();
+  if (block_bitmap) RAEFS_TRY_VOID(reload_free_blocks_());
+  if (inode_bitmap) RAEFS_TRY_VOID(reload_free_inodes_());
+  return Status::Ok();
 }
 
 }  // namespace raefs

@@ -1,0 +1,49 @@
+// Device queue-depth probe: the measurement behind `workers = 0` (auto).
+//
+// The parallel recovery phases (journal replay, shadow replay, fsck, and
+// the download phase's bulk install) all scale with the device's ability
+// to overlap concurrent IO, not with host core count: on real storage
+// recovery is IO-bound, and the worker pools buy wall-clock time only
+// while the device can absorb the extra in-flight requests. The right
+// worker count is therefore a *device* property. This probe measures it
+// directly at mount time: timed batches of sampled reads at increasing
+// concurrency, with the effective depth being the highest level that
+// still shows real scaling over the level below it.
+//
+// Devices with no measurable per-IO latency (a bare MemBlockDevice)
+// short-circuit to depth 1: there is no IO wait to overlap, and a timed
+// probe would only measure scheduler noise. Results are cached per
+// device instance so one mount probes at most once; tests reset the
+// cache between devices that reuse an address.
+#pragma once
+
+#include <cstdint>
+
+#include "blockdev/block_device.h"
+
+namespace raefs {
+
+struct QdepthProbeResult {
+  uint32_t effective_depth = 1;  // concurrent IOs the device absorbs
+  uint64_t single_read_ns = 0;   // measured single-stream read latency
+};
+
+/// Measure the device's effective queue depth with timed concurrent-read
+/// batches (real wall-clock time; the device is only read). Deterministic
+/// block sampling, bounded cost: a few dozen reads total.
+QdepthProbeResult probe_queue_depth(BlockDevice* dev);
+
+/// probe_queue_depth memoized per device instance (one probe per mount,
+/// shared by every phase that resolves an auto knob).
+QdepthProbeResult cached_queue_depth(BlockDevice* dev);
+
+/// Drop all cached probe results (tests; device addresses get reused).
+void clear_queue_depth_cache();
+
+/// Resolve a worker-count knob: a nonzero knob is explicit and returned
+/// as-is; 0 means auto -- derive the count from the device's cached
+/// probed queue depth, clamped to [1, 8] (the recovery pools' measured
+/// scaling range, BENCH_recovery.json).
+uint32_t resolve_workers(uint32_t knob, BlockDevice* dev);
+
+}  // namespace raefs

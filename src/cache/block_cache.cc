@@ -166,6 +166,37 @@ void BlockCache::mark_clean_upto(std::span<const BlockNo> blocks,
   }
 }
 
+void BlockCache::install_clean(
+    const std::vector<std::pair<BlockNo, BlockBufPtr>>& blocks) {
+  for (const auto& [block, buf] : blocks) {
+    if (!buf || buf->size() != dev_->block_size()) continue;
+    Shard& s = shard_of(block);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(block);
+    if (it != s.map.end()) {
+      Entry& e = it->second;
+      e.data = std::make_shared<BlockBuf>(*buf);
+      if (e.dirty) {
+        e.dirty = false;
+        --s.dirty_count;
+        s.dirty_list.erase(e.dirty_pos);
+        s.clean_lru.push_front(block);
+        e.clean_pos = s.clean_lru.begin();
+      }
+      touch_locked(s, block, e);
+      continue;
+    }
+    evict_locked(s);
+    s.lru.push_front(block);
+    s.clean_lru.push_front(block);
+    Entry e;
+    e.data = std::make_shared<BlockBuf>(*buf);
+    e.lru_pos = s.lru.begin();
+    e.clean_pos = s.clean_lru.begin();
+    s.map.emplace(block, std::move(e));
+  }
+}
+
 void BlockCache::drop_all() {
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s.mu);

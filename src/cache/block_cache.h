@@ -105,6 +105,15 @@ class BlockCache {
   /// newer tag and must stay dirty (its latest content is unpersisted).
   void mark_clean_upto(std::span<const BlockNo> blocks, uint64_t upto);
 
+  /// Bulk install-as-clean (the recovery download's warm-up): replace each
+  /// block's cached payload with the given bytes and leave the entry
+  /// CLEAN. The caller guarantees the device already holds exactly these
+  /// bytes -- the bulk install journals and writes them in place before
+  /// calling -- so nothing here needs write-back. Escaped read handles
+  /// keep their old point-in-time buffer; absent blocks are inserted.
+  void install_clean(
+      const std::vector<std::pair<BlockNo, BlockBufPtr>>& blocks);
+
   /// Advance the open epoch; subsequent dirtying touches tag with `epoch`.
   /// Called by the commit engine at epoch rotation (no concurrent ops).
   void set_open_epoch(uint64_t epoch) {

@@ -237,15 +237,23 @@ Status audit_tail(BlockDevice* dev, const Geometry& geo, BlockNo from,
 /// durable history: a valid commit record whose payload no longer matches,
 /// or any surviving record beyond the stop point whose sequence number
 /// proves later transactions had committed.
+///
+/// `known_end`, when nonzero, bounds the scan: the caller is a *live*
+/// journal whose in-memory cursor says exactly where the durable log
+/// stops, so the region beyond it holds nothing but stale bytes and the
+/// tail audit (a full-region read that exists to catch crash corruption)
+/// is skipped. Crash-recovery callers must pass 0.
 Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
-                                               const Geometry& geo) {
+                                               const Geometry& geo,
+                                               BlockNo known_end = 0) {
   std::vector<uint8_t> buf(kBlockSize);
   RAEFS_TRY_VOID(dev->read_block(geo.journal_start, buf));
   RAEFS_TRY(Header hdr, decode_header(buf));
 
   std::vector<ScannedTxn> txns;
   BlockNo pos = geo.journal_start + 1;
-  const BlockNo end = geo.journal_start + geo.journal_blocks;
+  const BlockNo end =
+      known_end != 0 ? known_end : geo.journal_start + geo.journal_blocks;
   uint64_t expect_seq = hdr.floor_seq + 1;
 
   while (pos < end) {
@@ -254,44 +262,73 @@ Result<std::vector<ScannedTxn>> scan_committed(BlockDevice* dev,
     if (!desc.ok() || desc.value().seq != expect_seq) {
       // Not the next transaction's descriptor: end of log (clean stop)
       // unless the tail still holds evidence of committed transactions.
-      RAEFS_TRY_VOID(audit_tail(dev, geo, pos, expect_seq));
+      if (known_end == 0) {
+        RAEFS_TRY_VOID(audit_tail(dev, geo, pos, expect_seq));
+      }
       break;
     }
-    const auto& d = desc.value();
-    if (pos + 1 + d.targets.size() + 1 > end) {
-      // commit() never writes a transaction that overflows the region; a
-      // CRC-valid in-sequence descriptor claiming one is corruption.
-      return Errno::kCorrupt;
-    }
 
+    // Accumulate the transaction's chunks: one descriptor for a classic
+    // commit, several descriptors sharing this seq for a commit_multi
+    // bulk transaction. The chunk loop ends at the commit record (the
+    // transaction is durable as a whole) or at anything else (the whole
+    // multi-chunk transaction is a torn tail).
     ScannedTxn txn;
-    txn.seq = d.seq;
-    txn.revoked = d.revoked;
-    for (size_t i = 0; i < d.targets.size(); ++i) {
-      std::vector<uint8_t> payload(kBlockSize);
-      RAEFS_TRY_VOID(dev->read_block(pos + 1 + i, payload));
-      txn.records.push_back(JournalRecord{d.targets[i], std::move(payload)});
-    }
+    txn.seq = expect_seq;
+    Descriptor d = std::move(desc).value();
+    bool torn = false;
+    BlockNo chunk_pos = pos;
+    while (true) {
+      if (chunk_pos + 1 + d.targets.size() + 1 > end) {
+        // The commit paths never write a transaction that overflows the
+        // region; a CRC-valid in-sequence descriptor claiming one is
+        // corruption.
+        return Errno::kCorrupt;
+      }
+      for (size_t i = 0; i < d.targets.size(); ++i) {
+        std::vector<uint8_t> payload(kBlockSize);
+        RAEFS_TRY_VOID(dev->read_block(chunk_pos + 1 + i, payload));
+        txn.records.push_back(
+            JournalRecord{d.targets[i], std::move(payload)});
+      }
+      txn.revoked.insert(txn.revoked.end(), d.revoked.begin(),
+                         d.revoked.end());
 
-    const BlockNo commit_pos = pos + 1 + d.targets.size();
-    RAEFS_TRY_VOID(dev->read_block(commit_pos, buf));
-    auto commit = decode_commit(buf);
-    if (!commit.ok() || commit.value().seq != d.seq) {
-      // No commit record for this transaction: torn tail, provided nothing
-      // beyond it ever committed.
-      RAEFS_TRY_VOID(audit_tail(dev, geo, commit_pos, expect_seq));
+      const BlockNo next_pos = chunk_pos + 1 + d.targets.size();
+      RAEFS_TRY_VOID(dev->read_block(next_pos, buf));
+      auto commit = decode_commit(buf);
+      if (commit.ok() && commit.value().seq == txn.seq) {
+        if (commit.value().ntags != txn.records.size() ||
+            commit.value().payload_crc !=
+                payload_crc(txn.records, txn.revoked)) {
+          // The commit record is durable and provably this transaction's
+          // (its seq is beyond the floor, so it cannot be stale), which
+          // means the descriptor+payload chunks were flushed before it --
+          // yet they no longer match. A committed transaction has been
+          // corrupted.
+          return Errno::kCorrupt;
+        }
+        txn.next_block = next_pos + 1;
+        break;
+      }
+      auto cont = decode_descriptor(buf);
+      if (cont.ok() && cont.value().seq == txn.seq) {
+        // Continuation chunk of the same multi-chunk transaction.
+        d = std::move(cont).value();
+        chunk_pos = next_pos;
+        continue;
+      }
+      // No commit record for this transaction: torn tail (the whole
+      // multi-chunk set is discarded), provided nothing beyond it ever
+      // committed.
+      if (known_end == 0) {
+        RAEFS_TRY_VOID(audit_tail(dev, geo, next_pos, expect_seq));
+      }
+      torn = true;
       break;
     }
-    if (commit.value().ntags != d.targets.size() ||
-        commit.value().payload_crc != payload_crc(txn.records, txn.revoked)) {
-      // The commit record is durable and provably this transaction's (its
-      // seq is beyond the floor, so it cannot be stale), which means the
-      // descriptor+payload were flushed before it -- yet they no longer
-      // match. A committed transaction has been corrupted.
-      return Errno::kCorrupt;
-    }
+    if (torn) break;
 
-    txn.next_block = commit_pos + 1;
     pos = txn.next_block;
     ++expect_seq;
     txns.push_back(std::move(txn));
@@ -373,6 +410,107 @@ Result<uint64_t> Journal::commit(const std::vector<JournalRecord>& records,
   durable_cursor_ = cursor_;
   commit_counter().inc();
   blocks_written_counter().inc(blocks_needed(records.size()));
+  return seq;
+}
+
+uint64_t Journal::blocks_needed_multi(size_t nrecords, size_t nrevoked) {
+  // First chunk's descriptor shares its entry table with the revoke list;
+  // continuation chunks carry tags only.
+  const size_t cap = max_descriptor_entries();
+  const size_t first_cap = cap > nrevoked ? cap - nrevoked : 0;
+  size_t nchunks = 1;
+  if (nrecords > first_cap) {
+    nchunks += (nrecords - first_cap + cap - 1) / cap;
+  }
+  return nchunks + nrecords + 1;
+}
+
+Result<uint64_t> Journal::commit_multi(
+    const std::vector<JournalRecord>& records,
+    const std::vector<BlockNo>& revoked, uint32_t workers) {
+  if (records.empty()) return Errno::kInval;
+  if (revoked.size() >= max_descriptor_entries()) return Errno::kInval;
+  for (const auto& r : records) {
+    if (!r.data || r.data->size() != kBlockSize) return Errno::kInval;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!staged_.empty() || pipeline_failed_) return Errno::kBusy;
+  const uint64_t blocks = blocks_needed_multi(records.size(), revoked.size());
+  if (cursor_ + blocks > geo_.journal_start + geo_.journal_blocks) {
+    return Errno::kNoSpace;
+  }
+  const uint64_t seq = next_seq_;
+
+  // Lay the transaction out first: every chunk descriptor (repeating
+  // seq) and payload block has a fixed position, so the pre-barrier
+  // writes are order-free and can fan across a worker pool. The revoke
+  // list rides in the first chunk only, so its capacity is what the
+  // revokes leave over.
+  struct PendingWrite {
+    BlockNo pos = 0;
+    const std::vector<uint8_t>* payload = nullptr;  // null: use `owned`
+    std::vector<uint8_t> owned;                     // encoded descriptor
+  };
+  std::vector<PendingWrite> writes;
+  writes.reserve(blocks - 1);
+  BlockNo pos = cursor_;
+  size_t idx = 0;
+  bool first = true;
+  while (idx < records.size()) {
+    const size_t cap = first
+                           ? max_descriptor_entries() - revoked.size()
+                           : max_descriptor_entries();
+    const size_t n = std::min(cap, records.size() - idx);
+    Descriptor d;
+    d.seq = seq;
+    for (size_t i = 0; i < n; ++i) {
+      d.targets.push_back(records[idx + i].target);
+    }
+    if (first) d.revoked = revoked;
+    writes.push_back({pos, nullptr, encode_descriptor(d)});
+    ++pos;
+    for (size_t i = 0; i < n; ++i, ++pos) {
+      writes.push_back({pos, records[idx + i].data.get(), {}});
+    }
+    idx += n;
+    first = false;
+  }
+  {
+    const size_t slices =
+        std::min<size_t>(std::max<uint32_t>(workers, 1), writes.size());
+    std::atomic<bool> failed{false};
+    WorkerPool pool(static_cast<uint32_t>(slices));
+    pool.run(slices, [&](uint64_t s) {
+      const size_t begin = s * writes.size() / slices;
+      const size_t end = (s + 1) * writes.size() / slices;
+      for (size_t i = begin; i < end; ++i) {
+        const auto& w = writes[i];
+        const auto& buf = w.payload ? *w.payload : w.owned;
+        if (!dev_->write_block(w.pos, buf).ok()) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+    if (failed.load()) return Errno::kIo;
+  }
+  // Barrier: every chunk durable before the one commit record exists, so
+  // a power cut leaves either no commit record (the whole set is a torn
+  // tail) or a commit record proving the whole set durable.
+  RAEFS_TRY_VOID(dev_->flush());
+
+  Commit c;
+  c.seq = seq;
+  c.ntags = static_cast<uint32_t>(records.size());
+  c.payload_crc = payload_crc(records, revoked);
+  RAEFS_TRY_VOID(dev_->write_block(pos, encode_commit(c)));
+  RAEFS_TRY_VOID(dev_->flush());
+
+  cursor_ = pos + 1;
+  next_seq_ = seq + 1;
+  durable_seq_ = seq;
+  durable_cursor_ = cursor_;
+  commit_counter().inc();
+  blocks_written_counter().inc(blocks);
   return seq;
 }
 
@@ -574,11 +712,18 @@ size_t Journal::staged_txns() const {
 }
 
 Result<std::vector<JournalRecord>> Journal::committed_records() const {
+  BlockNo log_end = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!staged_.empty() || pipeline_failed_) return Errno::kInval;
+    // The pipeline is idle, so the durable cursor is exact: every durable
+    // transaction lies below it and nothing beyond it can be live. Bound
+    // the scan there -- on a device with real access latency the
+    // alternative full-region tail audit costs tens of microseconds per
+    // journal block for bytes that are stale by construction.
+    log_end = durable_cursor_;
   }
-  RAEFS_TRY(auto txns, scan_committed(dev_, geo_));
+  RAEFS_TRY(auto txns, scan_committed(dev_, geo_, log_end));
   const auto floor = revoke_floor(txns);
   // Latest copy per target wins, so the caller's coalesced write-back
   // never writes the same block twice in unspecified order.

@@ -13,6 +13,18 @@
 //       ntags payload blocks (raw images of the target blocks)
 //       commit block     {magic, kind=2, seq, ntags, payload_crc}
 //
+// A transaction larger than one descriptor can hold (commit_multi, used
+// by the recovery download's bulk install) is written as SEVERAL
+// descriptor+payload chunks sharing ONE sequence number, closed by a
+// single commit record whose ntags is the total record count and whose
+// payload_crc chains every chunk's records in order (revokes ride in the
+// first chunk only). The scanner accumulates continuation chunks -- a
+// descriptor repeating the current seq where the commit record would sit
+// -- until the commit record appears; no commit record means the whole
+// multi-chunk transaction is a torn tail, atomically discarded. Old
+// journals never repeat a sequence number, so the extension is backward
+// compatible.
+//
 // Revoke records (jbd2-style) solve the freed-and-reallocated-block
 // hazard: when a journaled metadata block is freed and later reallocated
 // as *file data*, replay of an old transaction would resurrect the stale
@@ -111,6 +123,28 @@ class Journal {
   /// (max_descriptor_entries()).
   Result<uint64_t> commit(const std::vector<JournalRecord>& records,
                           const std::vector<BlockNo>& revoked = {});
+
+  /// Durably commit one transaction of ANY size as chunked descriptors
+  /// sharing one sequence number and closed by a single commit record
+  /// (see the multi-chunk layout note above): all descriptor+payload
+  /// chunks, flush, commit record, flush. The whole set is atomic under
+  /// power cuts -- replay applies either none of it (no commit record) or
+  /// all of it. Requires an idle pipeline (kBusy otherwise) and enough
+  /// free journal space for every chunk (kNoSpace otherwise; nothing is
+  /// written). `revoked` must leave room for at least one tag in the
+  /// first descriptor. Used by the recovery download's bulk install.
+  ///
+  /// With `workers > 1` the descriptor+payload writes are fanned across a
+  /// WorkerPool: every pre-barrier block lands at a precomputed position,
+  /// so write order is irrelevant -- the flush barrier alone orders the
+  /// set against the commit record, and atomicity is unchanged.
+  Result<uint64_t> commit_multi(const std::vector<JournalRecord>& records,
+                                const std::vector<BlockNo>& revoked = {},
+                                uint32_t workers = 1);
+
+  /// Journal blocks commit_multi would consume for `nrecords` records
+  /// with `nrevoked` revokes (chunk descriptors + payloads + one commit).
+  static uint64_t blocks_needed_multi(size_t nrecords, size_t nrevoked);
 
   /// Completion of a pipelined transaction. Runs on an async worker once
   /// the transaction is durable (commit record flushed) or has failed.

@@ -75,6 +75,12 @@ inline constexpr const char* kMRaeRecoveryDownloadNs =
     "rae.recovery.download_ns";
 inline constexpr const char* kMRaeRecoveryResumeNs = "rae.recovery.resume_ns";
 inline constexpr const char* kMRaeRecoveryVerifyNs = "rae.recovery.verify_ns";
+// Download-phase IO retries: full journal-replay + install re-runs after a
+// failed install attempt (each one re-mounts the base from scratch).
+inline constexpr const char* kMRaeDownloadRetries = "rae.download.retries";
+// Effective device queue depth measured by the mount-time probe (gauge;
+// only exported when at least one worker knob is set to 0 = auto).
+inline constexpr const char* kMRaeAutotuneQdepth = "rae.autotune.qdepth";
 inline constexpr const char* kMRaeRecoveryTimeNs =
     "rae.recovery.time_ns";                                         // histogram
 // Times the parallel shadow replay planner proved commutativity could not
@@ -100,6 +106,7 @@ inline constexpr const char* kSpanJournalCommit = "journal.commit";
 inline constexpr const char* kSpanJournalGroupCommit = "journal.group_commit";
 inline constexpr const char* kSpanJournalReplay = "journal.replay";
 inline constexpr const char* kSpanJournalReplayApply = "journal.replay.apply";
+inline constexpr const char* kSpanBaseInstallApply = "basefs.install.apply";
 inline constexpr const char* kSpanBlockdevWriteback = "blockdev.writeback";
 inline constexpr const char* kSpanShadowReplay = "shadow.replay";
 inline constexpr const char* kSpanShadowReplayPlan = "shadow.replay.plan";
@@ -113,6 +120,8 @@ inline constexpr const char* kSpanRecoveryContain = "rae.recovery.contain";
 inline constexpr const char* kSpanRecoveryReboot = "rae.recovery.reboot";
 inline constexpr const char* kSpanRecoveryReplay = "rae.recovery.replay";
 inline constexpr const char* kSpanRecoveryDownload = "rae.recovery.download";
+inline constexpr const char* kSpanRecoveryDownloadAttempt =
+    "rae.recovery.download.attempt";
 inline constexpr const char* kSpanRecoveryVerify = "rae.recovery.verify";
 inline constexpr const char* kSpanRecoveryResume = "rae.recovery.resume";
 inline constexpr const char* kSpanScrub = "rae.scrub";

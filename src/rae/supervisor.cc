@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "blockdev/qdepth_probe.h"
 #include "common/log.h"
 #include "fsck/fsck.h"
 #include "journal/journal.h"
@@ -85,6 +86,11 @@ Result<std::unique_ptr<RaeSupervisor>> RaeSupervisor::start(
         sink.counter(obs::kMRaeScrubs, s.scrubs);
         sink.counter(obs::kMRaeScrubDiscrepancies, s.scrub_discrepancies);
         sink.counter(obs::kMRaeForcedSyncs, s.forced_syncs);
+        sink.counter(obs::kMRaeDownloadRetries, s.download_retries);
+        if (s.autotuned_qdepth != 0) {
+          sink.gauge(obs::kMRaeAutotuneQdepth,
+                     static_cast<int64_t>(s.autotuned_qdepth));
+        }
         sink.counter(obs::kMRaeDowntimeNs, s.total_downtime);
         sink.counter(obs::kMRaeRecoveryDetectNs, s.detect_ns);
         sink.counter(obs::kMRaeRecoveryContainNs, s.contain_ns);
@@ -270,6 +276,27 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
   }
   end_phase(&RaeStats::contain_ns, &obs::Incident::contain_ns);
 
+  // Resolve the `0 = auto` worker knobs once per recovery from the
+  // device's probed effective queue depth (cached per device, so only the
+  // first auto recovery pays the probe). The chosen counts go into the
+  // incident report so a forensic reader can see what the autotuner did.
+  const bool any_auto =
+      opts_.journal_replay_workers == 0 || opts_.fsck_workers == 0 ||
+      opts_.shadow.replay_workers == 0 || opts_.base.install_workers == 0;
+  if (any_auto) {
+    stats_.autotuned_qdepth = cached_queue_depth(dev_).effective_depth;
+  }
+  const uint32_t replay_workers =
+      resolve_workers(opts_.journal_replay_workers, dev_);
+  const uint32_t fsck_workers = resolve_workers(opts_.fsck_workers, dev_);
+  ShadowConfig shadow_cfg = opts_.shadow;
+  shadow_cfg.replay_workers = resolve_workers(shadow_cfg.replay_workers, dev_);
+  inc.autotuned_qdepth = stats_.autotuned_qdepth;
+  inc.journal_replay_workers = replay_workers;
+  inc.fsck_workers = fsck_workers;
+  inc.shadow_replay_workers = shadow_cfg.replay_workers;
+  inc.install_workers = resolve_workers(opts_.base.install_workers, dev_);
+
   // Reboot: pay the contained-reboot cost and reach the trusted on-disk
   // state S0 via journal replay.
   {
@@ -282,13 +309,13 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     obs::TraceSpan js(obs::kSpanJournalReplay, clock_.get(), ps.id());
     // Replay is idempotent; a transient device error mid-replay vanishes
     // on a re-run, so don't take the filesystem offline for one EIO.
-    auto replay = Journal::replay(dev_, geo, opts_.journal_replay_workers);
+    auto replay = Journal::replay(dev_, geo, replay_workers);
     for (uint32_t attempt = 0;
          !replay.ok() && attempt < opts_.recovery_io_retries; ++attempt) {
       ++stats_.recovery_io_retries;
       RAEFS_LOG_WARN("rae") << "journal replay attempt " << attempt + 1
                             << " failed; retrying";
-      replay = Journal::replay(dev_, geo, opts_.journal_replay_workers);
+      replay = Journal::replay(dev_, geo, replay_workers);
     }
     js.end();
     if (!replay.ok()) {
@@ -311,7 +338,7 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
         ++stats_.shadow_retries;
         ++inc.shadow_retries;
       }
-      outcome = executor_->execute(dev_, log, opts_.shadow, clock_);
+      outcome = executor_->execute(dev_, log, shadow_cfg, clock_);
       if (outcome.ok) break;
       RAEFS_LOG_WARN("rae") << "shadow attempt " << attempt + 1
                             << " refused: " << outcome.failure;
@@ -339,14 +366,19 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
     Status downloaded = Errno::kIo;
     for (uint32_t attempt = 0; attempt <= opts_.recovery_io_retries;
          ++attempt) {
+      // Each attempt gets its own child span so a trace of a flaky device
+      // shows every re-run (and what it cost), not one opaque phase.
+      obs::TraceSpan as(obs::kSpanRecoveryDownloadAttempt, clock_.get(),
+                        ps.id());
       if (attempt > 0) {
         ++stats_.recovery_io_retries;
+        ++stats_.download_retries;
+        ++inc.download_retries;
         RAEFS_LOG_WARN("rae")
             << "metadata download attempt " << attempt
             << " failed; replaying journal and retrying";
         base_.reset();
-        auto rereplay =
-            Journal::replay(dev_, geo, opts_.journal_replay_workers);
+        auto rereplay = Journal::replay(dev_, geo, replay_workers);
         if (!rereplay.ok()) continue;
       }
       Status mounted = mount_base();
@@ -385,8 +417,7 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
                            "device not snapshot-capable", now());
     } else {
       std::unique_ptr<BlockDevice> snap = capable->snapshot();
-      auto replayed =
-          Journal::replay(snap.get(), geo, opts_.journal_replay_workers);
+      auto replayed = Journal::replay(snap.get(), geo, replay_workers);
       if (!replayed.ok()) {
         end_phase(&RaeStats::verify_ns, &obs::Incident::verify_ns);
         return fail("post-recovery verify: journal replay on snapshot "
@@ -394,7 +425,7 @@ Result<ShadowOutcome> RaeSupervisor::recover(const FaultSite& site,
       }
       FsckOptions fo;
       fo.level = FsckLevel::kStrict;
-      fo.workers = opts_.fsck_workers;
+      fo.workers = fsck_workers;
       auto report = fsck(snap.get(), fo);
       if (!report.ok()) {
         end_phase(&RaeStats::verify_ns, &obs::Incident::verify_ns);

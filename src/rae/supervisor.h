@@ -81,13 +81,17 @@ struct RaeOptions {
   /// Worker threads for journal replay during the reboot phase. Replay is
   /// batched latest-wins per target block and the writes partitioned by
   /// block range, so any worker count produces a byte-identical image;
-  /// <= 1 keeps the serial reference path.
+  /// 1 keeps the serial reference path. 0 = auto: derive the count from
+  /// the device's probed effective queue depth (blockdev/qdepth_probe.h),
+  /// measured once per device and recorded in the incident report.
   uint32_t journal_replay_workers = 1;
 
   /// Worker threads for post-recovery fsck (the verify phase below and
   /// any supervisor-driven checks). Parallelism only prefetches; findings
-  /// are byte-identical to a serial run. <= 1 keeps the serial path.
-  /// The shadow replay's worker count is `shadow.replay_workers`.
+  /// are byte-identical to a serial run. 1 keeps the serial path; 0 =
+  /// auto (probed queue depth, as above). The shadow replay's worker
+  /// count is `shadow.replay_workers` (also 0 = auto); the bulk install's
+  /// is `base.install_workers`.
   uint32_t fsck_workers = 1;
 
   /// After the download phase, snapshot the device, replay the journal on
@@ -115,6 +119,10 @@ struct RaeStats {
   uint64_t failed_recoveries = 0;
   uint64_t shadow_retries = 0;  // transient shadow refusals retried
   uint64_t recovery_io_retries = 0;  // replay/download phases re-run
+  uint64_t download_retries = 0;  // download-phase installs re-attempted
+  // Effective queue depth from the mount-time probe; 0 until some worker
+  // knob set to 0 (= auto) forces a probe.
+  uint32_t autotuned_qdepth = 0;
   uint64_t panics_trapped = 0;
   uint64_t warn_recoveries = 0;
   uint64_t ops_replayed_total = 0;

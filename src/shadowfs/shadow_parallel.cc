@@ -8,6 +8,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "blockdev/qdepth_probe.h"
 #include "common/panic.h"
 #include "common/worker_pool.h"
 #include "format/bitmap.h"
@@ -44,19 +45,22 @@ bool in_range(BlockNo b, BlockNo start, uint64_t count) {
 // ---------------------------------------------------------------------------
 
 struct Plan {
-  std::vector<const OpRecord*> constrained;  // completed, ok, mutating
-  std::vector<const OpRecord*> inflight;     // incomplete, non-sync
+  std::vector<const OpRecord*> constrained;  // completed, ok, mutating (prefix)
+  // The serial suffix: the first in-flight (incomplete, non-sync) op and
+  // EVERY mutating op after it, in log order. The serial executor
+  // interleaves completed and in-flight ops in log order, which the
+  // two-stage shard pipeline cannot reproduce -- so everything from the
+  // first in-flight op onward replays serially on the merged image
+  // instead of forcing the whole log serial. The single-lock supervisor
+  // records at most one trailing in-flight op, so the suffix is normally
+  // a single entry.
+  std::vector<const OpRecord*> suffix;
   std::vector<Seq> retry_syncs;
   uint64_t skipped_sync = 0;
   uint64_t skipped_errored = 0;
 };
 
-/// nullopt when an in-flight op precedes a completed mutating op: the
-/// serial executor interleaves them in log order, which the two-stage
-/// parallel pipeline (all shards, then in-flight) cannot reproduce. The
-/// single-lock supervisor records at most one trailing in-flight op, so
-/// this is a formality.
-std::optional<Plan> classify(const std::vector<OpRecord>& log) {
+Plan classify(const std::vector<OpRecord>& log) {
   Plan p;
   bool saw_inflight = false;
   for (const auto& rec : log) {
@@ -71,11 +75,10 @@ std::optional<Plan> classify(const std::vector<OpRecord>& log) {
         ++p.skipped_errored;
         continue;
       }
-      if (saw_inflight) return std::nullopt;
-      p.constrained.push_back(&rec);
+      (saw_inflight ? p.suffix : p.constrained).push_back(&rec);
     } else {
       saw_inflight = true;
-      p.inflight.push_back(&rec);
+      p.suffix.push_back(&rec);
     }
   }
   return p;
@@ -512,15 +515,33 @@ ShadowOutcome run_parallel(BlockDevice* dev, const Plan& plan,
   auto final_overlay = merger.finish(lin);
 
   // Final pass: open over the merged overlay (standard open-time
-  // validation of the merged image, and the free counters the in-flight
-  // ops will allocate against), run in-flight ops autonomously, seal.
+  // validation of the merged image, and the free counters the suffix ops
+  // will allocate against), replay the serial suffix in log order --
+  // completed ops constrained (forced inode + outcome cross-check),
+  // in-flight ops autonomous -- exactly as the serial executor would from
+  // this point, then seal.
   ShadowFs final_fs(dev, config.checks, clock);
   final_fs.preload_overlay(std::move(final_overlay));
   final_fs.open();
-  for (const OpRecord* rec : plan.inflight) {
-    OpOutcome replayed = shadow_apply_op(final_fs, rec->req, kInvalidIno);
-    ++outcome.ops_replayed;
-    outcome.inflight_results.emplace_back(rec->seq, replayed);
+  for (const OpRecord* rec : plan.suffix) {
+    if (rec->completed) {
+      OpOutcome replayed =
+          shadow_apply_op(final_fs, rec->req, rec->out.assigned_ino);
+      ++outcome.ops_replayed;
+      if (!shadow_outcomes_agree(*rec, replayed)) {
+        outcome.discrepancies.push_back(
+            Discrepancy{rec->seq, shadow_describe_mismatch(*rec, replayed)});
+        if (!config.continue_on_discrepancy) {
+          // The serial executor stops at the first fatal discrepancy,
+          // leaving a partial state only it can reproduce.
+          abort_parallel("fatal discrepancy in the serial suffix");
+        }
+      }
+    } else {
+      OpOutcome replayed = shadow_apply_op(final_fs, rec->req, kInvalidIno);
+      ++outcome.ops_replayed;
+      outcome.inflight_results.emplace_back(rec->seq, replayed);
+    }
   }
   outcome.dirty = final_fs.seal();
   outcome.device_reads += final_fs.device_reads() + validator.device_reads();
@@ -531,49 +552,65 @@ ShadowOutcome run_parallel(BlockDevice* dev, const Plan& plan,
 
 }  // namespace
 
+TwoPhaseSplit plan_two_phase(const std::vector<OpRecord>& log) {
+  Plan p = classify(log);
+  TwoPhaseSplit split;
+  split.parallel_prefix.reserve(p.constrained.size());
+  for (const OpRecord* rec : p.constrained) {
+    split.parallel_prefix.push_back(rec->seq);
+  }
+  split.serial_suffix.reserve(p.suffix.size());
+  for (const OpRecord* rec : p.suffix) split.serial_suffix.push_back(rec->seq);
+  split.retry_syncs = p.retry_syncs;
+  split.skipped_sync = p.skipped_sync;
+  split.skipped_errored = p.skipped_errored;
+  return split;
+}
+
 ShadowOutcome shadow_execute_parallel(BlockDevice* dev,
                                       const std::vector<OpRecord>& log,
                                       const ShadowConfig& config,
                                       SimClockPtr clock) {
-  if (config.replay_workers <= 1) {
-    return shadow_execute(dev, log, config, std::move(clock));
+  ShadowConfig cfg = config;
+  if (cfg.replay_workers == 0) {
+    cfg.replay_workers = resolve_workers(0, dev);  // auto: probed qdepth
+  }
+  if (cfg.replay_workers <= 1) {
+    return shadow_execute(dev, log, cfg, std::move(clock));
   }
 
-  std::optional<Plan> plan;
+  Plan plan;
   OpDependencyGraph graph;
   {
     obs::TraceSpan pspan(obs::kSpanShadowReplayPlan, clock.get());
     plan = classify(log);
-    if (plan) graph = build_op_dependency_graph(plan->constrained);
-  }
-  if (!plan) {
-    return serial_fallback(dev, log, config, std::move(clock),
-                           "in-flight op precedes completed mutating ops");
+    graph = build_op_dependency_graph(plan.constrained);
   }
   if (graph.components.size() <= 1) {
-    // Nothing provably independent to schedule; the serial reference is
-    // byte-identical by contract and strictly cheaper. Not a fallback:
-    // this is the planner's normal answer for dependency-chained logs.
-    return shadow_execute(dev, log, config, std::move(clock));
+    // Nothing provably independent to schedule in the parallel prefix;
+    // the serial reference is byte-identical by contract and strictly
+    // cheaper. Not a fallback: this is the planner's normal answer for
+    // dependency-chained (or suffix-dominated) logs.
+    return shadow_execute(dev, log, cfg, std::move(clock));
   }
 
   Nanos start = clock ? clock->now() : 0;
   obs::TraceSpan span(obs::kSpanShadowReplay, clock.get());
   obs::flight().record(obs::Component::kShadow, "replay.begin", "parallel",
-                       start, log.size(), config.replay_workers,
+                       start, log.size(), cfg.replay_workers,
                        graph.components.size());
   try {
     ShadowOutcome outcome =
-        run_parallel(dev, *plan, graph, config, clock, span.id());
+        run_parallel(dev, plan, graph, cfg, clock, span.id());
     outcome.sim_time_used = clock ? clock->now() - start : 0;
     obs::flight().record(obs::Component::kShadow, "replay.end", "parallel",
                          clock ? clock->now() : 0, outcome.ops_replayed,
                          outcome.discrepancies.size(), outcome.dirty.size());
     return outcome;
   } catch (const ShadowCheckError& e) {
-    return serial_fallback(dev, log, config, std::move(clock), e.what());
+    return serial_fallback(dev, log, cfg, std::move(clock), e.what());
   } catch (const ParallelAbort& a) {
-    return serial_fallback(dev, log, config, std::move(clock), a.why);
+    return serial_fallback(dev, log, cfg, std::move(clock), a.why);
   }
 }
 

@@ -1,8 +1,15 @@
 // Parallel shadow op-sequence replay.
 //
 // Strategy ("optimistic parallel execution with serial allocation
-// linearization"): the completed, mutating prefix of the op log is split
-// into commutativity components by the oplog dependency graph
+// linearization"): the log is first split into two phases at the first
+// in-flight (incomplete, non-sync) operation -- a *parallel prefix* of
+// completed ops and a *serial suffix* holding the in-flight op and every
+// completed mutating op after it, replayed in log order on the merged
+// image. (The single-lock supervisor records at most one trailing
+// in-flight op, so the suffix is normally just that op; the split keeps
+// mid-log in-flight records -- e.g. from a multi-error incident --
+// parallelizable instead of forcing the whole log serial.) The prefix is
+// then split into commutativity components by the oplog dependency graph
 // (oplog/dep_graph.h); components are round-robined onto worker shards,
 // each shard executing its ops in sequence order on a private ShadowFs in
 // deferred-allocation mode (virtual block ids, no bitmap writes). A
@@ -39,11 +46,25 @@
 namespace raefs {
 
 /// Drop-in replacement for shadow_execute: dispatches on
-/// config.replay_workers (<= 1, or fewer than two independent components,
-/// runs the serial reference directly).
+/// config.replay_workers (1, or fewer than two independent prefix
+/// components, runs the serial reference directly; 0 = auto, resolved
+/// from the device's probed queue depth).
 ShadowOutcome shadow_execute_parallel(BlockDevice* dev,
                                       const std::vector<OpRecord>& log,
                                       const ShadowConfig& config,
                                       SimClockPtr clock = nullptr);
+
+/// The planner's two-phase split of `log` (see the layout note above),
+/// exposed for unit tests: which seqs land in the parallel prefix vs the
+/// serial suffix, plus the skip accounting both executors share. Pure
+/// classification -- reads no device state.
+struct TwoPhaseSplit {
+  std::vector<Seq> parallel_prefix;  // completed ok mutating, pre-split
+  std::vector<Seq> serial_suffix;    // in-flight + completed after split
+  std::vector<Seq> retry_syncs;      // in-flight syncs to re-issue
+  uint64_t skipped_sync = 0;
+  uint64_t skipped_errored = 0;
+};
+TwoPhaseSplit plan_two_phase(const std::vector<OpRecord>& log);
 
 }  // namespace raefs

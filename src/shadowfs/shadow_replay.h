@@ -30,8 +30,10 @@ struct ShadowConfig {
   /// continue can be configured."
   bool continue_on_discrepancy = true;
   /// Worker threads for the parallel op-sequence replay
-  /// (shadow_parallel.h); <= 1 selects the serial reference executor.
-  /// Any value produces a byte-identical dirty set.
+  /// (shadow_parallel.h); 1 selects the serial reference executor and 0
+  /// means auto (derive the count from the device's probed effective
+  /// queue depth, blockdev/qdepth_probe.h). Any value produces a
+  /// byte-identical dirty set.
   uint32_t replay_workers = 1;
 };
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "oplog/dep_graph.h"
+#include "shadowfs/shadow_parallel.h"
 
 namespace raefs {
 namespace {
@@ -209,6 +210,104 @@ TEST(DepGraph, EmptyLogHasNoComponents) {
   auto g = build_op_dependency_graph(std::vector<OpRecord>{});
   EXPECT_TRUE(g.components.empty());
   EXPECT_TRUE(g.component_of.empty());
+}
+
+// ---------------------------------------------------------------------
+// Two-phase replay planning: the split of the log into a parallel prefix
+// and a serial suffix at the first in-flight op (shadow_parallel.h).
+// ---------------------------------------------------------------------
+
+OpRequest req_sync() {
+  OpRequest r;
+  r.kind = OpKind::kSync;
+  return r;
+}
+
+OpOutcome errored() {
+  OpOutcome out;
+  out.err = Errno::kNoSpace;
+  return out;
+}
+
+TEST(TwoPhasePlan, CleanLogIsAllPrefix) {
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_create("/b/g"), ok_ino(11));
+  log.push(req_write(10));
+
+  auto split = plan_two_phase(log.records);
+  EXPECT_EQ(split.parallel_prefix, (std::vector<Seq>{1, 2, 3}));
+  EXPECT_TRUE(split.serial_suffix.empty());
+  EXPECT_TRUE(split.retry_syncs.empty());
+}
+
+TEST(TwoPhasePlan, TrailingInflightGoesToSuffix) {
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(req_create("/b/g"), ok_ino(11));
+  log.push(req_create("/c/h"), {}, /*completed=*/false);
+
+  auto split = plan_two_phase(log.records);
+  EXPECT_EQ(split.parallel_prefix, (std::vector<Seq>{1, 2}));
+  EXPECT_EQ(split.serial_suffix, (std::vector<Seq>{3}));
+}
+
+TEST(TwoPhasePlan, MidLogInflightSplitsAtFirstInflight) {
+  // The point of the two-phase plan: a mid-log in-flight op (multi-error
+  // incident) must NOT force the whole log serial -- only the suffix from
+  // that op onward.
+  LogBuilder log;
+  log.push(req_create("/a/f"), ok_ino(10));   // prefix
+  log.push(req_create("/b/g"), ok_ino(11));   // prefix
+  log.push(req_create("/c/h"), {}, false);    // first in-flight: split
+  log.push(req_create("/d/i"), ok_ino(12));   // completed AFTER: suffix
+  log.push(req_write(12));                    // suffix
+
+  auto split = plan_two_phase(log.records);
+  EXPECT_EQ(split.parallel_prefix, (std::vector<Seq>{1, 2}));
+  EXPECT_EQ(split.serial_suffix, (std::vector<Seq>{3, 4, 5}));
+}
+
+TEST(TwoPhasePlan, SyncsAndErroredOpsArePositionIndependent) {
+  // Completed syncs and errored ops are skipped globally by both
+  // executors; an in-flight sync is a retry, not a suffix member. None
+  // of them anchor the split point.
+  LogBuilder log;
+  log.push(req_sync());                      // completed sync: skipped
+  log.push(req_create("/a/f"), ok_ino(10));  // prefix
+  log.push(req_create("/b/g"), errored());   // errored: skipped
+  log.push(req_sync(), {}, false);           // in-flight sync: retry only
+  log.push(req_create("/c/h"), ok_ino(11));  // still prefix
+  log.push(req_create("/d/i"), {}, false);   // the real split
+  log.push(req_create("/e/j"), ok_ino(12));  // suffix
+
+  auto split = plan_two_phase(log.records);
+  EXPECT_EQ(split.parallel_prefix, (std::vector<Seq>{2, 5}));
+  EXPECT_EQ(split.serial_suffix, (std::vector<Seq>{6, 7}));
+  EXPECT_EQ(split.retry_syncs, (std::vector<Seq>{4}));
+  EXPECT_EQ(split.skipped_sync, 2u);  // the in-flight sync is counted too
+  EXPECT_EQ(split.skipped_errored, 1u);
+}
+
+TEST(TwoPhasePlan, NonMutatingCompletedOpsNeverReplay) {
+  LogBuilder log;
+  OpRequest stat;
+  stat.kind = OpKind::kStat;
+  stat.path = "/a/f";
+  log.push(req_create("/a/f"), ok_ino(10));
+  log.push(std::move(stat), ok_ino(10));
+  log.push(req_create("/b/g"), {}, false);
+
+  auto split = plan_two_phase(log.records);
+  EXPECT_EQ(split.parallel_prefix, (std::vector<Seq>{1}));
+  EXPECT_EQ(split.serial_suffix, (std::vector<Seq>{3}));
+}
+
+TEST(TwoPhasePlan, EmptyLogSplitsToNothing) {
+  auto split = plan_two_phase({});
+  EXPECT_TRUE(split.parallel_prefix.empty());
+  EXPECT_TRUE(split.serial_suffix.empty());
+  EXPECT_TRUE(split.retry_syncs.empty());
 }
 
 }  // namespace

@@ -597,5 +597,172 @@ TEST_F(JournalFixture, RevokeListCountsAgainstDescriptorCapacity) {
   EXPECT_EQ(read_block(geo.data_start), block_of(0x01));
 }
 
+// ---------------------------------------------------------------------
+// Multi-chunk install transactions (commit_multi): one sequence number
+// spanning several descriptor chunks, atomic under power cuts.
+// ---------------------------------------------------------------------
+
+struct JournalMultiFixture : ::testing::Test {
+  // Big enough that a >1-chunk transaction (more than
+  // max_descriptor_entries() records) fits the journal region.
+  void SetUp() override {
+    dev = std::make_unique<MemBlockDevice>(8192);
+    geo = compute_geometry(8192, 128, 1024).value();
+    ASSERT_TRUE(Journal::format(dev.get(), geo).ok());
+  }
+
+  JournalRecord record(BlockNo target, uint8_t fill) {
+    return JournalRecord{target, std::vector<uint8_t>(kBlockSize, fill)};
+  }
+
+  std::vector<uint8_t> read_block(BlockNo b) {
+    std::vector<uint8_t> out(kBlockSize);
+    EXPECT_TRUE(dev->read_block(b, out).ok());
+    return out;
+  }
+
+  std::unique_ptr<MemBlockDevice> dev;
+  Geometry geo;
+};
+
+TEST_F(JournalMultiFixture, SingleChunkRoundTrip) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  std::vector<JournalRecord> recs;
+  for (int i = 0; i < 5; ++i) recs.push_back(record(geo.data_start + i, 0x40 + i));
+  auto seq = journal.commit_multi(recs);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 1u);
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(replayed.value().applied_blocks, 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(read_block(geo.data_start + i),
+              std::vector<uint8_t>(kBlockSize, 0x40 + i));
+  }
+}
+
+TEST_F(JournalMultiFixture, MultiChunkSharesOneSeqAndReplays) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  const size_t n = Journal::max_descriptor_entries() + 12;  // forces 2 chunks
+  ASSERT_GT(Journal::blocks_needed_multi(n, 0), n + 2);  // really chunked
+  std::vector<JournalRecord> recs;
+  for (size_t i = 0; i < n; ++i) {
+    recs.push_back(record(geo.data_start + i, static_cast<uint8_t>(i)));
+  }
+  auto seq = journal.commit_multi(recs);
+  ASSERT_TRUE(seq.ok());
+
+  auto seqs = Journal::scan(dev.get(), geo);
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_EQ(seqs.value().size(), 1u);  // chunks are ONE transaction
+  EXPECT_EQ(seqs.value()[0], seq.value());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(replayed.value().applied_blocks, n);
+  for (size_t i = 0; i < n; i += 97) {
+    EXPECT_EQ(read_block(geo.data_start + i),
+              std::vector<uint8_t>(kBlockSize, static_cast<uint8_t>(i)));
+  }
+}
+
+TEST_F(JournalMultiFixture, TornMultiChunkDiscardsWholeSet) {
+  // Power cut between the last chunk and the commit record: every chunk
+  // is on device but no commit record exists. Replay must apply NOTHING.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  const size_t n = Journal::max_descriptor_entries() + 12;
+  std::vector<JournalRecord> recs;
+  for (size_t i = 0; i < n; ++i) recs.push_back(record(geo.data_start + i, 0x55));
+  ASSERT_TRUE(journal.commit_multi(recs).ok());
+
+  // Simulate the cut by destroying the commit record (the transaction's
+  // last journal block on a fresh journal).
+  const BlockNo commit_at =
+      geo.journal_start + Journal::blocks_needed_multi(n, 0);
+  ASSERT_TRUE(
+      dev->write_block(commit_at, std::vector<uint8_t>(kBlockSize, 0)).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok()) << "torn tail, not corruption";
+  EXPECT_EQ(replayed.value().applied_txns, 0u);
+  EXPECT_EQ(replayed.value().applied_blocks, 0u);
+  for (size_t i = 0; i < n; i += 97) {
+    EXPECT_EQ(read_block(geo.data_start + i),
+              std::vector<uint8_t>(kBlockSize, 0));
+  }
+}
+
+TEST_F(JournalMultiFixture, RevokesRideTheFirstChunk) {
+  // An earlier transaction journals `victim`; the multi-chunk install
+  // revokes it. Replay must not resurrect the old copy.
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  const BlockNo victim = geo.data_start + 4000;
+  ASSERT_TRUE(journal.commit({record(victim, 0x66)}).ok());
+  const size_t n = Journal::max_descriptor_entries() + 12;
+  std::vector<JournalRecord> recs;
+  for (size_t i = 0; i < n; ++i) recs.push_back(record(geo.data_start + i, 0x77));
+  ASSERT_TRUE(journal.commit_multi(recs, {victim}).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 2u);
+  EXPECT_EQ(read_block(victim), std::vector<uint8_t>(kBlockSize, 0))
+      << "revoked copy must not be replayed";
+  EXPECT_EQ(read_block(geo.data_start), std::vector<uint8_t>(kBlockSize, 0x77));
+}
+
+TEST_F(JournalMultiFixture, MixedWithPlainCommitsRoundTrips) {
+  // Old-style commits before and after a multi-chunk transaction: the
+  // extension must not disturb ordinary sequencing (backward compat).
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start + 0, 0x01)}).ok());
+  const size_t n = Journal::max_descriptor_entries() + 3;
+  std::vector<JournalRecord> recs;
+  for (size_t i = 0; i < n; ++i) {
+    recs.push_back(record(geo.data_start + 10 + i, 0x02));
+  }
+  ASSERT_TRUE(journal.commit_multi(recs).ok());
+  ASSERT_TRUE(journal.commit({record(geo.data_start + 1, 0x03)}).ok());
+
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 3u);
+  EXPECT_EQ(read_block(geo.data_start + 0), std::vector<uint8_t>(kBlockSize, 0x01));
+  EXPECT_EQ(read_block(geo.data_start + 10), std::vector<uint8_t>(kBlockSize, 0x02));
+  EXPECT_EQ(read_block(geo.data_start + 1), std::vector<uint8_t>(kBlockSize, 0x03));
+}
+
+TEST_F(JournalMultiFixture, RefusesEmptyOversizedAndBusy) {
+  Journal journal(dev.get(), geo);
+  ASSERT_TRUE(journal.open().ok());
+  EXPECT_EQ(journal.commit_multi({}).error(), Errno::kInval);
+
+  std::vector<BlockNo> revoked(Journal::max_descriptor_entries(),
+                               geo.data_start);
+  EXPECT_EQ(journal.commit_multi({record(geo.data_start, 1)}, revoked).error(),
+            Errno::kInval);
+
+  // A set that cannot fit the region: kNoSpace, nothing written, and the
+  // journal stays usable for a smaller commit.
+  std::vector<JournalRecord> huge;
+  for (uint64_t i = 0; i < geo.journal_blocks; ++i) {
+    huge.push_back(record(geo.data_start + i, 0x11));
+  }
+  EXPECT_EQ(journal.commit_multi(huge).error(), Errno::kNoSpace);
+  EXPECT_TRUE(journal.commit_multi({record(geo.data_start, 0x12)}).ok());
+  auto replayed = Journal::replay(dev.get(), geo);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().applied_txns, 1u);
+  EXPECT_EQ(read_block(geo.data_start), std::vector<uint8_t>(kBlockSize, 0x12));
+}
+
 }  // namespace
 }  // namespace raefs

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "blockdev/fault_device.h"
 #include "common/panic.h"
@@ -413,10 +414,11 @@ TEST(ShadowParallel, SingleComponentDelegatesToSerial) {
   expect_same_outcome(serial, par);
 }
 
-TEST(ShadowParallel, UnplannableLogFallsBackToSerial) {
-  // An in-flight op wedged BEFORE completed mutating ops cannot be
-  // partitioned; the parallel path must fall back (counted) and still
-  // return the serial answer.
+TEST(ShadowParallel, InflightPrefixGoesSerialWithoutFallback) {
+  // An in-flight op wedged BEFORE completed mutating ops leaves the
+  // two-phase planner an empty parallel prefix: everything lands in the
+  // serial suffix, the driver delegates to the serial executor directly,
+  // and NO fallback is counted -- this is the plan, not a failure.
   auto t = make_test_device();
   std::vector<OpRecord> log;
   OpRecord inflight;
@@ -434,6 +436,12 @@ TEST(ShadowParallel, UnplannableLogFallsBackToSerial) {
   done.out.assigned_ino = 2;
   log.push_back(done);
 
+  auto split = plan_two_phase(log);
+  EXPECT_TRUE(split.parallel_prefix.empty());
+  ASSERT_EQ(split.serial_suffix.size(), 2u);
+  EXPECT_EQ(split.serial_suffix[0], 1u);
+  EXPECT_EQ(split.serial_suffix[1], 2u);
+
   ShadowConfig config;
   config.replay_workers = 4;
   uint64_t before =
@@ -441,7 +449,7 @@ TEST(ShadowParallel, UnplannableLogFallsBackToSerial) {
   auto serial = shadow_execute(t.device.get(), log, {});
   auto par = shadow_execute_parallel(t.device.get(), log, config);
   EXPECT_EQ(obs::metrics().counter(obs::kMShadowParallelFallbacks).value(),
-            before + 1);
+            before);
   expect_same_outcome(serial, par);
 }
 
@@ -556,6 +564,160 @@ TEST(ParallelRecovery, SupervisorRecoversWithAllKnobsOn) {
   auto report = fsck(t.device.get(), FsckLevel::kStrict);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report.value().consistent()) << report.value().summary();
+}
+
+// ---------------------------------------------------------------------
+// Bulk install: the parallel in-place apply must be byte-identical to
+// the serial apply at every worker count, and the journaled install
+// transaction must be atomic under power cuts.
+// ---------------------------------------------------------------------
+
+std::vector<InstallBlock> scenario_dirty(const RecordedScenario& s) {
+  auto out = shadow_execute(s.device.get(), s.log, {});
+  EXPECT_TRUE(out.ok) << out.failure;
+  return out.dirty;
+}
+
+TEST(InstallParallel, WorkerCountsProduceIdenticalImages) {
+  auto s = record_scenario();
+  auto dirty = scenario_dirty(s);
+  ASSERT_FALSE(dirty.empty());
+
+  std::vector<uint8_t> reference;  // workers=1 = the serial apply
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    auto dev = s.device->clone_full();
+    BaseFsOptions opts;
+    opts.install_workers = workers;
+    auto mounted = BaseFs::mount(dev.get(), opts, nullptr);
+    ASSERT_TRUE(mounted.ok());
+    auto fs = std::move(mounted).value();
+    ASSERT_TRUE(fs->install_blocks(dirty).ok()) << "workers=" << workers;
+    ASSERT_TRUE(fs->unmount().ok());
+    auto img = image_of(*dev);
+    if (reference.empty()) {
+      reference = std::move(img);
+    } else {
+      EXPECT_EQ(img, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(InstallParallel, MatchesSerialOnReorderCrashImages) {
+  // Bulk installs onto crashx v2 reorder-dirtied images: mount replays
+  // the journal first, then the install at every worker count must leave
+  // byte-identical images. The install set is harvested from a different
+  // crash image with the same geometry, so it is structurally valid and
+  // its writes are not no-ops.
+  Geometry geo = test_geometry();
+  auto donor = make_reorder_dirty_image(/*seed=*/777, /*f=*/3);
+  ASSERT_TRUE(Journal::replay(donor.get(), geo).ok());
+  std::vector<InstallBlock> set;
+  auto harvest = [&](BlockNo b) {
+    InstallBlock ib;
+    ib.block = b;
+    ib.data.resize(kBlockSize);
+    EXPECT_TRUE(donor->read_block(b, ib.data).ok());
+    set.push_back(std::move(ib));
+  };
+  harvest(geo.block_bitmap_start);
+  harvest(geo.inode_bitmap_start);
+  for (uint64_t i = 0; i < std::min<uint64_t>(4, geo.inode_table_blocks); ++i) {
+    harvest(geo.inode_table_start + i);
+  }
+
+  for (uint64_t f : {2u, 5u, 9u}) {
+    auto dirty = make_reorder_dirty_image(/*seed=*/1234, f);
+    std::vector<uint8_t> reference;
+    for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+      auto dev = dirty->clone_full();
+      BaseFsOptions opts;
+      opts.install_workers = workers;
+      auto mounted = BaseFs::mount(dev.get(), opts, nullptr);
+      ASSERT_TRUE(mounted.ok()) << "flush " << f;
+      auto fs = std::move(mounted).value();
+      ASSERT_TRUE(fs->install_blocks(set).ok())
+          << "flush " << f << " workers " << workers;
+      ASSERT_TRUE(fs->unmount().ok());
+      auto img = image_of(*dev);
+      if (reference.empty()) {
+        reference = std::move(img);
+      } else {
+        EXPECT_EQ(img, reference) << "flush " << f << " workers " << workers;
+      }
+    }
+  }
+}
+
+TEST(InstallParallel, PowerCutThroughBulkInstallIsAtomic) {
+  // Cut power at every point of the journaled bulk install (journal
+  // chunk writes, barrier, commit record, in-place apply, checkpoint):
+  // after the power cycle and journal replay the image must hold either
+  // the complete pre-install state or the complete post-install state
+  // for every installed block -- never a mix.
+  auto s = record_scenario();
+  auto dirty = scenario_dirty(s);
+  ASSERT_FALSE(dirty.empty());
+  Geometry geo = compute_geometry(8192, 1024, 128).value();
+  // The set must take the journaled bulk path (fits the region), or the
+  // atomicity contract under test does not apply.
+  ASSERT_LT(Journal::blocks_needed_multi(dirty.size(), 0),
+            geo.journal_blocks);
+
+  std::unordered_map<BlockNo, std::vector<uint8_t>> oldc, newc;
+  for (const auto& ib : dirty) {
+    std::vector<uint8_t> before(kBlockSize);
+    ASSERT_TRUE(s.device->read_block(ib.block, before).ok());
+    oldc[ib.block] = std::move(before);
+    newc[ib.block] = ib.data;  // dedup latest-wins, like the install
+  }
+
+  bool saw_old = false, saw_new = false;
+  for (uint64_t cut = 1; cut < 4096; cut += 3) {
+    auto victim = s.device->clone_full();
+    bool completed = false;
+    {
+      FaultBlockDevice fdev(victim.get());
+      BaseFsOptions opts;
+      opts.install_workers = 4;
+      auto mounted = BaseFs::mount(&fdev, opts, nullptr);
+      ASSERT_TRUE(mounted.ok()) << "cut " << cut;
+      auto fs = std::move(mounted).value();
+      fdev.arm_crash_after_writes(cut);
+      try {
+        (void)fs->install_blocks(dirty);  // power failing: errors are legal
+      } catch (const FsPanicError&) {
+      }
+      completed = !fdev.crashed();
+      fdev.disarm();
+      // fs dropped without unmount: the power is gone.
+    }
+    victim->crash();
+    ASSERT_TRUE(Journal::replay(victim.get(), geo).ok()) << "cut " << cut;
+
+    size_t old_n = 0, new_n = 0, mixed = 0;
+    for (const auto& [b, oldv] : oldc) {
+      std::vector<uint8_t> got(kBlockSize);
+      ASSERT_TRUE(victim->read_block(b, got).ok());
+      if (oldv == newc[b]) continue;  // ambiguous either way
+      if (got == newc[b]) {
+        ++new_n;
+      } else if (got == oldv) {
+        ++old_n;
+      } else {
+        ++mixed;
+      }
+    }
+    EXPECT_EQ(mixed, 0u) << "cut " << cut;
+    EXPECT_TRUE(old_n == 0 || new_n == 0)
+        << "cut " << cut << ": " << old_n << " old vs " << new_n
+        << " new blocks survived together";
+    if (old_n > 0) saw_old = true;
+    if (new_n > 0) saw_new = true;
+    if (completed) break;  // the whole install beat the cut: sweep done
+  }
+  // The sweep must have produced both outcomes, or it proved nothing.
+  EXPECT_TRUE(saw_old);
+  EXPECT_TRUE(saw_new);
 }
 
 // ---------------------------------------------------------------------

@@ -14,6 +14,10 @@
 #  3. every field of CrashxOptions and FuzzOptions (src/crashx/crashx.h)
 #     -- the crash explorer's knobs -- must appear verbatim in
 #     docs/CRASHX.md, same deal.
+#  4. every worker-count knob (any `*_workers` field of BaseFsOptions,
+#     ShadowConfig, or RaeOptions -- all of which accept 0 = auto) must
+#     appear verbatim in docs/RECOVERY.md, which owns the autotuning
+#     story.
 #
 # Run from anywhere:
 #
@@ -101,9 +105,36 @@ for knob in $cxknobs; do
 done
 cxtotal=$(echo "$cxknobs" | wc -l)
 
-if [ "$missing" -ne 0 ]; then
-  echo "doc_lint: $missing undocumented (of $total obs names + $ktotal knobs + $cxtotal crashx knobs)" >&2
+# --- contract 4: worker-count / autotune knobs ----------------------------
+# Any `*_workers` field of the structs that hold per-phase parallelism
+# knobs (RaeOptions is already covered by contract 2; BaseFsOptions and
+# ShadowConfig are not) must be documented in docs/RECOVERY.md.
+base_h="$root/src/basefs/base_fs.h"
+shadow_h="$root/src/shadowfs/shadow_replay.h"
+wknobs=$( (sed -n '/^struct BaseFsOptions {/,/^};/p' "$base_h"; \
+           sed -n '/^struct ShadowConfig {/,/^};/p' "$shadow_h") \
+  | sed 's,//.*,,; s,///.*,,' \
+  | sed 's/=.*/;/' \
+  | grep -E '^[ \t]*[A-Za-z_][A-Za-z0-9_:<>, ]*[ \t][a-z_]*_workers[ \t]*;' \
+  | sed -E 's/^.*[ \t]([a-z_]*_workers)[ \t]*;.*$/\1/' \
+  | sort -u)
+if [ -z "$wknobs" ]; then
+  echo "doc_lint: extracted no *_workers fields from $base_h/$shadow_h (regex rotted?)" >&2
   exit 1
 fi
-echo "doc_lint: all $total observability names, $ktotal recovery knobs, and $cxtotal crashx knobs documented"
+
+for knob in $wknobs; do
+  if ! grep -qF "$knob" "$recovery_doc"; then
+    echo "doc_lint: worker knob '$knob' (BaseFsOptions/ShadowConfig) is not" \
+         "documented in docs/RECOVERY.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+wtotal=$(echo "$wknobs" | wc -l)
+
+if [ "$missing" -ne 0 ]; then
+  echo "doc_lint: $missing undocumented (of $total obs names + $ktotal knobs + $cxtotal crashx knobs + $wtotal worker knobs)" >&2
+  exit 1
+fi
+echo "doc_lint: all $total observability names, $ktotal recovery knobs, $cxtotal crashx knobs, and $wtotal worker knobs documented"
 exit 0
